@@ -1,0 +1,81 @@
+"""The dry-run use case: Eq. 13-14 saturation point and risk vs reality.
+
+The paper's headline workflow: calibrate from live metrics, then answer
+"will this (traffic, parallelism) combination backpressure?" without
+deploying.  This bench calibrates from one deployment, sweeps proposed
+parallelisms in dry-run mode, and validates every risk verdict against
+an actual simulation of the proposed configuration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import fmt_m
+from repro.core.performance_models import ThroughputPredictionModel
+from repro.experiments.sweeps import run_point
+from repro.heron.simulation import HeronSimulation, SimulationConfig
+from repro.heron.tracker import TopologyTracker
+from repro.heron.wordcount import WordCountParams, build_word_count
+from repro.timeseries.store import MetricsStore
+
+M = 1e6
+
+
+def bench_backpressure_risk(benchmark, quick, report):
+    # Deploy the baseline (Splitter 2, Counter 4) and sweep it once.
+    params = WordCountParams(splitter_parallelism=2, counter_parallelism=4)
+    topology, packing, logic = build_word_count(params)
+    store = MetricsStore()
+    sim = HeronSimulation(
+        topology, packing, logic, store, SimulationConfig(seed=21)
+    )
+    rates = np.arange(4 * M, 44 * M + 1, 8 * M)
+    for rate in rates:
+        sim.set_source_rate("sentence-spout", float(rate))
+        sim.run(2)
+    tracker = TopologyTracker()
+    tracker.register(topology, packing)
+    model = ThroughputPredictionModel(tracker, store)
+
+    benchmark(model.predict, "word-count", 30 * M)
+
+    target_rate = 26 * M
+    proposals = [2, 3, 4, 6]
+    lines = [
+        "Dry-run backpressure risk (Eq. 13-14) vs deployed reality",
+        f"traffic: {fmt_m(target_rate)} tuples/min; "
+        "proposals change the Splitter parallelism",
+        "",
+        f"{'splitter p':>10} {'predicted sat.':>15} {'risk':>6} "
+        f"{'actual bp ms/min':>17} {'verdict':>9}",
+    ]
+    all_correct = True
+    for p in proposals:
+        prediction = model.predict(
+            "word-count",
+            source_rate=target_rate,
+            parallelisms={"splitter": p},
+        )
+        # Ground truth: actually run the proposed configuration.
+        check_params = WordCountParams(
+            splitter_parallelism=p, counter_parallelism=4
+        )
+        point = run_point(
+            check_params,
+            target_rate,
+            seed=100 + p,
+            warmup_minutes=1 if quick else 2,
+            measure_minutes=1 if quick else 2,
+        )
+        actually_backpressured = point.backpressure_ms > 30_000
+        predicted_high = prediction.backpressure_risk == "high"
+        correct = predicted_high == actually_backpressured
+        all_correct = all_correct and correct
+        lines.append(
+            f"{p:>10} {fmt_m(prediction.saturation_source_rate):>15} "
+            f"{prediction.backpressure_risk:>6} {point.backpressure_ms:>17.0f} "
+            f"{'OK' if correct else 'WRONG':>9}"
+        )
+    report("backpressure_risk", lines)
+    assert all_correct

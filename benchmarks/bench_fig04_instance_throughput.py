@@ -1,0 +1,50 @@
+"""Fig. 4: instance input/output throughput vs topology source throughput.
+
+Paper setup: Word Count with Splitter p=1 (Counter p=3 so it is not the
+bottleneck, spout p=8), source swept 1..20 M tuples/minute, 10 repeated
+observations, 90% confidence band.  Paper findings: both series rise
+linearly to ~11 M tuples/minute (the saturation point), then hold flat;
+the output plateau is the saturation throughput.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import fmt_m
+from repro.core.calibration import fit_piecewise_linear
+from repro.experiments import figures
+
+
+def bench_fig04_instance_throughput(benchmark, instance_sweep, report):
+    result = figures.fig04_single_instance(sweep=instance_sweep)
+    x, y = instance_sweep.observations("splitter", "input")
+    fit = benchmark(fit_piecewise_linear, x, y)
+
+    inputs = result["input"]
+    outputs = result["output"]
+    lines = [
+        "Fig. 4 — instance throughput vs source throughput",
+        f"paper   : SP ~ {fmt_m(result['paper']['instance_sp_tpm'])}, "
+        "linear below / flat above",
+        f"measured: SP = {fmt_m(result['measured_sp_tpm'])}, "
+        f"ST = {fmt_m(result['measured_st_tpm'])}, "
+        f"alpha = {result['io_alpha']:.3f}",
+        "",
+        f"{'source':>10} {'in mean':>10} {'in lo':>10} {'in hi':>10} "
+        f"{'out mean':>10} {'out lo':>10} {'out hi':>10}",
+    ]
+    for i, rate in enumerate(inputs["rate"]):
+        lines.append(
+            f"{fmt_m(rate):>10} {fmt_m(inputs['mean'][i]):>10} "
+            f"{fmt_m(inputs['low'][i]):>10} {fmt_m(inputs['high'][i]):>10} "
+            f"{fmt_m(outputs['mean'][i]):>10} {fmt_m(outputs['low'][i]):>10} "
+            f"{fmt_m(outputs['high'][i]):>10}"
+        )
+    report("fig04_instance_throughput", lines)
+
+    # Shape assertions: SP near 11M, and the fit found a real plateau.
+    assert 10e6 < result["measured_sp_tpm"] < 12e6
+    assert fit.saturated
+    below = inputs["rate"] < 10e6
+    assert np.allclose(inputs["mean"][below], inputs["rate"][below], rtol=0.05)

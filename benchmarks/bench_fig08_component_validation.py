@@ -1,0 +1,41 @@
+"""Fig. 8: validate the Splitter p=2 / p=4 predictions on deployments.
+
+Paper finding: deployed measurements match the Eq. 9 predictions in the
+non-backpressure interval; saturation-throughput errors are 2.9% (p=2)
+and 2.5% (p=4).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import fmt_m
+from repro.experiments import figures
+
+
+def bench_fig08_component_validation(
+    benchmark, fig07_result, splitter_sweep2, splitter_sweep4, report
+):
+    result = figures.fig08_component_validation(
+        fig07=fig07_result, sweep2=splitter_sweep2, sweep4=splitter_sweep4
+    )
+
+    x, y = splitter_sweep2.observations("splitter", "output")
+    benchmark(figures.fit_piecewise_linear, x, y)
+
+    paper = result["paper"]
+    lines = [
+        "Fig. 8 — Splitter prediction validation at p=2 and p=4",
+        f"{'p':>3} {'predicted ST':>14} {'observed ST':>14} "
+        f"{'error':>8} {'paper error':>12}",
+    ]
+    paper_errors = {2: paper["p2_st_error"], 4: paper["p4_st_error"]}
+    for p, entry in sorted(result["per_parallelism"].items()):
+        lines.append(
+            f"{p:>3} {fmt_m(entry['predicted_st_tpm']):>14} "
+            f"{fmt_m(entry['observed_st_tpm']):>14} "
+            f"{entry['st_error'] * 100:>7.1f}% "
+            f"{paper_errors[p] * 100:>11.1f}%"
+        )
+    report("fig08_component_validation", lines)
+
+    for entry in result["per_parallelism"].values():
+        assert entry["st_error"] < 0.05

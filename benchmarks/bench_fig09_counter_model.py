@@ -1,0 +1,40 @@
+"""Fig. 9: Counter component input throughput (fields grouping).
+
+Paper setup: the Counter (p=3) is driven through a wide Splitter; its
+input throughput is plotted against its offered (source) rate.  Paper
+findings: slope ~1 up to a saturation point around 210 M tuples/minute,
+flat above; the p=4 prediction scales the line by 4/3 (the data set is
+"unbiased fortunately", so Eq. 9 applies to the fields-grouped stream).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import fmt_m
+from repro.experiments import figures
+
+
+def bench_fig09_counter_model(benchmark, fig09_result, report):
+    result = fig09_result
+    offered, observed = result["offered_tpm"], result["input_tpm"]
+    benchmark(figures.fit_piecewise_linear, offered, observed)
+
+    fit = result["fit"]
+    lines = [
+        "Fig. 9 — Counter input throughput vs offered rate (p=3)",
+        f"paper   : SP ~ {fmt_m(result['paper']['p3_input_sp_tpm'])}, slope ~1",
+        f"measured: SP = {fmt_m(result['p3_input_sp_tpm'])}, "
+        f"slope = {fit.alpha:.3f}, "
+        f"splitter alpha used for offered rate = {result['splitter_alpha']:.3f}",
+        f"p=4 prediction: SP = "
+        f"{fmt_m(result['prediction_p4']['input_sp_tpm'])} "
+        "(paper ~280M)",
+        "",
+        f"{'offered':>10} {'input':>10}",
+    ]
+    for x, y in zip(offered[:: max(1, len(offered) // 20)],
+                    observed[:: max(1, len(observed) // 20)]):
+        lines.append(f"{fmt_m(x):>10} {fmt_m(y):>10}")
+    report("fig09_counter_model", lines)
+
+    assert 0.97 < fit.alpha < 1.03
+    assert 190e6 < result["p3_input_sp_tpm"] < 230e6

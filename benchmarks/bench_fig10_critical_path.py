@@ -1,0 +1,56 @@
+"""Fig. 10: topology output predicted by chaining component models.
+
+Paper setup: component models for the Splitter and Counter (built in the
+Fig. 7/9 experiments) are rescaled by Eq. 9 to the Fig. 1 parallelisms
+(Splitter 2, Counter 4), chained along the critical path (Eq. 12), and
+validated against a real deployment.  Paper finding: the measured output
+matches the prediction with a 2.8% error at saturation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import fmt_m
+from repro.experiments import figures
+
+
+def bench_fig10_critical_path(benchmark, fig07_result, fig09_result, report):
+    result = figures.fig10_critical_path(
+        fig07=fig07_result, fig09=fig09_result
+    )
+
+    # Benchmark the chained prediction itself (Eq. 12 over the sweep).
+    splitter_fit = fig07_result["fit_output"]
+    counter_fit = fig09_result["fit"]
+    rates = result["rate"]
+
+    def chain():
+        words = splitter_fit.alpha * np.minimum(
+            rates, splitter_fit.saturation_point * 2 / 3
+        )
+        return np.minimum(words, counter_fit.saturation_point * 4 / 3)
+
+    benchmark(chain)
+
+    lines = [
+        "Fig. 10 — topology output: prediction vs measurement",
+        "parallelisms: spout 8, Splitter 2, Counter 4",
+        f"paper   : error 2.8% at saturation",
+        f"measured: predicted ST {fmt_m(result['predicted_st_tpm'])}, "
+        f"observed ST {fmt_m(result['observed_st_tpm'])}, "
+        f"error {result['error'] * 100:.1f}%",
+        "",
+        f"{'source':>10} {'predicted':>12} {'measured':>12} "
+        f"{'meas lo':>12} {'meas hi':>12}",
+    ]
+    for i, rate in enumerate(result["rate"]):
+        lines.append(
+            f"{fmt_m(rate):>10} {fmt_m(result['predicted_output_tpm'][i]):>12} "
+            f"{fmt_m(result['measured_output_tpm'][i]):>12} "
+            f"{fmt_m(result['measured_low'][i]):>12} "
+            f"{fmt_m(result['measured_high'][i]):>12}"
+        )
+    report("fig10_critical_path", lines)
+
+    assert result["error"] < 0.05

@@ -1,0 +1,40 @@
+"""Fig. 11: observed and predicted CPU load of the Splitter component.
+
+Paper setup: Splitter p=3; CPU load (cores) observed against component
+source throughput; a linear psi = cpu/input model is fitted per instance
+and chained with the throughput model to draw predicted regression lines
+for p=2 and p=4.
+"""
+
+from __future__ import annotations
+
+from repro.core.cpu_model import fit_cpu_model
+from repro.experiments import figures
+
+
+def bench_fig11_cpu_model(benchmark, fig11_result, splitter_sweep3, report):
+    result = fig11_result
+    inputs, cpus = splitter_sweep3.instance_observations("splitter")
+    benchmark(fit_cpu_model, "splitter", inputs, cpus)
+
+    model = result["cpu_model"]
+    cpu = result["cpu"]
+    lines = [
+        "Fig. 11 — Splitter CPU load (p=3 observed; p=2/p=4 predicted)",
+        f"fitted psi = {model.psi:.3e} cores per tuple/min, "
+        f"base = {model.base_cores:.3f} cores "
+        f"(fit r^2 = {result['cpu_fit'].r_squared:.4f})",
+        "",
+        f"{'source':>10} {'cpu p=3':>10} {'pred p=2':>10} {'pred p=4':>10}",
+    ]
+    for i, rate in enumerate(result["rate"]):
+        lines.append(
+            f"{rate / 1e6:>9.1f}M {cpu['mean'][i]:>10.3f} "
+            f"{result['predictions'][2][i]:>10.3f} "
+            f"{result['predictions'][4][i]:>10.3f}"
+        )
+    report("fig11_cpu_model", lines)
+
+    # CPU is linear in input: the regression must explain the data.
+    assert result["cpu_fit"].r_squared > 0.99
+    assert model.psi > 0

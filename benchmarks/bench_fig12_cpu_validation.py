@@ -1,0 +1,40 @@
+"""Fig. 12: validate the CPU-load predictions at p=2 and p=4.
+
+Paper finding: prediction errors 4.8% (p=2) and 3.0% (p=4) — higher
+than the throughput errors "because error has accumulated for the
+chained prediction steps".
+"""
+
+from __future__ import annotations
+
+from repro.experiments import figures
+
+
+def bench_fig12_cpu_validation(
+    benchmark, fig11_result, splitter_sweep2, splitter_sweep4, report
+):
+    result = figures.fig12_cpu_validation(
+        fig11=fig11_result, sweep2=splitter_sweep2, sweep4=splitter_sweep4
+    )
+
+    predict = fig11_result["predict_fn"]
+    rates = splitter_sweep2.series("splitter", "cpu")["rate"]
+    benchmark(predict, 2, rates)
+
+    paper = result["paper"]
+    paper_errors = {2: paper["p2_error"], 4: paper["p4_error"]}
+    lines = [
+        "Fig. 12 — CPU-load prediction validation",
+        f"{'p':>3} {'observed':>10} {'predicted':>10} {'error':>8} "
+        f"{'paper error':>12}",
+    ]
+    for p, entry in sorted(result["per_parallelism"].items()):
+        lines.append(
+            f"{p:>3} {entry['observed_cpu_cores']:>10.3f} "
+            f"{entry['predicted_cpu_cores']:>10.3f} "
+            f"{entry['error'] * 100:>7.1f}% {paper_errors[p] * 100:>11.1f}%"
+        )
+    report("fig12_cpu_validation", lines)
+
+    for entry in result["per_parallelism"].values():
+        assert entry["error"] < 0.06

@@ -1,0 +1,91 @@
+"""Extension: the Latency golden signal, predicted vs measured.
+
+The paper defines the latency signal and its mechanism (queued tuples
+under backpressure) without evaluating it.  This bench sweeps the Fig. 4
+workload and compares the analytical watermark-bound latency model
+against the simulator's measured queue latency: ~0 below the saturation
+point, a step to the watermark-drain bound above it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.component_model import ComponentModel
+from repro.core.instance_model import InstanceModel
+from repro.core.latency_model import LatencyModel
+from repro.core.topology_model import TopologyModel
+from repro.heron.metrics import MetricNames
+from repro.heron.simulation import HeronSimulation, SimulationConfig
+from repro.heron.wordcount import WordCountParams, build_word_count
+from repro.timeseries.store import MetricsStore
+
+M = 1e6
+PATH = ["sentence-spout", "splitter", "counter"]
+
+
+def measure_latency(rate: float, minutes: int, seed: int) -> float:
+    params = WordCountParams(splitter_parallelism=1, counter_parallelism=3)
+    topology, packing, logic = build_word_count(params)
+    store = MetricsStore()
+    sim = HeronSimulation(
+        topology, packing, logic, store, SimulationConfig(seed=seed)
+    )
+    sim.set_source_rate("sentence-spout", rate)
+    sim.run(minutes)
+    return (
+        store.aggregate(
+            MetricNames.QUEUE_LATENCY_MS, {"component": "splitter"}
+        )
+        .between(120, 2**62)
+        .mean()
+    )
+
+
+def bench_latency_profile(benchmark, quick, report):
+    topology, _, _ = build_word_count(
+        WordCountParams(splitter_parallelism=1, counter_parallelism=3)
+    )
+    model = LatencyModel(
+        TopologyModel(
+            topology,
+            {
+                "splitter": ComponentModel(
+                    "splitter", InstanceModel({"default": 7.635}, 11 * M), 1
+                ),
+                "counter": ComponentModel(
+                    "counter", InstanceModel({}, 70 * M), 3
+                ),
+            },
+        ),
+        input_tuple_bytes={"splitter": 60.0, "counter": 16.0},
+    )
+    rates = np.array([4, 8, 10, 12, 14, 18]) * M
+    if quick:
+        rates = rates[::2]
+    minutes = 3 if quick else 4
+    benchmark(model.path_latency_ms, PATH, 14 * M)
+
+    lines = [
+        "Latency profile (extension): predicted vs measured stage latency",
+        "Splitter p=1; watermark bound (75MB backlog at 11M tuples/min)",
+        "",
+        f"{'source':>9} {'predicted ms':>13} {'measured ms':>12}",
+    ]
+    max_error = 0.0
+    for i, rate in enumerate(rates):
+        predicted = model.path_latency_ms(PATH, float(rate))
+        measured = measure_latency(float(rate), minutes, seed=80 + i)
+        lines.append(
+            f"{rate / M:>8.0f}M {predicted:>13.1f} {measured:>12.1f}"
+        )
+        if measured > 100.0:  # compare in the saturated regime
+            max_error = max(
+                max_error, abs(predicted - measured) / measured
+            )
+    lines.append("")
+    lines.append(
+        f"max relative error in the saturated regime: {max_error * 100:.1f}%"
+    )
+    report("latency_profile", lines)
+    assert max_error < 0.15

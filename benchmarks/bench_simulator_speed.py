@@ -1,0 +1,48 @@
+"""Infrastructure benchmark: simulator tick throughput.
+
+Not a paper figure — this tracks the cost of the substrate itself, so
+regressions in the fluid engine (which every other bench multiplies)
+are caught.  Reported as simulated minutes per wall-clock second for
+the default Word Count deployment.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.heron.simulation import HeronSimulation, SimulationConfig
+from repro.heron.wordcount import WordCountParams, build_word_count
+from repro.timeseries.store import MetricsStore
+
+M = 1e6
+
+
+def bench_simulator_speed(benchmark, report):
+    topology, packing, logic = build_word_count(WordCountParams())
+    store = MetricsStore()
+    sim = HeronSimulation(
+        topology, packing, logic, store, SimulationConfig(seed=0)
+    )
+    sim.set_source_rate("sentence-spout", 20 * M)
+    sim.run(1)  # warm up state
+
+    benchmark(sim.run, 1)
+
+    # A coarse absolute figure for the report.
+    probe = HeronSimulation(
+        topology, packing, logic, MetricsStore(), SimulationConfig(seed=1)
+    )
+    probe.set_source_rate("sentence-spout", 20 * M)
+    started = time.perf_counter()
+    probe.run(20)
+    elapsed = time.perf_counter() - started
+    rate = 20 / elapsed
+    report(
+        "simulator_speed",
+        [
+            "Simulator throughput (default Word Count, 14 instances)",
+            f"simulated minutes per wall-clock second: {rate:,.0f}",
+            f"(20 simulated minutes in {elapsed:.3f}s)",
+        ],
+    )
+    assert rate > 20  # anything slower would make the sweeps painful

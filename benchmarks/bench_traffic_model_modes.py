@@ -1,0 +1,147 @@
+"""Ablation: aggregate vs per-instance traffic modelling (Section IV-A).
+
+"Caladrius allows users to specify ... whether a single Prophet model
+should be used for all spouts' source throughput as a whole, or separate
+models should be created for each spout instance's source throughput ...
+The latter method is slower but more accurate."
+
+This bench constructs the case that separates the modes: spout instances
+whose seasonal patterns *cancel in aggregate* (counter-phased daily
+cycles, e.g. per-region traffic).  The aggregate model sees a nearly
+flat sum and forecasts it easily; when one instance's trend grows, the
+per-instance mode attributes the growth correctly while remaining as
+accurate, at a measurable fit-time cost.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.traffic_models import ProphetTrafficModel
+from repro.forecasting.prophet_lite import ProphetLite, Seasonality
+from repro.heron.metrics import MetricNames
+from repro.heron.tracker import TopologyTracker
+from repro.heron.wordcount import WordCountParams, build_word_count
+from repro.timeseries.store import MetricsStore
+
+M = 1e6
+CYCLE_MIN = 120
+
+
+def _make_history(minutes: int, seed: int) -> tuple[TopologyTracker, MetricsStore, dict]:
+    topology, packing, _ = build_word_count(
+        WordCountParams(spout_parallelism=2)
+    )
+    tracker = TopologyTracker()
+    tracker.register(topology, packing)
+    store = MetricsStore()
+    rng = np.random.default_rng(seed)
+    truth = {0: [], 1: []}
+    for minute in range(minutes):
+        phase = 2 * np.pi * minute / CYCLE_MIN
+        # Instance 0: a strong cycle.  Instance 1: the same cycle in
+        # anti-phase plus slow growth.  The sum is almost flat.
+        values = {
+            0: 6 * M + 4 * M * np.sin(phase),
+            1: 6 * M - 4 * M * np.sin(phase) + 8_000.0 * minute,
+        }
+        for idx, value in values.items():
+            noisy = max(0.0, value + rng.normal(0, 0.1 * M))
+            truth[idx].append(value)
+            store.write(
+                MetricNames.SOURCE_COUNT,
+                minute * 60,
+                noisy,
+                {
+                    "topology": "word-count",
+                    "component": "sentence-spout",
+                    "instance": f"sentence-spout_{idx}",
+                    "container": "1",
+                },
+            )
+    return tracker, store, truth
+
+
+def _forecaster():
+    return ProphetLite(
+        seasonalities=[Seasonality("cycle", CYCLE_MIN * 60, 4)],
+        n_changepoints=5,
+    )
+
+
+def bench_traffic_model_modes(benchmark, quick, report):
+    history = 3 * CYCLE_MIN if quick else 6 * CYCLE_MIN
+    horizon = CYCLE_MIN
+    tracker, store, truth = _make_history(history + horizon, seed=0)
+    # Hold out the final horizon: rebuild a store without it.
+    train_tracker, train_store, _ = _make_history(history, seed=0)
+
+    results = {}
+    timings = {}
+    repeats = 3 if quick else 5
+    for label, per_instance in (("aggregate", False), ("per-instance", True)):
+        model = ProphetTrafficModel(
+            train_tracker,
+            train_store,
+            per_instance=per_instance,
+            make_forecaster=_forecaster,
+        )
+        results[label] = model.predict("word-count", None, horizon)  # warmup
+        started = time.perf_counter()
+        for _ in range(repeats):
+            model.predict("word-count", None, horizon)
+        timings[label] = (time.perf_counter() - started) / repeats
+
+    benchmark(
+        lambda: ProphetTrafficModel(
+            train_tracker, train_store, make_forecaster=_forecaster
+        ).predict("word-count", None, horizon)
+    )
+
+    future = range(history, history + horizon)
+    true_total = np.array(
+        [truth[0][m] + truth[1][m] for m in future]
+    )
+    true_hot = np.array([truth[1][m] for m in future])
+
+    lines = [
+        "Traffic-model modes: aggregate vs per-instance (Section IV-A)",
+        "two spout instances with counter-phased cycles; instance 1 grows",
+        "",
+        f"{'mode':>14} {'total err':>10} {'hot-instance err':>17} "
+        f"{'fit+predict s':>14}",
+    ]
+    for label, prediction in results.items():
+        total_err = abs(
+            prediction.summary["mean"] - true_total.mean()
+        ) / true_total.mean()
+        if prediction.per_instance:
+            hot = prediction.per_instance["sentence-spout_1"]["mean"]
+            hot_err = f"{abs(hot - true_hot.mean()) / true_hot.mean() * 100:.1f}%"
+        else:
+            hot_err = "n/a (not attributed)"
+        lines.append(
+            f"{label:>14} {total_err * 100:>9.1f}% {hot_err:>17} "
+            f"{timings[label]:>14.3f}"
+        )
+    lines += [
+        "",
+        "Both modes forecast the total well; only the per-instance mode",
+        "attributes the growing instance — at the higher fit cost the",
+        "paper describes ('slower but more accurate').",
+    ]
+    report("traffic_model_modes", lines)
+
+    agg_err = abs(
+        results["aggregate"].summary["mean"] - true_total.mean()
+    ) / true_total.mean()
+    per_err = abs(
+        results["per-instance"].summary["mean"] - true_total.mean()
+    ) / true_total.mean()
+    assert agg_err < 0.10
+    assert per_err < 0.10
+    assert timings["per-instance"] > timings["aggregate"]
+    hot = results["per-instance"].per_instance["sentence-spout_1"]["mean"]
+    assert abs(hot - true_hot.mean()) / true_hot.mean() < 0.10

@@ -1,0 +1,96 @@
+"""Capacity planning for an ad-analytics pipeline under traffic growth.
+
+A scenario from the paper's introduction ("jobs that process ad-click
+rates"): the ads pipeline parses raw events, filters the billable ones
+(selectivity 0.35) into a per-campaign aggregator, and audits the full
+parsed stream on a side path.  Product forecasts 2x and 4x event growth
+— will the pipeline hold, and if not, what is the cheapest configuration
+that will?
+
+The script calibrates Caladrius from the deployed pipeline's metrics,
+evaluates each growth scenario in dry-run mode, and for the scenarios at
+risk searches proposal space for the minimal-instance fix — all without
+deploying anything.
+
+Run with:  python examples/ads_capacity_planning.py
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.core import ThroughputPredictionModel
+from repro.heron import (
+    AdsPipelineParams,
+    HeronSimulation,
+    SimulationConfig,
+    TopologyTracker,
+    build_ads_pipeline,
+)
+from repro.timeseries import MetricsStore
+
+M = 1e6
+BASELINE_TPM = 30 * M
+
+
+def main() -> None:
+    params = AdsPipelineParams()
+    topology, packing, logic = build_ads_pipeline(params)
+    store = MetricsStore()
+    sim = HeronSimulation(
+        topology, packing, logic, store, SimulationConfig(seed=5)
+    )
+    print("observing the deployed ads pipeline (sweep into saturation)...")
+    for rate in np.arange(10 * M, 90 * M + 1, 16 * M):
+        sim.set_source_rate("event-spout", float(rate))
+        sim.run(minutes=2)
+    tracker = TopologyTracker()
+    tracker.register(topology, packing)
+    model = ThroughputPredictionModel(tracker, store)
+
+    print(f"\nbaseline traffic: {BASELINE_TPM / M:.0f}M events/min")
+    print(f"{'scenario':>10} {'traffic':>9} {'risk':>6} "
+          f"{'saturation':>11} {'bottleneck':>11}")
+    at_risk = []
+    for growth in (1, 2, 4):
+        rate = BASELINE_TPM * growth
+        prediction = model.predict("ads-pipeline", source_rate=rate)
+        print(f"{growth:>9}x {rate / M:>8.0f}M "
+              f"{prediction.backpressure_risk:>6} "
+              f"{prediction.saturation_source_rate / M:>10.0f}M "
+              f"{prediction.bottleneck or '-':>11}")
+        if prediction.backpressure_risk == "high":
+            at_risk.append(growth)
+
+    for growth in at_risk:
+        rate = BASELINE_TPM * growth
+        print(f"\nsearching the cheapest fix for {growth}x "
+              f"({rate / M:.0f}M events/min)...")
+        best = None
+        for parser_p, filterer_p in itertools.product(range(3, 16), range(2, 10)):
+            proposal = {"parser": parser_p, "filterer": filterer_p}
+            prediction = model.predict(
+                "ads-pipeline", source_rate=rate, parallelisms=proposal
+            )
+            if prediction.backpressure_risk == "low":
+                cost = parser_p + filterer_p
+                if best is None or cost < best[0]:
+                    best = (cost, proposal, prediction)
+        if best is None:
+            print("  no proposal in range keeps the risk low")
+            continue
+        cost, proposal, prediction = best
+        print(f"  cheapest safe config: {proposal} "
+              f"(saturation {prediction.saturation_source_rate / M:.0f}M, "
+              f"{cost} instances across the scaled components)")
+        print("  note: components that never saturated in the observed "
+              "data keep their")
+        print("  parallelism — Caladrius only sizes what it has evidence "
+              "for, and a")
+        print("  verification run after deployment closes the loop.")
+
+
+if __name__ == "__main__":
+    main()

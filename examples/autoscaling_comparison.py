@@ -1,0 +1,80 @@
+"""Watch a reactive autoscaler and a Caladrius-guided one race to an SLO.
+
+The scenario: the Word Count topology was provisioned for light traffic
+(Splitter 2, Counter 2) and demand has grown to 40 M sentences/min.  The
+consumers need the word stream to keep up.
+
+* The reactive scaler (Dhalion-style) can only see symptoms: it watches
+  for backpressure, scales the loudest component one step, redeploys and
+  waits for stabilisation — repeatedly.
+* The model-guided scaler calibrates Caladrius's piecewise-linear models
+  from the same metrics, sizes every component analytically, and
+  deploys once.
+
+Run with:  python examples/autoscaling_comparison.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autoscaler import ModelGuidedScaler, ReactiveScaler, SimulatedCluster
+from repro.heron.simulation import SimulationConfig
+from repro.heron.wordcount import WordCountParams
+
+M = 1e6
+DEMAND = 40 * M
+SLO = 0.95 * 7.635 * DEMAND
+
+
+def fresh_cluster(seed: int) -> SimulatedCluster:
+    cluster = SimulatedCluster(
+        word_count_params=WordCountParams(
+            splitter_parallelism=2, counter_parallelism=2
+        ),
+        config=SimulationConfig(seed=seed),
+    )
+    print("  ramping traffic up to the new demand...")
+    for rate in np.arange(8 * M, DEMAND + 1, 8 * M):
+        cluster.set_source_rate("sentence-spout", float(rate))
+        cluster.run(2)
+    return cluster
+
+
+def show(trace, observe_minutes: int) -> None:
+    for r in trace.rounds:
+        bolts = {k: v for k, v in r.parallelisms.items()
+                 if k != "sentence-spout"}
+        print(f"  round {r.index}: {bolts}  "
+              f"output {r.output_tpm / M:6.0f}M  "
+              f"bp {r.backpressure_ms:6.0f}ms  -> {r.action}")
+    print(f"  => {'CONVERGED' if trace.converged else 'DID NOT CONVERGE'} "
+          f"after {len(trace.rounds)} rounds, {trace.deployments} "
+          f"redeployments, {trace.observe_minutes(observe_minutes)} "
+          "simulated minutes of observation\n")
+
+
+def main() -> None:
+    observe = 3
+    print(f"demand: {DEMAND / M:.0f}M sentences/min  "
+          f"SLO: {SLO / M:.0f}M words/min\n")
+
+    print("[reactive scaler — Dhalion-style]")
+    reactive = ReactiveScaler(
+        fresh_cluster(seed=1), slo_output_tpm=SLO, observe_minutes=observe
+    )
+    show(reactive.run(), observe)
+
+    print("[model-guided scaler — Caladrius]")
+    guided = ModelGuidedScaler(
+        fresh_cluster(seed=2), slo_output_tpm=SLO, observe_minutes=observe
+    )
+    show(guided.run(source_tpm=DEMAND), observe)
+
+    print("The guided scaler reaches the SLO in a single deployment; the")
+    print("reactive one pays a stabilisation window per probing step —")
+    print("the tuning loop the paper set out to eliminate.")
+
+
+if __name__ == "__main__":
+    main()

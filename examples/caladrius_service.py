@@ -1,0 +1,115 @@
+"""The Caladrius web service end to end, exactly as the paper deploys it.
+
+"Caladrius ... is deployed as a web service ... accessible to developers
+through a RESTful API" (Section III).  This example stands the whole
+stack up — simulated cluster, tracker, metrics store, YAML-configured
+model registry, HTTP server — and then drives every endpoint with the
+Python client:
+
+* ``GET /topologies`` and the logical/packing plan views,
+* ``GET /model/traffic/heron/{topology}`` running *all* configured
+  traffic models (the response concatenates their results, as the paper
+  describes),
+* ``POST /model/topology/heron/{topology}`` for a performance prediction
+  under a proposed parallelism, both synchronously and asynchronously.
+
+Run with:  python examples/caladrius_service.py
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.api import CaladriusApp, CaladriusClient, CaladriusServer
+from repro.config import load_config
+from repro.heron import (
+    HeronSimulation,
+    SimulationConfig,
+    TopologyTracker,
+    WordCountParams,
+    build_word_count,
+)
+from repro.timeseries import MetricsStore
+
+M = 1e6
+
+CONFIG_YAML = """
+caladrius:
+  traffic_models: [prophet, stats-summary]
+  performance_models: [throughput-prediction, backpressure-evaluation]
+  model_options:
+    prophet:
+      n_changepoints: 5
+    stats-summary:
+      statistic: mean
+      window: 30
+  api:
+    host: 127.0.0.1
+    port: 0
+"""
+
+
+def main() -> None:
+    # Simulated cluster state.
+    params = WordCountParams(splitter_parallelism=2, counter_parallelism=4)
+    topology, packing, logic = build_word_count(params)
+    store = MetricsStore()
+    simulation = HeronSimulation(
+        topology, packing, logic, store, SimulationConfig(seed=23)
+    )
+    print("running the topology to populate the metrics database...")
+    for rate in np.arange(4 * M, 44 * M + 1, 8 * M):
+        simulation.set_source_rate("sentence-spout", float(rate))
+        simulation.run(minutes=2)
+    tracker = TopologyTracker()
+    tracker.register(topology, packing)
+
+    # YAML-configured service, as in production.
+    with tempfile.TemporaryDirectory() as tmp:
+        config_path = Path(tmp) / "caladrius.yaml"
+        config_path.write_text(CONFIG_YAML)
+        config = load_config(config_path)
+    app = CaladriusApp(config, tracker, store)
+
+    with CaladriusServer(app, host=config.api_host, port=config.api_port) as server:
+        client = CaladriusClient(server.host, server.port)
+        print(f"service listening on {server.host}:{server.port}\n")
+
+        print("GET /topologies ->", client.topologies())
+        logical = client.logical_plan("word-count")
+        print("GET /topology/word-count/logical ->",
+              json.dumps(logical, indent=2)[:300], "...")
+
+        print("\nGET /model/traffic/heron/word-count (all traffic models):")
+        traffic = client.traffic("word-count", horizon_minutes=10)
+        for result in traffic["results"]:
+            print(f"  {result['model']:>18}: "
+                  f"mean {result['summary']['mean'] / M:6.1f}M, "
+                  f"90% upper {result['summary']['upper_max'] / M:6.1f}M")
+
+        print("\nPOST /model/topology/heron/word-count (sync, 30M/min):")
+        performance = client.performance("word-count", source_rate=30 * M)
+        for result in performance["results"]:
+            print(f"  {result['model']:>24}: "
+                  f"risk {result['backpressure_risk']}, "
+                  f"saturation {result['saturation_source_rate'] / M:.1f}M")
+
+        print("\nPOST ...?async=1 with a proposed splitter=4 "
+              "(the dry-run update):")
+        proposal = client.performance_async(
+            "word-count", source_rate=30 * M, parallelisms={"splitter": 4}
+        )
+        for result in proposal["results"]:
+            print(f"  {result['model']:>24}: "
+                  f"output {result['output_rate'] / M:.1f}M, "
+                  f"risk {result['backpressure_risk']}")
+    app.shutdown()
+    print("\nservice stopped.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""Quickstart: simulate a topology, calibrate Caladrius, predict scaling.
+
+This walks the paper's core loop end to end in one script:
+
+1. build the Word Count topology and run it on the simulated cluster,
+   sweeping the source rate so the metrics cover both the linear and the
+   saturated regime;
+2. calibrate the piecewise-linear component models from those metrics;
+3. ask the performance model what the topology can sustain today, and
+   what it would sustain after a dry-run ``heron update`` that scales
+   the Splitter — without deploying anything.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import ThroughputPredictionModel
+from repro.core.performance_models import calibrate_topology
+from repro.heron import (
+    HeronSimulation,
+    SimulationConfig,
+    TopologyTracker,
+    WordCountParams,
+    build_word_count,
+)
+from repro.timeseries import MetricsStore
+
+M = 1e6
+
+
+def main() -> None:
+    # 1. Deploy (simulate) the topology and let it run through a sweep.
+    params = WordCountParams(splitter_parallelism=2, counter_parallelism=4)
+    topology, packing, logic = build_word_count(params)
+    store = MetricsStore()
+    simulation = HeronSimulation(
+        topology, packing, logic, store, SimulationConfig(seed=7)
+    )
+    print(f"simulating {topology.name!r} "
+          f"({topology.total_instances()} instances, "
+          f"{packing.num_containers()} containers)...")
+    for rate in np.arange(4 * M, 44 * M + 1, 8 * M):
+        simulation.set_source_rate("sentence-spout", float(rate))
+        simulation.run(minutes=2)
+
+    # 2. Register it with the tracker and calibrate from live metrics.
+    tracker = TopologyTracker()
+    tracked = tracker.register(topology, packing)
+    model, fits = calibrate_topology(tracked, store)
+    print("\ncalibrated component models:")
+    for name, fit in fits.items():
+        st = fit.saturation_throughput
+        print(
+            f"  {name:>10}: alpha = {fit.alpha:6.3f}, "
+            f"SP = {fit.saturation_point / M:7.1f}M tuples/min, "
+            f"ST = {'inf' if st == float('inf') else f'{st / M:.1f}M'}"
+        )
+
+    # 3. Predict performance — current config, then a dry-run scale-out.
+    predictor = ThroughputPredictionModel(tracker, store)
+    current = predictor.predict("word-count", source_rate=30 * M)
+    print(f"\nat 30M tuples/min with the current configuration:")
+    print(f"  predicted output  : {current.output_rate / M:8.1f}M tuples/min")
+    print(f"  saturation point  : {current.saturation_source_rate / M:8.1f}M")
+    print(f"  backpressure risk : {current.backpressure_risk} "
+          f"(bottleneck: {current.bottleneck})")
+
+    proposal = predictor.predict(
+        "word-count", source_rate=30 * M, parallelisms={"splitter": 4}
+    )
+    print(f"\nafter `update --dry-run splitter=4` (nothing deployed):")
+    print(f"  predicted output  : {proposal.output_rate / M:8.1f}M tuples/min")
+    print(f"  saturation point  : {proposal.saturation_source_rate / M:8.1f}M")
+    print(f"  backpressure risk : {proposal.backpressure_risk}")
+    assert tracker.get("word-count").topology.parallelism("splitter") == 2
+    print("\ntracker still shows splitter parallelism = 2: it was a dry run.")
+
+
+if __name__ == "__main__":
+    main()

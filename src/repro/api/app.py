@@ -1,0 +1,224 @@
+"""Request routing and model dispatch for the Caladrius API tier.
+
+:class:`CaladriusApp` is transport-agnostic: it maps
+``(method, path, query, body)`` to a JSON-able response and a status
+code.  :mod:`repro.api.server` adapts it to HTTP; tests can call
+:meth:`CaladriusApp.handle` directly without sockets.
+
+Modelling calls "may incur a wait ... therefore, it is prudent to let
+the API be asynchronous" (paper Section III-A): POSTing with
+``async=1`` returns a request id immediately, the modelling runs on a
+worker pool, and ``GET /model/result/{id}`` retrieves the outcome.
+By default an endpoint runs *all* configured model implementations and
+concatenates the results into one JSON response, as the paper
+describes; ``?model=`` narrows to one.
+"""
+
+from __future__ import annotations
+
+import threading
+import uuid
+from collections.abc import Mapping
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Any
+
+from repro.config.loader import CaladriusConfig
+from repro.config.registry import ModelRegistry, build_registry
+from repro.errors import ApiError, ReproError
+from repro.heron.tracker import TopologyTracker
+from repro.timeseries.store import MetricsStore
+
+__all__ = ["CaladriusApp"]
+
+
+class CaladriusApp:
+    """The Caladrius service core: routing plus async job management.
+
+    Parameters
+    ----------
+    config:
+        Validated service configuration (enabled models and options).
+    tracker:
+        Topology metadata source.
+    store:
+        Metrics database.
+    max_workers:
+        Size of the asynchronous modelling pool.
+    """
+
+    def __init__(
+        self,
+        config: CaladriusConfig,
+        tracker: TopologyTracker,
+        store: MetricsStore,
+        max_workers: int = 4,
+    ) -> None:
+        self.config = config
+        self.tracker = tracker
+        self.store = store
+        self.registry: ModelRegistry = build_registry(config, tracker, store)
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="caladrius-model"
+        )
+        self._jobs: dict[str, Future[dict[str, Any]]] = {}
+        self._jobs_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def handle(
+        self,
+        method: str,
+        path: str,
+        query: Mapping[str, str] | None = None,
+        body: Mapping[str, Any] | None = None,
+    ) -> tuple[int, dict[str, Any]]:
+        """Route one request; returns ``(status, json_payload)``."""
+        query = dict(query or {})
+        body = dict(body or {})
+        parts = [p for p in path.split("/") if p]
+        try:
+            return 200, self._route(method.upper(), parts, query, body)
+        except ApiError as exc:
+            return exc.status, {"error": str(exc)}
+        except ReproError as exc:
+            return 400, {"error": str(exc)}
+
+    def _route(
+        self,
+        method: str,
+        parts: list[str],
+        query: Mapping[str, str],
+        body: Mapping[str, Any],
+    ) -> dict[str, Any]:
+        if method == "GET" and parts == ["topologies"]:
+            return {"topologies": self.tracker.names()}
+        if method == "GET" and len(parts) == 3 and parts[0] == "topology":
+            return self._topology_info(parts[1], parts[2])
+        if (
+            len(parts) == 4
+            and parts[0] == "model"
+            and parts[1] == "traffic"
+            and parts[2] == "heron"
+        ):
+            if method != "GET":
+                raise ApiError("traffic modelling uses GET", 405)
+            return self._maybe_async(
+                query, lambda: self._traffic(parts[3], query)
+            )
+        if (
+            len(parts) == 4
+            and parts[0] == "model"
+            and parts[1] == "topology"
+            and parts[2] == "heron"
+        ):
+            if method != "POST":
+                raise ApiError("performance modelling uses POST", 405)
+            return self._maybe_async(
+                query, lambda: self._performance(parts[3], query, body)
+            )
+        if method == "GET" and len(parts) == 3 and parts[:2] == ["model", "result"]:
+            return self._result(parts[2])
+        raise ApiError(f"no route for {method} /{'/'.join(parts)}", 404)
+
+    # ------------------------------------------------------------------
+    # Handlers
+    # ------------------------------------------------------------------
+    def _topology_info(self, name: str, kind: str) -> dict[str, Any]:
+        tracked = self.tracker.get(name)
+        if kind == "logical":
+            return tracked.logical_plan()
+        if kind == "packing":
+            return tracked.packing_plan()
+        raise ApiError(f"unknown topology view {kind!r}", 404)
+
+    def _traffic(
+        self, topology: str, query: Mapping[str, str]
+    ) -> dict[str, Any]:
+        horizon = _int_param(query, "horizon_minutes", default=60)
+        source = _int_param(query, "source_minutes", default=None)
+        models = self.registry.traffic_model(query.get("model"))
+        results = [
+            model.predict(topology, source, horizon).as_dict()
+            for model in models
+        ]
+        return {"topology": topology, "results": results}
+
+    def _performance(
+        self,
+        topology: str,
+        query: Mapping[str, str],
+        body: Mapping[str, Any],
+    ) -> dict[str, Any]:
+        source_rate = body.get("source_rate")
+        if source_rate is not None and not isinstance(source_rate, (int, float)):
+            raise ApiError("source_rate must be a number")
+        parallelisms = body.get("parallelisms")
+        if parallelisms is not None:
+            if not isinstance(parallelisms, dict) or not all(
+                isinstance(v, int) for v in parallelisms.values()
+            ):
+                raise ApiError("parallelisms must map components to integers")
+        traffic_model_name = body.get("traffic_model")
+        traffic = None
+        if source_rate is None:
+            horizon = _int_param(query, "horizon_minutes", default=60)
+            traffic_models = self.registry.traffic_model(traffic_model_name)
+            traffic = traffic_models[0].predict(topology, None, horizon)
+        models = self.registry.performance_model(query.get("model"))
+        results = [
+            model.predict(
+                topology,
+                source_rate=source_rate,
+                traffic=traffic,
+                parallelisms=parallelisms,
+            ).as_dict()
+            for model in models
+        ]
+        return {"topology": topology, "results": results}
+
+    # ------------------------------------------------------------------
+    # Async jobs
+    # ------------------------------------------------------------------
+    def _maybe_async(self, query: Mapping[str, str], work) -> dict[str, Any]:
+        if query.get("async") not in ("1", "true", "yes"):
+            return work()
+        request_id = uuid.uuid4().hex
+        future = self._pool.submit(work)
+        with self._jobs_lock:
+            self._jobs[request_id] = future
+        return {"request_id": request_id, "status": "pending"}
+
+    def _result(self, request_id: str) -> dict[str, Any]:
+        with self._jobs_lock:
+            future = self._jobs.get(request_id)
+        if future is None:
+            raise ApiError(f"unknown request id {request_id!r}", 404)
+        if not future.done():
+            return {"request_id": request_id, "status": "pending"}
+        with self._jobs_lock:
+            self._jobs.pop(request_id, None)
+        try:
+            result = future.result()
+        except ReproError as exc:
+            return {"request_id": request_id, "status": "error", "error": str(exc)}
+        return {"request_id": request_id, "status": "done", "result": result}
+
+    def shutdown(self) -> None:
+        """Stop the worker pool (pending jobs are completed)."""
+        self._pool.shutdown(wait=True)
+
+
+def _int_param(
+    query: Mapping[str, str], name: str, default: int | None
+) -> int | None:
+    raw = query.get(name)
+    if raw is None:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ApiError(f"{name} must be an integer, got {raw!r}") from None
+    if value < 1:
+        raise ApiError(f"{name} must be >= 1")
+    return value

@@ -1,0 +1,140 @@
+"""A Python client for the Caladrius API."""
+
+from __future__ import annotations
+
+import json
+import time
+from http.client import HTTPConnection
+from typing import Any
+from urllib.parse import urlencode
+
+from repro.errors import ApiError
+
+__all__ = ["CaladriusClient"]
+
+
+class CaladriusClient:
+    """Thin JSON-over-HTTP client mirroring the API endpoints.
+
+    Parameters
+    ----------
+    host / port:
+        Where the Caladrius service listens.
+    timeout:
+        Socket timeout per request, in seconds.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _request(
+        self,
+        method: str,
+        path: str,
+        query: dict[str, Any] | None = None,
+        body: dict[str, Any] | None = None,
+    ) -> dict[str, Any]:
+        if query:
+            path = f"{path}?{urlencode(query)}"
+        connection = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            payload = json.dumps(body).encode("utf8") if body is not None else None
+            headers = {"Content-Type": "application/json"} if payload else {}
+            connection.request(method, path, body=payload, headers=headers)
+            response = connection.getresponse()
+            data = json.loads(response.read().decode("utf8"))
+            if response.status >= 400:
+                raise ApiError(
+                    data.get("error", f"HTTP {response.status}"),
+                    response.status,
+                )
+            return data
+        finally:
+            connection.close()
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def topologies(self) -> list[str]:
+        """Registered topology names."""
+        return self._request("GET", "/topologies")["topologies"]
+
+    def logical_plan(self, topology: str) -> dict[str, Any]:
+        """The logical plan of one topology."""
+        return self._request("GET", f"/topology/{topology}/logical")
+
+    def packing_plan(self, topology: str) -> dict[str, Any]:
+        """The packing plan of one topology."""
+        return self._request("GET", f"/topology/{topology}/packing")
+
+    def traffic(
+        self,
+        topology: str,
+        horizon_minutes: int = 60,
+        source_minutes: int | None = None,
+        model: str | None = None,
+    ) -> dict[str, Any]:
+        """Run the traffic models for a topology."""
+        query: dict[str, Any] = {"horizon_minutes": horizon_minutes}
+        if source_minutes is not None:
+            query["source_minutes"] = source_minutes
+        if model is not None:
+            query["model"] = model
+        return self._request("GET", f"/model/traffic/heron/{topology}", query)
+
+    def performance(
+        self,
+        topology: str,
+        source_rate: float | None = None,
+        parallelisms: dict[str, int] | None = None,
+        model: str | None = None,
+        horizon_minutes: int = 60,
+    ) -> dict[str, Any]:
+        """Run the performance models for a topology (synchronous)."""
+        query: dict[str, Any] = {"horizon_minutes": horizon_minutes}
+        if model is not None:
+            query["model"] = model
+        body: dict[str, Any] = {}
+        if source_rate is not None:
+            body["source_rate"] = source_rate
+        if parallelisms is not None:
+            body["parallelisms"] = parallelisms
+        return self._request(
+            "POST", f"/model/topology/heron/{topology}", query, body
+        )
+
+    def performance_async(
+        self,
+        topology: str,
+        source_rate: float | None = None,
+        parallelisms: dict[str, int] | None = None,
+        poll_seconds: float = 0.1,
+        max_wait_seconds: float = 60.0,
+    ) -> dict[str, Any]:
+        """Submit an async performance request and poll for the result."""
+        body: dict[str, Any] = {}
+        if source_rate is not None:
+            body["source_rate"] = source_rate
+        if parallelisms is not None:
+            body["parallelisms"] = parallelisms
+        submitted = self._request(
+            "POST",
+            f"/model/topology/heron/{topology}",
+            {"async": "1"},
+            body,
+        )
+        request_id = submitted["request_id"]
+        deadline = time.monotonic() + max_wait_seconds
+        while time.monotonic() < deadline:
+            result = self._request("GET", f"/model/result/{request_id}")
+            if result["status"] == "done":
+                return result["result"]
+            if result["status"] == "error":
+                raise ApiError(result.get("error", "modelling failed"), 500)
+            time.sleep(poll_seconds)
+        raise ApiError(f"request {request_id} timed out", 504)

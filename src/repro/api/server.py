@@ -1,0 +1,103 @@
+"""HTTP listener adapting :class:`CaladriusApp` to real sockets."""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qsl, urlsplit
+
+from repro.api.app import CaladriusApp
+
+__all__ = ["CaladriusServer"]
+
+
+def _make_handler(app: CaladriusApp) -> type[BaseHTTPRequestHandler]:
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+
+        def log_message(self, format: str, *args) -> None:  # noqa: A002
+            pass  # tests and examples do not want request logging noise
+
+        def _respond(self, method: str) -> None:
+            split = urlsplit(self.path)
+            query = dict(parse_qsl(split.query))
+            body = {}
+            length = int(self.headers.get("Content-Length") or 0)
+            if length:
+                raw = self.rfile.read(length)
+                try:
+                    body = json.loads(raw.decode("utf8"))
+                except json.JSONDecodeError:
+                    self._send(400, {"error": "request body is not JSON"})
+                    return
+            status, payload = app.handle(method, split.path, query, body)
+            self._send(status, payload)
+
+        def _send(self, status: int, payload: dict) -> None:
+            data = json.dumps(payload).encode("utf8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(data)))
+            self.end_headers()
+            self.wfile.write(data)
+
+        def do_GET(self) -> None:  # noqa: N802
+            self._respond("GET")
+
+        def do_POST(self) -> None:  # noqa: N802
+            self._respond("POST")
+
+    return Handler
+
+
+class CaladriusServer:
+    """A threaded HTTP server hosting the Caladrius API.
+
+    Use as a context manager in examples and tests::
+
+        with CaladriusServer(app, port=0) as server:
+            client = CaladriusClient("127.0.0.1", server.port)
+            ...
+
+    ``port=0`` binds an ephemeral port, exposed as :attr:`port`.
+    """
+
+    def __init__(
+        self, app: CaladriusApp, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.app = app
+        self._httpd = ThreadingHTTPServer((host, port), _make_handler(app))
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port."""
+        return self._httpd.server_address[1]
+
+    @property
+    def host(self) -> str:
+        """The bound host address."""
+        return self._httpd.server_address[0]
+
+    def start(self) -> "CaladriusServer":
+        """Start serving on a daemon thread."""
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop serving and release the socket."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "CaladriusServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,313 @@
+"""Command-line interface for the Caladrius reproduction.
+
+Four subcommands cover the operational surface:
+
+``serve``
+    Stand up the web service over a demo cluster (or an empty tracker)
+    from a YAML config — the paper's deployment mode.
+``simulate``
+    Run the Word Count topology at a source rate and print its
+    per-minute metrics, useful for exploring the simulator.
+``predict``
+    One-shot performance prediction: simulate, calibrate and report the
+    dry-run verdict for a traffic level and proposed parallelisms.
+``forecast``
+    Fit the traffic models on a simulated seasonal history and print
+    the forecast summary.
+
+Every subcommand is pure stdlib + this package; run as
+``python -m repro.cli <subcommand>`` or through the ``caladrius``
+console script.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.api.app import CaladriusApp
+from repro.api.server import CaladriusServer
+from repro.config import load_config
+from repro.core.performance_models import ThroughputPredictionModel
+from repro.core.traffic_models import (
+    ProphetTrafficModel,
+    StatsSummaryTrafficModel,
+)
+from repro.errors import ReproError
+from repro.heron.metrics import MetricNames
+from repro.heron.simulation import HeronSimulation, SimulationConfig
+from repro.heron.tracker import TopologyTracker
+from repro.heron.wordcount import WordCountParams, build_word_count
+from repro.timeseries.store import MetricsStore
+
+__all__ = ["main", "build_parser"]
+
+M = 1e6
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="caladrius",
+        description="Caladrius performance-modelling service (reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser("serve", help="run the web service")
+    serve.add_argument("--config", help="YAML config file", default=None)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument(
+        "--demo",
+        action="store_true",
+        help="register a simulated Word Count deployment with metrics",
+    )
+    serve.add_argument(
+        "--once",
+        action="store_true",
+        help=argparse.SUPPRESS,  # start and stop immediately (tests)
+    )
+
+    simulate = sub.add_parser("simulate", help="run a simulated topology")
+    simulate.add_argument("--rate", type=float, required=True,
+                          help="source rate, tuples/minute")
+    simulate.add_argument("--minutes", type=int, default=5)
+    simulate.add_argument("--splitter", type=int, default=3)
+    simulate.add_argument("--counter", type=int, default=3)
+    simulate.add_argument("--topology", default=None,
+                          help="YAML topology file (instead of Word Count)")
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--json", action="store_true", dest="as_json")
+
+    predict = sub.add_parser("predict", help="dry-run performance prediction")
+    predict.add_argument("--rate", type=float, required=True,
+                         help="traffic to evaluate, tuples/minute")
+    predict.add_argument("--splitter", type=int, default=2,
+                         help="deployed splitter parallelism")
+    predict.add_argument("--counter", type=int, default=4,
+                         help="deployed counter parallelism")
+    predict.add_argument("--propose", default=None,
+                         help='proposed parallelisms, e.g. "splitter=4,counter=6"')
+    predict.add_argument("--seed", type=int, default=0)
+    predict.add_argument("--json", action="store_true", dest="as_json")
+
+    forecast = sub.add_parser("forecast", help="traffic forecasting demo")
+    forecast.add_argument("--history-minutes", type=int, default=360)
+    forecast.add_argument("--horizon-minutes", type=int, default=60)
+    forecast.add_argument("--model", choices=("prophet", "stats-summary"),
+                          default="prophet")
+    forecast.add_argument("--seed", type=int, default=0)
+    forecast.add_argument("--json", action="store_true", dest="as_json")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "serve": _cmd_serve,
+        "simulate": _cmd_simulate,
+        "predict": _cmd_predict,
+        "forecast": _cmd_forecast,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+# ----------------------------------------------------------------------
+# Shared helpers
+# ----------------------------------------------------------------------
+def _demo_deployment(
+    splitter: int, counter: int, seed: int, rates: Sequence[float]
+) -> tuple[TopologyTracker, MetricsStore]:
+    params = WordCountParams(
+        splitter_parallelism=splitter, counter_parallelism=counter
+    )
+    topology, packing, logic = build_word_count(params)
+    store = MetricsStore()
+    sim = HeronSimulation(
+        topology, packing, logic, store, SimulationConfig(seed=seed)
+    )
+    for rate in rates:
+        sim.set_source_rate("sentence-spout", float(rate))
+        sim.run(2)
+    tracker = TopologyTracker()
+    tracker.register(topology, packing)
+    return tracker, store
+
+
+def _parse_proposal(text: str | None) -> dict[str, int] | None:
+    if not text:
+        return None
+    proposal: dict[str, int] = {}
+    for item in text.split(","):
+        name, _, value = item.partition("=")
+        if not name or not value:
+            raise SystemExit(
+                f'cannot parse proposal item {item!r}; use "component=N"'
+            )
+        proposal[name.strip()] = int(value)
+    return proposal
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+def _cmd_serve(args) -> int:
+    config = load_config(args.config) if args.config else load_config({})
+    if args.demo:
+        tracker, store = _demo_deployment(
+            splitter=2, counter=4, seed=0,
+            rates=np.arange(4 * M, 44 * M + 1, 8 * M),
+        )
+    else:
+        tracker, store = TopologyTracker(), MetricsStore()
+    app = CaladriusApp(config, tracker, store)
+    server = CaladriusServer(app, host=args.host, port=args.port)
+    server.start()
+    print(f"caladrius serving on {server.host}:{server.port}")
+    if args.once:
+        server.stop()
+        app.shutdown()
+        return 0
+    try:
+        while True:  # pragma: no cover - interactive loop
+            import time
+
+            time.sleep(3600)
+    except KeyboardInterrupt:  # pragma: no cover
+        server.stop()
+        app.shutdown()
+        return 0
+
+
+def _cmd_simulate(args) -> int:
+    if args.topology:
+        from repro.heron.topology_yaml import load_topology_yaml
+
+        topology, packing, logic = load_topology_yaml(args.topology)
+    else:
+        params = WordCountParams(
+            splitter_parallelism=args.splitter,
+            counter_parallelism=args.counter,
+        )
+        topology, packing, logic = build_word_count(params)
+    store = MetricsStore()
+    sim = HeronSimulation(
+        topology, packing, logic, store, SimulationConfig(seed=args.seed)
+    )
+    for spout in topology.spouts():
+        sim.set_source_rate(spout.name, args.rate / len(topology.spouts()))
+    sim.run(args.minutes)
+    first_bolt = topology.bolts()[0].name
+    sinks = [c.name for c in topology.sinks()]
+    rows = []
+    bolt_in = store.aggregate(
+        MetricNames.EXECUTE_COUNT, {"component": first_bolt}
+    )
+    outputs = [
+        store.aggregate(MetricNames.EXECUTE_COUNT, {"component": sink})
+        for sink in sinks
+    ]
+    bp = store.get(
+        MetricNames.TOPOLOGY_BACKPRESSURE_TIME_MS,
+        {"topology": topology.name},
+    )
+    for i, (ts, value) in enumerate(bolt_in):
+        rows.append(
+            {
+                "minute": i,
+                f"{first_bolt}_in_tpm": value,
+                "output_tpm": float(sum(o.values[i] for o in outputs)),
+                "backpressure_ms": float(bp.values[i]),
+            }
+        )
+    if args.as_json:
+        print(json.dumps(rows, indent=2))
+    else:
+        print(f"{'minute':>7} {first_bolt + ' in':>14} {'output':>14} "
+              f"{'bp ms':>8}")
+        for row in rows:
+            print(
+                f"{row['minute']:>7} {row[f'{first_bolt}_in_tpm'] / M:>13.2f}M "
+                f"{row['output_tpm'] / M:>13.2f}M {row['backpressure_ms']:>8.0f}"
+            )
+    return 0
+
+
+def _cmd_predict(args) -> int:
+    tracker, store = _demo_deployment(
+        args.splitter, args.counter, args.seed,
+        rates=np.arange(4 * M, 44 * M + 1, 8 * M),
+    )
+    model = ThroughputPredictionModel(tracker, store)
+    prediction = model.predict(
+        "word-count",
+        source_rate=args.rate,
+        parallelisms=_parse_proposal(args.propose),
+    )
+    if args.as_json:
+        print(json.dumps(prediction.as_dict(), indent=2))
+    else:
+        print(f"topology     : {prediction.topology}")
+        print(f"traffic      : {prediction.source_rate / M:.1f}M tuples/min")
+        print(f"parallelisms : {prediction.parallelisms}")
+        print(f"output       : {prediction.output_rate / M:.1f}M tuples/min")
+        print(f"saturation   : "
+              f"{prediction.saturation_source_rate / M:.1f}M tuples/min")
+        print(f"risk         : {prediction.backpressure_risk}"
+              + (f" (bottleneck: {prediction.bottleneck})"
+                 if prediction.bottleneck else ""))
+    return 0
+
+
+def _cmd_forecast(args) -> int:
+    params = WordCountParams()
+    topology, packing, logic = build_word_count(params)
+    store = MetricsStore()
+    sim = HeronSimulation(
+        topology, packing, logic, store, SimulationConfig(seed=args.seed)
+    )
+    cycle = 120.0
+    for minute in range(args.history_minutes):
+        rate = 10 * M + 6 * M * np.sin(2 * np.pi * minute / cycle)
+        sim.set_source_rate("sentence-spout", max(0.0, rate))
+        sim.run(1)
+    tracker = TopologyTracker()
+    tracker.register(topology, packing)
+    if args.model == "prophet":
+        from repro.forecasting.prophet_lite import ProphetLite, Seasonality
+
+        traffic_model = ProphetTrafficModel(
+            tracker,
+            store,
+            make_forecaster=lambda: ProphetLite(
+                seasonalities=[Seasonality("cycle", cycle * 60, 4)],
+                n_changepoints=5,
+            ),
+        )
+    else:
+        traffic_model = StatsSummaryTrafficModel(tracker, store)
+    prediction = traffic_model.predict(
+        "word-count", None, args.horizon_minutes
+    )
+    if args.as_json:
+        print(json.dumps(prediction.as_dict(), indent=2))
+    else:
+        print(f"model   : {prediction.model}")
+        print(f"horizon : {prediction.horizon_minutes} minutes")
+        for key in ("mean", "median", "min", "max", "upper_max"):
+            print(f"{key:>9}: {prediction.summary[key] / M:.2f}M tuples/min")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,14 @@
+"""Configuration management for the Caladrius service.
+
+The paper's API tier "fulfills system-wide common shared logistics
+including configuration management" and notes "the model implementations
+are configurable through YAML files and the client can specify which
+models are used when they make requests" (Sections III-A/III-B).  This
+package loads and validates that YAML, and builds the configured model
+registry.
+"""
+
+from repro.config.loader import CaladriusConfig, load_config
+from repro.config.registry import ModelRegistry, build_registry
+
+__all__ = ["CaladriusConfig", "ModelRegistry", "build_registry", "load_config"]

@@ -1,0 +1,142 @@
+"""YAML configuration loading and validation."""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+import yaml
+
+from repro.errors import ConfigError
+
+__all__ = ["CaladriusConfig", "load_config"]
+
+_KNOWN_TRAFFIC_MODELS = (
+    "prophet",
+    "prophet-per-instance",
+    "stats-summary",
+    "holt-winters",
+)
+_KNOWN_PERFORMANCE_MODELS = (
+    "throughput-prediction",
+    "backpressure-evaluation",
+)
+
+
+@dataclass(frozen=True)
+class CaladriusConfig:
+    """Validated service configuration.
+
+    ``traffic_models`` and ``performance_models`` list the enabled model
+    names in the order the API tier runs them ("by default, the endpoint
+    will run all model implementations defined in the configuration").
+    ``model_options`` carries per-model keyword options; ``api`` the
+    listener settings.
+    """
+
+    traffic_models: tuple[str, ...] = ("prophet", "stats-summary")
+    performance_models: tuple[str, ...] = (
+        "throughput-prediction",
+        "backpressure-evaluation",
+    )
+    model_options: dict[str, dict[str, Any]] = field(default_factory=dict)
+    api_host: str = "127.0.0.1"
+    api_port: int = 8080
+    log_level: str = "INFO"
+
+    def options_for(self, model: str) -> dict[str, Any]:
+        """Keyword options configured for one model (may be empty)."""
+        return dict(self.model_options.get(model, {}))
+
+
+def load_config(source: str | Path | Mapping[str, Any]) -> CaladriusConfig:
+    """Load configuration from a YAML file path or an in-memory mapping.
+
+    The expected document shape::
+
+        caladrius:
+          traffic_models: [prophet, stats-summary]
+          performance_models: [throughput-prediction]
+          model_options:
+            prophet: {n_changepoints: 25}
+            stats-summary: {statistic: mean, window: 120}
+          api: {host: 127.0.0.1, port: 8080}
+          log_level: INFO
+
+    Unknown model names and malformed sections raise
+    :class:`~repro.errors.ConfigError` with a precise message.
+    """
+    if isinstance(source, Mapping):
+        document: Any = dict(source)
+    else:
+        path = Path(source)
+        if not path.exists():
+            raise ConfigError(f"config file {path} does not exist")
+        with open(path, encoding="utf8") as handle:
+            document = yaml.safe_load(handle)
+    if document is None:
+        document = {}
+    if not isinstance(document, dict):
+        raise ConfigError("config root must be a mapping")
+    section = document.get("caladrius", document)
+    if not isinstance(section, dict):
+        raise ConfigError("'caladrius' section must be a mapping")
+
+    traffic = _name_list(
+        section.get("traffic_models", list(CaladriusConfig.traffic_models)),
+        "traffic_models",
+        _KNOWN_TRAFFIC_MODELS,
+    )
+    performance = _name_list(
+        section.get(
+            "performance_models", list(CaladriusConfig.performance_models)
+        ),
+        "performance_models",
+        _KNOWN_PERFORMANCE_MODELS,
+    )
+    options = section.get("model_options", {})
+    if not isinstance(options, dict) or not all(
+        isinstance(v, dict) for v in options.values()
+    ):
+        raise ConfigError("model_options must map model names to mappings")
+    api = section.get("api", {})
+    if not isinstance(api, dict):
+        raise ConfigError("'api' section must be a mapping")
+    host = api.get("host", "127.0.0.1")
+    port = api.get("port", 8080)
+    if not isinstance(host, str) or not host:
+        raise ConfigError("api.host must be a non-empty string")
+    if not isinstance(port, int) or not 0 <= port < 65536:
+        raise ConfigError(
+            f"api.port must be a port number (0 = ephemeral), got {port!r}"
+        )
+    log_level = section.get("log_level", "INFO")
+    if log_level not in ("DEBUG", "INFO", "WARNING", "ERROR"):
+        raise ConfigError(f"unsupported log_level {log_level!r}")
+    return CaladriusConfig(
+        traffic_models=traffic,
+        performance_models=performance,
+        model_options={k: dict(v) for k, v in options.items()},
+        api_host=host,
+        api_port=port,
+        log_level=log_level,
+    )
+
+
+def _name_list(
+    value: Any, field_name: str, known: tuple[str, ...]
+) -> tuple[str, ...]:
+    if not isinstance(value, list) or not all(
+        isinstance(item, str) for item in value
+    ):
+        raise ConfigError(f"{field_name} must be a list of strings")
+    unknown = [name for name in value if name not in known]
+    if unknown:
+        raise ConfigError(
+            f"unknown {field_name} entries {unknown}; known: {list(known)}"
+        )
+    if not value:
+        raise ConfigError(f"{field_name} must enable at least one model")
+    return tuple(value)

@@ -1,0 +1,72 @@
+"""Caladrius core: the paper's performance models (Section IV).
+
+This package is the primary contribution being reproduced:
+
+* :mod:`~repro.core.instance_model` — Eq. 1-5: the piecewise-linear
+  single-instance throughput model ``T(t) = min(alpha * t, ST)`` and its
+  multi-input / multi-output generalisations.
+* :mod:`~repro.core.component_model` — Eq. 6-11: component-level rollups,
+  parallelism scaling under shuffle and fields groupings, and traffic
+  scaling at fixed parallelism.
+* :mod:`~repro.core.topology_model` — Eq. 12-14: critical-path chaining,
+  the inverse model that locates a topology's saturation point, and
+  backpressure-risk classification.
+* :mod:`~repro.core.calibration` — segmented regression that recovers
+  ``alpha``/``SP``/``ST`` (and CPU slopes) from observed metrics.
+* :mod:`~repro.core.cpu_model` — the Section V-E CPU-load use case.
+* :mod:`~repro.core.traffic_models` / :mod:`~repro.core.performance_models`
+  — the Caladrius model-tier interfaces that tie forecasting, metrics and
+  the analytical models together behind the API tier.
+"""
+
+from repro.core.calibration import (
+    PiecewiseLinearFit,
+    calibrate_component,
+    component_observations,
+    fit_linear,
+    fit_piecewise_linear,
+)
+from repro.core.component_model import ComponentModel
+from repro.core.cpu_model import CpuModel, fit_cpu_model
+from repro.core.instance_model import InstanceModel
+from repro.core.latency_model import LatencyModel, WatermarkSettings
+from repro.core.memory_model import MemoryModel, fit_memory_model
+from repro.core.performance_models import (
+    BackpressureEvaluationModel,
+    PerformanceModel,
+    PerformancePrediction,
+    ThroughputPredictionModel,
+)
+from repro.core.topology_model import BackpressureRisk, TopologyModel
+from repro.core.traffic_models import (
+    ProphetTrafficModel,
+    StatsSummaryTrafficModel,
+    TrafficModel,
+    TrafficPrediction,
+)
+
+__all__ = [
+    "BackpressureEvaluationModel",
+    "BackpressureRisk",
+    "ComponentModel",
+    "CpuModel",
+    "InstanceModel",
+    "LatencyModel",
+    "MemoryModel",
+    "PerformanceModel",
+    "WatermarkSettings",
+    "PerformancePrediction",
+    "PiecewiseLinearFit",
+    "ProphetTrafficModel",
+    "StatsSummaryTrafficModel",
+    "ThroughputPredictionModel",
+    "TopologyModel",
+    "TrafficModel",
+    "TrafficPrediction",
+    "calibrate_component",
+    "component_observations",
+    "fit_cpu_model",
+    "fit_linear",
+    "fit_memory_model",
+    "fit_piecewise_linear",
+]

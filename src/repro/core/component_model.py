@@ -1,0 +1,237 @@
+"""The component throughput model (paper Eq. 6-11).
+
+A component's rate is the sum over its ``p`` instances (Eq. 6-7).  How
+the component's source rate divides among instances depends on the
+upstream grouping:
+
+* **shuffle** (Eq. 8-9): every instance receives ``t/p``, so the
+  component curve is the instance curve scaled by ``p``, and a new
+  parallelism ``p' = gamma * p`` scales the curve by ``gamma``;
+* **fields** (Eq. 10-11): instances receive shares given by the key
+  distribution under ``hash % p``.  At fixed parallelism, scaling the
+  source rate by ``beta`` scales each instance's input by ``beta`` (the
+  paper's steady-bias assumption) — Eq. 11.  Changing parallelism
+  re-hashes keys, so predictions either assume a load-balanced data set
+  (Eq. 9 applies) or take a measured/known share vector for the new
+  parallelism, the "customized key grouping" escape hatch the paper
+  describes.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.instance_model import DEFAULT_STREAM, InstanceModel
+from repro.errors import ModelError
+
+__all__ = ["ComponentModel"]
+
+
+class ComponentModel:
+    """Throughput model of one component: ``p`` identical instances.
+
+    Parameters
+    ----------
+    name:
+        Component name (used in reports and chained predictions).
+    instance:
+        The per-instance model; all instances run the same code
+        (Section IV-B2: "a component's instances have the same code").
+    parallelism:
+        Number of instances, ``p``.
+    input_shares:
+        Fraction of the component's source rate each instance receives.
+        Defaults to uniform (shuffle grouping / unbiased fields
+        grouping).  Must have length ``p`` and sum to 1.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        instance: InstanceModel,
+        parallelism: int,
+        input_shares: Sequence[float] | None = None,
+    ) -> None:
+        if parallelism < 1:
+            raise ModelError("parallelism must be >= 1")
+        self.name = name
+        self.instance = instance
+        self.parallelism = parallelism
+        if input_shares is None:
+            shares = np.full(parallelism, 1.0 / parallelism)
+        else:
+            shares = np.asarray(list(input_shares), dtype=np.float64)
+            if shares.shape[0] != parallelism:
+                raise ModelError(
+                    f"{shares.shape[0]} shares for parallelism {parallelism}"
+                )
+            if np.any(shares < 0):
+                raise ModelError("input shares must be non-negative")
+            total = float(shares.sum())
+            if not math.isclose(total, 1.0, rel_tol=1e-6):
+                raise ModelError(f"input shares must sum to 1, got {total}")
+        self.input_shares = shares
+
+    # ------------------------------------------------------------------
+    # Forward model (Eq. 6-7)
+    # ------------------------------------------------------------------
+    def instance_input_rates(self, source_rate: float) -> np.ndarray:
+        """Eq. 6 split: per-instance source rates for a component rate."""
+        if source_rate < 0:
+            raise ModelError("source_rate must be non-negative")
+        return self.input_shares * source_rate
+
+    def processed_rate(self, source_rate: float) -> float:
+        """Tuples processed per unit time across all instances."""
+        rates = self.instance_input_rates(source_rate)
+        return float(
+            np.minimum(rates, self.instance.saturation_point).sum()
+        )
+
+    def output_rate(
+        self, source_rate: float, stream: str = DEFAULT_STREAM
+    ) -> float:
+        """Eq. 7: summed instance outputs on one stream."""
+        return sum(
+            self.instance.output_rate(rate, stream)
+            for rate in self.instance_input_rates(source_rate)
+        )
+
+    def total_output_rate(self, source_rate: float) -> float:
+        """Summed instance outputs over all streams."""
+        return sum(
+            self.instance.total_output_rate(rate)
+            for rate in self.instance_input_rates(source_rate)
+        )
+
+    # ------------------------------------------------------------------
+    # Saturation
+    # ------------------------------------------------------------------
+    def saturation_point(self) -> float:
+        """Source rate at which the first instance saturates.
+
+        With uniform shares this is ``p * SP_i`` (the Eq. 9 inflection);
+        with bias it is ``SP_i / max(share)`` — the hottest instance
+        saturates first and triggers backpressure for the whole topology.
+        """
+        max_share = float(self.input_shares.max())
+        if max_share == 0:
+            return math.inf
+        if math.isinf(self.instance.saturation_point):
+            return math.inf
+        return self.instance.saturation_point / max_share
+
+    def saturation_throughput(self, stream: str = DEFAULT_STREAM) -> float:
+        """Output rate once every instance is saturated.
+
+        Instances with zero share never saturate (they also never emit),
+        so this is ``alpha * SP`` summed over instances with traffic.
+        """
+        st = self.instance.saturation_throughput(stream)
+        active = int(np.count_nonzero(self.input_shares))
+        return st * active
+
+    def is_saturated(self, source_rate: float) -> bool:
+        """True when the hottest instance is at or past its SP."""
+        return source_rate >= self.saturation_point()
+
+    # ------------------------------------------------------------------
+    # Inverse model
+    # ------------------------------------------------------------------
+    def required_source_rate(
+        self, output_rate: float, stream: str = DEFAULT_STREAM
+    ) -> float:
+        """Source rate needed for a target output rate (Eq. 13 step).
+
+        In the linear region this is exact.  Between the first instance
+        saturating and full component saturation the curve is still
+        monotonic, so the value is found by bisection; outputs beyond
+        the component's saturation throughput raise.
+        """
+        if output_rate < 0:
+            raise ModelError("output_rate must be non-negative")
+        if output_rate == 0:
+            return 0.0
+        st_component = self.saturation_throughput(stream)
+        if output_rate > st_component * (1 + 1e-9):
+            raise ModelError(
+                f"component {self.name!r} cannot produce {output_rate}; "
+                f"its saturation throughput is {st_component}"
+            )
+        sp = self.saturation_point()
+        alpha = self.instance.alpha(stream)
+        if alpha == 0:
+            raise ModelError(
+                f"stream {stream!r} has alpha=0; only zero output is feasible"
+            )
+        # Uniform shares: closed form.
+        if np.allclose(self.input_shares, self.input_shares[0]):
+            return min(output_rate / alpha, sp)
+        # Biased shares: the output curve is piecewise linear and
+        # monotone in source rate; bisect on it.
+        lo, hi = 0.0, sp if not math.isinf(sp) else output_rate / alpha
+        while self.output_rate(hi, stream) < output_rate * (1 - 1e-12):
+            hi *= 2.0
+            if hi > 1e18:
+                raise ModelError("failed to bracket the inverse")
+        for _ in range(100):
+            mid = (lo + hi) / 2.0
+            if self.output_rate(mid, stream) < output_rate:
+                lo = mid
+            else:
+                hi = mid
+        return hi
+
+    # ------------------------------------------------------------------
+    # What-if derivations (Eq. 9 and Eq. 11)
+    # ------------------------------------------------------------------
+    def with_parallelism(
+        self,
+        new_parallelism: int,
+        new_shares: Sequence[float] | None = None,
+    ) -> "ComponentModel":
+        """Eq. 9: the model under a different parallelism.
+
+        With shuffle-grouped (or load-balanced fields-grouped) inputs the
+        instance curve is reused and shares stay uniform — the paper's
+        gamma-scaling of the observed component line.  For biased fields
+        grouping the caller must supply ``new_shares`` measured or
+        computed for the new parallelism (re-hashing is not invertible,
+        Section IV-B2b).
+        """
+        if new_shares is None and not np.allclose(
+            self.input_shares, self.input_shares[0]
+        ):
+            raise ModelError(
+                f"component {self.name!r} has biased input shares; "
+                "changing parallelism requires new_shares for the new "
+                "instance count (hash re-assignment is not predictable)"
+            )
+        return ComponentModel(
+            self.name, self.instance, new_parallelism, new_shares
+        )
+
+    def outputs_under_traffic_scale(
+        self,
+        observed_source_rate: float,
+        beta: float,
+        stream: str = DEFAULT_STREAM,
+    ) -> float:
+        """Eq. 11: output when the source traffic scales by ``beta``.
+
+        Shares are assumed stable over time (the paper's steady-bias
+        assumption), so each instance's input scales by ``beta`` and its
+        output clips at its saturation throughput.
+        """
+        if beta < 0:
+            raise ModelError("beta must be non-negative")
+        return self.output_rate(observed_source_rate * beta, stream)
+
+    def __repr__(self) -> str:
+        return (
+            f"ComponentModel({self.name!r}, p={self.parallelism}, "
+            f"SP_i={self.instance.saturation_point:g})"
+        )

@@ -1,0 +1,168 @@
+"""Latency prediction: the fourth golden signal, modelled.
+
+The paper defines the Latency signal (Section III-B1) and explains its
+mechanics — "backpressure indicates that queues are full and that tuples
+which are buffered in the queue will experience increased latency" — but
+evaluates only throughput and CPU.  This module closes that gap with the
+model the watermark mechanics imply:
+
+* below a component's saturation point its queue is (near) empty, so a
+  tuple's stage latency is just its processing time, microseconds at
+  production rates;
+* at or above the saturation point the queue oscillates between the low
+  and high watermarks, so the expected stage latency is the mean queued
+  backlog divided by the processing rate:
+
+  .. math::  L \\approx \\frac{(B_{high} + B_{low}) / 2}
+                              {b \\cdot c}
+
+  with :math:`B` the watermark bytes, :math:`b` the tuple size and
+  :math:`c` the instance's processing rate.
+
+End-to-end latency along a path is the sum of stage latencies — in
+practice dominated by the (single) saturated stage, because components
+downstream of a bottleneck are starved and queue nothing.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.core.topology_model import TopologyModel
+from repro.errors import ModelError
+
+__all__ = ["WatermarkSettings", "LatencyModel"]
+
+_MS_PER_MINUTE = 60_000.0
+
+
+@dataclass(frozen=True)
+class WatermarkSettings:
+    """The stream-manager watermarks the latency bound derives from."""
+
+    high_bytes: float = 100e6
+    low_bytes: float = 50e6
+
+    def __post_init__(self) -> None:
+        if self.low_bytes <= 0 or self.high_bytes <= self.low_bytes:
+            raise ModelError("watermarks must satisfy 0 < low < high")
+
+    @property
+    def mean_backlog_bytes(self) -> float:
+        """Expected queued bytes while saturated (oscillation midpoint)."""
+        return (self.high_bytes + self.low_bytes) / 2.0
+
+
+class LatencyModel:
+    """Per-stage and end-to-end tuple latency for a calibrated topology.
+
+    Parameters
+    ----------
+    topology_model:
+        The calibrated throughput models (rates in tuples per minute).
+    input_tuple_bytes:
+        Component name → mean input tuple size, needed to convert the
+        watermark bytes into queued tuples.  Components missing from the
+        mapping use ``default_tuple_bytes``.
+    watermarks:
+        The deployment's stream-manager watermark configuration.
+    default_tuple_bytes:
+        Fallback tuple size.
+    """
+
+    def __init__(
+        self,
+        topology_model: TopologyModel,
+        input_tuple_bytes: Mapping[str, float] | None = None,
+        watermarks: WatermarkSettings | None = None,
+        default_tuple_bytes: float = 64.0,
+    ) -> None:
+        if default_tuple_bytes <= 0:
+            raise ModelError("default_tuple_bytes must be positive")
+        self.topology_model = topology_model
+        self.input_tuple_bytes = dict(input_tuple_bytes or {})
+        self.watermarks = watermarks or WatermarkSettings()
+        self.default_tuple_bytes = default_tuple_bytes
+
+    def _tuple_bytes(self, component: str) -> float:
+        size = self.input_tuple_bytes.get(component, self.default_tuple_bytes)
+        if size <= 0:
+            raise ModelError(
+                f"tuple size for {component!r} must be positive"
+            )
+        return size
+
+    # ------------------------------------------------------------------
+    # Per-stage latency
+    # ------------------------------------------------------------------
+    def stage_latency_ms(self, component: str, input_rate: float) -> float:
+        """Expected stage latency at a component input rate (tuples/min).
+
+        The spout stage has no queue here (the backlog lives in the
+        external system and is not part of tuple latency once fetched).
+        """
+        if input_rate < 0:
+            raise ModelError("input_rate must be non-negative")
+        spec = self.topology_model.topology.component(component)
+        model = self.topology_model.component(component)
+        if spec.is_spout:
+            return 0.0
+        instance = model.instance
+        processing_ms = (
+            _MS_PER_MINUTE / instance.saturation_point
+            if instance.saturation_point > 0
+            and instance.saturation_point != float("inf")
+            else 0.0
+        )
+        if not model.is_saturated(input_rate):
+            return processing_ms
+        backlog_tuples = (
+            self.watermarks.mean_backlog_bytes / self._tuple_bytes(component)
+        )
+        drain_per_ms = instance.saturation_point / _MS_PER_MINUTE
+        return processing_ms + backlog_tuples / drain_per_ms
+
+    # ------------------------------------------------------------------
+    # End-to-end latency
+    # ------------------------------------------------------------------
+    def path_latency_ms(
+        self, path: Sequence[str], source_rate: float
+    ) -> float:
+        """Expected end-to-end latency along a path (Eq. 12 chaining).
+
+        Stage input rates follow the throughput chain: each stage sees
+        the (possibly clipped) output of the previous one, so only the
+        bottleneck stage carries a watermark-sized queue.
+        """
+        if source_rate < 0:
+            raise ModelError("source_rate must be non-negative")
+        topology = self.topology_model.topology
+        if not topology.component(path[0]).is_spout:
+            raise ModelError(f"path must start at a spout, got {path[0]!r}")
+        total = 0.0
+        rate = source_rate
+        for stage, name in enumerate(path):
+            total += self.stage_latency_ms(name, rate)
+            model = self.topology_model.component(name)
+            if stage + 1 < len(path):
+                streams = [
+                    s.name
+                    for s in topology.outputs(name)
+                    if s.destination == path[stage + 1]
+                ]
+                if not streams:
+                    raise ModelError(
+                        f"no stream from {name!r} to {path[stage + 1]!r}"
+                    )
+                rate = model.output_rate(rate, streams[0])
+        return total
+
+    def latency_profile(
+        self, path: Sequence[str], source_rates: Sequence[float]
+    ) -> list[tuple[float, float]]:
+        """``(source rate, end-to-end latency)`` over a rate sweep."""
+        return [
+            (float(rate), self.path_latency_ms(path, float(rate)))
+            for rate in source_rates
+        ]

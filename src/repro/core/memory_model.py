@@ -1,0 +1,134 @@
+"""Memory prediction: the paper's memory-load counterpart to Section V-E.
+
+"The logic executed by a component's instances can be categorized as
+CPU-intensive or memory-intensive, whose CPU or memory load can be
+predicted" — and the paper's micro-benchmark discussion flags the factor
+that matters: "instances may exceed the container memory limit when
+their input rate rises to sufficiently high levels".
+
+An instance's resident memory decomposes as
+
+.. math::  RSS = \\underbrace{R_0}_{\\text{code+state}}
+              + \\underbrace{Q \\cdot b}_{\\text{queued tuples}}
+
+where the steady component :math:`R_0` is measured from unsaturated
+operation, and the queue term is ~0 below the saturation point and the
+watermark-oscillation midpoint above it (the same mechanics as the
+latency model).  The model predicts per-instance and per-container
+memory for a proposed (traffic, parallelism) pair and checks it against
+the container allocation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.component_model import ComponentModel
+from repro.core.latency_model import WatermarkSettings
+from repro.errors import CalibrationError, ModelError
+from repro.heron.packing import PackingPlan
+
+__all__ = ["MemoryModel", "fit_memory_model"]
+
+
+@dataclass(frozen=True)
+class MemoryModel:
+    """Memory model for one component's instances.
+
+    Parameters
+    ----------
+    component:
+        Component name.
+    resident_bytes:
+        Steady per-instance memory (code, heap, accumulated state),
+        measured in unsaturated operation.
+    input_tuple_bytes:
+        Mean serialised input tuple size (converts queue to bytes).
+    watermarks:
+        The deployment's watermark configuration.
+    """
+
+    component: str
+    resident_bytes: float
+    input_tuple_bytes: float = 64.0
+    watermarks: WatermarkSettings = WatermarkSettings()
+
+    def __post_init__(self) -> None:
+        if self.resident_bytes < 0:
+            raise ModelError("resident_bytes must be non-negative")
+        if self.input_tuple_bytes <= 0:
+            raise ModelError("input_tuple_bytes must be positive")
+
+    def instance_memory_bytes(
+        self, model: ComponentModel, source_rate: float
+    ) -> float:
+        """Predicted per-instance RSS at a component source rate.
+
+        Uses the hottest instance (the one that saturates first and
+        carries the watermark queue) — the conservative figure for an
+        allocation check.
+        """
+        if source_rate < 0:
+            raise ModelError("source_rate must be non-negative")
+        queued = 0.0
+        if model.is_saturated(source_rate):
+            queued = self.watermarks.mean_backlog_bytes
+        return self.resident_bytes + queued
+
+    def component_memory_bytes(
+        self, model: ComponentModel, source_rate: float
+    ) -> float:
+        """Predicted total component RSS at a source rate."""
+        per_instance_rates = model.instance_input_rates(source_rate)
+        saturated = per_instance_rates >= model.instance.saturation_point
+        return float(
+            np.sum(
+                self.resident_bytes
+                + saturated * self.watermarks.mean_backlog_bytes
+            )
+        )
+
+    def fits_allocation(
+        self,
+        model: ComponentModel,
+        source_rate: float,
+        packing: PackingPlan,
+    ) -> bool:
+        """Does the hottest instance stay within its packed allocation?
+
+        This is the check the paper's micro-benchmark discussion calls
+        for before trusting a proposed plan at a higher input rate.
+        """
+        instances = packing.instances_of(self.component)
+        allocation = min(i.resources.ram_bytes for i in instances)
+        return self.instance_memory_bytes(model, source_rate) <= allocation
+
+
+def fit_memory_model(
+    component: str,
+    unsaturated_memory_bytes: Sequence[float],
+    input_tuple_bytes: float = 64.0,
+    watermarks: WatermarkSettings | None = None,
+) -> MemoryModel:
+    """Fit the resident term from unsaturated per-instance observations.
+
+    ``unsaturated_memory_bytes`` are per-instance RSS samples taken
+    while the component was *not* in backpressure (queue ~ empty), so
+    their mean estimates :math:`R_0` directly.  Saturated samples would
+    bias the resident term upward by the watermark backlog; callers
+    should filter on the backpressure metric first.
+    """
+    samples = np.asarray(list(unsaturated_memory_bytes), dtype=np.float64)
+    if samples.size < 1:
+        raise CalibrationError("need at least one memory observation")
+    if np.any(samples < 0):
+        raise CalibrationError("memory observations must be non-negative")
+    return MemoryModel(
+        component,
+        float(samples.mean()),
+        input_tuple_bytes,
+        watermarks or WatermarkSettings(),
+    )

@@ -1,0 +1,482 @@
+"""Caladrius performance models (paper Fig. 2, "Topology Performance
+Model Interface").
+
+A performance model answers: *how will this topology perform under a
+given traffic load and configuration?*  The two scenarios from the paper
+(Section I) are both supported:
+
+* **varying traffic, fixed configuration** — pass a source rate (or a
+  traffic-model prediction) and the current parallelisms;
+* **fixed traffic, different configuration** — pass proposed
+  parallelisms (the dry-run ``heron update`` use case).
+
+:func:`calibrate_topology` builds the chained model from observed
+metrics: it walks the DAG in topological order, reconstructs each
+component's *offered* rate (what would arrive absent backpressure —
+spout source counters amplified through fitted upstream curves), and
+fits the piecewise-linear curve of Section IV-B to every component.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.calibration import (
+    PiecewiseLinearFit,
+    calibrate_sink,
+    fit_piecewise_linear,
+)
+from repro.core.component_model import ComponentModel
+from repro.core.instance_model import InstanceModel
+from repro.core.topology_model import TopologyModel
+from repro.core.traffic_models import TrafficPrediction
+from repro.errors import CalibrationError, ModelError
+from repro.graph.topology_graph import source_sink_paths
+from repro.heron.groupings import ShuffleGrouping
+from repro.heron.metrics import MetricNames
+from repro.heron.topology import LogicalTopology
+from repro.heron.tracker import TopologyTracker, TrackedTopology
+from repro.timeseries.store import MetricsStore
+
+__all__ = [
+    "PerformancePrediction",
+    "PerformanceModel",
+    "ThroughputPredictionModel",
+    "BackpressureEvaluationModel",
+    "calibrate_topology",
+]
+
+
+@dataclass(frozen=True)
+class PerformancePrediction:
+    """Result of a performance-model run (JSON-friendly via as_dict)."""
+
+    topology: str
+    model: str
+    source_rate: float
+    parallelisms: dict[str, int]
+    components: dict[str, dict[str, object]]
+    output_rate: float
+    saturation_source_rate: float
+    backpressure_risk: str
+    bottleneck: str | None
+    paths: list[dict[str, object]] = field(default_factory=list)
+    output_rate_stderr: float = 0.0
+
+    @property
+    def output_rate_interval(self) -> tuple[float, float]:
+        """A ~90% interval on the predicted output rate.
+
+        Calibration uncertainty compounds along the chained stages (the
+        paper: "error has accumulated for the chained prediction
+        steps"); the band is ±1.645 standard errors, floored at zero.
+        """
+        half = 1.6449 * self.output_rate_stderr
+        return (max(0.0, self.output_rate - half), self.output_rate + half)
+
+    def as_dict(self) -> dict[str, object]:
+        """The API-tier response body."""
+        return {
+            "topology": self.topology,
+            "model": self.model,
+            "source_rate": self.source_rate,
+            "parallelisms": self.parallelisms,
+            "components": self.components,
+            "output_rate": self.output_rate,
+            "saturation_source_rate": self.saturation_source_rate,
+            "backpressure_risk": self.backpressure_risk,
+            "bottleneck": self.bottleneck,
+            "paths": self.paths,
+            "output_rate_stderr": self.output_rate_stderr,
+            "output_rate_interval": list(self.output_rate_interval),
+        }
+
+
+# ----------------------------------------------------------------------
+# Calibration over a whole topology
+# ----------------------------------------------------------------------
+def _input_shares(
+    topology: LogicalTopology, component: str, parallelism: int
+) -> Sequence[float] | None:
+    """Share vector for a component's instances at a given parallelism.
+
+    Derived from the incoming stream's grouping.  Shuffle (and any
+    grouping without share structure) returns ``None`` (uniform).  With
+    several input streams the shares would be a rate-weighted mixture;
+    uniform is used as the paper's load-balanced approximation.
+    """
+    inputs = topology.inputs(component)
+    if len(inputs) != 1:
+        return None
+    grouping = inputs[0].grouping
+    if isinstance(grouping, ShuffleGrouping):
+        return None
+    shares = grouping.shares(parallelism)
+    total = float(np.sum(shares))
+    if total <= 0:
+        return None
+    return list(shares / total)
+
+
+def calibrate_topology(
+    tracked: TrackedTopology,
+    store: MetricsStore,
+    warmup_minutes: int = 1,
+    since_seconds: int | None = None,
+) -> tuple[TopologyModel, dict[str, PiecewiseLinearFit]]:
+    """Fit every bolt's piecewise-linear model from stored metrics.
+
+    Walks the DAG in topological order maintaining each component's
+    per-minute *offered* rate: spouts contribute their external
+    ``source-count``; bolts forward ``alpha * min(offered, SP)`` of their
+    fitted curve downstream.  Returns the chained
+    :class:`~repro.core.topology_model.TopologyModel` plus the raw fit
+    per bolt (keyed by component name).
+
+    ``since_seconds`` restricts calibration to metrics at or after that
+    timestamp — essential after a redeployment, when older minutes
+    describe a different physical configuration.
+    """
+    topology = tracked.topology
+    offered: dict[str, np.ndarray | None] = {
+        name: None for name in topology.components
+    }
+    timeline: np.ndarray | None = None
+    models = {}
+    fits: dict[str, PiecewiseLinearFit] = {}
+
+    def add_offered(name: str, values: np.ndarray) -> None:
+        if offered[name] is None:
+            offered[name] = values.copy()
+        else:
+            offered[name] = offered[name] + values
+
+    for spec in topology.topological_order():
+        name = spec.name
+        tags = {"topology": topology.name, "component": name}
+        if spec.is_spout:
+            series = store.aggregate(
+                MetricNames.SOURCE_COUNT, tags, start=since_seconds
+            )
+            values = series.values[warmup_minutes:]
+            if timeline is None:
+                timeline = series.timestamps[warmup_minutes:]
+            if values.shape[0] < 3:
+                raise CalibrationError(
+                    f"spout {name!r} has too little history to calibrate"
+                )
+            add_offered(name, values)
+            # The evaluation spout is a pass-through (identity model) —
+            # downstream sees the offered external rate.
+            for stream in topology.outputs(name):
+                add_offered(stream.destination, values)
+            continue
+
+        x = offered[name]
+        if x is None:
+            raise CalibrationError(f"bolt {name!r} received no offered rate")
+        shares = _input_shares(topology, name, spec.parallelism)
+        outputs = topology.outputs(name)
+        received = store.aggregate(
+            MetricNames.RECEIVED_COUNT, tags, start=since_seconds
+        )
+        y_in = received.values[warmup_minutes:]
+        n = min(x.shape[0], y_in.shape[0])
+        if not outputs:
+            model, fit = calibrate_sink(
+                name, x[:n], y_in[:n], spec.parallelism,
+                None if shares is None else np.asarray(shares),
+            )
+            models[name] = model
+            fits[name] = fit
+            continue
+        stream_names = sorted({s.name for s in outputs})
+        per_stream_fits: dict[str, PiecewiseLinearFit] = {}
+        for stream_name in stream_names:
+            emitted = store.aggregate(
+                MetricNames.STREAM_EMIT_COUNT,
+                {**tags, "stream": stream_name},
+                start=since_seconds,
+            )
+            y_out = emitted.values[warmup_minutes:]
+            m = min(n, y_out.shape[0])
+            per_stream_fits[stream_name] = fit_piecewise_linear(
+                x[:m], y_out[:m]
+            )
+        # Streams share the input, so the component saturates at the
+        # smallest fitted breakpoint; alphas come from each stream's fit.
+        sp_component = min(
+            f.saturation_point for f in per_stream_fits.values()
+        )
+        if shares is None:
+            instance_sp = sp_component / spec.parallelism
+        else:
+            instance_sp = sp_component * float(np.max(shares))
+        alphas = {s: f.alpha for s, f in per_stream_fits.items()}
+        models[name] = ComponentModel(
+            name,
+            InstanceModel(alphas, instance_sp),
+            spec.parallelism,
+            shares,
+        )
+        reference = per_stream_fits[stream_names[0]]
+        fits[name] = PiecewiseLinearFit(
+            alpha=reference.alpha,
+            saturation_point=sp_component,
+            residual_std=reference.residual_std,
+            alpha_stderr=reference.alpha_stderr,
+            r_squared=reference.r_squared,
+            n_points=reference.n_points,
+        )
+        for stream in outputs:
+            fit = per_stream_fits[stream.name]
+            predicted = fit.alpha * np.minimum(x[:n], sp_component)
+            add_offered(stream.destination, predicted)
+
+    return TopologyModel(topology, models), fits
+
+
+# ----------------------------------------------------------------------
+# Model-tier interfaces
+# ----------------------------------------------------------------------
+class PerformanceModel(ABC):
+    """Base class for performance models served by the API tier."""
+
+    name = "performance-model"
+
+    def __init__(self, tracker: TopologyTracker, store: MetricsStore) -> None:
+        self.tracker = tracker
+        self.store = store
+
+    @abstractmethod
+    def predict(
+        self,
+        topology_name: str,
+        source_rate: float | None = None,
+        traffic: TrafficPrediction | None = None,
+        parallelisms: Mapping[str, int] | None = None,
+        cluster: str = "local",
+        environ: str = "test",
+    ) -> PerformancePrediction:
+        """Evaluate the topology under traffic and/or a proposed config."""
+
+    def _resolve_source_rate(
+        self,
+        source_rate: float | None,
+        traffic: TrafficPrediction | None,
+        peak: bool,
+    ) -> float:
+        if source_rate is not None:
+            if source_rate < 0:
+                raise ModelError("source_rate must be non-negative")
+            return float(source_rate)
+        if traffic is not None:
+            key = "upper_max" if peak else "mean"
+            return float(traffic.summary[key])
+        raise ModelError("either source_rate or traffic must be given")
+
+    def _calibrated(
+        self,
+        topology_name: str,
+        parallelisms: Mapping[str, int] | None,
+        cluster: str,
+        environ: str,
+    ) -> tuple[TrackedTopology, TopologyModel, dict[str, PiecewiseLinearFit]]:
+        tracked = self.tracker.get(topology_name, cluster, environ)
+        base, fits = calibrate_topology(tracked, self.store)
+        if parallelisms:
+            new_shares = {}
+            for component, p in parallelisms.items():
+                shares = _input_shares(tracked.topology, component, p)
+                if shares is not None:
+                    new_shares[component] = shares
+            base = base.with_parallelism(dict(parallelisms), new_shares)
+        return tracked, base, fits
+
+    @staticmethod
+    def _chain_relative_stderr(
+        model: TopologyModel,
+        fits: Mapping[str, PiecewiseLinearFit],
+        path: Sequence[str],
+        source_rate: float,
+    ) -> float:
+        """Relative standard error of a chained output prediction.
+
+        Per stage: an unsaturated component contributes its slope's
+        relative standard error; a saturated one the plateau's
+        (residual std over the saturation throughput).  Independent
+        stage errors compound in quadrature — the accumulation the
+        paper observes in its chained CPU prediction.
+        """
+        total_sq = 0.0
+        rate = source_rate
+        topology = model.topology
+        for stage, name in enumerate(path):
+            fit = fits.get(name)
+            component = model.component(name)
+            if fit is not None:
+                if component.is_saturated(rate) and fit.saturated:
+                    denominator = fit.saturation_throughput
+                    rel = (
+                        fit.residual_std / denominator
+                        if denominator > 0
+                        else 0.0
+                    )
+                else:
+                    rel = (
+                        fit.alpha_stderr / fit.alpha if fit.alpha > 0 else 0.0
+                    )
+                total_sq += rel * rel
+            if stage + 1 < len(path):
+                streams = [
+                    s.name
+                    for s in topology.outputs(name)
+                    if s.destination == path[stage + 1]
+                ]
+                rate = component.output_rate(rate, streams[0])
+        return math.sqrt(total_sq)
+
+
+class ThroughputPredictionModel(PerformanceModel):
+    """Predict end-to-end throughput for a traffic level and config.
+
+    This is the paper's headline model: calibrate on current metrics,
+    optionally rescale components to proposed parallelisms (Eq. 9), chain
+    along every source→sink path (Eq. 12), and report output rates plus
+    the topology's saturation point (Eq. 13).
+    """
+
+    name = "throughput-prediction"
+
+    def predict(
+        self,
+        topology_name: str,
+        source_rate: float | None = None,
+        traffic: TrafficPrediction | None = None,
+        parallelisms: Mapping[str, int] | None = None,
+        cluster: str = "local",
+        environ: str = "test",
+    ) -> PerformancePrediction:
+        """See :class:`PerformanceModel.predict`."""
+        rate = self._resolve_source_rate(source_rate, traffic, peak=False)
+        tracked, model, fits = self._calibrated(
+            topology_name, parallelisms, cluster, environ
+        )
+        topology = model.topology
+        spouts = [s.name for s in topology.spouts()]
+        # The topology source rate divides evenly over spouts (the
+        # evaluation-spout convention); path-level figures below are in
+        # per-spout units and the topology-level saturation rate scales
+        # back up by the spout count.
+        share = rate / len(spouts)
+        report = model.propagate({s: share for s in spouts})
+        paths = source_sink_paths(topology)
+        path_reports = []
+        worst_rate = float("inf")
+        worst_path = None
+        for path in paths:
+            sat = model.path_bottleneck(path)
+            path_reports.append(
+                {
+                    "path": path,
+                    "output_rate": model.critical_path_output(path, share),
+                    "saturation_source_rate": sat[1],
+                    "bottleneck": sat[0],
+                }
+            )
+            if sat[1] < worst_rate:
+                worst_rate = sat[1]
+                worst_path = path
+        output_rate = sum(
+            float(report[sink.name]["processed"]) for sink in topology.sinks()
+        )
+        risk = model.backpressure_risk(worst_path, share) if worst_path else None
+        worst_rate = worst_rate * len(spouts)
+        rel_stderr = (
+            self._chain_relative_stderr(model, fits, worst_path, share)
+            if worst_path
+            else 0.0
+        )
+        return PerformancePrediction(
+            topology=topology_name,
+            model=self.name,
+            source_rate=rate,
+            parallelisms={
+                name: spec.parallelism
+                for name, spec in topology.components.items()
+            },
+            components=report,
+            output_rate=output_rate,
+            saturation_source_rate=worst_rate,
+            backpressure_risk=risk.risk.value if risk else "low",
+            bottleneck=risk.bottleneck if risk else None,
+            paths=path_reports,
+            output_rate_stderr=output_rate * rel_stderr,
+        )
+
+
+class BackpressureEvaluationModel(PerformanceModel):
+    """Classify backpressure risk for current or forecast traffic.
+
+    Uses the peak of the traffic prediction (``upper_max``) rather than
+    the mean: preemptive scaling should trigger on the credible worst
+    case, which is the "enabling preemptive scaling" benefit from the
+    paper's introduction.
+    """
+
+    name = "backpressure-evaluation"
+
+    def predict(
+        self,
+        topology_name: str,
+        source_rate: float | None = None,
+        traffic: TrafficPrediction | None = None,
+        parallelisms: Mapping[str, int] | None = None,
+        cluster: str = "local",
+        environ: str = "test",
+    ) -> PerformancePrediction:
+        """See :class:`PerformanceModel.predict`."""
+        rate = self._resolve_source_rate(source_rate, traffic, peak=True)
+        tracked, model, _ = self._calibrated(
+            topology_name, parallelisms, cluster, environ
+        )
+        topology = model.topology
+        share = rate / len(topology.spouts())
+        paths = source_sink_paths(topology)
+        assessments = [
+            (path, model.backpressure_risk(path, share)) for path in paths
+        ]
+        worst_path, worst = min(
+            assessments, key=lambda item: item[1].saturation_source_rate
+        )
+        spout_count = len(topology.spouts())
+        path_reports = [
+            {
+                "path": path,
+                "risk": a.risk.value,
+                "saturation_source_rate": a.saturation_source_rate * spout_count,
+                "headroom": a.headroom,
+                "bottleneck": a.bottleneck,
+            }
+            for path, a in assessments
+        ]
+        return PerformancePrediction(
+            topology=topology_name,
+            model=self.name,
+            source_rate=rate,
+            parallelisms={
+                name: spec.parallelism
+                for name, spec in topology.components.items()
+            },
+            components={},
+            output_rate=model.critical_path_output(worst_path, share),
+            saturation_source_rate=worst.saturation_source_rate * spout_count,
+            backpressure_risk=worst.risk.value,
+            bottleneck=worst.bottleneck,
+            paths=path_reports,
+        )

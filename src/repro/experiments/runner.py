@@ -1,0 +1,131 @@
+"""Regenerate every paper figure from the command line.
+
+``python -m repro.experiments.runner [--quick] [--only fig04 ...]``
+runs the Section V experiments end to end — simulation sweeps,
+calibration, prediction — and prints one summary block per figure,
+without involving pytest.  The benchmark suite wraps the same harness
+with assertions and timing; this runner is for eyeballing and for
+generating the numbers quoted in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.experiments import figures
+
+M = 1e6
+
+
+def _fmt(value: float) -> str:
+    import math
+
+    if math.isinf(value):
+        return "inf"
+    return f"{value / M:.2f}M"
+
+
+def run_fig04_to_06(quick: bool) -> list[str]:
+    sweep = figures.single_instance_sweep(quick)
+    f4 = figures.fig04_single_instance(quick, sweep=sweep)
+    f5 = figures.fig05_io_ratio(quick, sweep=sweep)
+    f6 = figures.fig06_backpressure(quick, sweep=sweep)
+    return [
+        f"fig04: SP {_fmt(f4['measured_sp_tpm'])} (paper ~11M), "
+        f"ST {_fmt(f4['measured_st_tpm'])}, alpha {f4['io_alpha']:.3f}",
+        f"fig05: ratio [{f5['ratio_min']:.4f}, {f5['ratio_max']:.4f}] "
+        "(paper [7.63, 7.64])",
+        f"fig06: bp {f6['mean_below_sp_ms']:.0f} ms below SP, "
+        f"{f6['mean_above_sp_ms']:.0f} ms above (paper 0 / ~60000)",
+    ]
+
+
+def run_fig07_to_08(quick: bool) -> list[str]:
+    f7 = figures.fig07_component_model(quick)
+    f8 = figures.fig08_component_validation(quick, fig07=f7)
+    lines = [
+        f"fig07: p=3 SP {_fmt(f7['component_sp_tpm'])}, "
+        f"alpha {f7['io_ratio']:.3f}; Eq.9 p=2 ST "
+        f"{_fmt(f7['predictions'][2]['output_st_tpm'])}, p=4 ST "
+        f"{_fmt(f7['predictions'][4]['output_st_tpm'])}",
+    ]
+    for p, entry in sorted(f8["per_parallelism"].items()):
+        lines.append(
+            f"fig08: p={p} ST error {entry['st_error'] * 100:.1f}% "
+            f"(paper {2.9 if p == 2 else 2.5}%)"
+        )
+    return lines
+
+
+def run_fig09(quick: bool) -> list[str]:
+    f9 = figures.fig09_counter_model(quick)
+    return [
+        f"fig09: Counter p=3 SP {_fmt(f9['p3_input_sp_tpm'])} "
+        f"(paper ~210M), slope {f9['fit'].alpha:.3f}, p=4 prediction "
+        f"{_fmt(f9['prediction_p4']['input_sp_tpm'])} (paper ~280M)",
+    ]
+
+
+def run_fig10(quick: bool) -> list[str]:
+    f10 = figures.fig10_critical_path(quick)
+    return [
+        f"fig10: predicted ST {_fmt(f10['predicted_st_tpm'])}, observed "
+        f"{_fmt(f10['observed_st_tpm'])}, error {f10['error'] * 100:.1f}% "
+        "(paper 2.8%)",
+    ]
+
+
+def run_fig11_to_12(quick: bool) -> list[str]:
+    f11 = figures.fig11_cpu_model(quick)
+    f12 = figures.fig12_cpu_validation(quick, fig11=f11)
+    lines = [
+        f"fig11: psi {f11['cpu_model'].psi:.3e} cores per tuple/min "
+        f"(fit r^2 {f11['cpu_fit'].r_squared:.4f})",
+    ]
+    for p, entry in sorted(f12["per_parallelism"].items()):
+        lines.append(
+            f"fig12: p={p} cpu {entry['observed_cpu_cores']:.3f} observed "
+            f"vs {entry['predicted_cpu_cores']:.3f} predicted, error "
+            f"{entry['error'] * 100:.1f}% (paper {4.8 if p == 2 else 3.0}%)"
+        )
+    return lines
+
+
+SECTIONS = {
+    "fig04-06": run_fig04_to_06,
+    "fig07-08": run_fig07_to_08,
+    "fig09": run_fig09,
+    "fig10": run_fig10,
+    "fig11-12": run_fig11_to_12,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Run the selected figure reproductions and print their summaries."""
+    parser = argparse.ArgumentParser(
+        prog="repro-figures",
+        description="regenerate the paper's evaluation figures",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="coarse grids, 2 repetitions"
+    )
+    parser.add_argument(
+        "--only",
+        nargs="*",
+        choices=sorted(SECTIONS),
+        default=None,
+        help="run a subset of the figure groups",
+    )
+    args = parser.parse_args(argv)
+    selected = args.only or sorted(SECTIONS)
+    for section in selected:
+        print(f"=== {section} ===")
+        for line in SECTIONS[section](args.quick):
+            print(f"  {line}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,64 @@
+"""Piecewise-linear trend with automatic changepoints, as in Prophet.
+
+The trend is :math:`g(t) = (k + \\mathbf{a}(t)^\\top \\boldsymbol\\delta) t
++ (m + \\mathbf{a}(t)^\\top \\boldsymbol\\gamma)` where
+:math:`\\boldsymbol\\delta` are slope changes at candidate changepoints and
+:math:`\\boldsymbol\\gamma` keeps the trend continuous.  In design-matrix
+form each changepoint :math:`s_j` contributes a hinge column
+:math:`(t - s_j)_+`; shrinking the hinge coefficients (ridge here, Laplace
+in Prophet) makes unused changepoints vanish, which is what gives
+robustness to "shifts in the trend".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ForecastError
+
+__all__ = ["changepoint_grid", "trend_design"]
+
+
+def changepoint_grid(
+    timestamps: np.ndarray,
+    n_changepoints: int,
+    changepoint_range: float = 0.8,
+) -> np.ndarray:
+    """Candidate changepoint locations.
+
+    Prophet's default: ``n_changepoints`` times spread uniformly over the
+    first ``changepoint_range`` fraction of the history.  Degenerate
+    requests (no changepoints, or too little history) return an empty
+    grid, which reduces the trend to a single line.
+    """
+    if not 0.0 < changepoint_range <= 1.0:
+        raise ForecastError("changepoint_range must be in (0, 1]")
+    if n_changepoints < 0:
+        raise ForecastError("n_changepoints must be non-negative")
+    t = np.asarray(timestamps, dtype=np.float64)
+    if n_changepoints == 0 or t.size < 3:
+        return np.empty(0)
+    start, end = t[0], t[0] + (t[-1] - t[0]) * changepoint_range
+    if end <= start:
+        return np.empty(0)
+    # Interior grid points, excluding the very start (a changepoint at the
+    # first sample is indistinguishable from the base slope).
+    grid = np.linspace(start, end, n_changepoints + 1)[1:]
+    return grid
+
+
+def trend_design(
+    timestamps: np.ndarray,
+    changepoints: np.ndarray,
+) -> np.ndarray:
+    """Trend basis columns: intercept, slope, and one hinge per changepoint.
+
+    Column order: ``[1, t, (t - s_1)_+, ..., (t - s_J)_+]`` with ``t``
+    in raw seconds — callers are expected to standardise before
+    regression.
+    """
+    t = np.asarray(timestamps, dtype=np.float64)
+    columns = [np.ones_like(t), t]
+    for s in np.asarray(changepoints, dtype=np.float64):
+        columns.append(np.maximum(0.0, t - s))
+    return np.column_stack(columns)

@@ -1,0 +1,161 @@
+"""Holt-Winters (triple exponential smoothing) forecaster.
+
+A third traffic model family between the statistic summary and
+ProphetLite: recursive exponential smoothing of level, trend and
+(optionally) an additive seasonal profile.  Where ProphetLite fits one
+global regression, Holt-Winters adapts online and weights recent history
+more — often the better choice for traffic whose seasonal *shape* drifts
+week to week.
+
+The classic additive formulation with smoothing parameters
+:math:`\\alpha` (level), :math:`\\beta` (trend), :math:`\\gamma`
+(season):
+
+.. math::
+    \\ell_t &= \\alpha (y_t - s_{t-m}) + (1-\\alpha)(\\ell_{t-1} + b_{t-1}) \\\\
+    b_t    &= \\beta (\\ell_t - \\ell_{t-1}) + (1-\\beta) b_{t-1} \\\\
+    s_t    &= \\gamma (y_t - \\ell_t) + (1-\\gamma) s_{t-m}
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.errors import ForecastError
+from repro.forecasting.base import Forecast, Forecaster
+from repro.timeseries.series import TimeSeries
+
+__all__ = ["HoltWinters"]
+
+_Z90 = 1.6449
+
+
+class HoltWinters(Forecaster):
+    """Additive Holt-Winters smoothing.
+
+    Parameters
+    ----------
+    season_length:
+        Number of samples per season (``m``).  ``None`` disables the
+        seasonal component (plain Holt linear smoothing).
+    alpha / beta / gamma:
+        Smoothing weights in ``(0, 1]``; larger adapts faster.
+    interval_level:
+        Coverage of the uncertainty band (from in-sample one-step
+        residuals, widened with the horizon as forecast variance
+        accumulates).
+    """
+
+    def __init__(
+        self,
+        season_length: int | None = None,
+        alpha: float = 0.3,
+        beta: float = 0.05,
+        gamma: float = 0.2,
+        interval_level: float = 0.90,
+    ) -> None:
+        for name, value in (("alpha", alpha), ("beta", beta), ("gamma", gamma)):
+            if not 0.0 < value <= 1.0:
+                raise ForecastError(f"{name} must be in (0, 1], got {value}")
+        if season_length is not None and season_length < 2:
+            raise ForecastError("season_length must be >= 2 or None")
+        if not 0.0 < interval_level < 1.0:
+            raise ForecastError("interval_level must be in (0, 1)")
+        self.season_length = season_length
+        self.alpha = alpha
+        self.beta = beta
+        self.gamma = gamma
+        self.interval_level = interval_level
+        self._level: float | None = None
+        self._trend: float | None = None
+        self._season: np.ndarray | None = None
+        self._sigma: float = 0.0
+        self._step: int | None = None
+
+    # ------------------------------------------------------------------
+    # Fitting
+    # ------------------------------------------------------------------
+    def fit(self, series: TimeSeries) -> "HoltWinters":
+        """Run the smoothing recursions over the history."""
+        cleaned = self._remember(series)
+        y = cleaned.values.astype(np.float64)
+        m = self.season_length
+        if m is not None and y.shape[0] < 2 * m:
+            raise ForecastError(
+                f"need at least two seasons ({2 * m} samples) to fit, "
+                f"got {y.shape[0]}"
+            )
+        diffs = np.diff(cleaned.timestamps)
+        self._step = int(np.median(diffs)) if diffs.size else 60
+        if m is None:
+            season = None
+            level = float(y[0])
+            trend = float(y[1] - y[0])
+            start = 1
+        else:
+            # Standard initialisation: first-season mean as the level,
+            # season-over-season mean slope as the trend, first-season
+            # deviations as the seasonal profile.
+            level = float(np.mean(y[:m]))
+            trend = float((np.mean(y[m : 2 * m]) - np.mean(y[:m])) / m)
+            season = y[:m] - level
+            start = m
+        residuals = []
+        for t in range(start, y.shape[0]):
+            seasonal = float(season[t % m]) if season is not None else 0.0
+            predicted = level + trend + seasonal
+            error = float(y[t]) - predicted
+            residuals.append(error)
+            previous_level = level
+            level = self.alpha * (float(y[t]) - seasonal) + (
+                1 - self.alpha
+            ) * (level + trend)
+            trend = self.beta * (level - previous_level) + (
+                1 - self.beta
+            ) * trend
+            if season is not None:
+                season[t % m] = (
+                    self.gamma * (float(y[t]) - level)
+                    + (1 - self.gamma) * seasonal
+                )
+        self._level = level
+        self._trend = trend
+        self._season = season
+        self._sigma = float(np.std(residuals)) if residuals else 0.0
+        return self
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+    def predict(self, timestamps: Iterable[int]) -> Forecast:
+        """Forecast at explicit timestamps after the fitted history."""
+        if self._level is None:
+            raise ForecastError("HoltWinters is not fitted")
+        series = self._require_fitted()
+        ts = np.asarray(list(timestamps), dtype=np.int64)
+        if ts.size == 0:
+            raise ForecastError("predict needs at least one timestamp")
+        step = self._step or 60
+        steps_ahead = np.maximum(
+            1, np.round((ts - series.end) / step).astype(np.int64)
+        )
+        yhat = self._level + self._trend * steps_ahead
+        if self._season is not None:
+            m = self.season_length
+            n = len(series)
+            phase = (n - 1 + steps_ahead) % m
+            yhat = yhat + self._season[phase]
+        # One-step residual sigma grows ~sqrt(h) with the horizon under
+        # the smoothing recursion's error accumulation.
+        z = _Z90 * (self.interval_level / 0.90)
+        half = z * self._sigma * np.sqrt(steps_ahead.astype(np.float64))
+        yhat = np.maximum(0.0, yhat)
+        return Forecast(
+            ts,
+            yhat,
+            np.maximum(0.0, yhat - half),
+            yhat + half,
+            self.interval_level,
+        )

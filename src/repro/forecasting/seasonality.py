@@ -1,0 +1,54 @@
+"""Fourier seasonality bases, as in Prophet.
+
+A seasonal component of period :math:`P` is modelled as a truncated
+Fourier series of order :math:`N`:
+
+.. math::  s(t) = \\sum_{n=1}^{N} a_n \\cos(2\\pi n t / P)
+                + b_n \\sin(2\\pi n t / P)
+
+The design-matrix helper here returns the ``2N`` basis columns; the
+coefficients are fit jointly with the trend by the regression in
+:mod:`repro.forecasting.prophet_lite`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ForecastError
+
+__all__ = ["fourier_design", "DAY_SECONDS", "WEEK_SECONDS", "YEAR_SECONDS"]
+
+DAY_SECONDS = 86_400
+WEEK_SECONDS = 7 * DAY_SECONDS
+YEAR_SECONDS = int(365.25 * DAY_SECONDS)
+
+
+def fourier_design(
+    timestamps: np.ndarray,
+    period_seconds: float,
+    order: int,
+) -> np.ndarray:
+    """Fourier basis columns for one seasonal period.
+
+    Parameters
+    ----------
+    timestamps:
+        Sample times in seconds (any epoch).
+    period_seconds:
+        Length of one season.
+    order:
+        Number of harmonics; the result has ``2 * order`` columns
+        (cosine then sine per harmonic).
+    """
+    if period_seconds <= 0:
+        raise ForecastError("seasonality period must be positive")
+    if order < 1:
+        raise ForecastError("fourier order must be >= 1")
+    t = np.asarray(timestamps, dtype=np.float64)
+    columns = []
+    for harmonic in range(1, order + 1):
+        angle = 2.0 * np.pi * harmonic * t / period_seconds
+        columns.append(np.cos(angle))
+        columns.append(np.sin(angle))
+    return np.column_stack(columns)

@@ -1,0 +1,100 @@
+"""The Statistic Summary traffic model.
+
+"For stable traffic profiles with little variation, a simple statistical
+summary (mean, median, etc.) of a given period of historic data may be
+sufficient for a reasonable forecast" (paper Section IV-A).  This model
+predicts a flat line at a chosen statistic of a recent window, with an
+empirical-quantile uncertainty band.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.errors import ForecastError
+from repro.forecasting.base import Forecast, Forecaster
+from repro.timeseries.series import TimeSeries
+
+__all__ = ["SummaryForecaster"]
+
+_STATISTICS = ("mean", "median", "max", "min", "p90", "p95")
+
+
+class SummaryForecaster(Forecaster):
+    """Forecast a constant statistic of recent history.
+
+    Parameters
+    ----------
+    statistic:
+        Which summary to project forward: ``"mean"``, ``"median"``,
+        ``"max"``, ``"min"``, ``"p90"`` or ``"p95"``.  Peak-oriented
+        statistics suit provisioning decisions; the mean suits load
+        accounting.
+    window:
+        Number of trailing samples summarised (``None`` = all history).
+    interval_level:
+        Coverage of the uncertainty band, taken from the empirical
+        quantiles of the same window.
+    """
+
+    def __init__(
+        self,
+        statistic: str = "mean",
+        window: int | None = None,
+        interval_level: float = 0.90,
+    ) -> None:
+        if statistic not in _STATISTICS:
+            raise ForecastError(
+                f"statistic must be one of {_STATISTICS}, got {statistic!r}"
+            )
+        if window is not None and window < 2:
+            raise ForecastError("window must hold at least two samples")
+        if not 0.0 < interval_level < 1.0:
+            raise ForecastError("interval_level must be in (0, 1)")
+        self.statistic = statistic
+        self.window = window
+        self.interval_level = interval_level
+        self._point: float | None = None
+        self._lower: float | None = None
+        self._upper: float | None = None
+
+    def fit(self, series: TimeSeries) -> "SummaryForecaster":
+        """Summarise the (windowed) history."""
+        cleaned = self._remember(series)
+        windowed = cleaned.tail(self.window) if self.window else cleaned
+        values = windowed.values
+        statistics = {
+            "mean": float(np.mean(values)),
+            "median": float(np.median(values)),
+            "max": float(np.max(values)),
+            "min": float(np.min(values)),
+            "p90": float(np.quantile(values, 0.90)),
+            "p95": float(np.quantile(values, 0.95)),
+        }
+        self._point = statistics[self.statistic]
+        alpha = (1.0 - self.interval_level) / 2.0
+        self._lower = float(np.quantile(values, alpha))
+        self._upper = float(np.quantile(values, 1.0 - alpha))
+        # A peak statistic can exceed the band's upper quantile; widen the
+        # band so it always contains the point forecast.
+        self._lower = min(self._lower, self._point)
+        self._upper = max(self._upper, self._point)
+        return self
+
+    def predict(self, timestamps: Iterable[int]) -> Forecast:
+        """A flat forecast at every requested timestamp."""
+        if self._point is None:
+            raise ForecastError("SummaryForecaster is not fitted")
+        ts = np.asarray(list(timestamps), dtype=np.int64)
+        if ts.size == 0:
+            raise ForecastError("predict needs at least one timestamp")
+        n = ts.shape[0]
+        return Forecast(
+            ts,
+            np.full(n, self._point),
+            np.full(n, self._lower),
+            np.full(n, self._upper),
+            self.interval_level,
+        )

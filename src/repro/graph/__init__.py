@@ -1,0 +1,46 @@
+"""Graph substrate: the TinkerPop-flavoured property-graph layer.
+
+Caladrius stores every topology's logical and physical graph in a graph
+database behind an Apache TinkerPop abstraction and runs path calculations
+over it (paper Section III-C1).  This package is the offline equivalent:
+
+* :class:`~repro.graph.property_graph.PropertyGraph` — an in-memory
+  directed property graph (vertices and edges with labels + properties).
+* :class:`~repro.graph.traversal.Traversal` — a small Gremlin-flavoured
+  fluent traversal API (``g.V().has(...).out(...).path()``).
+* :mod:`~repro.graph.topology_graph` — adapters that materialise Heron
+  logical and physical (packing) plans into property graphs, enumerate
+  tuple paths, and rank critical-path candidates.
+"""
+
+from repro.graph.plan_analysis import (
+    PlanCost,
+    analyse_plan,
+    compare_plans,
+    stream_rates_from_propagation,
+)
+from repro.graph.property_graph import Edge, PropertyGraph, Vertex
+from repro.graph.topology_graph import (
+    critical_path_candidates,
+    logical_graph,
+    path_count,
+    physical_graph,
+    source_sink_paths,
+)
+from repro.graph.traversal import Traversal
+
+__all__ = [
+    "Edge",
+    "PlanCost",
+    "PropertyGraph",
+    "Traversal",
+    "Vertex",
+    "analyse_plan",
+    "compare_plans",
+    "critical_path_candidates",
+    "logical_graph",
+    "path_count",
+    "physical_graph",
+    "source_sink_paths",
+    "stream_rates_from_propagation",
+]

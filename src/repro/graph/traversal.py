@@ -1,0 +1,227 @@
+"""A small Gremlin-flavoured traversal API over :class:`PropertyGraph`.
+
+Caladrius's graph interface is "based on Apache TinkerPop ... optimized to
+perform operations like path calculations".  This module implements the
+traversal subset the models actually use::
+
+    g = graph.traversal()
+    counters = g.V().has_label("instance").has("component", "counter").to_list()
+    paths = g.V("spout_0").out("shuffle").out("fields").paths()
+
+Traversals are lazy pipelines of steps; each step maps a set of *traversers*
+(current vertex + accumulated path) to a new set.  Calling a terminal method
+(:meth:`Traversal.to_list`, :meth:`Traversal.count`, :meth:`Traversal.paths`,
+:meth:`Traversal.values`) executes the pipeline.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+from typing import Any
+
+from repro.errors import GraphError
+from repro.graph.property_graph import PropertyGraph, Vertex
+
+__all__ = ["Traversal"]
+
+
+class _Traverser:
+    """One in-flight traversal position and its history."""
+
+    __slots__ = ("vertex", "path")
+
+    def __init__(self, vertex: Vertex, path: tuple[Vertex, ...]) -> None:
+        self.vertex = vertex
+        self.path = path
+
+    def advance(self, vertex: Vertex) -> "_Traverser":
+        return _Traverser(vertex, self.path + (vertex,))
+
+
+_Step = Callable[[Iterator[_Traverser]], Iterator[_Traverser]]
+
+
+class Traversal:
+    """A lazy chain of traversal steps over one graph.
+
+    Instances are immutable in spirit: every fluent call appends a step and
+    returns ``self`` for chaining, and the pipeline only runs when a
+    terminal method is invoked.  Re-running a terminal method re-executes
+    the pipeline from scratch.
+    """
+
+    def __init__(self, graph: PropertyGraph) -> None:
+        self._graph = graph
+        self._start_ids: list[str] | None = None
+        self._steps: list[_Step] = []
+
+    # ------------------------------------------------------------------
+    # Start step
+    # ------------------------------------------------------------------
+    def V(self, *vertex_ids: str) -> "Traversal":  # noqa: N802 (Gremlin name)
+        """Start from the given vertex ids, or every vertex when empty."""
+        if self._start_ids is not None:
+            raise GraphError("V() may only be called once per traversal")
+        self._start_ids = list(vertex_ids)
+        return self
+
+    def _seed(self) -> Iterator[_Traverser]:
+        if self._start_ids is None:
+            raise GraphError("traversal must start with V()")
+        if self._start_ids:
+            for vid in self._start_ids:
+                vertex = self._graph.vertex(vid)
+                yield _Traverser(vertex, (vertex,))
+        else:
+            for vertex in self._graph.vertices():
+                yield _Traverser(vertex, (vertex,))
+
+    def _append(self, step: _Step) -> "Traversal":
+        self._steps.append(step)
+        return self
+
+    # ------------------------------------------------------------------
+    # Filter steps
+    # ------------------------------------------------------------------
+    def has_label(self, label: str) -> "Traversal":
+        """Keep traversers whose current vertex has this label."""
+
+        def step(traversers: Iterator[_Traverser]) -> Iterator[_Traverser]:
+            return (t for t in traversers if t.vertex.label == label)
+
+        return self._append(step)
+
+    def has(self, key: str, value: Any) -> "Traversal":
+        """Keep traversers whose current vertex property equals ``value``."""
+
+        def step(traversers: Iterator[_Traverser]) -> Iterator[_Traverser]:
+            return (t for t in traversers if t.vertex.get(key) == value)
+
+        return self._append(step)
+
+    def where(self, predicate: Callable[[Vertex], bool]) -> "Traversal":
+        """Keep traversers whose current vertex satisfies a predicate."""
+
+        def step(traversers: Iterator[_Traverser]) -> Iterator[_Traverser]:
+            return (t for t in traversers if predicate(t.vertex))
+
+        return self._append(step)
+
+    def dedup(self) -> "Traversal":
+        """Keep the first traverser seen at each distinct vertex."""
+
+        def step(traversers: Iterator[_Traverser]) -> Iterator[_Traverser]:
+            seen: set[str] = set()
+            for t in traversers:
+                if t.vertex.id not in seen:
+                    seen.add(t.vertex.id)
+                    yield t
+
+        return self._append(step)
+
+    def limit(self, n: int) -> "Traversal":
+        """Keep at most the first ``n`` traversers."""
+        if n < 0:
+            raise GraphError("limit must be non-negative")
+
+        def step(traversers: Iterator[_Traverser]) -> Iterator[_Traverser]:
+            for i, t in enumerate(traversers):
+                if i >= n:
+                    return
+                yield t
+
+        return self._append(step)
+
+    # ------------------------------------------------------------------
+    # Movement steps
+    # ------------------------------------------------------------------
+    def out(self, edge_label: str | None = None) -> "Traversal":
+        """Move every traverser across its outgoing edges."""
+
+        def step(traversers: Iterator[_Traverser]) -> Iterator[_Traverser]:
+            for t in traversers:
+                for edge in self._graph.out_edges(t.vertex.id, edge_label):
+                    yield t.advance(self._graph.vertex(edge.target))
+
+        return self._append(step)
+
+    def in_(self, edge_label: str | None = None) -> "Traversal":
+        """Move every traverser across its incoming edges (backwards)."""
+
+        def step(traversers: Iterator[_Traverser]) -> Iterator[_Traverser]:
+            for t in traversers:
+                for edge in self._graph.in_edges(t.vertex.id, edge_label):
+                    yield t.advance(self._graph.vertex(edge.source))
+
+        return self._append(step)
+
+    def both(self, edge_label: str | None = None) -> "Traversal":
+        """Move across edges in either direction."""
+
+        def step(traversers: Iterator[_Traverser]) -> Iterator[_Traverser]:
+            for t in traversers:
+                for edge in self._graph.out_edges(t.vertex.id, edge_label):
+                    yield t.advance(self._graph.vertex(edge.target))
+                for edge in self._graph.in_edges(t.vertex.id, edge_label):
+                    yield t.advance(self._graph.vertex(edge.source))
+
+        return self._append(step)
+
+    def repeat_out(self, edge_label: str | None = None, until_sink: bool = True) -> "Traversal":
+        """Walk outgoing edges until reaching vertices with no out-edges.
+
+        This is the ``repeat(out()).until(outE().count().is(0))`` idiom the
+        models use to reach topology sinks.  Cycles raise, since a tuple
+        path through a topology DAG must terminate.
+        """
+
+        def step(traversers: Iterator[_Traverser]) -> Iterator[_Traverser]:
+            for t in traversers:
+                stack = [t]
+                while stack:
+                    current = stack.pop()
+                    edges = self._graph.out_edges(current.vertex.id, edge_label)
+                    if not edges and until_sink:
+                        yield current
+                        continue
+                    if not edges:
+                        continue
+                    for edge in edges:
+                        nxt = self._graph.vertex(edge.target)
+                        if nxt in current.path:
+                            raise GraphError(
+                                "repeat_out encountered a cycle at "
+                                f"vertex {nxt.id!r}"
+                            )
+                        stack.append(current.advance(nxt))
+
+        return self._append(step)
+
+    # ------------------------------------------------------------------
+    # Execution / terminal steps
+    # ------------------------------------------------------------------
+    def _run(self) -> Iterator[_Traverser]:
+        stream = self._seed()
+        for step in self._steps:
+            stream = step(stream)
+        return stream
+
+    def to_list(self) -> list[Vertex]:
+        """Execute the traversal and return the final vertices."""
+        return [t.vertex for t in self._run()]
+
+    def ids(self) -> list[str]:
+        """Execute and return the final vertex ids."""
+        return [t.vertex.id for t in self._run()]
+
+    def count(self) -> int:
+        """Execute and return the number of surviving traversers."""
+        return sum(1 for _ in self._run())
+
+    def paths(self) -> list[list[Vertex]]:
+        """Execute and return each traverser's full vertex path."""
+        return [list(t.path) for t in self._run()]
+
+    def values(self, key: str) -> list[Any]:
+        """Execute and return one property value per surviving traverser."""
+        return [t.vertex.get(key) for t in self._run()]

@@ -1,0 +1,238 @@
+"""Per-minute metric emission: the metrics-manager role.
+
+Every Heron container runs a metrics manager that routes instance metrics
+to the topology master and the external metrics service (paper Section
+II-D).  In this simulator a single :class:`MetricsManager` plays that role
+for the whole topology: the simulation engine hands it per-tick counter
+increments, and at each minute boundary it flushes Heron-style per-minute
+counters into a :class:`~repro.timeseries.store.MetricsStore`.
+
+Metric semantics follow Heron's:
+
+* counter metrics (``execute-count``, ``emit-count``, ``received-count``,
+  ``source-count``, ``fail-count``) are *sums over the minute*;
+* gauge metrics (``pending-bytes``, ``cpu-load``, ``backlog-tuples``) are
+  *time-averages over the minute*;
+* ``backpressure-time-ms`` is the milliseconds within the minute that the
+  entity spent suppressing spouts, in ``[0, 60000]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import MetricsError
+from repro.timeseries.store import MetricsStore
+
+__all__ = ["MetricNames", "MetricsManager"]
+
+MINUTE_SECONDS = 60.0
+
+
+class MetricNames:
+    """Canonical metric names, mirroring Heron's counter names."""
+
+    EXECUTE_COUNT = "execute-count"
+    EMIT_COUNT = "emit-count"
+    STREAM_EMIT_COUNT = "stream-emit-count"
+    RECEIVED_COUNT = "received-count"
+    SOURCE_COUNT = "source-count"
+    FAIL_COUNT = "fail-count"
+    PENDING_BYTES = "pending-bytes"
+    BACKLOG_TUPLES = "backlog-tuples"
+    CPU_LOAD = "cpu-load"
+    MEMORY_BYTES = "memory-bytes"
+    QUEUE_LATENCY_MS = "queue-latency-ms"
+    BACKPRESSURE_TIME_MS = "backpressure-time-ms"
+    TOPOLOGY_BACKPRESSURE_TIME_MS = "topology-backpressure-time-ms"
+
+    COUNTERS = frozenset(
+        {EXECUTE_COUNT, EMIT_COUNT, RECEIVED_COUNT, SOURCE_COUNT, FAIL_COUNT}
+    )
+    GAUGES = frozenset(
+        {
+            PENDING_BYTES,
+            CPU_LOAD,
+            BACKLOG_TUPLES,
+            MEMORY_BYTES,
+            QUEUE_LATENCY_MS,
+        }
+    )
+
+    @staticmethod
+    def stream_emit(stream: str) -> str:
+        """Buffer key for the per-stream emit counter of one stream."""
+        return f"{MetricNames.STREAM_EMIT_COUNT}:{stream}"
+
+
+@dataclass
+class _MinuteBuffer:
+    """Accumulators for one instance within the current minute."""
+
+    counters: dict[str, float] = field(default_factory=dict)
+    gauge_integrals: dict[str, float] = field(default_factory=dict)
+    backpressure_ms: float = 0.0
+
+
+class MetricsManager:
+    """Accumulates per-tick increments and flushes per-minute metrics.
+
+    Parameters
+    ----------
+    store:
+        Destination time-series database.
+    topology_name:
+        Value of the ``topology`` tag on every emitted series.
+    """
+
+    def __init__(
+        self,
+        store: MetricsStore,
+        topology_name: str,
+        start_seconds: int = 0,
+    ) -> None:
+        if start_seconds % int(MINUTE_SECONDS) != 0 or start_seconds < 0:
+            raise MetricsError(
+                "start_seconds must be a non-negative multiple of 60"
+            )
+        self.store = store
+        self.topology_name = topology_name
+        self._buffers: dict[tuple[str, str, str], _MinuteBuffer] = {}
+        self._topology_backpressure_ms = 0.0
+        self._elapsed_in_minute = 0.0
+        self._minute_start = start_seconds
+
+    # ------------------------------------------------------------------
+    # Accumulation (called by the simulation each tick)
+    # ------------------------------------------------------------------
+    def _buffer(self, component: str, instance: str, container: str) -> _MinuteBuffer:
+        key = (component, instance, container)
+        buffer = self._buffers.get(key)
+        if buffer is None:
+            buffer = _MinuteBuffer()
+            self._buffers[key] = buffer
+        return buffer
+
+    def add_counter(
+        self,
+        component: str,
+        instance: str,
+        container: str,
+        name: str,
+        amount: float,
+    ) -> None:
+        """Add to a sum-over-the-minute counter.
+
+        Per-stream emit counters use the :meth:`MetricNames.stream_emit`
+        key; they are flushed as ``stream-emit-count`` with a ``stream``
+        tag.
+        """
+        is_stream = name.startswith(MetricNames.STREAM_EMIT_COUNT + ":")
+        if name not in MetricNames.COUNTERS and not is_stream:
+            raise MetricsError(f"{name!r} is not a counter metric")
+        buffer = self._buffer(component, instance, container)
+        buffer.counters[name] = buffer.counters.get(name, 0.0) + amount
+
+    def add_gauge(
+        self,
+        component: str,
+        instance: str,
+        container: str,
+        name: str,
+        value: float,
+        dt: float,
+    ) -> None:
+        """Integrate a gauge observation held for ``dt`` seconds."""
+        if name not in MetricNames.GAUGES:
+            raise MetricsError(f"{name!r} is not a gauge metric")
+        buffer = self._buffer(component, instance, container)
+        buffer.gauge_integrals[name] = (
+            buffer.gauge_integrals.get(name, 0.0) + value * dt
+        )
+
+    def add_backpressure(
+        self,
+        component: str,
+        instance: str,
+        container: str,
+        dt: float,
+    ) -> None:
+        """Record that an instance suppressed spouts for ``dt`` seconds."""
+        buffer = self._buffer(component, instance, container)
+        buffer.backpressure_ms += dt * 1000.0
+
+    def add_topology_backpressure(self, dt: float) -> None:
+        """Record topology-wide backpressure for ``dt`` seconds."""
+        self._topology_backpressure_ms += dt * 1000.0
+
+    # ------------------------------------------------------------------
+    # Time keeping / flushing
+    # ------------------------------------------------------------------
+    def advance(self, dt: float) -> None:
+        """Advance the minute clock; flush when a boundary is crossed.
+
+        The engine must call this exactly once per tick, after recording
+        the tick's increments.  Tick lengths must divide 60 seconds so
+        minutes close exactly (Heron's metric interval).
+        """
+        if dt <= 0:
+            raise MetricsError("tick length must be positive")
+        self._elapsed_in_minute += dt
+        if self._elapsed_in_minute >= MINUTE_SECONDS - 1e-9:
+            self._flush_minute()
+
+    def _flush_minute(self) -> None:
+        timestamp = self._minute_start
+        for (component, instance, container), buffer in self._buffers.items():
+            tags = {
+                "topology": self.topology_name,
+                "component": component,
+                "instance": instance,
+                "container": container,
+            }
+            stream_prefix = MetricNames.STREAM_EMIT_COUNT + ":"
+            for name, value in buffer.counters.items():
+                if name.startswith(stream_prefix):
+                    stream = name[len(stream_prefix):]
+                    self.store.write(
+                        MetricNames.STREAM_EMIT_COUNT,
+                        timestamp,
+                        value,
+                        {**tags, "stream": stream},
+                    )
+                else:
+                    self.store.write(name, timestamp, value, tags)
+            for name, integral in buffer.gauge_integrals.items():
+                self.store.write(name, timestamp, integral / MINUTE_SECONDS, tags)
+            self.store.write(
+                MetricNames.BACKPRESSURE_TIME_MS,
+                timestamp,
+                min(buffer.backpressure_ms, MINUTE_SECONDS * 1000.0),
+                tags,
+            )
+        self.store.write(
+            MetricNames.TOPOLOGY_BACKPRESSURE_TIME_MS,
+            timestamp,
+            min(self._topology_backpressure_ms, MINUTE_SECONDS * 1000.0),
+            {"topology": self.topology_name},
+        )
+        self._buffers = {key: _MinuteBuffer() for key in self._buffers}
+        self._topology_backpressure_ms = 0.0
+        self._elapsed_in_minute = 0.0
+        self._minute_start += int(MINUTE_SECONDS)
+
+    @property
+    def minute_start(self) -> int:
+        """Timestamp (seconds) of the minute currently accumulating."""
+        return self._minute_start
+
+    def register_instance(
+        self, component: str, instance: str, container: str
+    ) -> None:
+        """Pre-create buffers so every instance reports every minute.
+
+        Without registration an idle instance would emit no series at all;
+        Heron instances always report (zeros included), and the models
+        depend on aligned timestamps across instances.
+        """
+        self._buffer(component, instance, container)

@@ -1,0 +1,133 @@
+"""The ``heron update`` command: scaling a topology's parallelism.
+
+DSPSs "provide scaling commands to update the parallelism of their
+components ... Heron provides an update command" (paper Section V).  The
+paper's headline use case runs that command in **dry-run mode**: the new
+packing plan is computed, Caladrius predicts the expected throughput for
+it, and nothing is deployed — cutting the plan→deploy→stabilize→analyze
+loop down to a model evaluation.
+
+:class:`ScalingCommand` implements both modes against the in-process
+tracker.  Real deployment here means re-registering the topology with its
+new plan; driving a new simulation from the updated plans is the caller's
+choice (the experiment harness does exactly that to validate predictions).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from repro.errors import TopologyError
+from repro.heron.packing import PackingPlan, RoundRobinPacking
+from repro.heron.topology import LogicalTopology
+from repro.heron.tracker import TopologyTracker, TrackedTopology
+
+__all__ = ["UpdateResult", "ScalingCommand"]
+
+
+@dataclass(frozen=True)
+class UpdateResult:
+    """Outcome of an update command.
+
+    ``deployed`` is False for dry runs; the proposed plans are returned
+    either way so a performance model can evaluate them.
+    """
+
+    topology: LogicalTopology
+    packing: PackingPlan
+    changes: Mapping[str, int]
+    dry_run: bool
+
+    @property
+    def deployed(self) -> bool:
+        """True when the tracker now reflects the new plan."""
+        return not self.dry_run
+
+
+class ScalingCommand:
+    """Executes parallelism updates against a tracker.
+
+    Parameters
+    ----------
+    tracker:
+        The metadata service holding running topologies.
+    packer:
+        Packing algorithm used to lay out updated topologies; defaults to
+        Heron's round robin with the paper's per-instance resources.
+    """
+
+    def __init__(
+        self,
+        tracker: TopologyTracker,
+        packer: RoundRobinPacking | None = None,
+    ) -> None:
+        self.tracker = tracker
+        self.packer = packer or RoundRobinPacking()
+
+    def update(
+        self,
+        name: str,
+        changes: Mapping[str, int],
+        dry_run: bool = False,
+        cluster: str = "local",
+        environ: str = "test",
+        num_containers: int | None = None,
+    ) -> UpdateResult:
+        """Apply (or propose) new parallelisms for a running topology.
+
+        Parameters
+        ----------
+        name:
+            Registered topology name.
+        changes:
+            Component name → new parallelism.  Unmentioned components are
+            unchanged.  Values must be >= 1; no-op changes are permitted.
+        dry_run:
+            When True, compute the updated logical topology and packing
+            plan but leave the tracker untouched — the paper's
+            fast-tuning mode.
+        num_containers:
+            Container count for the new plan.  Defaults to keeping the
+            current plan's container count when the instances still fit,
+            otherwise growing to the round-robin default density.
+        """
+        record = self.tracker.get(name, cluster, environ)
+        self._validate_changes(record, changes)
+        updated = record.topology.with_parallelism(changes)
+        containers = self._choose_containers(record, updated, num_containers)
+        packing = self.packer.pack(updated, containers)
+        if not dry_run:
+            self.tracker.update(name, updated, packing, cluster, environ)
+        return UpdateResult(updated, packing, dict(changes), dry_run)
+
+    def _validate_changes(
+        self, record: TrackedTopology, changes: Mapping[str, int]
+    ) -> None:
+        if not changes:
+            raise TopologyError("update requires at least one parallelism change")
+        components = record.topology.components
+        for component, parallelism in changes.items():
+            if component not in components:
+                raise TopologyError(
+                    f"topology {record.name!r} has no component {component!r}"
+                )
+            if parallelism < 1:
+                raise TopologyError(
+                    f"parallelism for {component!r} must be >= 1, "
+                    f"got {parallelism}"
+                )
+
+    def _choose_containers(
+        self,
+        record: TrackedTopology,
+        updated: LogicalTopology,
+        requested: int | None,
+    ) -> int:
+        if requested is not None:
+            return requested
+        current = record.packing.num_containers()
+        if updated.total_instances() >= current:
+            return current
+        # Shrunk below one instance per container: drop empty containers.
+        return updated.total_instances()

@@ -1,0 +1,794 @@
+"""The discrete-time (fluid) Heron topology simulator.
+
+This is the substrate that replaces the paper's Aurora/Heron cluster.  Each
+tick (default one second) the engine:
+
+1. lets every spout instance fetch from its external source and emit,
+   unless topology backpressure is active — in which case spouts are
+   suppressed and the external source accumulates a backlog (the paper's
+   "data will begin to accumulate in the external system");
+2. routes emissions to downstream instances according to each stream's
+   grouping shares, optionally through finite-capacity stream managers;
+3. lets every bolt instance drain its pending queue at its (noisy)
+   processing capacity and emit ``alpha`` tuples per processed tuple on
+   each declared output stream;
+4. applies Heron's high/low watermark rule per instance: pending bytes
+   above the high watermark raise that instance's backpressure flag, which
+   stays raised until pending falls below the low watermark; any raised
+   flag suppresses every spout (the broadcast to all stream managers);
+5. accrues CPU (worker thread proportional to utilisation, gateway thread
+   proportional to tuples moved) and hands per-minute metrics to the
+   :class:`~repro.heron.metrics.MetricsManager`.
+
+Spout emissions are additionally clipped against downstream queue headroom
+within the tick: a real stream manager stops reading from a spout the
+moment a queue hits its high watermark, and with one-second ticks an
+unclipped burst would overshoot the watermark by an unphysical margin.
+The clip models that intra-tick stall, and it is what pins a saturated
+queue at the high watermark — reproducing the paper's observation that
+backpressure time per minute is "either close to 60 [seconds] or 0".
+
+The simulator is fluid: tuple counts are real numbers (rates), not
+individual tuples.  Every quantity the paper's models consume — counters,
+saturation behaviour, grouping shares, CPU — is faithfully produced; tuple
+contents are not materialised.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.heron.metrics import MetricNames, MetricsManager
+from repro.heron.packing import PackingPlan
+from repro.heron.topology import LogicalTopology, Stream
+from repro.timeseries.store import MetricsStore
+
+__all__ = [
+    "SimulationConfig",
+    "ComponentLogic",
+    "SpoutLogic",
+    "HeronSimulation",
+]
+
+_MINUTE = 60.0
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Engine-wide parameters.
+
+    Parameters
+    ----------
+    tick_seconds:
+        Simulation step.  Must divide 60 exactly so per-minute metrics
+        close on minute boundaries.
+    high_watermark_bytes / low_watermark_bytes:
+        Heron's defaults are 100 MB / 50 MB (paper Section IV-B1).
+    stmgr_capacity_tps:
+        Tuples per second one container's stream manager can route.
+        ``None`` (default) makes stream managers transparent, matching
+        the paper's assumption that they are never the bottleneck; finite
+        values enable the ablation that stresses that assumption.
+    seed:
+        Seed for all stochastic elements (capacity and rate noise).
+    """
+
+    tick_seconds: float = 1.0
+    high_watermark_bytes: float = 100e6
+    low_watermark_bytes: float = 50e6
+    stmgr_capacity_tps: float | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.tick_seconds <= 0:
+            raise SimulationError("tick_seconds must be positive")
+        ticks_per_minute = _MINUTE / self.tick_seconds
+        if abs(ticks_per_minute - round(ticks_per_minute)) > 1e-9:
+            raise SimulationError("tick_seconds must divide 60 exactly")
+        if self.low_watermark_bytes <= 0:
+            raise SimulationError("low watermark must be positive")
+        if self.high_watermark_bytes <= self.low_watermark_bytes:
+            raise SimulationError("high watermark must exceed low watermark")
+        if self.stmgr_capacity_tps is not None and self.stmgr_capacity_tps <= 0:
+            raise SimulationError("stmgr capacity must be positive or None")
+
+
+@dataclass(frozen=True)
+class ComponentLogic:
+    """Processing behaviour of one bolt's instances.
+
+    Parameters
+    ----------
+    capacity_tps:
+        Maximum tuples one instance processes per second (the user code's
+        speed on its allocated core).  This determines the instance's
+        saturation point.
+    alphas:
+        Output-stream name → tuples emitted per tuple processed (the I/O
+        coefficient, paper Eq. 1).  Sinks use an empty mapping.
+    input_tuple_bytes:
+        Mean serialised size of one input tuple; converts queued tuples
+        into pending bytes for the watermark rule.
+    worker_cores:
+        Cores the worker thread consumes at 100% utilisation.
+    gateway_cores_per_tuple:
+        Core-seconds the gateway thread spends per tuple moved in or out.
+        This term makes CPU load linear in traffic, the premise of the
+        paper's CPU model (Section V-E).
+    capacity_noise:
+        Relative standard deviation of per-tick capacity (models the
+        gateway/worker contention the paper sees in Fig. 5).
+    alpha_noise:
+        Relative standard deviation of the per-tick effective I/O
+        coefficient — the small sampling fluctuation of e.g. words per
+        sentence within one tick's batch (the Fig. 5 wiggle).
+    failure_rate:
+        Fraction of processed tuples the user logic fails (the paper's
+        "Errors" golden signal).  Failed tuples consume processing
+        capacity but emit nothing downstream; they are reported on the
+        ``fail-count`` metric.
+    base_memory_bytes / state_bytes_per_processed / state_memory_cap_bytes:
+        Per-instance memory model: resident set = base + pending queue
+        bytes + accumulated state, where state grows per processed tuple
+        up to a cap (a Counter's state stops growing once every distinct
+        key has been seen).  Reported on the ``memory-bytes`` gauge.
+    """
+
+    capacity_tps: float
+    alphas: Mapping[str, float] = field(default_factory=dict)
+    input_tuple_bytes: float = 64.0
+    worker_cores: float = 0.85
+    gateway_cores_per_tuple: float = 1.8e-7
+    capacity_noise: float = 0.02
+    alpha_noise: float = 0.0005
+    failure_rate: float = 0.0
+    base_memory_bytes: float = 256e6
+    state_bytes_per_processed: float = 0.0
+    state_memory_cap_bytes: float = 512e6
+
+    def __post_init__(self) -> None:
+        if self.capacity_tps <= 0:
+            raise SimulationError("capacity_tps must be positive")
+        if self.input_tuple_bytes <= 0:
+            raise SimulationError("input_tuple_bytes must be positive")
+        if any(a < 0 for a in self.alphas.values()):
+            raise SimulationError("alphas must be non-negative")
+        if self.capacity_noise < 0:
+            raise SimulationError("capacity_noise must be non-negative")
+        if self.alpha_noise < 0:
+            raise SimulationError("alpha_noise must be non-negative")
+        if not 0.0 <= self.failure_rate < 1.0:
+            raise SimulationError("failure_rate must be in [0, 1)")
+        if self.base_memory_bytes < 0 or self.state_bytes_per_processed < 0:
+            raise SimulationError("memory parameters must be non-negative")
+        if self.state_memory_cap_bytes < 0:
+            raise SimulationError("state_memory_cap_bytes must be non-negative")
+
+
+@dataclass(frozen=True)
+class SpoutLogic:
+    """Behaviour of one spout's instances.
+
+    The evaluation spout (paper Section V-A) is "a special kind of spout
+    whose output rate matches the configured throughput if there is no
+    backpressure ... and their throughput is reduced if backpressure is
+    triggered".  Here the external source produces tuples at the
+    configured rate continuously; while spouts are suppressed the unsent
+    tuples accumulate as backlog, and on resume the spout catches up at
+    ``fetch_multiplier`` times the configured rate.
+
+    ``alphas`` maps output stream names to tuples emitted per fetched
+    tuple (1.0 for the pass-through evaluation spout).
+    """
+
+    fetch_multiplier: float = 10.0
+    alphas: Mapping[str, float] = field(default_factory=lambda: {"default": 1.0})
+    worker_cores: float = 0.4
+    gateway_cores_per_tuple: float = 1.8e-7
+    rate_noise: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.fetch_multiplier < 1.0:
+            raise SimulationError("fetch_multiplier must be >= 1")
+        if any(a < 0 for a in self.alphas.values()):
+            raise SimulationError("alphas must be non-negative")
+        if self.rate_noise < 0:
+            raise SimulationError("rate_noise must be non-negative")
+
+
+class _SpoutState:
+    """Runtime arrays for one spout component."""
+
+    def __init__(self, name: str, parallelism: int, logic: SpoutLogic) -> None:
+        self.name = name
+        self.logic = logic
+        self.parallelism = parallelism
+        self.rate_tps = 0.0  # configured source rate, per instance
+        self.backlog = np.zeros(parallelism)
+        self.tick_emitted = np.zeros(parallelism)
+        self.tick_fetched = np.zeros(parallelism)
+        self.tick_source = np.zeros(parallelism)
+        self.tick_stream_emitted: dict[str, np.ndarray] = {}
+
+
+class _BoltState:
+    """Runtime arrays for one bolt component."""
+
+    def __init__(self, name: str, parallelism: int, logic: ComponentLogic) -> None:
+        self.name = name
+        self.logic = logic
+        self.parallelism = parallelism
+        self.queue_tuples = np.zeros(parallelism)
+        self.bp_flag = np.zeros(parallelism, dtype=bool)
+        self.capacity_factor = np.ones(parallelism)
+        self.state_bytes = np.zeros(parallelism)
+        self.tick_arrivals = np.zeros(parallelism)
+        self.tick_processed = np.zeros(parallelism)
+        self.tick_failed = np.zeros(parallelism)
+        self.tick_emitted = np.zeros(parallelism)
+        self.tick_stream_emitted: dict[str, np.ndarray] = {}
+
+    @property
+    def pending_bytes(self) -> np.ndarray:
+        """Queued bytes per instance (drives the watermark rule)."""
+        return self.queue_tuples * self.logic.input_tuple_bytes
+
+
+class _StmgrState:
+    """Runtime state for one container's stream manager.
+
+    Only used when the stream manager has finite capacity: tuples routed
+    to the container's instances wait in ``pending`` (keyed by
+    destination component, one slot per *local* instance) until the
+    stream manager's per-tick budget releases them.
+    """
+
+    def __init__(self, container_id: int) -> None:
+        self.container_id = container_id
+        self.pending: dict[str, np.ndarray] = {}
+        self.bp_flag = False
+
+    def queued_tuples(self) -> float:
+        """Total tuples waiting inside this stream manager."""
+        return float(sum(p.sum() for p in self.pending.values()))
+
+
+class HeronSimulation:
+    """A running topology: the simulated equivalent of a Heron job.
+
+    Parameters
+    ----------
+    topology:
+        The logical topology to run.
+    packing:
+        Its physical plan.  Parallelisms must match the logical topology.
+    logic:
+        Component name → :class:`SpoutLogic` (for spouts) or
+        :class:`ComponentLogic` (for bolts).  Every component needs an
+        entry, and every declared output stream needs an alpha.
+    store:
+        Metrics destination; per-minute Heron-style counters are written
+        here, tagged with topology/component/instance/container.
+    config:
+        Engine parameters.
+    start_at_seconds:
+        Simulation clock origin (a multiple of 60).  Redeployments —
+        e.g. an autoscaler replacing the topology — pass the previous
+        simulation's end time so the shared metrics store keeps one
+        continuous history.
+    """
+
+    def __init__(
+        self,
+        topology: LogicalTopology,
+        packing: PackingPlan,
+        logic: Mapping[str, SpoutLogic | ComponentLogic],
+        store: MetricsStore,
+        config: SimulationConfig | None = None,
+        start_at_seconds: int = 0,
+    ) -> None:
+        self.topology = topology
+        self.packing = packing
+        self.config = config or SimulationConfig()
+        self._rng = np.random.default_rng(self.config.seed)
+        self.metrics = MetricsManager(store, topology.name, start_at_seconds)
+        self._now = float(start_at_seconds)
+        self._spouts: dict[str, _SpoutState] = {}
+        self._bolts: dict[str, _BoltState] = {}
+        self._containers: dict[str, np.ndarray] = {}
+        self._validate_and_build(logic)
+        self._order = [c.name for c in topology.topological_order()]
+        self._shares_cache: dict[tuple[str, str, str, int], np.ndarray] = {}
+        self._stmgrs: dict[int, _StmgrState] = {
+            c.container_id: _StmgrState(c.container_id)
+            for c in packing.containers
+        }
+        for component in self._order:
+            for index in range(topology.parallelism(component)):
+                self.metrics.register_instance(
+                    component,
+                    f"{component}_{index}",
+                    str(packing.container_of(component, index)),
+                )
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def _validate_and_build(
+        self, logic: Mapping[str, SpoutLogic | ComponentLogic]
+    ) -> None:
+        for name, spec in self.topology.components.items():
+            if name not in logic:
+                raise SimulationError(f"no logic provided for component {name!r}")
+            entry = logic[name]
+            if self.packing.parallelism(name) != spec.parallelism:
+                raise SimulationError(
+                    f"packing parallelism for {name!r} "
+                    f"({self.packing.parallelism(name)}) does not match the "
+                    f"logical topology ({spec.parallelism})"
+                )
+            if spec.is_spout and not isinstance(entry, SpoutLogic):
+                raise SimulationError(f"spout {name!r} needs SpoutLogic")
+            if not spec.is_spout and not isinstance(entry, ComponentLogic):
+                raise SimulationError(f"bolt {name!r} needs ComponentLogic")
+            declared_streams = {s.name for s in self.topology.outputs(name)}
+            missing = declared_streams - set(entry.alphas)
+            if missing:
+                raise SimulationError(
+                    f"component {name!r} declares output streams {sorted(missing)} "
+                    "without alphas"
+                )
+            if spec.is_spout:
+                self._spouts[name] = _SpoutState(name, spec.parallelism, entry)
+            else:
+                self._bolts[name] = _BoltState(name, spec.parallelism, entry)
+        for name in self.topology.components:
+            containers = np.array(
+                [
+                    self.packing.container_of(name, i)
+                    for i in range(self.topology.parallelism(name))
+                ]
+            )
+            self._containers[name] = containers
+
+    def _shares(self, stream: Stream) -> np.ndarray:
+        dest_p = self.topology.parallelism(stream.destination)
+        key = (stream.source, stream.destination, stream.name, dest_p)
+        cached = self._shares_cache.get(key)
+        if cached is None:
+            cached = stream.grouping.shares(dest_p)
+            self._shares_cache[key] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # Control
+    # ------------------------------------------------------------------
+    def set_source_rate(self, spout: str, tuples_per_minute: float) -> None:
+        """Configure a spout's external source rate (whole component).
+
+        The rate is divided evenly over the spout's instances, as the
+        evaluation spout does.
+        """
+        if spout not in self._spouts:
+            raise SimulationError(f"{spout!r} is not a spout in this topology")
+        if tuples_per_minute < 0:
+            raise SimulationError("source rate must be non-negative")
+        state = self._spouts[spout]
+        state.rate_tps = tuples_per_minute / _MINUTE / state.parallelism
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    def backpressure_active(self) -> bool:
+        """True when any instance or stream manager is suppressing spouts."""
+        if any(state.bp_flag.any() for state in self._bolts.values()):
+            return True
+        return any(s.bp_flag for s in self._stmgrs.values())
+
+    def backpressure_components(self) -> list[str]:
+        """Names of bolt components with at least one raised flag."""
+        return [
+            name for name, state in self._bolts.items() if state.bp_flag.any()
+        ]
+
+    def queue_tuples(self, component: str) -> np.ndarray:
+        """Current per-instance queue lengths for one bolt (copy)."""
+        if component not in self._bolts:
+            raise SimulationError(f"{component!r} is not a bolt")
+        return self._bolts[component].queue_tuples.copy()
+
+    def set_instance_capacity_factor(
+        self, component: str, index: int, factor: float
+    ) -> None:
+        """Degrade (or restore) one bolt instance's processing capacity.
+
+        ``factor`` multiplies the instance's nominal capacity: 1.0 is
+        healthy, 0.5 a half-speed straggler (the paper's "failed
+        resource" backpressure cause), 0.0 a dead instance.  Takes
+        effect from the next tick.
+        """
+        if component not in self._bolts:
+            raise SimulationError(f"{component!r} is not a bolt")
+        if factor < 0:
+            raise SimulationError("capacity factor must be non-negative")
+        bolt = self._bolts[component]
+        if not 0 <= index < bolt.parallelism:
+            raise SimulationError(
+                f"{component!r} has no instance index {index}"
+            )
+        bolt.capacity_factor[index] = factor
+
+    def instance_capacity_factors(self, component: str) -> np.ndarray:
+        """Current per-instance capacity factors for one bolt (copy)."""
+        if component not in self._bolts:
+            raise SimulationError(f"{component!r} is not a bolt")
+        return self._bolts[component].capacity_factor.copy()
+
+    def stmgr_queued_tuples(self, container_id: int) -> float:
+        """Tuples waiting inside one container's stream manager.
+
+        Always zero when stream managers are transparent (infinite
+        capacity, the default).
+        """
+        if container_id not in self._stmgrs:
+            raise SimulationError(f"no container with id {container_id}")
+        return self._stmgrs[container_id].queued_tuples()
+
+    def spout_backlog(self, spout: str) -> np.ndarray:
+        """Current per-instance external backlog for one spout (copy)."""
+        if spout not in self._spouts:
+            raise SimulationError(f"{spout!r} is not a spout")
+        return self._spouts[spout].backlog.copy()
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def run(self, minutes: float) -> None:
+        """Advance the simulation by a whole number of minutes."""
+        self.run_seconds(minutes * _MINUTE)
+
+    def run_seconds(self, seconds: float) -> None:
+        """Advance the simulation by ``seconds`` (multiple of the tick)."""
+        if seconds < 0:
+            raise SimulationError("cannot run for negative time")
+        dt = self.config.tick_seconds
+        ticks = round(seconds / dt)
+        if abs(ticks * dt - seconds) > 1e-6:
+            raise SimulationError(
+                f"run length {seconds}s is not a multiple of the tick ({dt}s)"
+            )
+        for _ in range(ticks):
+            self._tick(dt)
+
+    # ------------------------------------------------------------------
+    # One tick
+    # ------------------------------------------------------------------
+    def _tick(self, dt: float) -> None:
+        bp_at_start = self.backpressure_active()
+        use_stmgr = self.config.stmgr_capacity_tps is not None
+        if use_stmgr:
+            # Finite stream managers: this tick's arrivals are whatever
+            # the stream managers release from their queues; emissions
+            # enqueue for later release (one-tick routing latency).
+            inbox = self._stmgr_release(dt)
+            outbox: dict[str, np.ndarray] = {
+                name: np.zeros(state.parallelism)
+                for name, state in self._bolts.items()
+            }
+        else:
+            # Transparent stream managers (the paper's assumption):
+            # emissions are delivered within the tick.
+            inbox = {
+                name: np.zeros(state.parallelism)
+                for name, state in self._bolts.items()
+            }
+            outbox = inbox
+
+        for state in self._spouts.values():
+            self._spout_tick(state, outbox, bp_at_start, dt)
+        for name in self._order:
+            bolt = self._bolts.get(name)
+            if bolt is not None:
+                self._bolt_tick(bolt, inbox, outbox, dt)
+        if use_stmgr:
+            self._stmgr_enqueue(outbox)
+
+        self._record_tick(bp_at_start, dt)
+        self._now += dt
+
+    def _spout_tick(
+        self,
+        state: _SpoutState,
+        outbox: dict[str, np.ndarray],
+        suppressed: bool,
+        dt: float,
+    ) -> None:
+        logic = state.logic
+        noise = (
+            self._rng.normal(1.0, logic.rate_noise, state.parallelism)
+            if logic.rate_noise > 0
+            else np.ones(state.parallelism)
+        )
+        source = np.maximum(0.0, state.rate_tps * dt * noise)
+        state.backlog += source
+        state.tick_source = source
+        if suppressed or state.rate_tps == 0.0:
+            fetched = np.zeros(state.parallelism)
+        else:
+            fetch_cap = logic.fetch_multiplier * state.rate_tps * dt
+            fetched = np.minimum(state.backlog, fetch_cap)
+            clip = self._headroom_clip(state, fetched, dt)
+            fetched = fetched * clip
+        state.backlog -= fetched
+        state.tick_fetched = fetched
+        emitted = np.zeros(state.parallelism)
+        state.tick_stream_emitted = {}
+        for stream in self.topology.outputs(state.name):
+            stream_out = state.tick_stream_emitted.get(stream.name)
+            if stream_out is None:
+                stream_out = fetched * logic.alphas[stream.name]
+                emitted += stream_out
+                state.tick_stream_emitted[stream.name] = stream_out
+            shares = self._shares(stream)
+            outbox[stream.destination] += stream_out.sum() * shares
+        state.tick_emitted = emitted
+
+    def _headroom_clip(
+        self, state: _SpoutState, fetched: np.ndarray, dt: float
+    ) -> float:
+        """Clip factor keeping downstream queues at/below the high watermark.
+
+        Models the intra-tick stall: a stream manager stops accepting spout
+        tuples the instant a destination queue reaches the high watermark,
+        so at most ``headroom + capacity*dt`` tuples can enter per tick.
+        """
+        clip = 1.0
+        for stream in self.topology.outputs(state.name):
+            dest = self._bolts.get(stream.destination)
+            if dest is None:
+                continue
+            alpha = state.logic.alphas[stream.name]
+            total_out = fetched.sum() * alpha
+            if total_out <= 0:
+                continue
+            shares = self._shares(stream)
+            headroom_tuples = (
+                np.maximum(
+                    0.0,
+                    self.config.high_watermark_bytes - dest.pending_bytes,
+                )
+                / dest.logic.input_tuple_bytes
+            )
+            intake = headroom_tuples + dest.logic.capacity_tps * dt
+            with np.errstate(divide="ignore"):
+                per_dest = np.where(
+                    shares > 0, intake / (total_out * shares), np.inf
+                )
+            clip = min(clip, float(per_dest.min()))
+        return max(0.0, min(1.0, clip))
+
+    def _stmgr_release(self, dt: float) -> dict[str, np.ndarray]:
+        """Release queued tuples from each stream manager, up to capacity.
+
+        Release is proportional across everything a stream manager has
+        queued for its local instances (FIFO in fluid terms).  Returns
+        this tick's per-component arrival arrays.
+        """
+        arrivals = {
+            name: np.zeros(state.parallelism)
+            for name, state in self._bolts.items()
+        }
+        budget = self.config.stmgr_capacity_tps * dt
+        for stmgr in self._stmgrs.values():
+            total = stmgr.queued_tuples()
+            if total <= 0.0:
+                continue
+            fraction = min(1.0, budget / total)
+            for component, pending in stmgr.pending.items():
+                released = pending * fraction
+                arrivals[component] += released
+                stmgr.pending[component] = pending - released
+        return arrivals
+
+    def _stmgr_enqueue(self, outbox: dict[str, np.ndarray]) -> None:
+        """Queue this tick's emissions inside the destination stmgrs."""
+        for component, amounts in outbox.items():
+            if not np.any(amounts):
+                continue
+            containers = self._containers[component]
+            for cid, stmgr in self._stmgrs.items():
+                mask = containers == cid
+                if not mask.any():
+                    continue
+                pending = stmgr.pending.setdefault(
+                    component, np.zeros(amounts.shape[0])
+                )
+                pending[mask] += amounts[mask]
+        high = self.config.high_watermark_bytes * (1.0 - 1e-9)
+        low = self.config.low_watermark_bytes
+        for stmgr in self._stmgrs.values():
+            queued_bytes = sum(
+                float(pending.sum())
+                * self._bolts[component].logic.input_tuple_bytes
+                for component, pending in stmgr.pending.items()
+            )
+            if stmgr.bp_flag:
+                stmgr.bp_flag = queued_bytes > low
+            else:
+                stmgr.bp_flag = queued_bytes >= high
+
+    def _bolt_tick(
+        self,
+        bolt: _BoltState,
+        inbox: dict[str, np.ndarray],
+        outbox: dict[str, np.ndarray],
+        dt: float,
+    ) -> None:
+        logic = bolt.logic
+        arriving = inbox[bolt.name]
+        bolt.queue_tuples = bolt.queue_tuples + arriving
+        bolt.tick_arrivals = arriving
+        noise = (
+            self._rng.normal(1.0, logic.capacity_noise, bolt.parallelism)
+            if logic.capacity_noise > 0
+            else np.ones(bolt.parallelism)
+        )
+        capacity = np.maximum(
+            0.0, logic.capacity_tps * dt * noise * bolt.capacity_factor
+        )
+        processed = np.minimum(bolt.queue_tuples, capacity)
+        bolt.queue_tuples = bolt.queue_tuples - processed
+        bolt.tick_processed = processed
+        failed = processed * logic.failure_rate
+        successful = processed - failed
+        bolt.tick_failed = failed
+        if logic.state_bytes_per_processed > 0:
+            bolt.state_bytes = np.minimum(
+                logic.state_memory_cap_bytes,
+                bolt.state_bytes + logic.state_bytes_per_processed * processed,
+            )
+        emitted = np.zeros(bolt.parallelism)
+        bolt.tick_stream_emitted = {}
+        for stream in self.topology.outputs(bolt.name):
+            stream_out = bolt.tick_stream_emitted.get(stream.name)
+            if stream_out is None:
+                alpha = logic.alphas[stream.name]
+                if logic.alpha_noise > 0:
+                    alpha = alpha * max(
+                        0.0, 1.0 + self._rng.normal(0.0, logic.alpha_noise)
+                    )
+                stream_out = successful * alpha
+                emitted += stream_out
+                bolt.tick_stream_emitted[stream.name] = stream_out
+            shares = self._shares(stream)
+            outbox[stream.destination] += stream_out.sum() * shares
+        bolt.tick_emitted = emitted
+        pending = bolt.pending_bytes
+        # The trigger fires when pending *reaches* the high watermark:
+        # the spout headroom clip pins a saturated queue exactly at it,
+        # which is precisely the state where a real stream manager has
+        # already raised backpressure.
+        high = self.config.high_watermark_bytes * (1.0 - 1e-9)
+        low = self.config.low_watermark_bytes
+        bolt.bp_flag = np.where(
+            bolt.bp_flag, pending > low, pending >= high
+        )
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def _record_tick(self, bp_at_start: bool, dt: float) -> None:
+        metrics = self.metrics
+        for name, state in self._spouts.items():
+            containers = self._containers[name]
+            logic = state.logic
+            utilisation = np.zeros(state.parallelism)
+            if state.rate_tps > 0:
+                fetch_cap = logic.fetch_multiplier * state.rate_tps * dt
+                utilisation = state.tick_fetched / fetch_cap
+            cpu = (
+                logic.worker_cores * utilisation
+                + logic.gateway_cores_per_tuple
+                * (state.tick_fetched + state.tick_emitted)
+                / dt
+            )
+            for i in range(state.parallelism):
+                instance = f"{name}_{i}"
+                container = str(containers[i])
+                metrics.add_counter(
+                    name, instance, container,
+                    MetricNames.SOURCE_COUNT, float(state.tick_source[i]),
+                )
+                metrics.add_counter(
+                    name, instance, container,
+                    MetricNames.EXECUTE_COUNT, float(state.tick_fetched[i]),
+                )
+                metrics.add_counter(
+                    name, instance, container,
+                    MetricNames.EMIT_COUNT, float(state.tick_emitted[i]),
+                )
+                for stream_name, per_stream in state.tick_stream_emitted.items():
+                    metrics.add_counter(
+                        name, instance, container,
+                        MetricNames.stream_emit(stream_name),
+                        float(per_stream[i]),
+                    )
+                metrics.add_gauge(
+                    name, instance, container,
+                    MetricNames.BACKLOG_TUPLES, float(state.backlog[i]), dt,
+                )
+                metrics.add_gauge(
+                    name, instance, container,
+                    MetricNames.CPU_LOAD, float(cpu[i]), dt,
+                )
+        for name, bolt in self._bolts.items():
+            containers = self._containers[name]
+            logic = bolt.logic
+            nominal = logic.capacity_tps * dt
+            utilisation = np.minimum(1.0, bolt.tick_processed / nominal)
+            cpu = (
+                logic.worker_cores * utilisation
+                + logic.gateway_cores_per_tuple
+                * (bolt.tick_arrivals + bolt.tick_emitted)
+                / dt
+            )
+            pending = bolt.pending_bytes
+            effective_tps = np.maximum(
+                1e-9, logic.capacity_tps * bolt.capacity_factor
+            )
+            latency_ms = bolt.queue_tuples / effective_tps * 1000.0
+            memory = (
+                logic.base_memory_bytes + pending + bolt.state_bytes
+            )
+            for i in range(bolt.parallelism):
+                instance = f"{name}_{i}"
+                container = str(containers[i])
+                metrics.add_counter(
+                    name, instance, container,
+                    MetricNames.RECEIVED_COUNT, float(bolt.tick_arrivals[i]),
+                )
+                metrics.add_counter(
+                    name, instance, container,
+                    MetricNames.EXECUTE_COUNT, float(bolt.tick_processed[i]),
+                )
+                metrics.add_counter(
+                    name, instance, container,
+                    MetricNames.EMIT_COUNT, float(bolt.tick_emitted[i]),
+                )
+                metrics.add_counter(
+                    name, instance, container,
+                    MetricNames.FAIL_COUNT, float(bolt.tick_failed[i]),
+                )
+                metrics.add_gauge(
+                    name, instance, container,
+                    MetricNames.MEMORY_BYTES, float(memory[i]), dt,
+                )
+                metrics.add_gauge(
+                    name, instance, container,
+                    MetricNames.QUEUE_LATENCY_MS, float(latency_ms[i]), dt,
+                )
+                for stream_name, per_stream in bolt.tick_stream_emitted.items():
+                    metrics.add_counter(
+                        name, instance, container,
+                        MetricNames.stream_emit(stream_name),
+                        float(per_stream[i]),
+                    )
+                metrics.add_gauge(
+                    name, instance, container,
+                    MetricNames.PENDING_BYTES, float(pending[i]), dt,
+                )
+                metrics.add_gauge(
+                    name, instance, container,
+                    MetricNames.CPU_LOAD, float(cpu[i]), dt,
+                )
+                if bolt.bp_flag[i]:
+                    metrics.add_backpressure(name, instance, container, dt)
+        if bp_at_start or self.backpressure_active():
+            metrics.add_topology_backpressure(dt)
+        metrics.advance(dt)

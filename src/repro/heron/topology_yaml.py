@@ -1,0 +1,199 @@
+"""Declarative topology definitions: YAML → topology + packing + logic.
+
+Production Heron topologies are code, but experiment workloads are
+configuration; this loader lets a whole simulated deployment be written
+as YAML and handed to :class:`~repro.heron.simulation.HeronSimulation`:
+
+.. code-block:: yaml
+
+    topology: word-count
+    containers: 7
+    components:
+      sentence-spout:
+        kind: spout
+        parallelism: 8
+        fetch_multiplier: 10
+        streams: {default: 1.0}
+      splitter:
+        kind: bolt
+        parallelism: 3
+        capacity_tpm: 11000000      # per instance, tuples/minute
+        input_tuple_bytes: 60
+        streams: {default: 7.635}
+      counter:
+        kind: bolt
+        parallelism: 3
+        capacity_tpm: 70000000
+        input_tuple_bytes: 16
+    connections:
+      - {from: sentence-spout, to: splitter, grouping: shuffle}
+      - {from: splitter, to: counter, grouping: fields,
+         fields: [word], keys: 6000, key_skew: 0.6}
+
+``capacity_tpm`` is tuples per *minute* per instance (the unit the paper
+reports); it is converted to the simulator's per-second rate.  Fields
+groupings take either an explicit key list or a ``keys`` count with a
+``key_skew`` Zipf exponent.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from pathlib import Path
+from typing import Any
+
+import yaml
+
+from repro.errors import ConfigError
+from repro.heron.groupings import (
+    AllGrouping,
+    FieldsGrouping,
+    GlobalGrouping,
+    Grouping,
+    KeyDistribution,
+    ShuffleGrouping,
+)
+from repro.heron.packing import PackingPlan, RoundRobinPacking
+from repro.heron.simulation import ComponentLogic, SpoutLogic
+from repro.heron.topology import LogicalTopology, TopologyBuilder
+
+__all__ = ["load_topology_yaml", "parse_topology_document"]
+
+_MINUTE = 60.0
+
+
+def load_topology_yaml(
+    path: str | Path,
+) -> tuple[LogicalTopology, PackingPlan, dict[str, SpoutLogic | ComponentLogic]]:
+    """Load a topology definition file; see the module docstring."""
+    path = Path(path)
+    if not path.exists():
+        raise ConfigError(f"topology file {path} does not exist")
+    with open(path, encoding="utf8") as handle:
+        document = yaml.safe_load(handle)
+    return parse_topology_document(document)
+
+
+def parse_topology_document(
+    document: Any,
+) -> tuple[LogicalTopology, PackingPlan, dict[str, SpoutLogic | ComponentLogic]]:
+    """Build (topology, packing, logic) from a parsed YAML document."""
+    if not isinstance(document, dict):
+        raise ConfigError("topology document must be a mapping")
+    name = document.get("topology")
+    if not isinstance(name, str) or not name:
+        raise ConfigError("'topology' must be a non-empty string")
+    components = document.get("components")
+    if not isinstance(components, dict) or not components:
+        raise ConfigError("'components' must be a non-empty mapping")
+    connections = document.get("connections", [])
+    if not isinstance(connections, list):
+        raise ConfigError("'connections' must be a list")
+
+    builder = TopologyBuilder(name)
+    logic: dict[str, SpoutLogic | ComponentLogic] = {}
+    for component_name, spec in components.items():
+        if not isinstance(spec, dict):
+            raise ConfigError(
+                f"component {component_name!r} must be a mapping"
+            )
+        kind = spec.get("kind")
+        parallelism = spec.get("parallelism", 1)
+        if kind not in ("spout", "bolt"):
+            raise ConfigError(
+                f"component {component_name!r} kind must be spout or bolt"
+            )
+        if not isinstance(parallelism, int) or parallelism < 1:
+            raise ConfigError(
+                f"component {component_name!r} parallelism must be a "
+                "positive integer"
+            )
+        streams = spec.get("streams", {})
+        if not isinstance(streams, dict) or not all(
+            isinstance(v, (int, float)) for v in streams.values()
+        ):
+            raise ConfigError(
+                f"component {component_name!r} streams must map stream "
+                "names to alphas"
+            )
+        if kind == "spout":
+            builder.add_spout(component_name, parallelism)
+            logic[component_name] = SpoutLogic(
+                fetch_multiplier=float(spec.get("fetch_multiplier", 10.0)),
+                alphas={s: float(a) for s, a in streams.items()}
+                or {"default": 1.0},
+            )
+        else:
+            builder.add_bolt(component_name, parallelism)
+            capacity_tpm = spec.get("capacity_tpm")
+            if not isinstance(capacity_tpm, (int, float)) or capacity_tpm <= 0:
+                raise ConfigError(
+                    f"bolt {component_name!r} needs a positive capacity_tpm"
+                )
+            logic[component_name] = ComponentLogic(
+                capacity_tps=float(capacity_tpm) / _MINUTE,
+                alphas={s: float(a) for s, a in streams.items()},
+                input_tuple_bytes=float(spec.get("input_tuple_bytes", 64.0)),
+                failure_rate=float(spec.get("failure_rate", 0.0)),
+                capacity_noise=float(spec.get("capacity_noise", 0.02)),
+            )
+
+    for connection in connections:
+        if not isinstance(connection, dict):
+            raise ConfigError("each connection must be a mapping")
+        source = connection.get("from")
+        destination = connection.get("to")
+        if source not in components or destination not in components:
+            raise ConfigError(
+                f"connection {source!r} -> {destination!r} references "
+                "unknown components"
+            )
+        grouping = _parse_grouping(connection)
+        builder.connect(
+            source,
+            destination,
+            grouping,
+            stream=connection.get("stream", "default"),
+        )
+
+    topology = builder.build()
+    containers = document.get("containers")
+    packer = RoundRobinPacking()
+    if containers is None:
+        packing = packer.pack_with_density(topology, 2)
+    else:
+        if not isinstance(containers, int) or containers < 1:
+            raise ConfigError("'containers' must be a positive integer")
+        packing = packer.pack(topology, containers)
+    return topology, packing, logic
+
+
+def _parse_grouping(connection: Mapping[str, Any]) -> Grouping:
+    kind = connection.get("grouping", "shuffle")
+    if kind == "shuffle":
+        return ShuffleGrouping()
+    if kind == "all":
+        return AllGrouping()
+    if kind == "global":
+        return GlobalGrouping()
+    if kind == "fields":
+        fields = connection.get("fields")
+        if not isinstance(fields, list) or not fields:
+            raise ConfigError("fields grouping needs a 'fields' list")
+        explicit_keys = connection.get("key_list")
+        if explicit_keys is not None:
+            if not isinstance(explicit_keys, list) or not explicit_keys:
+                raise ConfigError("'key_list' must be a non-empty list")
+            distribution = KeyDistribution.uniform(
+                [str(k) for k in explicit_keys]
+            )
+        else:
+            count = connection.get("keys", 1000)
+            skew = connection.get("key_skew", 0.0)
+            if not isinstance(count, int) or count < 1:
+                raise ConfigError("'keys' must be a positive integer")
+            distribution = KeyDistribution.zipf(
+                [f"key-{i}" for i in range(count)], float(skew)
+            )
+        return FieldsGrouping([str(f) for f in fields], distribution)
+    raise ConfigError(f"unknown grouping {kind!r}")

@@ -1,0 +1,119 @@
+"""The paper's evaluation workload: the 3-stage Word Count topology.
+
+Fig. 1 of the paper: a sentence spout feeds a Splitter bolt over shuffle
+grouping; the Splitter splits sentences into words and feeds a Counter
+bolt over fields grouping on the word.  The spout reads sentences from a
+literary corpus (here the synthetic Gatsby substitute), so the Splitter's
+I/O coefficient is the corpus's mean sentence length (~7.63).
+
+Default rates are tuned to land near the paper's measurements:
+
+* Splitter instance saturation point ≈ 11 M tuples/minute input
+  (Fig. 4), hence ``capacity_tps`` ≈ 183,333;
+* Counter component (p=3) saturation ≈ 210 M tuples/minute input
+  (Fig. 9), hence per-instance ``capacity_tps`` ≈ 1.167 M;
+* saturated Splitter instance CPU ≈ 1.15 cores (Figs. 11-12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.heron.corpus import SyntheticCorpus
+from repro.heron.groupings import FieldsGrouping, ShuffleGrouping
+from repro.heron.packing import PackingPlan, Resources, RoundRobinPacking
+from repro.heron.simulation import ComponentLogic, SpoutLogic
+from repro.heron.topology import LogicalTopology, TopologyBuilder
+
+__all__ = ["WordCountParams", "build_word_count"]
+
+SPOUT = "sentence-spout"
+SPLITTER = "splitter"
+COUNTER = "counter"
+
+
+@dataclass(frozen=True)
+class WordCountParams:
+    """Tunable parameters of the Word Count evaluation topology.
+
+    Parallelisms default to the paper's Section V-A setup: spout 8 (fixed
+    "unless mentioned otherwise"), Splitter and Counter as configured per
+    experiment.
+    """
+
+    spout_parallelism: int = 8
+    splitter_parallelism: int = 3
+    counter_parallelism: int = 3
+    corpus: SyntheticCorpus = field(default_factory=SyntheticCorpus)
+    splitter_capacity_tps: float = 11.0e6 / 60.0
+    counter_capacity_tps: float = 70.0e6 / 60.0
+    sentence_bytes: float = 60.0
+    word_bytes: float = 16.0
+    splitter_worker_cores: float = 0.85
+    splitter_gateway_cores_per_tuple: float = 1.8e-7
+    counter_worker_cores: float = 0.85
+    counter_gateway_cores_per_tuple: float = 1.2e-7
+    capacity_noise: float = 0.015
+    spout_fetch_multiplier: float = 10.0
+    containers: int | None = None
+
+    def num_containers(self) -> int:
+        """Container count: explicit, or ~2 instances per container."""
+        if self.containers is not None:
+            return self.containers
+        total = (
+            self.spout_parallelism
+            + self.splitter_parallelism
+            + self.counter_parallelism
+        )
+        return -(-total // 2)
+
+
+def build_word_count(
+    params: WordCountParams | None = None,
+) -> tuple[LogicalTopology, PackingPlan, dict[str, SpoutLogic | ComponentLogic]]:
+    """Build the Word Count topology, its packing plan and its logic.
+
+    Returns everything :class:`~repro.heron.simulation.HeronSimulation`
+    needs.  The word stream out of the Splitter is fields-grouped on the
+    ``word`` field using the corpus's word-frequency distribution, exactly
+    as the real topology's routing would hash real words.
+    """
+    params = params or WordCountParams()
+    builder = TopologyBuilder("word-count")
+    builder.add_spout(SPOUT, params.spout_parallelism)
+    builder.add_bolt(SPLITTER, params.splitter_parallelism)
+    builder.add_bolt(COUNTER, params.counter_parallelism)
+    builder.connect(SPOUT, SPLITTER, ShuffleGrouping())
+    builder.connect(
+        SPLITTER,
+        COUNTER,
+        FieldsGrouping(["word"], params.corpus.word_distribution()),
+    )
+    topology = builder.build()
+    packing = RoundRobinPacking(Resources(cpu=1.0, ram_bytes=2 * 1024**3)).pack(
+        topology, params.num_containers()
+    )
+    logic: dict[str, SpoutLogic | ComponentLogic] = {
+        SPOUT: SpoutLogic(
+            fetch_multiplier=params.spout_fetch_multiplier,
+            alphas={"default": 1.0},
+        ),
+        SPLITTER: ComponentLogic(
+            capacity_tps=params.splitter_capacity_tps,
+            alphas={"default": params.corpus.words_per_sentence()},
+            input_tuple_bytes=params.sentence_bytes,
+            worker_cores=params.splitter_worker_cores,
+            gateway_cores_per_tuple=params.splitter_gateway_cores_per_tuple,
+            capacity_noise=params.capacity_noise,
+        ),
+        COUNTER: ComponentLogic(
+            capacity_tps=params.counter_capacity_tps,
+            alphas={},
+            input_tuple_bytes=params.word_bytes,
+            worker_cores=params.counter_worker_cores,
+            gateway_cores_per_tuple=params.counter_gateway_cores_per_tuple,
+            capacity_noise=params.capacity_noise,
+        ),
+    }
+    return topology, packing, logic

@@ -1,0 +1,33 @@
+"""Time-series substrate: the metrics database the models read from.
+
+In the paper, Heron metrics are collected by per-container metrics managers
+and stored in Twitter's Cuckoo time-series database (and the Heron
+MetricsCache).  Caladrius pulls per-minute counters out of that store for
+calibration and forecasting.  This package provides the offline equivalent:
+
+* :class:`~repro.timeseries.series.TimeSeries` — an immutable, sorted
+  (timestamp, value) sequence with alignment, resampling and arithmetic.
+* :class:`~repro.timeseries.store.MetricsStore` — a tag-indexed in-memory
+  metrics database with range queries, group-by aggregation and retention.
+* :mod:`~repro.timeseries.aggregation` — rollup and summary helpers shared
+  by the store and the forecasting backtester.
+"""
+
+from repro.timeseries.aggregation import (
+    resample_mean,
+    resample_sum,
+    rollup,
+    summarize,
+)
+from repro.timeseries.series import TimeSeries
+from repro.timeseries.store import MetricKey, MetricsStore
+
+__all__ = [
+    "MetricKey",
+    "MetricsStore",
+    "TimeSeries",
+    "resample_mean",
+    "resample_sum",
+    "rollup",
+    "summarize",
+]

@@ -1,0 +1,300 @@
+"""An in-memory, tag-indexed time-series metrics database.
+
+This is the offline stand-in for Twitter's Cuckoo TSDB and the Heron
+MetricsCache (paper Section III-C2).  Metrics are identified by a name plus
+a tag mapping (for Heron metrics the tags are ``topology``, ``component``,
+``instance``, ``container``).  The store supports point writes, range
+queries, group-by aggregation across matching series, and retention
+trimming — the full contract Caladrius's metrics interface needs.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import MetricsError
+from repro.timeseries.aggregation import rollup
+from repro.timeseries.series import TimeSeries
+
+__all__ = ["MetricKey", "MetricsStore"]
+
+
+@dataclass(frozen=True)
+class MetricKey:
+    """Identity of one stored series: a metric name plus sorted tags."""
+
+    name: str
+    tags: tuple[tuple[str, str], ...] = ()
+
+    @classmethod
+    def of(cls, name: str, tags: Mapping[str, str] | None = None) -> "MetricKey":
+        """Build a key from a name and an (unordered) tag mapping."""
+        items = tuple(sorted((tags or {}).items()))
+        return cls(name, items)
+
+    def tag_dict(self) -> dict[str, str]:
+        """The tags as a plain dictionary."""
+        return dict(self.tags)
+
+    def matches(self, name: str, tag_filter: Mapping[str, str]) -> bool:
+        """True when names are equal and every filter tag matches."""
+        if self.name != name:
+            return False
+        own = self.tag_dict()
+        return all(own.get(k) == v for k, v in tag_filter.items())
+
+
+@dataclass
+class _SeriesBuffer:
+    """Mutable append buffer behind one stored series."""
+
+    timestamps: list[int] = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
+
+    def append(self, timestamp: int, value: float) -> None:
+        if self.timestamps and timestamp <= self.timestamps[-1]:
+            raise MetricsError(
+                "writes must be in increasing timestamp order: "
+                f"got {timestamp} after {self.timestamps[-1]}"
+            )
+        self.timestamps.append(int(timestamp))
+        self.values.append(float(value))
+
+    def freeze(self) -> TimeSeries:
+        return TimeSeries(self.timestamps, self.values)
+
+    def trim_before(self, cutoff: int) -> None:
+        # Timestamps are sorted, so find the first index to keep.
+        keep_from = 0
+        for keep_from, ts in enumerate(self.timestamps):
+            if ts >= cutoff:
+                break
+        else:
+            keep_from = len(self.timestamps)
+        del self.timestamps[:keep_from]
+        del self.values[:keep_from]
+
+
+class MetricsStore:
+    """Thread-safe in-memory metrics database.
+
+    Parameters
+    ----------
+    retention_seconds:
+        If given, samples older than ``latest - retention_seconds`` are
+        dropped lazily on write.  ``None`` keeps everything (the default —
+        experiments want full history).
+    """
+
+    def __init__(self, retention_seconds: int | None = None) -> None:
+        if retention_seconds is not None and retention_seconds <= 0:
+            raise MetricsError("retention_seconds must be positive or None")
+        self._retention = retention_seconds
+        self._series: dict[MetricKey, _SeriesBuffer] = {}
+        self._lock = threading.Lock()
+        self._latest: int | None = None
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def write(
+        self,
+        name: str,
+        timestamp: int,
+        value: float,
+        tags: Mapping[str, str] | None = None,
+    ) -> None:
+        """Append one sample to the series identified by name + tags."""
+        key = MetricKey.of(name, tags)
+        with self._lock:
+            buffer = self._series.setdefault(key, _SeriesBuffer())
+            buffer.append(timestamp, value)
+            if self._latest is None or timestamp > self._latest:
+                self._latest = int(timestamp)
+            self._apply_retention_locked()
+
+    def write_many(
+        self,
+        name: str,
+        samples: Iterable[tuple[int, float]],
+        tags: Mapping[str, str] | None = None,
+    ) -> None:
+        """Append several ``(timestamp, value)`` samples to one series."""
+        for timestamp, value in samples:
+            self.write(name, timestamp, value, tags)
+
+    def _apply_retention_locked(self) -> None:
+        if self._retention is None or self._latest is None:
+            return
+        cutoff = self._latest - self._retention
+        for buffer in self._series.values():
+            if buffer.timestamps and buffer.timestamps[0] < cutoff:
+                buffer.trim_before(cutoff)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def metric_names(self) -> list[str]:
+        """Sorted distinct metric names currently stored."""
+        with self._lock:
+            return sorted({key.name for key in self._series})
+
+    def keys(self, name: str | None = None) -> list[MetricKey]:
+        """All stored keys, optionally restricted to one metric name."""
+        with self._lock:
+            keys = list(self._series)
+        if name is not None:
+            keys = [k for k in keys if k.name == name]
+        return sorted(keys, key=lambda k: (k.name, k.tags))
+
+    def get(
+        self,
+        name: str,
+        tags: Mapping[str, str] | None = None,
+    ) -> TimeSeries:
+        """The full series for an exact name + tags identity.
+
+        Raises :class:`~repro.errors.MetricsError` if no such series
+        exists — a missing metric is a caller bug, not an empty result.
+        """
+        key = MetricKey.of(name, tags)
+        with self._lock:
+            buffer = self._series.get(key)
+            if buffer is None:
+                raise MetricsError(f"no series for {name!r} with tags {dict(key.tags)}")
+            return buffer.freeze()
+
+    def query(
+        self,
+        name: str,
+        tag_filter: Mapping[str, str] | None = None,
+        start: int | None = None,
+        end: int | None = None,
+    ) -> dict[MetricKey, TimeSeries]:
+        """All series matching a name and a partial tag filter.
+
+        ``start``/``end`` restrict the returned samples to
+        ``start <= t < end`` when given.
+        """
+        tag_filter = dict(tag_filter or {})
+        with self._lock:
+            matched = {
+                key: buffer.freeze()
+                for key, buffer in self._series.items()
+                if key.matches(name, tag_filter)
+            }
+        if start is not None or end is not None:
+            lo = start if start is not None else -(2**62)
+            hi = end if end is not None else 2**62
+            matched = {key: s.between(lo, hi) for key, s in matched.items()}
+        return matched
+
+    def aggregate(
+        self,
+        name: str,
+        tag_filter: Mapping[str, str] | None = None,
+        start: int | None = None,
+        end: int | None = None,
+    ) -> TimeSeries:
+        """Sum of all matching series over the union of timestamps.
+
+        This is the query the models issue to turn per-instance counters
+        into component- and topology-level counters.
+        """
+        matched = self.query(name, tag_filter, start, end)
+        if not matched:
+            raise MetricsError(
+                f"no series match {name!r} with filter {dict(tag_filter or {})}"
+            )
+        return rollup(list(matched.values()))
+
+    def group_by(
+        self,
+        name: str,
+        tag: str,
+        tag_filter: Mapping[str, str] | None = None,
+    ) -> dict[str, TimeSeries]:
+        """Aggregate matching series grouped by the value of one tag.
+
+        For example ``group_by("emit-count", "component",
+        {"topology": "wc"})`` returns one summed series per component.
+        """
+        matched = self.query(name, tag_filter)
+        groups: dict[str, list[TimeSeries]] = {}
+        for key, series in matched.items():
+            tag_value = key.tag_dict().get(tag)
+            if tag_value is None:
+                continue
+            groups.setdefault(tag_value, []).append(series)
+        if not groups:
+            raise MetricsError(
+                f"no series for {name!r} carry tag {tag!r} "
+                f"under filter {dict(tag_filter or {})}"
+            )
+        return {value: rollup(series) for value, series in groups.items()}
+
+    def latest_timestamp(self) -> int | None:
+        """The most recent timestamp written, or ``None`` when empty."""
+        with self._lock:
+            return self._latest
+
+    def clear(self) -> None:
+        """Drop every stored series."""
+        with self._lock:
+            self._series.clear()
+            self._latest = None
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._series)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: "str | Path") -> None:
+        """Write the whole store to a JSON file.
+
+        The format is self-describing and append-friendly enough for
+        experiment caching: one record per series with its name, tags,
+        timestamps and values.  Load with :meth:`MetricsStore.load`.
+        """
+        with self._lock:
+            records = [
+                {
+                    "name": key.name,
+                    "tags": key.tag_dict(),
+                    "timestamps": list(buffer.timestamps),
+                    "values": list(buffer.values),
+                }
+                for key, buffer in self._series.items()
+            ]
+            payload = {
+                "format": "repro-metrics-v1",
+                "retention_seconds": self._retention,
+                "series": records,
+            }
+        with open(path, "w", encoding="utf8") as handle:
+            json.dump(payload, handle)
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "MetricsStore":
+        """Rebuild a store previously written by :meth:`save`."""
+        with open(path, encoding="utf8") as handle:
+            payload = json.load(handle)
+        if payload.get("format") != "repro-metrics-v1":
+            raise MetricsError(
+                f"{path} is not a repro metrics dump "
+                f"(format={payload.get('format')!r})"
+            )
+        store = cls(retention_seconds=payload.get("retention_seconds"))
+        for record in payload["series"]:
+            store.write_many(
+                record["name"],
+                zip(record["timestamps"], record["values"]),
+                record["tags"],
+            )
+        return store

@@ -1,0 +1,206 @@
+"""Tests for the API-tier routing and async job handling (no sockets)."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.api.app import CaladriusApp
+from repro.config import load_config
+
+M = 1e6
+
+
+@pytest.fixture()
+def app(deployed_wordcount):
+    _, _, _, store, tracker = deployed_wordcount
+    config = load_config(
+        {
+            "traffic_models": ["stats-summary"],
+            "performance_models": [
+                "throughput-prediction",
+                "backpressure-evaluation",
+            ],
+        }
+    )
+    application = CaladriusApp(config, tracker, store)
+    yield application
+    application.shutdown()
+
+
+class TestTopologyEndpoints:
+    def test_list_topologies(self, app):
+        status, payload = app.handle("GET", "/topologies")
+        assert status == 200
+        assert payload == {"topologies": ["word-count"]}
+
+    def test_logical_plan(self, app):
+        status, payload = app.handle("GET", "/topology/word-count/logical")
+        assert status == 200
+        assert set(payload["bolts"]) == {"splitter", "counter"}
+
+    def test_packing_plan(self, app):
+        status, payload = app.handle("GET", "/topology/word-count/packing")
+        assert status == 200
+        assert payload["topology"] == "word-count"
+
+    def test_unknown_view(self, app):
+        status, payload = app.handle("GET", "/topology/word-count/nonsense")
+        assert status == 404
+
+    def test_unknown_topology(self, app):
+        status, payload = app.handle("GET", "/topology/missing/logical")
+        assert status == 400
+        assert "error" in payload
+
+    def test_unknown_route(self, app):
+        status, _ = app.handle("GET", "/nope")
+        assert status == 404
+
+
+class TestTrafficEndpoint:
+    def test_runs_configured_models(self, app):
+        status, payload = app.handle(
+            "GET",
+            "/model/traffic/heron/word-count",
+            {"horizon_minutes": "10"},
+        )
+        assert status == 200
+        (result,) = payload["results"]
+        assert result["model"].startswith("stats-summary")
+        assert result["summary"]["mean"] > 0
+
+    def test_wrong_method(self, app):
+        status, _ = app.handle("POST", "/model/traffic/heron/word-count")
+        assert status == 405
+
+    def test_bad_horizon(self, app):
+        status, payload = app.handle(
+            "GET",
+            "/model/traffic/heron/word-count",
+            {"horizon_minutes": "abc"},
+        )
+        assert status == 400
+        assert "integer" in payload["error"]
+
+
+class TestPerformanceEndpoint:
+    def test_explicit_source_rate(self, app):
+        status, payload = app.handle(
+            "POST",
+            "/model/topology/heron/word-count",
+            body={"source_rate": 10 * M},
+        )
+        assert status == 200
+        assert len(payload["results"]) == 2  # both configured models ran
+
+    def test_model_selection_narrows(self, app):
+        status, payload = app.handle(
+            "POST",
+            "/model/topology/heron/word-count",
+            {"model": "throughput-prediction"},
+            {"source_rate": 10 * M},
+        )
+        assert status == 200
+        (result,) = payload["results"]
+        assert result["model"] == "throughput-prediction"
+
+    def test_parallelism_proposal(self, app):
+        status, payload = app.handle(
+            "POST",
+            "/model/topology/heron/word-count",
+            {"model": "throughput-prediction"},
+            {"source_rate": 30 * M, "parallelisms": {"splitter": 6}},
+        )
+        assert status == 200
+        (result,) = payload["results"]
+        assert result["parallelisms"]["splitter"] == 6
+
+    def test_traffic_model_used_when_no_rate(self, app):
+        status, payload = app.handle(
+            "POST",
+            "/model/topology/heron/word-count",
+            {"model": "backpressure-evaluation", "horizon_minutes": "10"},
+            {},
+        )
+        assert status == 200
+        (result,) = payload["results"]
+        assert result["source_rate"] > 0
+
+    def test_bad_body_types(self, app):
+        status, _ = app.handle(
+            "POST",
+            "/model/topology/heron/word-count",
+            body={"source_rate": "fast"},
+        )
+        assert status == 400
+        status, _ = app.handle(
+            "POST",
+            "/model/topology/heron/word-count",
+            body={"source_rate": 1.0, "parallelisms": {"splitter": "two"}},
+        )
+        assert status == 400
+
+    def test_wrong_method(self, app):
+        status, _ = app.handle("GET", "/model/topology/heron/word-count")
+        assert status == 405
+
+
+class TestAsyncJobs:
+    def test_async_submit_and_poll(self, app):
+        status, submitted = app.handle(
+            "POST",
+            "/model/topology/heron/word-count",
+            {"async": "1", "model": "throughput-prediction"},
+            {"source_rate": 10 * M},
+        )
+        assert status == 200
+        assert submitted["status"] == "pending"
+        request_id = submitted["request_id"]
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            status, result = app.handle("GET", f"/model/result/{request_id}")
+            if result["status"] == "done":
+                break
+            time.sleep(0.05)
+        assert result["status"] == "done"
+        assert result["result"]["results"][0]["output_rate"] > 0
+
+    def test_result_consumed_once(self, app):
+        _, submitted = app.handle(
+            "POST",
+            "/model/topology/heron/word-count",
+            {"async": "1", "model": "throughput-prediction"},
+            {"source_rate": 10 * M},
+        )
+        request_id = submitted["request_id"]
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            _, result = app.handle("GET", f"/model/result/{request_id}")
+            if result["status"] == "done":
+                break
+            time.sleep(0.05)
+        status, _ = app.handle("GET", f"/model/result/{request_id}")
+        assert status == 404
+
+    def test_unknown_request_id(self, app):
+        status, _ = app.handle("GET", "/model/result/does-not-exist")
+        assert status == 404
+
+    def test_async_error_is_reported(self, app):
+        _, submitted = app.handle(
+            "POST",
+            "/model/topology/heron/missing-topology",
+            {"async": "1"},
+            {"source_rate": 1.0},
+        )
+        request_id = submitted["request_id"]
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            _, result = app.handle("GET", f"/model/result/{request_id}")
+            if result["status"] != "pending":
+                break
+            time.sleep(0.05)
+        assert result["status"] == "error"
+        assert "missing-topology" in result["error"]

@@ -1,0 +1,135 @@
+"""The service managing several topologies at once.
+
+Caladrius at Twitter served a whole cluster's topologies from one
+deployment; these tests register both workloads (Word Count and the ads
+pipeline) behind one app and check that modelling requests stay
+correctly scoped.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api.app import CaladriusApp
+from repro.config import load_config
+from repro.heron.simulation import HeronSimulation, SimulationConfig
+from repro.heron.tracker import TopologyTracker
+from repro.heron.wordcount import WordCountParams, build_word_count
+from repro.heron.workloads import AdsPipelineParams, build_ads_pipeline
+from repro.timeseries.store import MetricsStore
+
+M = 1e6
+
+
+@pytest.fixture(scope="module")
+def multi_app():
+    store = MetricsStore()
+    tracker = TopologyTracker()
+
+    wc_topology, wc_packing, wc_logic = build_word_count(
+        WordCountParams(splitter_parallelism=2, counter_parallelism=4)
+    )
+    wc_sim = HeronSimulation(
+        wc_topology, wc_packing, wc_logic, store, SimulationConfig(seed=1)
+    )
+    ads_topology, ads_packing, ads_logic = build_ads_pipeline(
+        AdsPipelineParams()
+    )
+    ads_sim = HeronSimulation(
+        ads_topology, ads_packing, ads_logic, store, SimulationConfig(seed=2)
+    )
+    for rate in np.arange(8 * M, 40 * M + 1, 8 * M):
+        wc_sim.set_source_rate("sentence-spout", float(rate))
+        ads_sim.set_source_rate("event-spout", float(rate) * 2)
+        wc_sim.run(2)
+        ads_sim.run(2)
+    tracker.register(wc_topology, wc_packing)
+    tracker.register(ads_topology, ads_packing)
+    app = CaladriusApp(
+        load_config(
+            {
+                "traffic_models": ["stats-summary"],
+                "performance_models": ["throughput-prediction"],
+            }
+        ),
+        tracker,
+        store,
+    )
+    yield app
+    app.shutdown()
+
+
+class TestMultiTopologyService:
+    def test_both_topologies_listed(self, multi_app):
+        status, payload = multi_app.handle("GET", "/topologies")
+        assert status == 200
+        assert payload["topologies"] == ["ads-pipeline", "word-count"]
+
+    def test_predictions_are_scoped_per_topology(self, multi_app):
+        _, wc = multi_app.handle(
+            "POST",
+            "/model/topology/heron/word-count",
+            body={"source_rate": 10 * M},
+        )
+        _, ads = multi_app.handle(
+            "POST",
+            "/model/topology/heron/ads-pipeline",
+            body={"source_rate": 10 * M},
+        )
+        wc_result = wc["results"][0]
+        ads_result = ads["results"][0]
+        assert set(wc_result["parallelisms"]) == {
+            "sentence-spout", "splitter", "counter",
+        }
+        assert "parser" in ads_result["parallelisms"]
+        # Word Count amplifies by the sentence length; the ads pipeline
+        # filters down to 35% — their outputs must reflect their own
+        # topologies, not each other's.
+        assert wc_result["output_rate"] == pytest.approx(
+            7.635 * 10 * M, rel=0.05
+        )
+        assert ads_result["output_rate"] == pytest.approx(
+            (1 + 0.35) * 10 * M, rel=0.05
+        )
+
+    def test_traffic_forecasts_read_the_right_spout(self, multi_app):
+        _, wc = multi_app.handle(
+            "GET",
+            "/model/traffic/heron/word-count",
+            {"horizon_minutes": "5"},
+        )
+        _, ads = multi_app.handle(
+            "GET",
+            "/model/traffic/heron/ads-pipeline",
+            {"horizon_minutes": "5"},
+        )
+        wc_spouts = wc["results"][0]["per_spout"]
+        ads_spouts = ads["results"][0]["per_spout"]
+        assert set(wc_spouts) == {"sentence-spout"}
+        assert set(ads_spouts) == {"event-spout"}
+        # The ads spout was driven at twice the Word Count rate.
+        assert ads_spouts["event-spout"]["mean"] > (
+            1.5 * wc_spouts["sentence-spout"]["mean"]
+        )
+
+    def test_parallelism_proposal_targets_only_its_topology(self, multi_app):
+        _, payload = multi_app.handle(
+            "POST",
+            "/model/topology/heron/ads-pipeline",
+            body={"source_rate": 10 * M, "parallelisms": {"parser": 9}},
+        )
+        result = payload["results"][0]
+        assert result["parallelisms"]["parser"] == 9
+        # Word Count unchanged.
+        _, wc = multi_app.handle("GET", "/topology/word-count/logical")
+        assert wc["bolts"]["splitter"]["parallelism"] == 2
+
+    def test_unknown_component_proposal_errors_cleanly(self, multi_app):
+        status, payload = multi_app.handle(
+            "POST",
+            "/model/topology/heron/word-count",
+            body={"source_rate": 1 * M, "parallelisms": {"parser": 2}},
+        )
+        assert status == 400
+        assert "parser" in payload["error"]

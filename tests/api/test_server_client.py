@@ -1,0 +1,91 @@
+"""End-to-end tests over real HTTP: server + client."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.app import CaladriusApp
+from repro.api.client import CaladriusClient
+from repro.api.server import CaladriusServer
+from repro.config import load_config
+from repro.errors import ApiError
+
+M = 1e6
+
+
+@pytest.fixture(scope="module")
+def live_service(deployed_wordcount):
+    _, _, _, store, tracker = deployed_wordcount
+    config = load_config(
+        {
+            "traffic_models": ["stats-summary"],
+            "performance_models": ["throughput-prediction"],
+        }
+    )
+    app = CaladriusApp(config, tracker, store)
+    with CaladriusServer(app, port=0) as server:
+        yield CaladriusClient(server.host, server.port)
+    app.shutdown()
+
+
+class TestOverHttp:
+    def test_topologies(self, live_service):
+        assert live_service.topologies() == ["word-count"]
+
+    def test_logical_and_packing_plans(self, live_service):
+        logical = live_service.logical_plan("word-count")
+        assert "splitter" in logical["bolts"]
+        packing = live_service.packing_plan("word-count")
+        assert packing["containers"]
+
+    def test_traffic_forecast(self, live_service):
+        response = live_service.traffic("word-count", horizon_minutes=5)
+        (result,) = response["results"]
+        assert result["horizon_minutes"] == 5
+
+    def test_performance_prediction(self, live_service):
+        response = live_service.performance(
+            "word-count", source_rate=10 * M
+        )
+        (result,) = response["results"]
+        assert result["output_rate"] == pytest.approx(
+            7.635 * 10 * M, rel=0.05
+        )
+
+    def test_performance_with_proposal(self, live_service):
+        response = live_service.performance(
+            "word-count",
+            source_rate=30 * M,
+            parallelisms={"splitter": 4},
+        )
+        (result,) = response["results"]
+        assert result["parallelisms"]["splitter"] == 4
+
+    def test_async_round_trip(self, live_service):
+        result = live_service.performance_async(
+            "word-count", source_rate=10 * M
+        )
+        assert result["results"][0]["output_rate"] > 0
+
+    def test_error_surfaces_as_api_error(self, live_service):
+        with pytest.raises(ApiError):
+            live_service.logical_plan("missing")
+
+    def test_bad_json_body_rejected(self, live_service):
+        from http.client import HTTPConnection
+
+        connection = HTTPConnection(
+            live_service.host, live_service.port, timeout=10
+        )
+        try:
+            connection.request(
+                "POST",
+                "/model/topology/heron/word-count",
+                body=b"{not json",
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            assert response.status == 400
+            response.read()
+        finally:
+            connection.close()

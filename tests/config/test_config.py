@@ -1,0 +1,158 @@
+"""Tests for configuration loading and the model registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import build_registry, load_config
+from repro.core.performance_models import (
+    BackpressureEvaluationModel,
+    ThroughputPredictionModel,
+)
+from repro.core.traffic_models import (
+    ProphetTrafficModel,
+    StatsSummaryTrafficModel,
+)
+from repro.errors import ConfigError
+from repro.heron.tracker import TopologyTracker
+from repro.timeseries.store import MetricsStore
+
+
+class TestLoadConfig:
+    def test_defaults_from_empty_document(self):
+        config = load_config({})
+        assert config.traffic_models == ("prophet", "stats-summary")
+        assert "throughput-prediction" in config.performance_models
+        assert config.api_port == 8080
+
+    def test_nested_caladrius_section(self):
+        config = load_config(
+            {"caladrius": {"traffic_models": ["stats-summary"]}}
+        )
+        assert config.traffic_models == ("stats-summary",)
+
+    def test_model_options(self):
+        config = load_config(
+            {
+                "model_options": {
+                    "stats-summary": {"statistic": "p90", "window": 120}
+                }
+            }
+        )
+        assert config.options_for("stats-summary") == {
+            "statistic": "p90",
+            "window": 120,
+        }
+        assert config.options_for("prophet") == {}
+
+    def test_yaml_file_round_trip(self, tmp_path):
+        path = tmp_path / "caladrius.yaml"
+        path.write_text(
+            "caladrius:\n"
+            "  traffic_models: [prophet]\n"
+            "  performance_models: [backpressure-evaluation]\n"
+            "  api: {host: 0.0.0.0, port: 9090}\n"
+            "  log_level: DEBUG\n"
+        )
+        config = load_config(path)
+        assert config.traffic_models == ("prophet",)
+        assert config.api_host == "0.0.0.0"
+        assert config.api_port == 9090
+        assert config.log_level == "DEBUG"
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ConfigError, match="does not exist"):
+            load_config(tmp_path / "missing.yaml")
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ConfigError, match="unknown traffic_models"):
+            load_config({"traffic_models": ["arima"]})
+
+    def test_empty_model_list_rejected(self):
+        with pytest.raises(ConfigError, match="at least one"):
+            load_config({"performance_models": []})
+
+    def test_bad_port(self):
+        with pytest.raises(ConfigError, match="port"):
+            load_config({"api": {"port": -1}})
+
+    def test_bad_host(self):
+        with pytest.raises(ConfigError, match="host"):
+            load_config({"api": {"host": ""}})
+
+    def test_bad_log_level(self):
+        with pytest.raises(ConfigError, match="log_level"):
+            load_config({"log_level": "TRACE"})
+
+    def test_bad_model_options_shape(self):
+        with pytest.raises(ConfigError, match="model_options"):
+            load_config({"model_options": {"prophet": "yes"}})
+
+    def test_non_mapping_root(self, tmp_path):
+        path = tmp_path / "list.yaml"
+        path.write_text("- a\n- b\n")
+        with pytest.raises(ConfigError, match="mapping"):
+            load_config(path)
+
+
+class TestRegistry:
+    def test_default_registry_instantiates_all_models(self):
+        config = load_config({})
+        registry = build_registry(config, TopologyTracker(), MetricsStore())
+        assert isinstance(registry.traffic["prophet"], ProphetTrafficModel)
+        assert isinstance(
+            registry.traffic["stats-summary"], StatsSummaryTrafficModel
+        )
+        assert isinstance(
+            registry.performance["throughput-prediction"],
+            ThroughputPredictionModel,
+        )
+        assert isinstance(
+            registry.performance["backpressure-evaluation"],
+            BackpressureEvaluationModel,
+        )
+
+    def test_per_instance_prophet_variant(self):
+        config = load_config(
+            {"traffic_models": ["prophet-per-instance"]}
+        )
+        registry = build_registry(config, TopologyTracker(), MetricsStore())
+        assert registry.traffic["prophet-per-instance"].per_instance
+
+    def test_options_are_forwarded(self):
+        config = load_config(
+            {
+                "traffic_models": ["stats-summary"],
+                "model_options": {"stats-summary": {"statistic": "p90"}},
+            }
+        )
+        registry = build_registry(config, TopologyTracker(), MetricsStore())
+        assert registry.traffic["stats-summary"].statistic == "p90"
+
+    def test_model_selection(self):
+        config = load_config({})
+        registry = build_registry(config, TopologyTracker(), MetricsStore())
+        assert len(registry.traffic_model(None)) == 2
+        assert len(registry.traffic_model("prophet")) == 1
+        with pytest.raises(ConfigError, match="not enabled"):
+            registry.traffic_model("arima")
+        with pytest.raises(ConfigError, match="not enabled"):
+            registry.performance_model("nonsense")
+
+
+class TestHoltWintersRegistration:
+    def test_holt_winters_is_a_known_traffic_model(self):
+        config = load_config(
+            {
+                "traffic_models": ["holt-winters"],
+                "model_options": {"holt-winters": {"season_length": 24}},
+            }
+        )
+        registry = build_registry(config, TopologyTracker(), MetricsStore())
+        model = registry.traffic["holt-winters"]
+        assert model.name == "holt-winters"
+        from repro.forecasting import HoltWinters
+
+        forecaster = model.make_forecaster()
+        assert isinstance(forecaster, HoltWinters)
+        assert forecaster.season_length == 24

@@ -1,0 +1,145 @@
+"""Tests for the latency model, validated against the simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.component_model import ComponentModel
+from repro.core.instance_model import InstanceModel
+from repro.core.latency_model import LatencyModel, WatermarkSettings
+from repro.core.topology_model import TopologyModel
+from repro.errors import ModelError
+from repro.heron.metrics import MetricNames
+from repro.heron.simulation import HeronSimulation, SimulationConfig
+from repro.heron.wordcount import WordCountParams, build_word_count
+from repro.timeseries.store import MetricsStore
+
+M = 1e6
+PATH = ["sentence-spout", "splitter", "counter"]
+
+
+def wordcount_latency_model(splitter_p=1, counter_p=3) -> LatencyModel:
+    topology, _, logic = build_word_count(
+        WordCountParams(
+            splitter_parallelism=splitter_p, counter_parallelism=counter_p
+        )
+    )
+    components = {
+        "splitter": ComponentModel(
+            "splitter", InstanceModel({"default": 7.635}, 11 * M), splitter_p
+        ),
+        "counter": ComponentModel(
+            "counter", InstanceModel({}, 70 * M), counter_p
+        ),
+    }
+    return LatencyModel(
+        TopologyModel(topology, components),
+        input_tuple_bytes={"splitter": 60.0, "counter": 16.0},
+    )
+
+
+class TestWatermarkSettings:
+    def test_defaults_match_heron(self):
+        settings = WatermarkSettings()
+        assert settings.high_bytes == 100e6
+        assert settings.low_bytes == 50e6
+        assert settings.mean_backlog_bytes == 75e6
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            WatermarkSettings(high_bytes=10, low_bytes=20)
+        with pytest.raises(ModelError):
+            WatermarkSettings(high_bytes=10, low_bytes=0)
+
+
+class TestStageLatency:
+    def test_negligible_below_saturation(self):
+        model = wordcount_latency_model()
+        latency = model.stage_latency_ms("splitter", 8 * M)
+        # Just the per-tuple processing time: microseconds.
+        assert latency < 1.0
+
+    def test_watermark_bound_at_saturation(self):
+        model = wordcount_latency_model()
+        latency = model.stage_latency_ms("splitter", 14 * M)
+        # 75MB / 60B = 1.25M queued tuples at 11M tuples/min:
+        expected = (75e6 / 60.0) / (11 * M / 60_000.0)
+        assert latency == pytest.approx(expected, rel=0.01)
+
+    def test_spout_has_no_queue_latency(self):
+        model = wordcount_latency_model()
+        assert model.stage_latency_ms("sentence-spout", 100 * M) == 0.0
+
+    def test_validation(self):
+        model = wordcount_latency_model()
+        with pytest.raises(ModelError):
+            model.stage_latency_ms("splitter", -1.0)
+
+
+class TestPathLatency:
+    def test_step_shape_over_rates(self):
+        model = wordcount_latency_model()
+        profile = model.latency_profile(PATH, [5 * M, 10 * M, 12 * M, 20 * M])
+        latencies = [lat for _, lat in profile]
+        assert latencies[0] < 1.0
+        assert latencies[1] < 1.0
+        assert latencies[2] > 1_000.0  # saturated: seconds of queueing
+        assert latencies[2] == pytest.approx(latencies[3], rel=0.01)
+
+    def test_only_the_bottleneck_carries_the_queue(self):
+        model = wordcount_latency_model(splitter_p=1, counter_p=3)
+        # At 14M the splitter saturates; the counter (210M words cap)
+        # receives only 84M and stays queue-free, so the path latency is
+        # the splitter stage's latency alone (plus processing epsilon).
+        path = model.path_latency_ms(PATH, 14 * M)
+        stage = model.stage_latency_ms("splitter", 14 * M)
+        assert path == pytest.approx(stage, rel=0.01)
+
+    def test_path_must_start_at_spout(self):
+        model = wordcount_latency_model()
+        with pytest.raises(ModelError, match="spout"):
+            model.path_latency_ms(["splitter", "counter"], 1 * M)
+
+
+class TestAgainstSimulator:
+    def test_predicted_latency_matches_measured(self):
+        """The analytical watermark bound vs the simulator's queue."""
+        params = WordCountParams(
+            splitter_parallelism=1, counter_parallelism=3
+        )
+        topology, packing, logic = build_word_count(params)
+        store = MetricsStore()
+        sim = HeronSimulation(
+            topology, packing, logic, store, SimulationConfig(seed=3)
+        )
+        sim.set_source_rate("sentence-spout", 14 * M)
+        sim.run(4)
+        measured = (
+            store.aggregate(
+                MetricNames.QUEUE_LATENCY_MS, {"component": "splitter"}
+            )
+            .between(120, 2**62)
+            .mean()
+        )
+        model = wordcount_latency_model()
+        predicted = model.stage_latency_ms("splitter", 14 * M)
+        assert predicted == pytest.approx(measured, rel=0.10)
+
+    def test_predicted_zero_latency_matches_measured(self):
+        params = WordCountParams(
+            splitter_parallelism=1, counter_parallelism=3
+        )
+        topology, packing, logic = build_word_count(params)
+        store = MetricsStore()
+        sim = HeronSimulation(
+            topology, packing, logic, store, SimulationConfig(seed=3)
+        )
+        sim.set_source_rate("sentence-spout", 8 * M)
+        sim.run(3)
+        measured = store.aggregate(
+            MetricNames.QUEUE_LATENCY_MS, {"component": "splitter"}
+        ).values[-1]
+        assert measured < 5.0
+        model = wordcount_latency_model()
+        assert model.stage_latency_ms("splitter", 8 * M) < 1.0

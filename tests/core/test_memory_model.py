@@ -1,0 +1,121 @@
+"""Tests for the memory model, validated against the simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.component_model import ComponentModel
+from repro.core.instance_model import InstanceModel
+from repro.core.latency_model import WatermarkSettings
+from repro.core.memory_model import MemoryModel, fit_memory_model
+from repro.errors import CalibrationError, ModelError
+from repro.heron.metrics import MetricNames
+from repro.heron.simulation import HeronSimulation, SimulationConfig
+from repro.heron.wordcount import WordCountParams, build_word_count
+from repro.timeseries.store import MetricsStore
+
+M = 1e6
+
+
+def splitter_component(parallelism=1) -> ComponentModel:
+    return ComponentModel(
+        "splitter", InstanceModel({"default": 7.635}, 11 * M), parallelism
+    )
+
+
+class TestMemoryModel:
+    def test_unsaturated_memory_is_resident_only(self):
+        model = MemoryModel("splitter", resident_bytes=256e6)
+        assert model.instance_memory_bytes(
+            splitter_component(), 8 * M
+        ) == pytest.approx(256e6)
+
+    def test_saturated_memory_adds_watermark_backlog(self):
+        model = MemoryModel("splitter", resident_bytes=256e6)
+        predicted = model.instance_memory_bytes(splitter_component(), 14 * M)
+        assert predicted == pytest.approx(256e6 + 75e6)
+
+    def test_component_memory_counts_saturated_instances(self):
+        model = MemoryModel("splitter", resident_bytes=100e6)
+        component = splitter_component(parallelism=2)
+        # 30M over 2 instances: both saturated at 15M > 11M.
+        total = model.component_memory_bytes(component, 30 * M)
+        assert total == pytest.approx(2 * (100e6 + 75e6))
+        # 16M: each instance sees 8M, unsaturated.
+        assert model.component_memory_bytes(component, 16 * M) == (
+            pytest.approx(2 * 100e6)
+        )
+
+    def test_fits_allocation_check(self):
+        params = WordCountParams(splitter_parallelism=1, counter_parallelism=2)
+        _, packing, _ = build_word_count(params)
+        # 2GiB allocation (2.147e9 B): a 2.1 GB resident stays OK
+        # unsaturated, but the 75 MB watermark backlog pushes a
+        # saturated instance over the limit.
+        model = MemoryModel("splitter", resident_bytes=2.1e9)
+        component = splitter_component()
+        assert model.fits_allocation(component, 8 * M, packing)
+        assert not model.fits_allocation(component, 14 * M, packing)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            MemoryModel("c", resident_bytes=-1)
+        with pytest.raises(ModelError):
+            MemoryModel("c", resident_bytes=1, input_tuple_bytes=0)
+        model = MemoryModel("c", resident_bytes=1)
+        with pytest.raises(ModelError):
+            model.instance_memory_bytes(splitter_component(), -1)
+
+
+class TestFit:
+    def test_fit_takes_the_mean(self):
+        model = fit_memory_model("c", [100.0, 200.0, 300.0])
+        assert model.resident_bytes == 200.0
+
+    def test_fit_validation(self):
+        with pytest.raises(CalibrationError):
+            fit_memory_model("c", [])
+        with pytest.raises(CalibrationError):
+            fit_memory_model("c", [-5.0])
+
+
+class TestAgainstSimulator:
+    @pytest.fixture(scope="class")
+    def observed(self):
+        params = WordCountParams(
+            splitter_parallelism=1, counter_parallelism=3
+        )
+        topology, packing, logic = build_word_count(params)
+        store = MetricsStore()
+        sim = HeronSimulation(
+            topology, packing, logic, store, SimulationConfig(seed=9)
+        )
+        sim.set_source_rate("sentence-spout", 8 * M)  # unsaturated
+        sim.run(3)
+        sim.set_source_rate("sentence-spout", 14 * M)  # saturated
+        sim.run(4)
+        memory = store.aggregate(
+            MetricNames.MEMORY_BYTES, {"component": "splitter"}
+        )
+        bp = store.aggregate(
+            MetricNames.BACKPRESSURE_TIME_MS, {"component": "splitter"}
+        )
+        return logic, memory, bp
+
+    def test_fit_then_predict_saturated_memory(self, observed):
+        logic, memory, bp = observed
+        aligned_bp, aligned_mem = bp.align(memory)
+        quiet = aligned_bp.values < 1_000.0
+        model = fit_memory_model(
+            "splitter",
+            aligned_mem.values[quiet],
+            input_tuple_bytes=60.0,
+        )
+        # The fitted resident term is the logic's configured base.
+        assert model.resident_bytes == pytest.approx(
+            logic["splitter"].base_memory_bytes, rel=0.05
+        )
+        predicted = model.instance_memory_bytes(splitter_component(), 14 * M)
+        measured_saturated = aligned_mem.values[~quiet][-2:].mean()
+        assert predicted == pytest.approx(measured_saturated, rel=0.10)

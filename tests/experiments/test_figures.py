@@ -1,0 +1,148 @@
+"""Shape assertions for the paper's figure reproductions (quick mode).
+
+Full-scale runs live in ``benchmarks/``; these tests run the same
+harness in quick mode and assert the properties the paper's figures
+exhibit: piecewise-linear curves, bimodal backpressure, Eq. 9 scaling,
+low prediction errors and error accumulation along the chain.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import figures
+
+M = 1e6
+
+
+@pytest.fixture(scope="module")
+def instance_sweep():
+    return figures.single_instance_sweep(quick=True)
+
+
+@pytest.fixture(scope="module")
+def fig07(splitter3):
+    return figures.fig07_component_model(quick=True, sweep3=splitter3)
+
+
+@pytest.fixture(scope="module")
+def splitter3():
+    return figures.splitter_sweep(3, quick=True)
+
+
+class TestFig04:
+    def test_saturation_point_near_design_value(self, instance_sweep):
+        result = figures.fig04_single_instance(True, sweep=instance_sweep)
+        assert result["measured_sp_tpm"] == pytest.approx(11 * M, rel=0.05)
+
+    def test_input_linear_then_flat(self, instance_sweep):
+        result = figures.fig04_single_instance(True, sweep=instance_sweep)
+        series = result["input"]
+        below = series["rate"] < 10 * M
+        above = series["rate"] > 12 * M
+        # Linear: input tracks source below SP.
+        assert np.allclose(
+            series["mean"][below], series["rate"][below], rtol=0.05
+        )
+        # Flat: input pinned near 11M above SP.
+        assert np.allclose(series["mean"][above], 11 * M, rtol=0.05)
+
+    def test_output_is_alpha_times_input(self, instance_sweep):
+        result = figures.fig04_single_instance(True, sweep=instance_sweep)
+        assert result["io_alpha"] == pytest.approx(7.635, rel=0.01)
+
+
+class TestFig05:
+    def test_ratio_within_paper_band_width(self, instance_sweep):
+        result = figures.fig05_io_ratio(True, sweep=instance_sweep)
+        # Paper: 7.63..7.64.  Same centre, comparably tight.
+        assert result["ratio_min"] > 7.60
+        assert result["ratio_max"] < 7.67
+
+
+class TestFig06:
+    def test_bimodal_backpressure(self, instance_sweep):
+        result = figures.fig06_backpressure(True, sweep=instance_sweep)
+        assert result["mean_below_sp_ms"] == pytest.approx(0.0, abs=100.0)
+        assert result["mean_above_sp_ms"] > 40_000.0
+
+
+class TestFig07:
+    def test_component_sp_is_p_times_instance_sp(self, fig07):
+        assert fig07["component_sp_tpm"] == pytest.approx(33 * M, rel=0.07)
+
+    def test_eq9_predictions_scale_by_gamma(self, fig07):
+        p2 = fig07["predictions"][2]
+        p4 = fig07["predictions"][4]
+        assert p2["input_inflection_tpm"] == pytest.approx(
+            fig07["component_sp_tpm"] * 2 / 3, rel=1e-9
+        )
+        assert p4["output_st_tpm"] == pytest.approx(
+            2 * p2["output_st_tpm"], rel=1e-9
+        )
+
+    def test_io_ratio_consistent_with_fig05(self, fig07):
+        assert fig07["io_ratio"] == pytest.approx(7.635, rel=0.01)
+
+
+class TestFig08:
+    def test_st_errors_in_paper_band(self, fig07, splitter3):
+        result = figures.fig08_component_validation(True, fig07=fig07)
+        for p, entry in result["per_parallelism"].items():
+            # Paper: 2.9% (p=2) and 2.5% (p=4).  The simulator is cleaner
+            # than a shared production cluster, so <= 5% is the bound.
+            assert entry["st_error"] < 0.05, (p, entry)
+
+
+class TestFig09:
+    def test_counter_alpha_is_one(self):
+        result = figures.fig09_counter_model(quick=True)
+        assert result["fit"].alpha == pytest.approx(1.0, rel=0.03)
+
+    def test_counter_sp_near_design_value(self):
+        result = figures.fig09_counter_model(quick=True)
+        # Counter p=3: 3 x 70M = 210M words/minute.
+        assert result["p3_input_sp_tpm"] == pytest.approx(210 * M, rel=0.10)
+
+    def test_p4_prediction_scales(self):
+        result = figures.fig09_counter_model(quick=True)
+        assert result["prediction_p4"]["input_sp_tpm"] == pytest.approx(
+            result["p3_input_sp_tpm"] * 4 / 3, rel=1e-9
+        )
+
+
+class TestFig10:
+    def test_chained_prediction_error_low(self):
+        result = figures.fig10_critical_path(quick=True)
+        # Paper: 2.8%.
+        assert result["error"] < 0.06
+
+    def test_prediction_plateau_matches_splitter_bound(self):
+        result = figures.fig10_critical_path(quick=True)
+        # Splitter p=2 is the bottleneck: ST = 2 x 11M x 7.635.
+        assert result["predicted_st_tpm"] == pytest.approx(
+            2 * 11 * M * 7.635, rel=0.08
+        )
+
+
+class TestFig11And12:
+    def test_cpu_psi_positive_and_base_small(self, splitter3):
+        result = figures.fig11_cpu_model(quick=True, sweep3=splitter3)
+        model = result["cpu_model"]
+        assert model.psi > 0
+        assert model.base_cores < 0.2
+
+    def test_cpu_validation_errors_in_paper_band(self, splitter3):
+        fig11 = figures.fig11_cpu_model(quick=True, sweep3=splitter3)
+        result = figures.fig12_cpu_validation(quick=True, fig11=fig11)
+        for p, entry in result["per_parallelism"].items():
+            # Paper: 4.8% and 3.0%.
+            assert entry["error"] < 0.06, (p, entry)
+
+    def test_saturated_cpu_scales_with_parallelism(self, splitter3):
+        fig11 = figures.fig11_cpu_model(quick=True, sweep3=splitter3)
+        result = figures.fig12_cpu_validation(quick=True, fig11=fig11)
+        p2 = result["per_parallelism"][2]["observed_cpu_cores"]
+        p4 = result["per_parallelism"][4]["observed_cpu_cores"]
+        assert p4 == pytest.approx(2 * p2, rel=0.05)

@@ -1,0 +1,32 @@
+"""Tests for the figure-reproduction runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import SECTIONS, main
+
+
+class TestRunner:
+    def test_subset_selection(self, capsys):
+        code = main(["--quick", "--only", "fig10"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fig10" in out
+        assert "fig04" not in out
+
+    def test_invalid_section_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--only", "fig99"])
+
+    def test_sections_cover_all_figures(self):
+        assert set(SECTIONS) == {
+            "fig04-06", "fig07-08", "fig09", "fig10", "fig11-12"
+        }
+
+    def test_quick_full_run_prints_every_group(self, capsys):
+        code = main(["--quick"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for group in SECTIONS:
+            assert f"=== {group} ===" in out

@@ -1,0 +1,112 @@
+"""Tests for rolling-origin backtesting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ForecastError
+from repro.forecasting.backtest import rolling_origin_backtest
+from repro.forecasting.prophet_lite import ProphetLite, Seasonality
+from repro.forecasting.summary import SummaryForecaster
+from repro.timeseries.series import TimeSeries
+
+
+def series_with_season(n=600, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(n) * 600
+    y = 100 + 30 * np.sin(2 * np.pi * t / 86_400) + rng.normal(0, 3, n)
+    return TimeSeries(t, y)
+
+
+class TestMechanics:
+    def test_fold_count(self):
+        series = series_with_season(n=300)
+        result = rolling_origin_backtest(
+            lambda: SummaryForecaster("mean", window=50),
+            series,
+            initial_train=100,
+            horizon=50,
+            stride=50,
+        )
+        assert result.folds == 4  # cutoffs at 100, 150, 200, 250
+
+    def test_stride_defaults_to_horizon(self):
+        series = series_with_season(n=300)
+        result = rolling_origin_backtest(
+            lambda: SummaryForecaster("mean"),
+            series,
+            initial_train=100,
+            horizon=100,
+        )
+        assert result.folds == 2
+
+    def test_metrics_are_finite_and_positive(self):
+        series = series_with_season()
+        result = rolling_origin_backtest(
+            lambda: SummaryForecaster("mean", window=100),
+            series,
+            initial_train=200,
+            horizon=100,
+        )
+        assert result.mape >= 0
+        assert result.smape >= 0
+        assert result.rmse >= 0
+        assert 0 <= result.coverage <= 1
+
+    def test_as_dict_round_trip(self):
+        series = series_with_season(n=300)
+        result = rolling_origin_backtest(
+            lambda: SummaryForecaster("mean"),
+            series,
+            initial_train=150,
+            horizon=50,
+        )
+        d = result.as_dict()
+        assert d["folds"] == result.folds
+        assert d["mape"] == result.mape
+
+
+class TestValidation:
+    def test_series_too_short(self):
+        series = series_with_season(n=100)
+        with pytest.raises(ForecastError, match="cannot support"):
+            rolling_origin_backtest(
+                lambda: SummaryForecaster("mean"),
+                series,
+                initial_train=90,
+                horizon=20,
+            )
+
+    def test_parameter_validation(self):
+        series = series_with_season(n=100)
+        with pytest.raises(ForecastError):
+            rolling_origin_backtest(
+                lambda: SummaryForecaster(), series, initial_train=1, horizon=5
+            )
+        with pytest.raises(ForecastError):
+            rolling_origin_backtest(
+                lambda: SummaryForecaster(), series, initial_train=10, horizon=0
+            )
+
+
+class TestModelComparison:
+    def test_seasonal_model_beats_summary_on_seasonal_traffic(self):
+        """The paper's premise: seasonal traffic needs a seasonal model."""
+        series = series_with_season(n=5 * 144)
+
+        def prophet():
+            return ProphetLite(
+                seasonalities=[Seasonality.daily(order=3)], n_changepoints=3
+            )
+
+        prophet_result = rolling_origin_backtest(
+            prophet, series, initial_train=3 * 144, horizon=144
+        )
+        summary_result = rolling_origin_backtest(
+            lambda: SummaryForecaster("mean", window=144),
+            series,
+            initial_train=3 * 144,
+            horizon=144,
+        )
+        assert prophet_result.smape < summary_result.smape

@@ -1,0 +1,84 @@
+"""Tests for the seasonality and changepoint building blocks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ForecastError
+from repro.forecasting.changepoints import changepoint_grid, trend_design
+from repro.forecasting.seasonality import DAY_SECONDS, fourier_design
+
+
+class TestFourierDesign:
+    def test_shape(self):
+        t = np.arange(100) * 60
+        design = fourier_design(t, DAY_SECONDS, order=3)
+        assert design.shape == (100, 6)
+
+    def test_periodicity(self):
+        t = np.array([0, DAY_SECONDS, 2 * DAY_SECONDS])
+        design = fourier_design(t, DAY_SECONDS, order=2)
+        assert np.allclose(design[0], design[1])
+        assert np.allclose(design[0], design[2])
+
+    def test_columns_alternate_cos_sin(self):
+        design = fourier_design(np.array([0.0]), DAY_SECONDS, order=2)
+        assert design[0, 0] == pytest.approx(1.0)  # cos(0)
+        assert design[0, 1] == pytest.approx(0.0)  # sin(0)
+
+    def test_validation(self):
+        with pytest.raises(ForecastError):
+            fourier_design(np.array([0.0]), 0, 1)
+        with pytest.raises(ForecastError):
+            fourier_design(np.array([0.0]), DAY_SECONDS, 0)
+
+    @given(order=st.integers(min_value=1, max_value=8))
+    def test_property_bounded_by_one(self, order):
+        t = np.linspace(0, 10 * DAY_SECONDS, 200)
+        design = fourier_design(t, DAY_SECONDS, order)
+        assert np.all(np.abs(design) <= 1.0 + 1e-12)
+
+
+class TestChangepointGrid:
+    def test_grid_within_range_fraction(self):
+        t = np.linspace(0, 100, 50)
+        grid = changepoint_grid(t, n_changepoints=5, changepoint_range=0.8)
+        assert grid.shape == (5,)
+        assert grid.min() > 0
+        assert grid.max() <= 80 + 1e-9
+
+    def test_zero_changepoints(self):
+        t = np.linspace(0, 100, 50)
+        assert changepoint_grid(t, 0).size == 0
+
+    def test_too_little_history(self):
+        assert changepoint_grid(np.array([0.0, 1.0]), 5).size == 0
+
+    def test_validation(self):
+        t = np.linspace(0, 1, 10)
+        with pytest.raises(ForecastError):
+            changepoint_grid(t, -1)
+        with pytest.raises(ForecastError):
+            changepoint_grid(t, 5, changepoint_range=0.0)
+
+
+class TestTrendDesign:
+    def test_columns(self):
+        t = np.array([0.0, 1.0, 2.0])
+        design = trend_design(t, np.array([1.0]))
+        assert design.shape == (3, 3)
+        assert np.allclose(design[:, 0], 1.0)  # intercept
+        assert np.allclose(design[:, 1], t)  # slope
+        assert np.allclose(design[:, 2], [0.0, 0.0, 1.0])  # hinge at 1
+
+    def test_no_changepoints_is_a_line(self):
+        design = trend_design(np.array([5.0]), np.empty(0))
+        assert design.shape == (1, 2)
+
+    def test_hinge_is_zero_before_changepoint(self):
+        t = np.linspace(0, 10, 11)
+        design = trend_design(t, np.array([7.0]))
+        assert np.all(design[t < 7, 2] == 0.0)

@@ -1,0 +1,120 @@
+"""Tests for the Holt-Winters forecaster."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ForecastError
+from repro.forecasting.backtest import rolling_origin_backtest
+from repro.forecasting.holt_winters import HoltWinters
+from repro.forecasting.summary import SummaryForecaster
+from repro.timeseries.series import TimeSeries
+
+STEP = 600
+
+
+def seasonal_series(periods=10, m=24, noise=0.5, trend=0.0, seed=0):
+    rng = np.random.default_rng(seed)
+    n = periods * m
+    t = np.arange(n) * STEP
+    y = (
+        100.0
+        + 20.0 * np.sin(2 * np.pi * np.arange(n) / m)
+        + trend * np.arange(n)
+        + rng.normal(0, noise, n)
+    )
+    return TimeSeries(t, y)
+
+
+class TestValidation:
+    def test_parameter_bounds(self):
+        with pytest.raises(ForecastError):
+            HoltWinters(alpha=0.0)
+        with pytest.raises(ForecastError):
+            HoltWinters(beta=1.5)
+        with pytest.raises(ForecastError):
+            HoltWinters(season_length=1)
+        with pytest.raises(ForecastError):
+            HoltWinters(interval_level=1.0)
+
+    def test_needs_two_seasons(self):
+        series = seasonal_series(periods=1, m=24)
+        with pytest.raises(ForecastError, match="two seasons"):
+            HoltWinters(season_length=24).fit(series)
+
+    def test_unfitted_predict(self):
+        with pytest.raises(ForecastError, match="not fitted"):
+            HoltWinters().predict([0])
+
+
+class TestSeasonal:
+    def test_tracks_the_seasonal_shape(self):
+        series = seasonal_series(m=24, noise=0.5)
+        model = HoltWinters(season_length=24).fit(series)
+        forecast = model.forecast(steps=24, step_seconds=STEP)
+        # The forecast should swing with the season, not sit flat.
+        assert forecast.yhat.max() > 110
+        assert forecast.yhat.min() < 90
+
+    def test_phase_alignment(self):
+        # Pure sinusoid: the forecast's first sample continues the phase.
+        series = seasonal_series(m=24, noise=0.0)
+        model = HoltWinters(season_length=24, gamma=0.5).fit(series)
+        forecast = model.forecast(steps=24, step_seconds=STEP)
+        n = len(series)
+        truth = 100.0 + 20.0 * np.sin(
+            2 * np.pi * (np.arange(n, n + 24)) / 24
+        )
+        assert np.allclose(forecast.yhat, truth, atol=3.0)
+
+    def test_trend_continues(self):
+        series = seasonal_series(m=24, trend=0.5, noise=0.2)
+        model = HoltWinters(season_length=24).fit(series)
+        forecast = model.forecast(steps=48, step_seconds=STEP)
+        assert forecast.yhat[-24:].mean() > forecast.yhat[:24].mean()
+
+
+class TestNonSeasonal:
+    def test_holt_linear_mode(self):
+        t = np.arange(50) * STEP
+        series = TimeSeries(t, 10.0 + 2.0 * np.arange(50))
+        model = HoltWinters(season_length=None).fit(series)
+        forecast = model.forecast(steps=5, step_seconds=STEP)
+        expected = 10.0 + 2.0 * np.arange(50, 55)
+        assert np.allclose(forecast.yhat, expected, rtol=0.05)
+
+    def test_floor_at_zero(self):
+        t = np.arange(30) * STEP
+        series = TimeSeries(t, np.maximum(0, 50.0 - 2.0 * np.arange(30)))
+        model = HoltWinters(season_length=None, alpha=0.9, beta=0.9).fit(series)
+        forecast = model.forecast(steps=40, step_seconds=STEP)
+        assert np.all(forecast.yhat >= 0.0)
+
+
+class TestUncertainty:
+    def test_bands_widen_with_horizon(self):
+        series = seasonal_series(m=24, noise=2.0)
+        model = HoltWinters(season_length=24).fit(series)
+        forecast = model.forecast(steps=72, step_seconds=STEP)
+        near = (forecast.yhat_upper - forecast.yhat_lower)[:10].mean()
+        far = (forecast.yhat_upper - forecast.yhat_lower)[-10:].mean()
+        assert far > near
+
+
+class TestAccuracy:
+    def test_beats_summary_on_seasonal_traffic(self):
+        series = seasonal_series(periods=12, m=24, noise=1.0)
+        hw = rolling_origin_backtest(
+            lambda: HoltWinters(season_length=24),
+            series,
+            initial_train=6 * 24,
+            horizon=24,
+        )
+        summary = rolling_origin_backtest(
+            lambda: SummaryForecaster("mean", window=24),
+            series,
+            initial_train=6 * 24,
+            horizon=24,
+        )
+        assert hw.smape < summary.smape / 2

@@ -1,0 +1,98 @@
+"""Tests for the statistic-summary forecaster."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ForecastError
+from repro.forecasting.summary import SummaryForecaster
+from repro.timeseries.series import TimeSeries
+
+
+def flat_series(n=100, level=50.0, noise=5.0, seed=0):
+    rng = np.random.default_rng(seed)
+    return TimeSeries(np.arange(n) * 60, level + rng.normal(0, noise, n))
+
+
+class TestFit:
+    def test_mean_statistic(self):
+        series = flat_series()
+        model = SummaryForecaster("mean").fit(series)
+        forecast = model.forecast(steps=10)
+        assert forecast.yhat[0] == pytest.approx(series.mean())
+
+    def test_median_and_peak_statistics(self):
+        series = flat_series()
+        for statistic, expected in (
+            ("median", series.median()),
+            ("max", series.max()),
+            ("min", series.min()),
+            ("p90", series.quantile(0.9)),
+            ("p95", series.quantile(0.95)),
+        ):
+            model = SummaryForecaster(statistic).fit(series)
+            assert model.forecast(1).yhat[0] == pytest.approx(expected)
+
+    def test_window_restricts_history(self):
+        ts = np.arange(100) * 60
+        values = np.concatenate([np.full(80, 10.0), np.full(20, 100.0)])
+        series = TimeSeries(ts, values)
+        model = SummaryForecaster("mean", window=20).fit(series)
+        assert model.forecast(1).yhat[0] == pytest.approx(100.0)
+
+    def test_unknown_statistic(self):
+        with pytest.raises(ForecastError, match="statistic"):
+            SummaryForecaster("p50.5")
+
+    def test_window_too_small(self):
+        with pytest.raises(ForecastError):
+            SummaryForecaster("mean", window=1)
+
+
+class TestPredict:
+    def test_flat_forecast(self):
+        model = SummaryForecaster("mean").fit(flat_series())
+        forecast = model.forecast(steps=20)
+        assert np.all(forecast.yhat == forecast.yhat[0])
+
+    def test_band_contains_point(self):
+        model = SummaryForecaster("max").fit(flat_series())
+        forecast = model.forecast(steps=5)
+        assert np.all(forecast.yhat_lower <= forecast.yhat)
+        assert np.all(forecast.yhat <= forecast.yhat_upper)
+
+    def test_band_is_empirical_quantiles(self):
+        series = flat_series(n=1000)
+        model = SummaryForecaster("mean", interval_level=0.90).fit(series)
+        forecast = model.forecast(steps=1)
+        covered = np.mean(
+            (series.values >= forecast.yhat_lower[0])
+            & (series.values <= forecast.yhat_upper[0])
+        )
+        assert covered == pytest.approx(0.90, abs=0.03)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(ForecastError, match="not fitted"):
+            SummaryForecaster().predict([0])
+
+    def test_forecast_timestamps_continue_cadence(self):
+        series = flat_series(n=10)
+        model = SummaryForecaster().fit(series)
+        forecast = model.forecast(steps=3)
+        assert list(forecast.timestamps) == [600, 660, 720]
+
+
+@given(
+    values=st.lists(
+        st.floats(min_value=0.0, max_value=1e6), min_size=3, max_size=60
+    )
+)
+def test_property_point_forecast_within_observed_range(values):
+    series = TimeSeries(np.arange(len(values)) * 60, values)
+    for statistic in ("mean", "median", "max", "min", "p90"):
+        model = SummaryForecaster(statistic).fit(series)
+        point = model.forecast(1).yhat[0]
+        assert min(values) - 1e-6 <= point <= max(values) + 1e-6

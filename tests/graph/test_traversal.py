@@ -1,0 +1,129 @@
+"""Tests for the Gremlin-flavoured traversal API."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.property_graph import PropertyGraph
+
+
+@pytest.fixture()
+def topo_graph() -> PropertyGraph:
+    """spout -> splitter -> counter with labelled vertices."""
+    g = PropertyGraph()
+    g.add_vertex("spout", "spout", {"parallelism": 2})
+    g.add_vertex("splitter", "bolt", {"parallelism": 3})
+    g.add_vertex("counter", "bolt", {"parallelism": 4})
+    g.add_edge("spout", "splitter", "shuffle")
+    g.add_edge("splitter", "counter", "fields")
+    return g
+
+
+class TestStart:
+    def test_v_with_ids(self, topo_graph):
+        assert topo_graph.traversal().V("spout").ids() == ["spout"]
+
+    def test_v_all(self, topo_graph):
+        assert topo_graph.traversal().V().count() == 3
+
+    def test_v_twice_rejected(self, topo_graph):
+        t = topo_graph.traversal().V()
+        with pytest.raises(GraphError, match="once"):
+            t.V()
+
+    def test_missing_start_rejected(self, topo_graph):
+        with pytest.raises(GraphError, match="start with V"):
+            topo_graph.traversal().count()
+
+    def test_unknown_vertex_raises(self, topo_graph):
+        with pytest.raises(GraphError):
+            topo_graph.traversal().V("nope").to_list()
+
+
+class TestFilters:
+    def test_has_label(self, topo_graph):
+        bolts = topo_graph.traversal().V().has_label("bolt").ids()
+        assert sorted(bolts) == ["counter", "splitter"]
+
+    def test_has_property(self, topo_graph):
+        result = topo_graph.traversal().V().has("parallelism", 3).ids()
+        assert result == ["splitter"]
+
+    def test_where_predicate(self, topo_graph):
+        result = (
+            topo_graph.traversal()
+            .V()
+            .where(lambda v: v.get("parallelism", 0) >= 3)
+            .ids()
+        )
+        assert sorted(result) == ["counter", "splitter"]
+
+    def test_dedup(self, topo_graph):
+        # Two traversers reach the splitter: dedup keeps one.
+        ids = topo_graph.traversal().V("spout", "spout").out().dedup().ids()
+        assert ids == ["splitter"]
+
+    def test_limit(self, topo_graph):
+        assert topo_graph.traversal().V().limit(2).count() == 2
+        with pytest.raises(GraphError):
+            topo_graph.traversal().V().limit(-1)
+
+
+class TestMovement:
+    def test_out_follows_edges(self, topo_graph):
+        assert topo_graph.traversal().V("spout").out().ids() == ["splitter"]
+
+    def test_out_with_label_filter(self, topo_graph):
+        assert topo_graph.traversal().V("spout").out("fields").ids() == []
+        assert topo_graph.traversal().V("splitter").out("fields").ids() == [
+            "counter"
+        ]
+
+    def test_in_reverses(self, topo_graph):
+        assert topo_graph.traversal().V("counter").in_().ids() == ["splitter"]
+
+    def test_both(self, topo_graph):
+        ids = sorted(topo_graph.traversal().V("splitter").both().ids())
+        assert ids == ["counter", "spout"]
+
+    def test_repeat_out_reaches_sinks(self, topo_graph):
+        ids = topo_graph.traversal().V("spout").repeat_out().ids()
+        assert ids == ["counter"]
+
+    def test_repeat_out_cycle_raises(self):
+        g = PropertyGraph()
+        g.add_vertex("a", "n")
+        g.add_vertex("b", "n")
+        g.add_edge("a", "b", "e")
+        g.add_edge("b", "a", "e")
+        with pytest.raises(GraphError, match="cycle"):
+            g.traversal().V("a").repeat_out().ids()
+
+
+class TestTerminals:
+    def test_paths_accumulate_history(self, topo_graph):
+        paths = topo_graph.traversal().V("spout").out().out().paths()
+        assert [[v.id for v in p] for p in paths] == [
+            ["spout", "splitter", "counter"]
+        ]
+
+    def test_values(self, topo_graph):
+        assert topo_graph.traversal().V("counter").values("parallelism") == [4]
+
+    def test_terminal_reruns_pipeline(self, topo_graph):
+        t = topo_graph.traversal().V().has_label("bolt")
+        assert t.count() == 2
+        assert t.count() == 2  # re-execution gives the same answer
+
+    def test_chained_filters_and_moves(self, topo_graph):
+        result = (
+            topo_graph.traversal()
+            .V()
+            .has_label("spout")
+            .out("shuffle")
+            .has("parallelism", 3)
+            .out()
+            .ids()
+        )
+        assert result == ["counter"]

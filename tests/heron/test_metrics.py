@@ -1,0 +1,154 @@
+"""Tests for the per-minute metrics manager."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MetricsError
+from repro.heron.metrics import MetricNames, MetricsManager
+from repro.timeseries.store import MetricsStore
+
+
+@pytest.fixture()
+def manager():
+    store = MetricsStore()
+    return MetricsManager(store, "topo"), store
+
+
+def tick(manager: MetricsManager, seconds: float = 1.0) -> None:
+    manager.advance(seconds)
+
+
+class TestCounters:
+    def test_counters_sum_over_the_minute(self, manager):
+        mgr, store = manager
+        for _ in range(60):
+            mgr.add_counter("a", "a_0", "1", MetricNames.EXECUTE_COUNT, 10.0)
+            tick(mgr)
+        series = store.get(
+            MetricNames.EXECUTE_COUNT,
+            {"topology": "topo", "component": "a", "instance": "a_0", "container": "1"},
+        )
+        assert series.to_pairs() == [(0, 600.0)]
+
+    def test_unknown_counter_name_rejected(self, manager):
+        mgr, _ = manager
+        with pytest.raises(MetricsError, match="not a counter"):
+            mgr.add_counter("a", "a_0", "1", "made-up", 1.0)
+
+    def test_stream_emit_counters_get_stream_tag(self, manager):
+        mgr, store = manager
+        mgr.add_counter("a", "a_0", "1", MetricNames.stream_emit("words"), 7.0)
+        for _ in range(60):
+            tick(mgr)
+        series = store.get(
+            MetricNames.STREAM_EMIT_COUNT,
+            {
+                "topology": "topo",
+                "component": "a",
+                "instance": "a_0",
+                "container": "1",
+                "stream": "words",
+            },
+        )
+        assert series.values[0] == 7.0
+
+
+class TestGauges:
+    def test_gauges_time_average(self, manager):
+        mgr, store = manager
+        # 30 seconds at 2 cores then 30 seconds at 0: average is 1.
+        for i in range(60):
+            value = 2.0 if i < 30 else 0.0
+            mgr.add_gauge("a", "a_0", "1", MetricNames.CPU_LOAD, value, 1.0)
+            tick(mgr)
+        series = store.get(
+            MetricNames.CPU_LOAD,
+            {"topology": "topo", "component": "a", "instance": "a_0", "container": "1"},
+        )
+        assert series.values[0] == pytest.approx(1.0)
+
+    def test_unknown_gauge_rejected(self, manager):
+        mgr, _ = manager
+        with pytest.raises(MetricsError, match="not a gauge"):
+            mgr.add_gauge("a", "a_0", "1", MetricNames.EXECUTE_COUNT, 1.0, 1.0)
+
+
+class TestBackpressure:
+    def test_backpressure_capped_at_minute(self, manager):
+        mgr, store = manager
+        for _ in range(60):
+            mgr.add_backpressure("a", "a_0", "1", 1.5)  # over-reported
+            tick(mgr)
+        series = store.get(
+            MetricNames.BACKPRESSURE_TIME_MS,
+            {"topology": "topo", "component": "a", "instance": "a_0", "container": "1"},
+        )
+        assert series.values[0] == 60_000.0
+
+    def test_topology_level_backpressure(self, manager):
+        mgr, store = manager
+        for i in range(60):
+            if i < 45:
+                mgr.add_topology_backpressure(1.0)
+            tick(mgr)
+        series = store.get(
+            MetricNames.TOPOLOGY_BACKPRESSURE_TIME_MS, {"topology": "topo"}
+        )
+        assert series.values[0] == 45_000.0
+
+
+class TestMinuteBoundaries:
+    def test_minutes_flush_at_boundaries(self, manager):
+        mgr, store = manager
+        mgr.register_instance("a", "a_0", "1")
+        for minute in range(3):
+            for _ in range(60):
+                mgr.add_counter(
+                    "a", "a_0", "1", MetricNames.EXECUTE_COUNT, float(minute)
+                )
+                tick(mgr)
+        series = store.get(
+            MetricNames.EXECUTE_COUNT,
+            {"topology": "topo", "component": "a", "instance": "a_0", "container": "1"},
+        )
+        assert series.to_pairs() == [(0, 0.0), (60, 60.0), (120, 120.0)]
+
+    def test_fractional_ticks_accumulate_exactly(self, manager):
+        mgr, store = manager
+        for _ in range(120):
+            mgr.add_counter("a", "a_0", "1", MetricNames.EXECUTE_COUNT, 1.0)
+            tick(mgr, 0.5)
+        series = store.get(
+            MetricNames.EXECUTE_COUNT,
+            {"topology": "topo", "component": "a", "instance": "a_0", "container": "1"},
+        )
+        assert series.to_pairs() == [(0, 120.0)]
+
+    def test_registered_instance_reports_even_if_idle(self, manager):
+        mgr, store = manager
+        mgr.register_instance("idle", "idle_0", "2")
+        for _ in range(60):
+            tick(mgr)
+        series = store.get(
+            MetricNames.BACKPRESSURE_TIME_MS,
+            {
+                "topology": "topo",
+                "component": "idle",
+                "instance": "idle_0",
+                "container": "2",
+            },
+        )
+        assert series.values[0] == 0.0
+
+    def test_advance_requires_positive_dt(self, manager):
+        mgr, _ = manager
+        with pytest.raises(MetricsError):
+            mgr.advance(0)
+
+    def test_minute_start_advances(self, manager):
+        mgr, _ = manager
+        assert mgr.minute_start == 0
+        for _ in range(60):
+            tick(mgr)
+        assert mgr.minute_start == 60

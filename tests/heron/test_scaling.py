@@ -1,0 +1,91 @@
+"""Tests for the update command (deploy and dry-run modes)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.heron.scaling import ScalingCommand
+from repro.heron.tracker import TopologyTracker
+from repro.heron.wordcount import WordCountParams, build_word_count
+
+
+@pytest.fixture()
+def command():
+    topology, packing, _ = build_word_count(
+        WordCountParams(splitter_parallelism=2, counter_parallelism=2)
+    )
+    tracker = TopologyTracker()
+    tracker.register(topology, packing)
+    return ScalingCommand(tracker), tracker
+
+
+class TestDryRun:
+    def test_dry_run_does_not_touch_tracker(self, command):
+        cmd, tracker = command
+        before = tracker.get("word-count").revision
+        result = cmd.update("word-count", {"splitter": 5}, dry_run=True)
+        assert result.dry_run
+        assert not result.deployed
+        assert result.topology.parallelism("splitter") == 5
+        assert result.packing.parallelism("splitter") == 5
+        assert tracker.get("word-count").revision == before
+        assert tracker.get("word-count").topology.parallelism("splitter") == 2
+
+    def test_dry_run_returns_usable_plans(self, command):
+        cmd, _ = command
+        result = cmd.update("word-count", {"counter": 6}, dry_run=True)
+        # The proposed packing covers the new instances.
+        assert len(result.packing.instances_of("counter")) == 6
+
+
+class TestDeploy:
+    def test_deploy_updates_tracker(self, command):
+        cmd, tracker = command
+        before = tracker.get("word-count").revision
+        result = cmd.update("word-count", {"splitter": 4})
+        assert result.deployed
+        record = tracker.get("word-count")
+        assert record.revision > before
+        assert record.topology.parallelism("splitter") == 4
+
+    def test_container_count_kept_when_growing(self, command):
+        cmd, tracker = command
+        containers = tracker.get("word-count").packing.num_containers()
+        result = cmd.update("word-count", {"splitter": 6})
+        assert result.packing.num_containers() == containers
+
+    def test_container_count_shrinks_when_needed(self, command):
+        cmd, tracker = command
+        result = cmd.update(
+            "word-count",
+            {"splitter": 1, "counter": 1, "sentence-spout": 1},
+        )
+        assert result.packing.num_containers() <= 3
+
+    def test_explicit_container_count(self, command):
+        cmd, _ = command
+        result = cmd.update("word-count", {"splitter": 4}, num_containers=2)
+        assert result.packing.num_containers() == 2
+
+
+class TestValidation:
+    def test_empty_changes_rejected(self, command):
+        cmd, _ = command
+        with pytest.raises(TopologyError, match="at least one"):
+            cmd.update("word-count", {})
+
+    def test_unknown_component_rejected(self, command):
+        cmd, _ = command
+        with pytest.raises(TopologyError, match="no component"):
+            cmd.update("word-count", {"zzz": 2})
+
+    def test_non_positive_parallelism_rejected(self, command):
+        cmd, _ = command
+        with pytest.raises(TopologyError, match=">= 1"):
+            cmd.update("word-count", {"splitter": 0})
+
+    def test_unknown_topology_rejected(self, command):
+        cmd, _ = command
+        with pytest.raises(TopologyError, match="not registered"):
+            cmd.update("missing", {"splitter": 2})

@@ -1,0 +1,142 @@
+"""Tests for topology definition and validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.heron.groupings import ShuffleGrouping
+from repro.heron.topology import ComponentSpec, TopologyBuilder
+
+
+def linear_topology():
+    builder = TopologyBuilder("t")
+    builder.add_spout("s", 2)
+    builder.add_bolt("a", 3)
+    builder.add_bolt("b", 4)
+    builder.connect("s", "a", ShuffleGrouping())
+    builder.connect("a", "b", ShuffleGrouping())
+    return builder.build()
+
+
+class TestComponentSpec:
+    def test_kind_validation(self):
+        with pytest.raises(TopologyError, match="spout or bolt"):
+            ComponentSpec("x", "mapper", 1)
+
+    def test_parallelism_validation(self):
+        with pytest.raises(TopologyError, match=">= 1"):
+            ComponentSpec("x", "bolt", 0)
+
+    def test_empty_name(self):
+        with pytest.raises(TopologyError, match="non-empty"):
+            ComponentSpec("", "bolt", 1)
+
+
+class TestBuilderValidation:
+    def test_duplicate_component(self):
+        builder = TopologyBuilder("t")
+        builder.add_spout("s", 1)
+        with pytest.raises(TopologyError, match="already defined"):
+            builder.add_bolt("s", 1)
+
+    def test_connect_unknown_component(self):
+        builder = TopologyBuilder("t")
+        builder.add_spout("s", 1)
+        with pytest.raises(TopologyError, match="undeclared"):
+            builder.connect("s", "missing", ShuffleGrouping())
+
+    def test_spout_cannot_receive(self):
+        builder = TopologyBuilder("t")
+        builder.add_spout("s", 1)
+        builder.add_spout("s2", 1)
+        builder.connect("s", "s2", ShuffleGrouping())
+        with pytest.raises(TopologyError, match="cannot receive"):
+            builder.build()
+
+    def test_needs_a_spout(self):
+        builder = TopologyBuilder("t")
+        builder.add_bolt("a", 1)
+        with pytest.raises(TopologyError):
+            builder.build()
+
+    def test_cycle_rejected(self):
+        builder = TopologyBuilder("t")
+        builder.add_spout("s", 1)
+        builder.add_bolt("a", 1)
+        builder.add_bolt("b", 1)
+        builder.connect("s", "a", ShuffleGrouping())
+        builder.connect("a", "b", ShuffleGrouping())
+        builder.connect("b", "a", ShuffleGrouping())
+        with pytest.raises(TopologyError, match="cycle"):
+            builder.build()
+
+    def test_disconnected_bolt_rejected(self):
+        builder = TopologyBuilder("t")
+        builder.add_spout("s", 1)
+        builder.add_bolt("orphan", 1)
+        with pytest.raises(TopologyError, match="no input stream"):
+            builder.build()
+
+    def test_duplicate_stream_rejected(self):
+        builder = TopologyBuilder("t")
+        builder.add_spout("s", 1)
+        builder.add_bolt("a", 1)
+        builder.connect("s", "a", ShuffleGrouping())
+        builder.connect("s", "a", ShuffleGrouping())
+        with pytest.raises(TopologyError, match="duplicate stream"):
+            builder.build()
+
+    def test_two_streams_with_distinct_names_allowed(self):
+        builder = TopologyBuilder("t")
+        builder.add_spout("s", 1)
+        builder.add_bolt("a", 1)
+        builder.connect("s", "a", ShuffleGrouping(), stream="one")
+        builder.connect("s", "a", ShuffleGrouping(), stream="two")
+        topology = builder.build()
+        assert len(topology.outputs("s")) == 2
+
+
+class TestAccessors:
+    def test_spouts_bolts_sinks(self):
+        topology = linear_topology()
+        assert [c.name for c in topology.spouts()] == ["s"]
+        assert [c.name for c in topology.bolts()] == ["a", "b"]
+        assert [c.name for c in topology.sinks()] == ["b"]
+
+    def test_parallelism_lookup(self):
+        topology = linear_topology()
+        assert topology.parallelism("a") == 3
+        with pytest.raises(TopologyError, match="unknown component"):
+            topology.parallelism("zzz")
+
+    def test_inputs_outputs(self):
+        topology = linear_topology()
+        assert [s.destination for s in topology.outputs("s")] == ["a"]
+        assert [s.source for s in topology.inputs("b")] == ["a"]
+        assert topology.inputs("s") == []
+
+    def test_topological_order(self):
+        topology = linear_topology()
+        names = [c.name for c in topology.topological_order()]
+        assert names == ["s", "a", "b"]
+
+    def test_total_instances(self):
+        assert linear_topology().total_instances() == 9
+
+
+class TestWithParallelism:
+    def test_changes_apply_and_original_unchanged(self):
+        topology = linear_topology()
+        updated = topology.with_parallelism({"a": 7})
+        assert updated.parallelism("a") == 7
+        assert topology.parallelism("a") == 3
+        assert updated.name == topology.name
+
+    def test_unknown_component(self):
+        with pytest.raises(TopologyError, match="unknown"):
+            linear_topology().with_parallelism({"zzz": 2})
+
+    def test_invalid_parallelism_rejected_by_spec(self):
+        with pytest.raises(TopologyError):
+            linear_topology().with_parallelism({"a": 0})

@@ -1,0 +1,82 @@
+"""Tests for the Word Count topology factory (the paper's workload)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.heron.groupings import FieldsGrouping, ShuffleGrouping
+from repro.heron.simulation import ComponentLogic, SpoutLogic
+from repro.heron.wordcount import WordCountParams, build_word_count
+
+
+class TestStructure:
+    def test_three_stage_shape(self):
+        topology, _, _ = build_word_count()
+        assert [c.name for c in topology.spouts()] == ["sentence-spout"]
+        assert [c.name for c in topology.bolts()] == ["splitter", "counter"]
+
+    def test_groupings_match_paper(self):
+        """Spout->Splitter is shuffle; Splitter->Counter is fields."""
+        topology, _, _ = build_word_count()
+        (to_splitter,) = topology.inputs("splitter")
+        (to_counter,) = topology.inputs("counter")
+        assert isinstance(to_splitter.grouping, ShuffleGrouping)
+        assert isinstance(to_counter.grouping, FieldsGrouping)
+        assert to_counter.grouping.fields == ("word",)
+
+    def test_default_parallelisms(self):
+        topology, _, _ = build_word_count()
+        assert topology.parallelism("sentence-spout") == 8  # paper default
+        assert topology.parallelism("splitter") == 3
+        assert topology.parallelism("counter") == 3
+
+    def test_custom_parallelisms(self):
+        params = WordCountParams(
+            spout_parallelism=2, splitter_parallelism=5, counter_parallelism=7
+        )
+        topology, packing, _ = build_word_count(params)
+        assert topology.parallelism("splitter") == 5
+        assert packing.parallelism("counter") == 7
+
+
+class TestLogic:
+    def test_logic_types(self):
+        _, _, logic = build_word_count()
+        assert isinstance(logic["sentence-spout"], SpoutLogic)
+        assert isinstance(logic["splitter"], ComponentLogic)
+        assert isinstance(logic["counter"], ComponentLogic)
+
+    def test_splitter_alpha_is_corpus_sentence_length(self):
+        params = WordCountParams()
+        _, _, logic = build_word_count(params)
+        assert logic["splitter"].alphas["default"] == pytest.approx(
+            params.corpus.words_per_sentence()
+        )
+
+    def test_counter_is_sink(self):
+        _, _, logic = build_word_count()
+        assert logic["counter"].alphas == {}
+
+    def test_capacities_match_paper_scale(self):
+        """Defaults tuned so the Splitter instance SP is ~11 M/min."""
+        _, _, logic = build_word_count()
+        assert logic["splitter"].capacity_tps * 60 == pytest.approx(11e6)
+        assert logic["counter"].capacity_tps * 60 == pytest.approx(70e6)
+
+
+class TestPacking:
+    def test_default_density_two_per_container(self):
+        params = WordCountParams()  # 8 + 3 + 3 = 14 instances
+        _, packing, _ = build_word_count(params)
+        assert packing.num_containers() == 7
+
+    def test_explicit_container_count(self):
+        params = WordCountParams(containers=3)
+        _, packing, _ = build_word_count(params)
+        assert packing.num_containers() == 3
+
+    def test_paper_resources(self):
+        _, packing, _ = build_word_count()
+        instance = packing.all_instances()[0]
+        assert instance.resources.cpu == 1.0
+        assert instance.resources.ram_bytes == 2 * 1024**3

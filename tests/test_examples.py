@@ -1,0 +1,65 @@
+"""Smoke tests: the example scripts must run end to end.
+
+Examples are documentation that executes; these tests keep them from
+rotting.  The two long-running scenario scripts (preemptive scaling and
+the ads capacity search) are exercised through their underlying APIs in
+the model/autoscaler test suites instead, keeping the default test run
+fast.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def load_example(name: str):
+    spec = importlib.util.spec_from_file_location(
+        f"examples.{name}", EXAMPLES / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_examples_exist(self):
+        scripts = sorted(p.name for p in EXAMPLES.glob("*.py"))
+        assert "quickstart.py" in scripts
+        assert len(scripts) >= 3
+
+    def test_quickstart(self, capsys):
+        load_example("quickstart").main()
+        out = capsys.readouterr().out
+        assert "calibrated component models" in out
+        assert "dry run" in out
+
+    def test_caladrius_service(self, capsys):
+        load_example("caladrius_service").main()
+        out = capsys.readouterr().out
+        assert "GET /topologies" in out
+        assert "service stopped" in out
+
+    def test_scheduler_comparison(self, capsys):
+        load_example("scheduler_comparison").main()
+        out = capsys.readouterr().out
+        assert "selected: balanced-scaler" in out
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "preemptive_scaling",
+            "autoscaling_comparison",
+            "ads_capacity_planning",
+            "failure_detection",
+        ],
+    )
+    def test_heavy_examples_import_cleanly(self, name):
+        module = load_example(name)
+        assert callable(module.main)

@@ -1,0 +1,193 @@
+"""Property-based tests: simulator invariants over random topologies.
+
+Hypothesis builds small random linear/diamond topologies with random
+groupings, capacities and I/O coefficients, runs them briefly, and
+asserts the physical invariants every run must satisfy:
+
+* conservation — per bolt, received tuples = processed + still queued;
+* non-negativity of every queue, counter and gauge;
+* routing — per-instance arrivals respect the grouping's share vector;
+* saturation — no bolt processes above its capacity (plus noise bound).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.heron.groupings import (
+    FieldsGrouping,
+    GlobalGrouping,
+    KeyDistribution,
+    ShuffleGrouping,
+)
+from repro.heron.metrics import MetricNames
+from repro.heron.packing import RoundRobinPacking
+from repro.heron.simulation import (
+    ComponentLogic,
+    HeronSimulation,
+    SimulationConfig,
+    SpoutLogic,
+)
+from repro.heron.topology import TopologyBuilder
+from repro.timeseries.store import MetricsStore
+
+
+@st.composite
+def random_linear_topology(draw):
+    """A spout plus 1-3 bolts in a chain, with random parameters."""
+    n_bolts = draw(st.integers(min_value=1, max_value=3))
+    spout_p = draw(st.integers(min_value=1, max_value=3))
+    builder = TopologyBuilder("prop")
+    builder.add_spout("spout", spout_p)
+    logic: dict = {"spout": SpoutLogic(rate_noise=0.0)}
+    previous = "spout"
+    for i in range(n_bolts):
+        name = f"bolt{i}"
+        parallelism = draw(st.integers(min_value=1, max_value=4))
+        builder.add_bolt(name, parallelism)
+        grouping_kind = draw(st.sampled_from(["shuffle", "fields", "global"]))
+        if grouping_kind == "fields":
+            keys = [f"k{j}" for j in range(draw(st.integers(2, 50)))]
+            exponent = draw(st.floats(min_value=0.0, max_value=1.5))
+            grouping = FieldsGrouping(
+                ["k"], KeyDistribution.zipf(keys, exponent)
+            )
+        elif grouping_kind == "global":
+            grouping = GlobalGrouping()
+        else:
+            grouping = ShuffleGrouping()
+        builder.connect(previous, name, grouping)
+        capacity = draw(st.floats(min_value=500.0, max_value=20_000.0))
+        is_last = i == n_bolts - 1
+        alpha = 0.0 if is_last else draw(
+            st.floats(min_value=0.1, max_value=5.0)
+        )
+        logic[name] = ComponentLogic(
+            capacity_tps=capacity,
+            alphas={} if is_last else {"default": alpha},
+            capacity_noise=draw(st.floats(min_value=0.0, max_value=0.05)),
+            alpha_noise=0.0,
+        )
+        previous = name
+    topology = builder.build()
+    rate_tpm = draw(st.floats(min_value=1_000.0, max_value=3_000_000.0))
+    return topology, logic, rate_tpm
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(case=random_linear_topology(), seed=st.integers(0, 2**16))
+def test_property_conservation_and_bounds(case, seed):
+    topology, logic, rate_tpm = case
+    packing = RoundRobinPacking().pack(
+        topology, max(1, topology.total_instances() // 2)
+    )
+    store = MetricsStore()
+    sim = HeronSimulation(
+        topology, packing, logic, store, SimulationConfig(seed=seed)
+    )
+    sim.set_source_rate("spout", rate_tpm)
+    sim.run(2)
+
+    fetched = store.aggregate(
+        MetricNames.EXECUTE_COUNT, {"component": "spout"}
+    ).sum()
+    previous_emitted = None
+    for spec in topology.topological_order():
+        name = spec.name
+        if spec.is_spout:
+            previous_emitted = store.aggregate(
+                MetricNames.EMIT_COUNT, {"component": name}
+            ).sum()
+            continue
+        received = store.aggregate(
+            MetricNames.RECEIVED_COUNT, {"component": name}
+        ).sum()
+        processed = store.aggregate(
+            MetricNames.EXECUTE_COUNT, {"component": name}
+        ).sum()
+        emitted = store.aggregate(
+            MetricNames.EMIT_COUNT, {"component": name}
+        ).sum()
+        queued = sim.queue_tuples(name).sum()
+
+        # Non-negativity.
+        assert received >= -1e-9
+        assert processed >= -1e-9
+        assert emitted >= -1e-9
+        assert np.all(sim.queue_tuples(name) >= -1e-9)
+
+        # Conservation: everything delivered is processed or queued.
+        assert processed + queued == pytest.approx(received, rel=1e-6, abs=1e-3)
+
+        # Routing: deliveries match the upstream emission through the
+        # grouping (GlobalGrouping keeps totals; AllGrouping would not,
+        # but it is not drawn for chains).
+        assert received == pytest.approx(
+            previous_emitted, rel=1e-6, abs=1e-3
+        )
+
+        # Capacity: the bolt cannot process above capacity + noise.
+        capacity_tpm = (
+            logic[name].capacity_tps * 60 * spec.parallelism
+        )
+        per_minute = store.aggregate(
+            MetricNames.EXECUTE_COUNT, {"component": name}
+        ).values
+        bound = capacity_tpm * (1 + 6 * logic[name].capacity_noise)
+        assert np.all(per_minute <= bound + 1e-6)
+
+        previous_emitted = emitted
+    # The spout never fabricates tuples beyond its configured source.
+    source = store.aggregate(
+        MetricNames.SOURCE_COUNT, {"component": "spout"}
+    ).sum()
+    backlog = sim.spout_backlog("spout").sum()
+    assert fetched + backlog == pytest.approx(source, rel=1e-9, abs=1e-3)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    shares_seed=st.integers(0, 1000),
+    parallelism=st.integers(min_value=2, max_value=5),
+)
+def test_property_fields_routing_matches_shares(shares_seed, parallelism):
+    keys = [f"key{i}" for i in range(40)]
+    kd = KeyDistribution.zipf(keys, 1.0)
+    grouping = FieldsGrouping(["k"], kd)
+    builder = TopologyBuilder("routing")
+    builder.add_spout("spout", 2)
+    builder.add_bolt("worker", parallelism)
+    builder.connect("spout", "worker", grouping)
+    topology = builder.build()
+    packing = RoundRobinPacking().pack(topology, 2)
+    store = MetricsStore()
+    sim = HeronSimulation(
+        topology,
+        packing,
+        {
+            "spout": SpoutLogic(rate_noise=0.0),
+            "worker": ComponentLogic(capacity_tps=1e9, capacity_noise=0.0),
+        },
+        store,
+        SimulationConfig(seed=shares_seed),
+    )
+    sim.set_source_rate("spout", 600_000.0)
+    sim.run(1)
+    received = np.array(
+        [
+            store.aggregate(
+                MetricNames.RECEIVED_COUNT,
+                {"component": "worker", "instance": f"worker_{i}"},
+            ).sum()
+            for i in range(parallelism)
+        ]
+    )
+    observed = received / received.sum()
+    assert np.allclose(observed, grouping.shares(parallelism), atol=1e-6)

@@ -1,0 +1,184 @@
+"""Tests for the tag-indexed metrics store (the Cuckoo substitute)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import MetricsError
+from repro.timeseries.store import MetricKey, MetricsStore
+
+
+@pytest.fixture()
+def store() -> MetricsStore:
+    s = MetricsStore()
+    for minute in range(5):
+        ts = minute * 60
+        s.write("execute-count", ts, 100.0 + minute, {"component": "a", "instance": "a_0"})
+        s.write("execute-count", ts, 200.0 + minute, {"component": "a", "instance": "a_1"})
+        s.write("execute-count", ts, 50.0 + minute, {"component": "b", "instance": "b_0"})
+    return s
+
+
+class TestMetricKey:
+    def test_of_normalises_tag_order(self):
+        a = MetricKey.of("m", {"x": "1", "y": "2"})
+        b = MetricKey.of("m", {"y": "2", "x": "1"})
+        assert a == b
+
+    def test_matches_partial_filter(self):
+        key = MetricKey.of("m", {"component": "a", "instance": "a_0"})
+        assert key.matches("m", {"component": "a"})
+        assert not key.matches("m", {"component": "b"})
+        assert not key.matches("other", {})
+
+    def test_tag_dict(self):
+        key = MetricKey.of("m", {"k": "v"})
+        assert key.tag_dict() == {"k": "v"}
+
+
+class TestWrite:
+    def test_rejects_out_of_order_writes(self, store):
+        with pytest.raises(MetricsError, match="increasing"):
+            store.write("execute-count", 0, 1.0, {"component": "a", "instance": "a_0"})
+
+    def test_write_many(self):
+        s = MetricsStore()
+        s.write_many("m", [(0, 1.0), (60, 2.0)])
+        assert s.get("m").to_pairs() == [(0, 1.0), (60, 2.0)]
+
+    def test_distinct_tags_are_distinct_series(self, store):
+        a0 = store.get("execute-count", {"component": "a", "instance": "a_0"})
+        a1 = store.get("execute-count", {"component": "a", "instance": "a_1"})
+        assert a0.values[0] == 100.0
+        assert a1.values[0] == 200.0
+
+
+class TestRead:
+    def test_get_unknown_raises(self, store):
+        with pytest.raises(MetricsError, match="no series"):
+            store.get("execute-count", {"component": "zzz"})
+
+    def test_metric_names(self, store):
+        assert store.metric_names() == ["execute-count"]
+
+    def test_query_by_partial_tags(self, store):
+        matched = store.query("execute-count", {"component": "a"})
+        assert len(matched) == 2
+
+    def test_query_with_time_range(self, store):
+        matched = store.query(
+            "execute-count", {"component": "b"}, start=60, end=180
+        )
+        (series,) = matched.values()
+        assert list(series.timestamps) == [60, 120]
+
+    def test_aggregate_sums_matching_series(self, store):
+        total = store.aggregate("execute-count", {"component": "a"})
+        assert total.values[0] == 300.0
+
+    def test_aggregate_no_match_raises(self, store):
+        with pytest.raises(MetricsError, match="no series match"):
+            store.aggregate("execute-count", {"component": "nope"})
+
+    def test_group_by_tag(self, store):
+        groups = store.group_by("execute-count", "component")
+        assert set(groups) == {"a", "b"}
+        assert groups["a"].values[0] == 300.0
+        assert groups["b"].values[0] == 50.0
+
+    def test_group_by_missing_tag_raises(self, store):
+        with pytest.raises(MetricsError, match="carry tag"):
+            store.group_by("execute-count", "nonexistent-tag")
+
+    def test_latest_timestamp(self, store):
+        assert store.latest_timestamp() == 240
+        assert MetricsStore().latest_timestamp() is None
+
+    def test_len_counts_series(self, store):
+        assert len(store) == 3
+
+    def test_clear(self, store):
+        store.clear()
+        assert len(store) == 0
+        assert store.latest_timestamp() is None
+
+
+class TestRetention:
+    def test_old_samples_are_trimmed(self):
+        s = MetricsStore(retention_seconds=120)
+        for minute in range(5):
+            s.write("m", minute * 60, float(minute))
+        series = s.get("m")
+        assert series.start >= 240 - 120
+
+    def test_retention_must_be_positive(self):
+        with pytest.raises(MetricsError):
+            MetricsStore(retention_seconds=0)
+
+
+class TestConcurrency:
+    def test_parallel_writers_to_distinct_series(self):
+        s = MetricsStore()
+        errors: list[Exception] = []
+
+        def writer(tag: str) -> None:
+            try:
+                for i in range(200):
+                    s.write("m", i, float(i), {"writer": tag})
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(str(n),)) for n in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(s) == 8
+        total = s.aggregate("m")
+        assert total.values[-1] == 8 * 199.0
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, store, tmp_path):
+        path = tmp_path / "metrics.json"
+        store.save(path)
+        loaded = MetricsStore.load(path)
+        assert len(loaded) == len(store)
+        original = store.aggregate("execute-count", {"component": "a"})
+        restored = loaded.aggregate("execute-count", {"component": "a"})
+        assert original == restored
+
+    def test_round_trip_preserves_retention(self, tmp_path):
+        s = MetricsStore(retention_seconds=120)
+        s.write("m", 0, 1.0)
+        path = tmp_path / "metrics.json"
+        s.save(path)
+        loaded = MetricsStore.load(path)
+        # Retention still enforced on new writes.
+        for minute in range(1, 5):
+            loaded.write("m", minute * 60, float(minute))
+        assert loaded.get("m").start >= 240 - 120
+
+    def test_load_rejects_foreign_files(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"format": "something-else", "series": []}')
+        with pytest.raises(MetricsError, match="not a repro metrics dump"):
+            MetricsStore.load(path)
+
+    def test_loaded_store_supports_further_writes(self, store, tmp_path):
+        path = tmp_path / "metrics.json"
+        store.save(path)
+        loaded = MetricsStore.load(path)
+        loaded.write(
+            "execute-count", 300, 999.0,
+            {"component": "a", "instance": "a_0"},
+        )
+        series = loaded.get(
+            "execute-count", {"component": "a", "instance": "a_0"}
+        )
+        assert series.values[-1] == 999.0
