@@ -1,0 +1,136 @@
+"""Prediction quality when calibration data comes from a faulted run.
+
+Caladrius calibrates from whatever metrics the cluster produced; in
+practice those windows contain crashes, stragglers, stream-manager
+stalls and metrics-pipeline dropouts.  This bench deploys Word Count,
+replays the calibration sweep under each fault class (via a
+deterministic :class:`~repro.faults.plan.FaultPlan`), calibrates on the
+degraded store, and compares the predicted output rate against a clean
+ground-truth run of the same traffic.
+
+The assertion encodes the robustness contract: calibration must
+*succeed* (warnings, not exceptions) on every fault class, stay within
+5% of ground truth on the healthy baseline, and within 35% under
+faults — degraded answers are acceptable, wrong-by-2x answers are not.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+
+from benchmarks.conftest import fmt_m
+from repro.core.performance_models import ThroughputPredictionModel
+from repro.errors import DegradedMetricsWarning
+from repro.experiments.sweeps import run_point
+from repro.faults.plan import FaultEvent, FaultPlan
+from repro.heron.simulation import HeronSimulation, SimulationConfig
+from repro.heron.tracker import TopologyTracker
+from repro.heron.wordcount import WordCountParams, build_word_count
+from repro.timeseries.store import MetricsStore
+
+M = 1e6
+
+#: One representative fault per class, placed mid-sweep.  Container ids
+#: start at 1 (RoundRobinPacking); splitter/counter indices are valid
+#: for the p=2/p=4 deployment below.
+FAULT_SCENARIOS: dict[str, tuple[FaultEvent, ...]] = {
+    "healthy": (),
+    "crash": (
+        FaultEvent(at_seconds=240, kind="crash", component="splitter",
+                   index=0, duration_seconds=120),
+    ),
+    "straggler": (
+        FaultEvent(at_seconds=240, kind="straggler", component="counter",
+                   index=1, duration_seconds=180, factor=0.4),
+    ),
+    "stmgr_stall": (
+        FaultEvent(at_seconds=300, kind="stmgr_stall", container=1,
+                   duration_seconds=60),
+    ),
+    "metric_dropout": (
+        FaultEvent(at_seconds=240, kind="metric_dropout",
+                   component="counter", duration_seconds=120),
+    ),
+}
+
+
+def _calibration_store(
+    events: tuple[FaultEvent, ...], rates: np.ndarray
+) -> tuple[TopologyTracker, MetricsStore]:
+    """One deployed Word Count sweep, with the given faults injected."""
+    params = WordCountParams(splitter_parallelism=2, counter_parallelism=4)
+    topology, packing, logic = build_word_count(params)
+    store = MetricsStore()
+    plan = FaultPlan(events=events) if events else None
+    sim = HeronSimulation(
+        topology, packing, logic, store, SimulationConfig(seed=31),
+        faults=plan,
+    )
+    for rate in rates:
+        sim.set_source_rate("sentence-spout", float(rate))
+        sim.run(2)
+    tracker = TopologyTracker()
+    tracker.register(topology, packing)
+    return tracker, store
+
+
+def bench_fault_recovery(benchmark, quick, report):
+    rates = np.arange(4 * M, 44 * M + 1, 8 * M)
+    # Below the p=2 splitter's saturation point (~22M/min source), so the
+    # healthy prediction is exercising the linear regime it was fit on.
+    target_rate = 16 * M
+
+    # Ground truth: a clean deployment actually run at the target rate.
+    # The prediction's output_rate is the sink's processed rate, so the
+    # comparable observation is the counter's input throughput.
+    truth = run_point(
+        WordCountParams(splitter_parallelism=2, counter_parallelism=4),
+        target_rate,
+        seed=77,
+        warmup_minutes=1 if quick else 2,
+        measure_minutes=1 if quick else 2,
+    )
+    actual_output = truth.component_input["counter"]
+
+    lines = [
+        "Prediction error when calibrating on fault-degraded metrics",
+        f"traffic: {fmt_m(target_rate)} tuples/min; "
+        "ground truth from a clean run of the same deployment",
+        "",
+        f"{'fault class':>15} {'predicted out':>14} {'actual out':>12} "
+        f"{'error':>7} {'warned':>7}",
+    ]
+    errors: dict[str, float] = {}
+    for scenario, events in FAULT_SCENARIOS.items():
+        tracker, store = _calibration_store(events, rates)
+        model = ThroughputPredictionModel(tracker, store)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            prediction = model.predict("word-count", source_rate=target_rate)
+        degraded = any(
+            issubclass(w.category, DegradedMetricsWarning) for w in caught
+        )
+        error = abs(prediction.output_rate - actual_output) / actual_output
+        errors[scenario] = error
+        lines.append(
+            f"{scenario:>15} {fmt_m(prediction.output_rate):>14} "
+            f"{fmt_m(actual_output):>12} {error:>6.1%} "
+            f"{'yes' if degraded else 'no':>7}"
+        )
+        if scenario == "crash":
+            assert degraded, "crash must surface a DegradedMetricsWarning"
+
+    # The benchmarked step: calibrate + predict on the crash-degraded
+    # store — the latency the API tier pays per request after a fault.
+    tracker, store = _calibration_store(FAULT_SCENARIOS["crash"], rates)
+    model = ThroughputPredictionModel(tracker, store)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DegradedMetricsWarning)
+        benchmark(model.predict, "word-count", target_rate)
+
+    report("fault_recovery", lines)
+    assert errors["healthy"] < 0.05
+    for scenario, error in errors.items():
+        assert error < 0.35, f"{scenario}: {error:.1%} prediction error"

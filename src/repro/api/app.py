@@ -24,7 +24,8 @@ from typing import Any
 
 from repro.config.loader import CaladriusConfig
 from repro.config.registry import ModelRegistry, build_registry
-from repro.errors import ApiError, ReproError
+from repro.errors import ApiError, ReproError, TopologyError
+from repro.faults.health import assess_topology_metrics
 from repro.heron.tracker import TopologyTracker
 from repro.timeseries.store import MetricsStore
 
@@ -80,7 +81,7 @@ class CaladriusApp:
         try:
             return 200, self._route(method.upper(), parts, query, body)
         except ApiError as exc:
-            return exc.status, {"error": str(exc)}
+            return exc.status, {"error": str(exc), **exc.payload}
         except ReproError as exc:
             return 400, {"error": str(exc)}
 
@@ -124,8 +125,39 @@ class CaladriusApp:
     # ------------------------------------------------------------------
     # Handlers
     # ------------------------------------------------------------------
+    def _tracked(self, name: str):
+        """Topology lookup with not-found semantics (404, not 400)."""
+        try:
+            return self.tracker.get(name)
+        except TopologyError as exc:
+            raise ApiError(str(exc), 404) from exc
+
+    def _require_healthy_metrics(self, topology: str) -> None:
+        """503 (structured) when the topology's metrics can't be modelled.
+
+        Models calibrated on windows with many missing minutes produce
+        confidently wrong answers; the service declines instead, and the
+        response carries the health report so callers can decide whether
+        to retry later or lower ``degraded_threshold``.
+        """
+        tracked = self._tracked(topology)
+        spouts = [s.name for s in tracked.topology.spouts()]
+        health = assess_topology_metrics(
+            self.store,
+            topology,
+            spouts,
+            degraded_threshold=self.config.degraded_threshold,
+        )
+        if not health.usable:
+            raise ApiError(
+                f"metrics for topology {topology!r} are {health.status}: "
+                f"{health.detail}",
+                503,
+                {"metrics_health": health.as_dict()},
+            )
+
     def _topology_info(self, name: str, kind: str) -> dict[str, Any]:
-        tracked = self.tracker.get(name)
+        tracked = self._tracked(name)
         if kind == "logical":
             return tracked.logical_plan()
         if kind == "packing":
@@ -137,6 +169,7 @@ class CaladriusApp:
     ) -> dict[str, Any]:
         horizon = _int_param(query, "horizon_minutes", default=60)
         source = _int_param(query, "source_minutes", default=None)
+        self._require_healthy_metrics(topology)
         models = self.registry.traffic_model(query.get("model"))
         results = [
             model.predict(topology, source, horizon).as_dict()
@@ -160,6 +193,7 @@ class CaladriusApp:
             ):
                 raise ApiError("parallelisms must map components to integers")
         traffic_model_name = body.get("traffic_model")
+        self._require_healthy_metrics(topology)
         traffic = None
         if source_rate is None:
             horizon = _int_param(query, "horizon_minutes", default=60)

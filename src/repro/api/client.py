@@ -2,8 +2,11 @@
 
 from __future__ import annotations
 
+import http.client
 import json
+import random
 import time
+from collections.abc import Callable
 from http.client import HTTPConnection
 from typing import Any
 from urllib.parse import urlencode
@@ -12,26 +15,99 @@ from repro.errors import ApiError
 
 __all__ = ["CaladriusClient"]
 
+#: Statuses worth retrying: the service said "not right now", not "no".
+RETRYABLE_STATUSES = frozenset({502, 503, 504})
+
 
 class CaladriusClient:
     """Thin JSON-over-HTTP client mirroring the API endpoints.
+
+    Transient failures — connection refused/reset, or a 502/503/504
+    response — are retried with exponential backoff and deterministic
+    jitter.  Anything else (4xx, malformed bodies) surfaces immediately
+    as :class:`~repro.errors.ApiError`.
 
     Parameters
     ----------
     host / port:
         Where the Caladrius service listens.
     timeout:
-        Socket timeout per request, in seconds.
+        Socket timeout per request attempt, in seconds.
+    retries:
+        Extra attempts after the first (0 = single shot).
+    backoff_seconds / backoff_max_seconds:
+        First retry delay and its cap; the delay doubles per attempt.
+    jitter:
+        Fractional jitter applied to each delay (seeded, so test runs
+        are reproducible).
+    sleep:
+        Injectable sleep function — tests pass a recorder to assert the
+        backoff schedule without waiting it out.
     """
 
-    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 30.0,
+        retries: int = 3,
+        backoff_seconds: float = 0.1,
+        backoff_max_seconds: float = 2.0,
+        jitter: float = 0.1,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if retries < 0:
+            raise ApiError("retries must be non-negative")
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retries = retries
+        self.backoff_seconds = backoff_seconds
+        self.backoff_max_seconds = backoff_max_seconds
+        self.jitter = jitter
+        self._sleep = sleep
+        self._rng = random.Random(0x5EED)
 
     # ------------------------------------------------------------------
     # Transport
     # ------------------------------------------------------------------
+    def _backoff(self, attempt: int) -> float:
+        """Delay before retry ``attempt`` (1-based), jittered."""
+        base = min(
+            self.backoff_seconds * (2.0 ** (attempt - 1)),
+            self.backoff_max_seconds,
+        )
+        spread = self.jitter * base
+        return max(0.0, base + self._rng.uniform(-spread, spread))
+
+    def _attempt(
+        self,
+        method: str,
+        path: str,
+        payload: bytes | None,
+    ) -> tuple[int, dict[str, Any]]:
+        """One HTTP round-trip; returns (status, decoded JSON body)."""
+        connection = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            headers = {"Content-Type": "application/json"} if payload else {}
+            connection.request(method, path, body=payload, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            status = response.status
+        finally:
+            connection.close()
+        try:
+            data = json.loads(raw.decode("utf8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise ApiError(
+                f"response body is not JSON (HTTP {status})", status
+            ) from exc
+        if not isinstance(data, dict):
+            raise ApiError(
+                f"response body is not a JSON object (HTTP {status})", status
+            )
+        return status, data
+
     def _request(
         self,
         method: str,
@@ -41,21 +117,31 @@ class CaladriusClient:
     ) -> dict[str, Any]:
         if query:
             path = f"{path}?{urlencode(query)}"
-        connection = HTTPConnection(self.host, self.port, timeout=self.timeout)
-        try:
-            payload = json.dumps(body).encode("utf8") if body is not None else None
-            headers = {"Content-Type": "application/json"} if payload else {}
-            connection.request(method, path, body=payload, headers=headers)
-            response = connection.getresponse()
-            data = json.loads(response.read().decode("utf8"))
-            if response.status >= 400:
+        payload = json.dumps(body).encode("utf8") if body is not None else None
+        last_error: Exception | None = None
+        for attempt in range(self.retries + 1):
+            if attempt > 0:
+                self._sleep(self._backoff(attempt))
+            try:
+                status, data = self._attempt(method, path, payload)
+            except (OSError, http.client.HTTPException) as exc:
+                last_error = exc
+                continue
+            if status in RETRYABLE_STATUSES and attempt < self.retries:
+                last_error = ApiError(
+                    data.get("error", f"HTTP {status}"), status, data
+                )
+                continue
+            if status >= 400:
                 raise ApiError(
-                    data.get("error", f"HTTP {response.status}"),
-                    response.status,
+                    data.get("error", f"HTTP {status}"), status, data
                 )
             return data
-        finally:
-            connection.close()
+        raise ApiError(
+            f"{method} {path} failed after {self.retries + 1} attempt(s): "
+            f"{last_error}",
+            503,
+        ) from last_error
 
     # ------------------------------------------------------------------
     # Endpoints

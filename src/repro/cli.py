@@ -81,6 +81,8 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--topology", default=None,
                           help="YAML topology file (instead of Word Count)")
     simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--faults", default=None, metavar="PATH",
+                          help="YAML fault plan injected during the run")
     simulate.add_argument("--json", action="store_true", dest="as_json")
 
     predict = sub.add_parser("predict", help="dry-run performance prediction")
@@ -201,8 +203,14 @@ def _cmd_simulate(args) -> int:
         )
         topology, packing, logic = build_word_count(params)
     store = MetricsStore()
+    plan = None
+    if args.faults:
+        from repro.faults import load_fault_plan
+
+        plan = load_fault_plan(args.faults, topology, packing, args.minutes)
     sim = HeronSimulation(
-        topology, packing, logic, store, SimulationConfig(seed=args.seed)
+        topology, packing, logic, store, SimulationConfig(seed=args.seed),
+        faults=plan,
     )
     for spout in topology.spouts():
         sim.set_source_rate(spout.name, args.rate / len(topology.spouts()))
@@ -221,15 +229,38 @@ def _cmd_simulate(args) -> int:
         MetricNames.TOPOLOGY_BACKPRESSURE_TIME_MS,
         {"topology": topology.name},
     )
-    for i, (ts, value) in enumerate(bolt_in):
+    # Fault blackouts leave different series missing different minutes,
+    # so rows are joined on timestamps rather than positions.
+    out_maps = [
+        dict(zip(o.timestamps.tolist(), o.values.tolist())) for o in outputs
+    ]
+    bp_map = dict(zip(bp.timestamps.tolist(), bp.values.tolist()))
+    for ts, value in bolt_in:
+        minute = int(ts) // 60
         rows.append(
             {
-                "minute": i,
+                "minute": minute,
                 f"{first_bolt}_in_tpm": value,
-                "output_tpm": float(sum(o.values[i] for o in outputs)),
-                "backpressure_ms": float(bp.values[i]),
+                "output_tpm": float(
+                    sum(m.get(int(ts), 0.0) for m in out_maps)
+                ),
+                "backpressure_ms": float(bp_map.get(int(ts), 0.0)),
             }
         )
+    if plan is not None:
+        for seconds, action, event in sim.fault_log:
+            target = event.component or (
+                f"container-{event.container}"
+                if event.container is not None
+                else "topology"
+            )
+            if event.index is not None:
+                target += f"[{event.index}]"
+            print(
+                f"[fault] t={seconds:>5.0f}s {action:<8} "
+                f"{event.kind:<15} {target}",
+                file=sys.stderr,
+            )
     if args.as_json:
         print(json.dumps(rows, indent=2))
     else:

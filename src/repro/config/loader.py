@@ -45,6 +45,7 @@ class CaladriusConfig:
     api_host: str = "127.0.0.1"
     api_port: int = 8080
     log_level: str = "INFO"
+    degraded_threshold: float = 0.25
 
     def options_for(self, model: str) -> dict[str, Any]:
         """Keyword options configured for one model (may be empty)."""
@@ -64,6 +65,7 @@ def load_config(source: str | Path | Mapping[str, Any]) -> CaladriusConfig:
             stats-summary: {statistic: mean, window: 120}
           api: {host: 127.0.0.1, port: 8080}
           log_level: INFO
+          degraded_threshold: 0.25
 
     Unknown model names and malformed sections raise
     :class:`~repro.errors.ConfigError` with a precise message.
@@ -115,6 +117,13 @@ def load_config(source: str | Path | Mapping[str, Any]) -> CaladriusConfig:
     log_level = section.get("log_level", "INFO")
     if log_level not in ("DEBUG", "INFO", "WARNING", "ERROR"):
         raise ConfigError(f"unsupported log_level {log_level!r}")
+    threshold = section.get("degraded_threshold", 0.25)
+    if isinstance(threshold, bool) or not isinstance(threshold, (int, float)):
+        raise ConfigError("degraded_threshold must be a number")
+    if not 0.0 <= float(threshold) <= 1.0:
+        raise ConfigError(
+            f"degraded_threshold must be in [0, 1], got {threshold!r}"
+        )
     return CaladriusConfig(
         traffic_models=traffic,
         performance_models=performance,
@@ -122,6 +131,7 @@ def load_config(source: str | Path | Mapping[str, Any]) -> CaladriusConfig:
         api_host=host,
         api_port=port,
         log_level=log_level,
+        degraded_threshold=float(threshold),
     )
 
 

@@ -18,14 +18,16 @@ one in the non-saturation interval and one in the saturation interval"
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.component_model import ComponentModel
 from repro.core.instance_model import InstanceModel
-from repro.errors import CalibrationError, MetricsError
+from repro.errors import CalibrationError, DegradedMetricsWarning, MetricsError
 from repro.heron.metrics import MetricNames
+from repro.timeseries.series import TimeSeries
 from repro.timeseries.store import MetricsStore
 
 __all__ = [
@@ -33,6 +35,7 @@ __all__ = [
     "LinearFit",
     "fit_piecewise_linear",
     "fit_linear",
+    "degraded_aggregate",
     "component_observations",
     "calibrate_component",
     "calibrate_sink",
@@ -243,6 +246,35 @@ def _slope_stderr(basis: np.ndarray, residual_std: float) -> float:
 # ----------------------------------------------------------------------
 # Metrics-store adapters
 # ----------------------------------------------------------------------
+def degraded_aggregate(
+    store: MetricsStore,
+    name: str,
+    tag_filter: dict[str, str],
+    start: int | None = None,
+) -> TimeSeries:
+    """Component rollup that *skips* degraded minutes instead of lying.
+
+    A plain :meth:`~repro.timeseries.store.MetricsStore.aggregate` sums
+    over the union of timestamps, silently under-counting any minute
+    where an instance failed to report (crash, metrics dropout).  This
+    wrapper keeps only fully reported minutes, emits a
+    :class:`~repro.errors.DegradedMetricsWarning` naming what was
+    dropped, and lets calibration proceed on the clean window — the
+    graceful-degradation contract of the fault model.
+    """
+    series, degraded = store.aggregate_complete(name, tag_filter, start=start)
+    if degraded:
+        warnings.warn(
+            DegradedMetricsWarning(
+                f"{name} for {tag_filter}: skipped {len(degraded)} "
+                f"degraded metric minute(s) (missing or partially "
+                f"reported); calibrating on the remaining {len(series)}"
+            ),
+            stacklevel=2,
+        )
+    return series
+
+
 def component_observations(
     store: MetricsStore,
     topology_name: str,
@@ -260,23 +292,28 @@ def component_observations(
     discipline.
     """
     base_tags = {"topology": topology_name}
-    source = store.aggregate(
-        MetricNames.SOURCE_COUNT, {**base_tags, "component": source_spout}
+    source = degraded_aggregate(
+        store, MetricNames.SOURCE_COUNT, {**base_tags, "component": source_spout}
     )
     component_tags = {**base_tags, "component": component}
     try:
-        inputs = store.aggregate(MetricNames.RECEIVED_COUNT, component_tags)
+        inputs = degraded_aggregate(
+            store, MetricNames.RECEIVED_COUNT, component_tags
+        )
     except MetricsError:  # spouts have no received-count; use fetched
-        inputs = store.aggregate(MetricNames.EXECUTE_COUNT, component_tags)
-    outputs = store.aggregate(MetricNames.EMIT_COUNT, component_tags)
-    cpu = store.aggregate(MetricNames.CPU_LOAD, component_tags)
+        inputs = degraded_aggregate(
+            store, MetricNames.EXECUTE_COUNT, component_tags
+        )
+    outputs = degraded_aggregate(store, MetricNames.EMIT_COUNT, component_tags)
+    cpu = degraded_aggregate(store, MetricNames.CPU_LOAD, component_tags)
     src_aligned, in_aligned = source.align(inputs)
     _, out_aligned = source.align(outputs)
     _, cpu_aligned = source.align(cpu)
     n = min(len(src_aligned), len(out_aligned), len(cpu_aligned))
     if n <= warmup_minutes:
         raise CalibrationError(
-            f"only {n} aligned minutes available; need more than the "
+            f"only {n} usable aligned minutes available (degraded metric "
+            f"windows are skipped); need more than the "
             f"{warmup_minutes}-minute warmup"
         )
     sl = slice(warmup_minutes, n)

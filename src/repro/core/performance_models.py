@@ -29,13 +29,14 @@ import numpy as np
 from repro.core.calibration import (
     PiecewiseLinearFit,
     calibrate_sink,
+    degraded_aggregate,
     fit_piecewise_linear,
 )
 from repro.core.component_model import ComponentModel
 from repro.core.instance_model import InstanceModel
 from repro.core.topology_model import TopologyModel
 from repro.core.traffic_models import TrafficPrediction
-from repro.errors import CalibrationError, ModelError
+from repro.errors import CalibrationError, MetricsError, ModelError
 from repro.graph.topology_graph import source_sink_paths
 from repro.heron.groupings import ShuffleGrouping
 from repro.heron.metrics import MetricNames
@@ -146,9 +147,63 @@ def calibrate_topology(
     offered: dict[str, np.ndarray | None] = {
         name: None for name in topology.components
     }
-    timeline: np.ndarray | None = None
     models = {}
     fits: dict[str, PiecewiseLinearFit] = {}
+
+    # Fetch every series first (skipping partially-reported minutes with
+    # a DegradedMetricsWarning), then align all components on the
+    # timestamps that every series kept.  After an instance crash or a
+    # metric dropout different components are missing *different*
+    # minutes, so positional alignment would silently pair unrelated
+    # minutes together.
+    fetched: dict[tuple[str, ...], object] = {}
+    try:
+        for spec in topology.topological_order():
+            name = spec.name
+            tags = {"topology": topology.name, "component": name}
+            if spec.is_spout:
+                fetched[("source", name)] = degraded_aggregate(
+                    store, MetricNames.SOURCE_COUNT, tags,
+                    start=since_seconds,
+                )
+                continue
+            fetched[("received", name)] = degraded_aggregate(
+                store, MetricNames.RECEIVED_COUNT, tags, start=since_seconds
+            )
+            for stream_name in sorted(
+                {s.name for s in topology.outputs(name)}
+            ):
+                fetched[("emit", name, stream_name)] = degraded_aggregate(
+                    store,
+                    MetricNames.STREAM_EMIT_COUNT,
+                    {**tags, "stream": stream_name},
+                    start=since_seconds,
+                )
+    except MetricsError as exc:
+        # A series that was never written at all (e.g. a dropout from
+        # t=0) is the extreme of "no usable metric minutes".
+        raise CalibrationError(
+            f"no usable metric minutes for calibration: {exc}"
+        ) from exc
+
+    common: np.ndarray | None = None
+    for series in fetched.values():
+        ts = series.timestamps  # type: ignore[attr-defined]
+        common = ts if common is None else np.intersect1d(common, ts)
+    if common is None:
+        common = np.asarray([], dtype=np.int64)
+    common = common[warmup_minutes:]
+    if common.shape[0] < 3:
+        raise CalibrationError(
+            f"only {common.shape[0]} usable metric minutes are shared by "
+            "every component after the warmup (degraded windows are "
+            "skipped); at least 3 are needed to calibrate"
+        )
+
+    def sel(key: tuple[str, ...]) -> np.ndarray:
+        series = fetched[key]
+        mask = np.isin(series.timestamps, common)  # type: ignore[attr-defined]
+        return series.values[mask]  # type: ignore[attr-defined]
 
     def add_offered(name: str, values: np.ndarray) -> None:
         if offered[name] is None:
@@ -158,18 +213,8 @@ def calibrate_topology(
 
     for spec in topology.topological_order():
         name = spec.name
-        tags = {"topology": topology.name, "component": name}
         if spec.is_spout:
-            series = store.aggregate(
-                MetricNames.SOURCE_COUNT, tags, start=since_seconds
-            )
-            values = series.values[warmup_minutes:]
-            if timeline is None:
-                timeline = series.timestamps[warmup_minutes:]
-            if values.shape[0] < 3:
-                raise CalibrationError(
-                    f"spout {name!r} has too little history to calibrate"
-                )
+            values = sel(("source", name))
             add_offered(name, values)
             # The evaluation spout is a pass-through (identity model) —
             # downstream sees the offered external rate.
@@ -182,14 +227,10 @@ def calibrate_topology(
             raise CalibrationError(f"bolt {name!r} received no offered rate")
         shares = _input_shares(topology, name, spec.parallelism)
         outputs = topology.outputs(name)
-        received = store.aggregate(
-            MetricNames.RECEIVED_COUNT, tags, start=since_seconds
-        )
-        y_in = received.values[warmup_minutes:]
-        n = min(x.shape[0], y_in.shape[0])
+        y_in = sel(("received", name))
         if not outputs:
             model, fit = calibrate_sink(
-                name, x[:n], y_in[:n], spec.parallelism,
+                name, x, y_in, spec.parallelism,
                 None if shares is None else np.asarray(shares),
             )
             models[name] = model
@@ -198,16 +239,8 @@ def calibrate_topology(
         stream_names = sorted({s.name for s in outputs})
         per_stream_fits: dict[str, PiecewiseLinearFit] = {}
         for stream_name in stream_names:
-            emitted = store.aggregate(
-                MetricNames.STREAM_EMIT_COUNT,
-                {**tags, "stream": stream_name},
-                start=since_seconds,
-            )
-            y_out = emitted.values[warmup_minutes:]
-            m = min(n, y_out.shape[0])
-            per_stream_fits[stream_name] = fit_piecewise_linear(
-                x[:m], y_out[:m]
-            )
+            y_out = sel(("emit", name, stream_name))
+            per_stream_fits[stream_name] = fit_piecewise_linear(x, y_out)
         # Streams share the input, so the component saturates at the
         # smallest fitted breakpoint; alphas come from each stream's fit.
         sp_component = min(
@@ -235,7 +268,7 @@ def calibrate_topology(
         )
         for stream in outputs:
             fit = per_stream_fits[stream.name]
-            predicted = fit.alpha * np.minimum(x[:n], sp_component)
+            predicted = fit.alpha * np.minimum(x, sp_component)
             add_offered(stream.destination, predicted)
 
     return TopologyModel(topology, models), fits

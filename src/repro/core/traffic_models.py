@@ -18,18 +18,20 @@ Two implementations mirror the paper's:
 
 from __future__ import annotations
 
+import warnings
 from abc import ABC, abstractmethod
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.errors import ForecastError, ModelError
+from repro.errors import DegradedMetricsWarning, ForecastError, ModelError
 from repro.forecasting.base import Forecast, Forecaster
 from repro.forecasting.prophet_lite import ProphetLite
 from repro.forecasting.summary import SummaryForecaster
 from repro.heron.metrics import MetricNames
 from repro.heron.tracker import TopologyTracker
+from repro.timeseries.gaps import fill_gaps
 from repro.timeseries.store import MetricsStore
 
 __all__ = [
@@ -117,10 +119,19 @@ class TrafficModel(ABC):
         spouts = [s.name for s in tracked.topology.spouts()]
         series = {}
         for spout in spouts:
-            full = self.store.aggregate(
+            full, degraded = self.store.aggregate_complete(
                 MetricNames.SOURCE_COUNT,
                 {"topology": topology_name, "component": spout},
             )
+            if degraded:
+                warnings.warn(
+                    f"spout {spout!r} of topology {topology_name!r} is "
+                    f"missing {len(degraded)} metric minute(s); gaps were "
+                    "interpolated before forecasting",
+                    DegradedMetricsWarning,
+                    stacklevel=3,
+                )
+                full = fill_gaps(full)
             if source_minutes is not None:
                 full = full.tail(source_minutes)
             series[spout] = full

@@ -50,9 +50,35 @@ class ConfigError(ReproError):
     """A configuration file or mapping failed validation."""
 
 
-class ApiError(ReproError):
-    """An API-tier request was malformed or could not be served."""
+class FaultError(ReproError):
+    """A fault plan is malformed or targets entities the topology lacks."""
 
-    def __init__(self, message: str, status: int = 400) -> None:
+
+class ApiError(ReproError):
+    """An API-tier request was malformed or could not be served.
+
+    ``payload`` carries extra structured fields merged into the JSON
+    error response next to the ``"error"`` key (e.g. metrics-health
+    details on a 503).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        status: int = 400,
+        payload: dict[str, object] | None = None,
+    ) -> None:
         super().__init__(message)
         self.status = status
+        self.payload = dict(payload or {})
+
+
+class DegradedMetricsWarning(UserWarning):
+    """Metrics windows contain gaps; results were computed on the rest.
+
+    Raised as a *warning* by the calibration and traffic-model tiers when
+    metric minutes are missing or only partially reported (instance
+    crashes, collector dropouts): the models degrade gracefully by
+    skipping or interpolating the affected minutes instead of failing the
+    request.
+    """

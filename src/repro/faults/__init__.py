@@ -1,0 +1,26 @@
+"""Fault injection: deterministic degraded-condition modelling.
+
+This package supplies the three pieces of the robustness story:
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan` / :class:`FaultEvent`,
+  seeded deterministic schedules of crashes, stragglers, stream-manager
+  stalls and metric dropouts (plus YAML loading for the CLI);
+* :mod:`repro.faults.injector` — :class:`FaultInjector`, which threads a
+  plan through :class:`~repro.heron.simulation.HeronSimulation` tick by
+  tick;
+* :mod:`repro.faults.health` — :func:`assess_topology_metrics`, the
+  metrics-health check behind the API tier's structured 503s.
+"""
+
+from repro.faults.health import MetricsHealth, assess_topology_metrics
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultEvent, FaultPlan, load_fault_plan
+
+__all__ = [
+    "FaultEvent",
+    "FaultPlan",
+    "FaultInjector",
+    "MetricsHealth",
+    "assess_topology_metrics",
+    "load_fault_plan",
+]

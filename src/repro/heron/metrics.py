@@ -101,6 +101,7 @@ class MetricsManager:
         self._topology_backpressure_ms = 0.0
         self._elapsed_in_minute = 0.0
         self._minute_start = start_seconds
+        self._blackouts: set[tuple[str | None, str | None]] = set()
 
     # ------------------------------------------------------------------
     # Accumulation (called by the simulation each tick)
@@ -166,6 +167,40 @@ class MetricsManager:
         self._topology_backpressure_ms += dt * 1000.0
 
     # ------------------------------------------------------------------
+    # Blackouts (fault injection)
+    # ------------------------------------------------------------------
+    def set_blackout(
+        self,
+        component: str | None,
+        instance: str | None = None,
+        active: bool = True,
+    ) -> None:
+        """Suppress (or resume) metric emission for a scope.
+
+        While a scope is blacked out its per-minute samples are simply
+        not written — the store shows *missing minutes*, exactly what a
+        crashed instance or a metrics-pipeline dropout produces in a real
+        cluster.  Scopes: ``(component, instance)`` one instance,
+        ``(component, None)`` a whole component, ``(None, None)`` the
+        entire topology including topology-level series.
+        """
+        if component is None and instance is not None:
+            raise MetricsError("instance blackout needs its component")
+        key = (component, instance)
+        if active:
+            self._blackouts.add(key)
+        else:
+            self._blackouts.discard(key)
+
+    def blacked_out(self, component: str, instance: str) -> bool:
+        """True when samples for this instance are being suppressed."""
+        return (
+            (None, None) in self._blackouts
+            or (component, None) in self._blackouts
+            or (component, instance) in self._blackouts
+        )
+
+    # ------------------------------------------------------------------
     # Time keeping / flushing
     # ------------------------------------------------------------------
     def advance(self, dt: float) -> None:
@@ -184,6 +219,8 @@ class MetricsManager:
     def _flush_minute(self) -> None:
         timestamp = self._minute_start
         for (component, instance, container), buffer in self._buffers.items():
+            if self.blacked_out(component, instance):
+                continue
             tags = {
                 "topology": self.topology_name,
                 "component": component,
@@ -210,12 +247,13 @@ class MetricsManager:
                 min(buffer.backpressure_ms, MINUTE_SECONDS * 1000.0),
                 tags,
             )
-        self.store.write(
-            MetricNames.TOPOLOGY_BACKPRESSURE_TIME_MS,
-            timestamp,
-            min(self._topology_backpressure_ms, MINUTE_SECONDS * 1000.0),
-            {"topology": self.topology_name},
-        )
+        if (None, None) not in self._blackouts:
+            self.store.write(
+                MetricNames.TOPOLOGY_BACKPRESSURE_TIME_MS,
+                timestamp,
+                min(self._topology_backpressure_ms, MINUTE_SECONDS * 1000.0),
+                {"topology": self.topology_name},
+            )
         self._buffers = {key: _MinuteBuffer() for key in self._buffers}
         self._topology_backpressure_ms = 0.0
         self._elapsed_in_minute = 0.0

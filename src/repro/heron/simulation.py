@@ -208,6 +208,7 @@ class _SpoutState:
         self.logic = logic
         self.parallelism = parallelism
         self.rate_tps = 0.0  # configured source rate, per instance
+        self.down = np.zeros(parallelism, dtype=bool)
         self.backlog = np.zeros(parallelism)
         self.tick_emitted = np.zeros(parallelism)
         self.tick_fetched = np.zeros(parallelism)
@@ -225,6 +226,7 @@ class _BoltState:
         self.queue_tuples = np.zeros(parallelism)
         self.bp_flag = np.zeros(parallelism, dtype=bool)
         self.capacity_factor = np.ones(parallelism)
+        self.down = np.zeros(parallelism, dtype=bool)
         self.state_bytes = np.zeros(parallelism)
         self.tick_arrivals = np.zeros(parallelism)
         self.tick_processed = np.zeros(parallelism)
@@ -280,6 +282,11 @@ class HeronSimulation:
         e.g. an autoscaler replacing the topology — pass the previous
         simulation's end time so the shared metrics store keeps one
         continuous history.
+    faults:
+        Optional :class:`~repro.faults.plan.FaultPlan` (or a prepared
+        :class:`~repro.faults.injector.FaultInjector`) executed against
+        this run: crashes, stragglers, stream-manager stalls and metric
+        dropouts fire deterministically at their scheduled ticks.
     """
 
     def __init__(
@@ -290,6 +297,7 @@ class HeronSimulation:
         store: MetricsStore,
         config: SimulationConfig | None = None,
         start_at_seconds: int = 0,
+        faults: "object | None" = None,
     ) -> None:
         self.topology = topology
         self.packing = packing
@@ -307,6 +315,23 @@ class HeronSimulation:
             c.container_id: _StmgrState(c.container_id)
             for c in packing.containers
         }
+        self._stalled_containers: set[int] = set()
+        self._injector = None
+        if faults is not None:
+            # Imported lazily: repro.faults depends on repro.heron types.
+            from repro.faults.injector import FaultInjector
+            from repro.faults.plan import FaultPlan
+
+            if isinstance(faults, FaultPlan):
+                self._injector = FaultInjector(faults)
+            elif isinstance(faults, FaultInjector):
+                self._injector = faults
+            else:
+                raise SimulationError(
+                    "faults must be a FaultPlan or FaultInjector, "
+                    f"got {type(faults).__name__}"
+                )
+            self._injector.attach(self)
         for component in self._order:
             for index in range(topology.parallelism(component)):
                 self.metrics.register_instance(
@@ -430,6 +455,131 @@ class HeronSimulation:
             raise SimulationError(f"{component!r} is not a bolt")
         return self._bolts[component].capacity_factor.copy()
 
+    # ------------------------------------------------------------------
+    # Fault control surface (used directly or via a FaultInjector)
+    # ------------------------------------------------------------------
+    def crash_instance(self, component: str, index: int) -> None:
+        """Kill one instance: processing stops and its metrics go dark.
+
+        A crashed bolt loses its in-memory pending queue (the tuples are
+        gone with the process); tuples routed to it while it is down keep
+        accumulating — the stream manager still buffers for the
+        registered instance — so its queue refills and backpressure can
+        raise exactly as in a real cluster.  A crashed spout stops
+        fetching while its external source keeps producing backlog.
+        From the crash tick until :meth:`restore_instance`, the
+        instance's per-minute metrics are not written (missing minutes).
+        """
+        state = self._instance_state(component, index)
+        if isinstance(state, _BoltState):
+            state.queue_tuples[index] = 0.0
+            state.bp_flag[index] = False
+        state.down[index] = True
+        self.metrics.set_blackout(component, f"{component}_{index}", True)
+
+    def restore_instance(self, component: str, index: int) -> None:
+        """Restart a crashed instance; it resumes with whatever queued."""
+        state = self._instance_state(component, index)
+        state.down[index] = False
+        self.metrics.set_blackout(component, f"{component}_{index}", False)
+
+    def instance_down(self, component: str, index: int) -> bool:
+        """True while an instance is crashed."""
+        return bool(self._instance_state(component, index).down[index])
+
+    def _instance_state(
+        self, component: str, index: int
+    ) -> "_SpoutState | _BoltState":
+        state = self._bolts.get(component) or self._spouts.get(component)
+        if state is None:
+            raise SimulationError(
+                f"{component!r} is not a component of this topology"
+            )
+        if not 0 <= index < state.parallelism:
+            raise SimulationError(
+                f"{component!r} has no instance index {index}"
+            )
+        return state
+
+    def stall_stream_manager(self, container_id: int) -> None:
+        """Stall one container's stream manager.
+
+        While stalled, the container's instances neither receive nor
+        deliver tuples: bolts on it stop draining (their queues fill from
+        upstream and raise backpressure) and spouts on it cannot emit.
+        The instances stay alive, so their metrics keep reporting — the
+        observable signature is a backpressure spike plus a throughput
+        dip, not missing minutes.
+        """
+        if container_id not in self._stmgrs:
+            raise SimulationError(f"no container with id {container_id}")
+        self._stalled_containers.add(container_id)
+
+    def resume_stream_manager(self, container_id: int) -> None:
+        """Clear a stream-manager stall."""
+        if container_id not in self._stmgrs:
+            raise SimulationError(f"no container with id {container_id}")
+        self._stalled_containers.discard(container_id)
+
+    def stalled_containers(self) -> list[int]:
+        """Container ids whose stream managers are currently stalled."""
+        return sorted(self._stalled_containers)
+
+    def set_metric_dropout(
+        self,
+        component: str | None = None,
+        index: int | None = None,
+        active: bool = True,
+    ) -> None:
+        """Start or stop a metrics-pipeline dropout.
+
+        The topology keeps running; its per-minute samples are simply not
+        written for the scoped entities — one instance, one component, or
+        (both ``None``) the whole topology.
+        """
+        if component is None:
+            if index is not None:
+                raise SimulationError(
+                    "an instance-scoped dropout needs its component"
+                )
+            self.metrics.set_blackout(None, None, active)
+            return
+        if component not in self.topology.components:
+            raise SimulationError(
+                f"{component!r} is not a component of this topology"
+            )
+        if index is None:
+            self.metrics.set_blackout(component, None, active)
+            return
+        if not 0 <= index < self.topology.parallelism(component):
+            raise SimulationError(
+                f"{component!r} has no instance index {index}"
+            )
+        self.metrics.set_blackout(component, f"{component}_{index}", active)
+
+    @property
+    def fault_log(self) -> list[tuple[float, str, object]]:
+        """The injector's ``(seconds, action, event)`` log (empty without
+        a fault plan)."""
+        if self._injector is None:
+            return []
+        return self._injector.log
+
+    def _blocked_mask(
+        self, component: str, down: np.ndarray
+    ) -> np.ndarray | None:
+        """Instances unable to move tuples: crashed or on a stalled
+        container.  ``None`` when nothing is blocked (the fast path)."""
+        if not down.any() and not self._stalled_containers:
+            return None
+        blocked = down
+        if self._stalled_containers:
+            blocked = blocked | np.isin(
+                self._containers[component],
+                np.fromiter(self._stalled_containers, dtype=np.int64),
+            )
+        return blocked if blocked.any() else None
+
     def stmgr_queued_tuples(self, container_id: int) -> float:
         """Tuples waiting inside one container's stream manager.
 
@@ -470,6 +620,8 @@ class HeronSimulation:
     # One tick
     # ------------------------------------------------------------------
     def _tick(self, dt: float) -> None:
+        if self._injector is not None:
+            self._injector.on_tick(self)
         bp_at_start = self.backpressure_active()
         use_stmgr = self.config.stmgr_capacity_tps is not None
         if use_stmgr:
@@ -523,6 +675,9 @@ class HeronSimulation:
         else:
             fetch_cap = logic.fetch_multiplier * state.rate_tps * dt
             fetched = np.minimum(state.backlog, fetch_cap)
+            blocked = self._blocked_mask(state.name, state.down)
+            if blocked is not None:
+                fetched = np.where(blocked, 0.0, fetched)
             clip = self._headroom_clip(state, fetched, dt)
             fetched = fetched * clip
         state.backlog -= fetched
@@ -586,6 +741,8 @@ class HeronSimulation:
         }
         budget = self.config.stmgr_capacity_tps * dt
         for stmgr in self._stmgrs.values():
+            if stmgr.container_id in self._stalled_containers:
+                continue  # a stalled stream manager releases nothing
             total = stmgr.queued_tuples()
             if total <= 0.0:
                 continue
@@ -642,6 +799,9 @@ class HeronSimulation:
         capacity = np.maximum(
             0.0, logic.capacity_tps * dt * noise * bolt.capacity_factor
         )
+        blocked = self._blocked_mask(bolt.name, bolt.down)
+        if blocked is not None:
+            capacity = np.where(blocked, 0.0, capacity)
         processed = np.minimum(bolt.queue_tuples, capacity)
         bolt.queue_tuples = bolt.queue_tuples - processed
         bolt.tick_processed = processed

@@ -1,0 +1,63 @@
+"""Gap detection and repair for regularly sampled series.
+
+Heron metrics arrive on a fixed per-minute cadence, so a missing
+timestamp is information: an instance was down, or the metrics pipeline
+dropped a window.  These helpers let consumers *see* the gaps
+(:func:`missing_timestamps`), quantify them (:func:`gap_fraction`) and
+repair them by linear interpolation (:func:`fill_gaps`) when a model
+downstream needs an unbroken grid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MetricsError
+from repro.timeseries.series import TimeSeries
+
+__all__ = ["missing_timestamps", "gap_fraction", "fill_gaps"]
+
+
+def missing_timestamps(series: TimeSeries, step: int = 60) -> np.ndarray:
+    """Grid timestamps absent from ``series``.
+
+    The expected grid runs from the first to the last observed sample in
+    ``step``-second increments; a healthy per-minute series has no
+    missing entries.  Empty and single-sample series have no interior
+    and return an empty array.
+    """
+    if step <= 0:
+        raise MetricsError("step must be positive")
+    if len(series) < 2:
+        return np.array([], dtype=np.int64)
+    expected = np.arange(series.start, series.end + step, step, dtype=np.int64)
+    return np.setdiff1d(expected, series.timestamps)
+
+
+def gap_fraction(series: TimeSeries, step: int = 60) -> float:
+    """Fraction of the expected grid that is missing, in [0, 1)."""
+    if len(series) < 2:
+        return 0.0
+    missing = missing_timestamps(series, step)
+    expected = (series.end - series.start) // step + 1
+    return float(len(missing)) / float(expected)
+
+
+def fill_gaps(series: TimeSeries, step: int = 60) -> TimeSeries:
+    """Return ``series`` with grid gaps filled by linear interpolation.
+
+    Interior missing timestamps get the linear interpolation of their
+    neighbours — the graceful-degradation repair the traffic models
+    apply to dropout windows.  A series without gaps is returned as-is.
+    """
+    missing = missing_timestamps(series, step)
+    if missing.size == 0:
+        return series
+    filled = np.interp(
+        missing.astype(np.float64),
+        series.timestamps.astype(np.float64),
+        series.values,
+    )
+    timestamps = np.concatenate([series.timestamps, missing])
+    values = np.concatenate([series.values, filled])
+    return TimeSeries(timestamps, values)

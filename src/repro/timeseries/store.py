@@ -212,6 +212,50 @@ class MetricsStore:
             )
         return rollup(list(matched.values()))
 
+    def aggregate_complete(
+        self,
+        name: str,
+        tag_filter: Mapping[str, str] | None = None,
+        start: int | None = None,
+        end: int | None = None,
+    ) -> tuple[TimeSeries, list[int]]:
+        """Sum matching series keeping only *fully reported* timestamps.
+
+        :meth:`aggregate` sums over the union of timestamps, which
+        silently under-counts any minute where some instances did not
+        report (an instance crash, a metrics-collector dropout).  This
+        variant returns ``(series, degraded)`` where ``series`` contains
+        only timestamps at which *every* matching series has a sample,
+        and ``degraded`` lists the timestamps that were dropped —
+        partially reported minutes plus interior cadence gaps where no
+        series reported at all.
+        """
+        matched = self.query(name, tag_filter, start, end)
+        if not matched:
+            raise MetricsError(
+                f"no series match {name!r} with filter {dict(tag_filter or {})}"
+            )
+        n_series = len(matched)
+        counts: dict[int, int] = {}
+        totals: dict[int, float] = {}
+        for series in matched.values():
+            for ts, value in zip(series.timestamps, series.values):
+                ts = int(ts)
+                counts[ts] = counts.get(ts, 0) + 1
+                totals[ts] = totals.get(ts, 0.0) + float(value)
+        complete = sorted(ts for ts, c in counts.items() if c == n_series)
+        degraded = sorted(ts for ts, c in counts.items() if c < n_series)
+        if len(counts) > 1:
+            seen = sorted(counts)
+            steps = [b - a for a, b in zip(seen, seen[1:])]
+            step = min(steps)
+            if step > 0:
+                expected = range(seen[0], seen[-1] + step, step)
+                missing = [ts for ts in expected if ts not in counts]
+                degraded = sorted(set(degraded) | set(missing))
+        series = TimeSeries(complete, [totals[ts] for ts in complete])
+        return series, degraded
+
     def group_by(
         self,
         name: str,

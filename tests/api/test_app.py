@@ -51,7 +51,7 @@ class TestTopologyEndpoints:
 
     def test_unknown_topology(self, app):
         status, payload = app.handle("GET", "/topology/missing/logical")
-        assert status == 400
+        assert status == 404
         assert "error" in payload
 
     def test_unknown_route(self, app):

@@ -1,0 +1,148 @@
+"""Client resilience: retry with backoff against a flaky server, and
+non-JSON response bodies wrapped in ApiError."""
+
+from __future__ import annotations
+
+import http.server
+import json
+import threading
+
+import pytest
+
+from repro.api.client import CaladriusClient
+from repro.errors import ApiError
+
+
+class _FlakyHandler(http.server.BaseHTTPRequestHandler):
+    """Serves `behaviour` for the first `failures` requests, then JSON."""
+
+    behaviour = "close"  # "close" | "503" | "html" | "empty"
+    failures = 0
+    seen = 0
+
+    def do_GET(self):  # noqa: N802 - BaseHTTPRequestHandler API
+        cls = type(self)
+        cls.seen += 1
+        if cls.seen <= cls.failures:
+            if cls.behaviour == "close":
+                self.connection.close()
+                return
+            if cls.behaviour == "503":
+                body = json.dumps({"error": "warming up"}).encode()
+                self.send_response(503)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+                return
+        if cls.behaviour == "html" and cls.seen <= cls.failures + 1:
+            body = b"<html>gateway error</html>"
+            self.send_response(502)
+            self.send_header("Content-Type", "text/html")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+            return
+        if cls.behaviour == "empty" and cls.seen <= cls.failures + 1:
+            self.send_response(200)
+            self.send_header("Content-Length", "0")
+            self.end_headers()
+            return
+        body = json.dumps({"topologies": ["word-count"]}).encode()
+        self.send_response(200)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, *args):  # quiet
+        pass
+
+
+@pytest.fixture()
+def flaky_server():
+    """Start a server; yields a factory configuring its flakiness."""
+    server = http.server.ThreadingHTTPServer(("127.0.0.1", 0), _FlakyHandler)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+
+    def configure(behaviour: str, failures: int) -> tuple[str, int]:
+        _FlakyHandler.behaviour = behaviour
+        _FlakyHandler.failures = failures
+        _FlakyHandler.seen = 0
+        return server.server_address
+
+    yield configure
+    server.shutdown()
+    server.server_close()
+
+
+def _client(host, port, retries=3, **kwargs):
+    sleeps: list[float] = []
+    client = CaladriusClient(
+        host, port, timeout=5.0, retries=retries,
+        backoff_seconds=0.01, backoff_max_seconds=0.05,
+        sleep=sleeps.append, **kwargs,
+    )
+    return client, sleeps
+
+
+class TestRetries:
+    def test_retrying_client_survives_dropped_connections(self, flaky_server):
+        host, port = flaky_server("close", failures=2)
+        client, sleeps = _client(host, port)
+        assert client.topologies() == ["word-count"]
+        assert len(sleeps) == 2  # one backoff per failed attempt
+
+    def test_old_behaviour_raises_without_retries(self, flaky_server):
+        host, port = flaky_server("close", failures=2)
+        client, _ = _client(host, port, retries=0)
+        with pytest.raises(ApiError, match="failed after 1 attempt"):
+            client.topologies()
+
+    def test_503_retried_until_healthy(self, flaky_server):
+        host, port = flaky_server("503", failures=2)
+        client, sleeps = _client(host, port)
+        assert client.topologies() == ["word-count"]
+        assert len(sleeps) == 2
+
+    def test_503_exhausting_retries_surfaces_status(self, flaky_server):
+        host, port = flaky_server("503", failures=10)
+        client, _ = _client(host, port, retries=2)
+        with pytest.raises(ApiError) as excinfo:
+            client.topologies()
+        assert excinfo.value.status == 503
+        assert "warming up" in str(excinfo.value)
+
+    def test_backoff_grows_exponentially(self, flaky_server):
+        host, port = flaky_server("close", failures=3)
+        client, sleeps = _client(host, port)
+        assert client.topologies() == ["word-count"]
+        assert len(sleeps) == 3
+        assert sleeps[0] < sleeps[1] < sleeps[2]
+        # jitter keeps each delay within 10% of the nominal schedule
+        for observed, nominal in zip(sleeps, (0.01, 0.02, 0.04)):
+            assert abs(observed - nominal) <= 0.1 * nominal + 1e-12
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ApiError, match="non-negative"):
+            CaladriusClient("localhost", 1, retries=-1)
+
+
+class TestNonJsonBodies:
+    def test_html_error_page_wrapped_with_status(self, flaky_server):
+        host, port = flaky_server("html", failures=0)
+        client, _ = _client(host, port, retries=0)
+        with pytest.raises(ApiError) as excinfo:
+            client.topologies()
+        assert excinfo.value.status == 502
+        assert "not JSON" in str(excinfo.value)
+        assert "HTTP 502" in str(excinfo.value)
+
+    def test_empty_body_wrapped_with_status(self, flaky_server):
+        host, port = flaky_server("empty", failures=0)
+        client, _ = _client(host, port, retries=0)
+        with pytest.raises(ApiError) as excinfo:
+            client.topologies()
+        assert excinfo.value.status == 200
+        assert "not JSON" in str(excinfo.value)

@@ -1,0 +1,166 @@
+"""API error contract: every error path returns JSON with an "error"
+key and its documented status code (docs/api.md, "Errors")."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.app import CaladriusApp
+from repro.config import load_config
+from repro.faults.plan import FaultEvent, FaultPlan
+from repro.heron.simulation import HeronSimulation, SimulationConfig
+from repro.heron.tracker import TopologyTracker
+from repro.heron.wordcount import WordCountParams, build_word_count
+from repro.timeseries.store import MetricsStore
+
+M = 1e6
+
+CONFIG = {
+    "traffic_models": ["stats-summary"],
+    "performance_models": ["throughput-prediction"],
+}
+
+
+@pytest.fixture()
+def app(deployed_wordcount):
+    _, _, _, store, tracker = deployed_wordcount
+    application = CaladriusApp(load_config(CONFIG), tracker, store)
+    yield application
+    application.shutdown()
+
+
+def _degraded_app(degraded_threshold=0.05):
+    """A deployment whose metrics are badly gap-ridden (spout crashes)."""
+    params = WordCountParams(splitter_parallelism=2, counter_parallelism=4)
+    topology, packing, logic = build_word_count(params)
+    store = MetricsStore()
+    plan = FaultPlan(events=tuple(
+        FaultEvent(at_seconds=at, kind="crash", component="sentence-spout",
+                   index=0, duration_seconds=60)
+        for at in (120, 240, 360)
+    ))
+    sim = HeronSimulation(
+        topology, packing, logic, store, SimulationConfig(seed=5),
+        faults=plan,
+    )
+    sim.set_source_rate("sentence-spout", 16 * M)
+    sim.run(8)
+    tracker = TopologyTracker()
+    tracker.register(topology, packing)
+    config = load_config(
+        {**CONFIG, "degraded_threshold": degraded_threshold}
+    )
+    return CaladriusApp(config, tracker, store)
+
+
+ERROR_CASES = [
+    # (method, path, query, body, expected_status)
+    ("GET", "/topology/missing/logical", None, None, 404),
+    ("GET", "/topology/word-count/nonsense", None, None, 404),
+    ("GET", "/nope", None, None, 404),
+    ("GET", "/model/result/deadbeef", None, None, 404),
+    ("POST", "/model/traffic/heron/word-count", None, None, 405),
+    ("GET", "/model/topology/heron/word-count", None, None, 405),
+    ("GET", "/model/traffic/heron/missing", None, None, 404),
+    ("POST", "/model/topology/heron/missing",
+     None, {"source_rate": 1 * M}, 404),
+    ("GET", "/model/traffic/heron/word-count",
+     {"horizon_minutes": "soon"}, None, 400),
+    ("GET", "/model/traffic/heron/word-count",
+     {"horizon_minutes": "0"}, None, 400),
+    ("GET", "/model/traffic/heron/word-count",
+     {"model": "crystal-ball"}, None, 400),
+    ("POST", "/model/topology/heron/word-count",
+     None, {"source_rate": "lots"}, 400),
+    ("POST", "/model/topology/heron/word-count",
+     None, {"source_rate": 1 * M, "parallelisms": {"splitter": "two"}},
+     400),
+    ("POST", "/model/topology/heron/word-count",
+     None, {"source_rate": 1 * M, "parallelisms": {"parser": 2}}, 400),
+    ("POST", "/model/topology/heron/word-count",
+     None, {"source_rate": -5.0}, 400),
+]
+
+
+class TestErrorContract:
+    @pytest.mark.parametrize(
+        "method,path,query,body,expected",
+        ERROR_CASES,
+        ids=[f"{m} {p} -> {s}" for m, p, _, _, s in ERROR_CASES],
+    )
+    def test_error_shape_and_status(
+        self, app, method, path, query, body, expected
+    ):
+        status, payload = app.handle(method, path, query=query, body=body)
+        assert status == expected
+        assert isinstance(payload, dict)
+        assert isinstance(payload.get("error"), str)
+        assert payload["error"]
+
+    def test_success_paths_have_no_error_key(self, app):
+        for method, path, body in [
+            ("GET", "/topologies", None),
+            ("GET", "/topology/word-count/logical", None),
+            ("POST", "/model/topology/heron/word-count",
+             {"source_rate": 8 * M}),
+        ]:
+            status, payload = app.handle(method, path, body=body)
+            assert status == 200
+            assert "error" not in payload
+
+
+class TestDegradedMetrics503:
+    def test_traffic_endpoint_returns_structured_503(self):
+        app = _degraded_app()
+        try:
+            status, payload = app.handle(
+                "GET", "/model/traffic/heron/word-count"
+            )
+        finally:
+            app.shutdown()
+        assert status == 503
+        assert "degraded" in payload["error"]
+        health = payload["metrics_health"]
+        assert health["status"] == "degraded"
+        assert health["degraded_minutes"] > 0
+        assert 0 < health["gap_fraction"] <= 1
+
+    def test_performance_endpoint_returns_structured_503(self):
+        app = _degraded_app()
+        try:
+            status, payload = app.handle(
+                "POST", "/model/topology/heron/word-count",
+                body={"source_rate": 8 * M},
+            )
+        finally:
+            app.shutdown()
+        assert status == 503
+        assert payload["metrics_health"]["status"] == "degraded"
+
+    def test_threshold_is_configurable(self):
+        # A permissive threshold lets the same degraded store serve.
+        app = _degraded_app(degraded_threshold=0.9)
+        try:
+            status, payload = app.handle(
+                "POST", "/model/topology/heron/word-count",
+                body={"source_rate": 8 * M},
+            )
+        finally:
+            app.shutdown()
+        assert status == 200
+        assert "error" not in payload
+
+    def test_empty_store_is_unavailable(self):
+        params = WordCountParams()
+        topology, packing, _ = build_word_count(params)
+        tracker = TopologyTracker()
+        tracker.register(topology, packing)
+        app = CaladriusApp(load_config(CONFIG), tracker, MetricsStore())
+        try:
+            status, payload = app.handle(
+                "GET", "/model/traffic/heron/word-count"
+            )
+        finally:
+            app.shutdown()
+        assert status == 503
+        assert payload["metrics_health"]["status"] == "unavailable"

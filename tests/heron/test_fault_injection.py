@@ -1,0 +1,146 @@
+"""End-to-end fault robustness (the PR's acceptance scenario) and the
+byte-identical determinism regression battery."""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core.performance_models import ThroughputPredictionModel, \
+    calibrate_topology
+from repro.core.traffic_models import StatsSummaryTrafficModel
+from repro.errors import DegradedMetricsWarning
+from repro.faults.plan import FaultEvent, FaultPlan
+from repro.heron.metrics import MetricNames
+from repro.heron.simulation import HeronSimulation, SimulationConfig
+from repro.heron.tracker import TopologyTracker
+from repro.heron.wordcount import WordCountParams, build_word_count
+from repro.timeseries.store import MetricsStore
+
+M = 1e6
+
+ACCEPTANCE_PLAN = FaultPlan(events=(
+    FaultEvent(at_seconds=240, kind="crash", component="splitter",
+               index=0, duration_seconds=120),
+    FaultEvent(at_seconds=480, kind="metric_dropout", component="counter",
+               duration_seconds=120),
+))
+
+
+def _faulted_deployment(plan, seed=42):
+    """The conftest Word Count sweep, run under a fault plan."""
+    params = WordCountParams(
+        spout_parallelism=4, splitter_parallelism=2, counter_parallelism=4
+    )
+    topology, packing, logic = build_word_count(params)
+    store = MetricsStore()
+    sim = HeronSimulation(
+        topology, packing, logic, store, SimulationConfig(seed=seed),
+        faults=plan,
+    )
+    for rate in np.arange(4 * M, 44 * M + 1, 8 * M):
+        sim.set_source_rate("sentence-spout", float(rate))
+        sim.run(2)
+    tracker = TopologyTracker()
+    tracker.register(topology, packing)
+    return topology, store, tracker
+
+
+class TestFaultedWordCountAcceptance:
+    """Crash + dropout on a full Word Count run: everything still works."""
+
+    @pytest.fixture(scope="class")
+    def faulted(self):
+        return _faulted_deployment(ACCEPTANCE_PLAN)
+
+    def test_run_completes_and_faults_fire(self, faulted):
+        _, store, _ = faulted
+        # Both fault windows produced their missing minutes.
+        splitter0 = store.aggregate(
+            MetricNames.EXECUTE_COUNT,
+            {"component": "splitter", "instance": "splitter_0"},
+        )
+        assert {240, 300}.isdisjoint(splitter0.timestamps.tolist())
+        counter = store.aggregate(
+            MetricNames.EXECUTE_COUNT,
+            {"component": "counter", "instance": "counter_0"},
+        )
+        assert {480, 540}.isdisjoint(counter.timestamps.tolist())
+
+    def test_calibration_succeeds_with_warning(self, faulted):
+        _, store, tracker = faulted
+        tracked = tracker.get("word-count")
+        with pytest.warns(DegradedMetricsWarning):
+            model, fits = calibrate_topology(tracked, store)
+        assert set(fits) == {"splitter", "counter"}
+        assert fits["splitter"].alpha == pytest.approx(7.635, rel=0.05)
+
+    def test_prediction_matches_clean_calibration(self, faulted):
+        _, store, tracker = faulted
+        model = ThroughputPredictionModel(tracker, store)
+        with pytest.warns(DegradedMetricsWarning):
+            degraded = model.predict("word-count", source_rate=16 * M)
+        _, clean_store, clean_tracker = _faulted_deployment(None)
+        clean = ThroughputPredictionModel(clean_tracker, clean_store).predict(
+            "word-count", source_rate=16 * M
+        )
+        assert degraded.output_rate == pytest.approx(
+            clean.output_rate, rel=0.05
+        )
+
+    def test_traffic_model_interpolates_spout_gaps(self):
+        # Crash a spout instance so the source series itself has gaps.
+        plan = FaultPlan(events=(
+            FaultEvent(at_seconds=240, kind="crash",
+                       component="sentence-spout", index=0,
+                       duration_seconds=120),
+        ))
+        _, store, tracker = _faulted_deployment(plan)
+        model = StatsSummaryTrafficModel(tracker, store)
+        with pytest.warns(DegradedMetricsWarning, match="interpolated"):
+            prediction = model.predict("word-count", None, 30)
+        assert prediction.summary["mean"] > 0
+
+
+class TestDeterminismRegression:
+    """Two runs, same seed (and same plan) → byte-identical series."""
+
+    @staticmethod
+    def _series_bytes(store: MetricsStore) -> dict:
+        out = {}
+        for key, series in store.query(MetricNames.EXECUTE_COUNT).items():
+            out[key] = (series.timestamps.tobytes(), series.values.tobytes())
+        return out
+
+    def test_clean_runs_identical(self):
+        one = self._series_bytes(_faulted_deployment(None, seed=9)[1])
+        two = self._series_bytes(_faulted_deployment(None, seed=9)[1])
+        assert one == two
+
+    def test_faulted_runs_identical(self):
+        one = self._series_bytes(
+            _faulted_deployment(ACCEPTANCE_PLAN, seed=9)[1]
+        )
+        two = self._series_bytes(
+            _faulted_deployment(ACCEPTANCE_PLAN, seed=9)[1]
+        )
+        assert one == two
+
+    def test_fault_log_is_deterministic(self):
+        def log_of():
+            params = WordCountParams(splitter_parallelism=2,
+                                     counter_parallelism=4)
+            topology, packing, logic = build_word_count(params)
+            plan = FaultPlan.randomized(topology, packing, 8, seed=17,
+                                        crashes=2, stragglers=1, dropouts=1)
+            sim = HeronSimulation(
+                topology, packing, logic, MetricsStore(),
+                SimulationConfig(seed=3), faults=plan,
+            )
+            sim.set_source_rate("sentence-spout", 16 * M)
+            sim.run(8)
+            return [(t, a, e) for t, a, e in sim.fault_log]
+
+        assert log_of() == log_of()

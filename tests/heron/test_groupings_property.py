@@ -1,0 +1,100 @@
+"""Property tests (hypothesis) for stream groupings.
+
+The routing invariants the whole modelling stack leans on: partitioning
+groupings conserve tuple mass, fields routing is a pure function of the
+key (stable across calls and across instances-of-the-same-parallelism),
+and shuffle stays balanced.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.heron.groupings import (
+    FieldsGrouping,
+    KeyDistribution,
+    ShuffleGrouping,
+    stable_hash,
+)
+
+parallelisms = st.integers(min_value=1, max_value=64)
+
+keys = st.text(
+    alphabet=st.characters(codec="utf-8", categories=("L", "N")),
+    min_size=1,
+    max_size=12,
+)
+
+distributions = st.builds(
+    lambda pairs: KeyDistribution(
+        keys=tuple(k for k, _ in pairs),
+        weights=tuple(w for _, w in pairs),
+    ),
+    st.lists(
+        st.tuples(
+            keys,
+            st.floats(min_value=0.01, max_value=100.0,
+                      allow_nan=False, allow_infinity=False),
+        ),
+        min_size=1,
+        max_size=40,
+        unique_by=lambda pair: pair[0],
+    ),
+)
+
+
+class TestFieldsGrouping:
+    @given(dist=distributions, p=parallelisms)
+    @settings(max_examples=200, deadline=None)
+    def test_conserves_total_tuple_mass(self, dist, p):
+        """Shares sum to 1: every tuple lands on exactly one instance."""
+        shares = FieldsGrouping(("word",), dist).shares(p)
+        assert shares.shape == (p,)
+        assert np.all(shares >= 0)
+        assert float(shares.sum()) == pytest.approx(1.0, rel=1e-9)
+
+    @given(dist=distributions, p=parallelisms)
+    @settings(max_examples=100, deadline=None)
+    def test_key_stable(self, dist, p):
+        """Routing is a pure function: same keys → same shares, always."""
+        grouping = FieldsGrouping(("word",), dist)
+        first = grouping.shares(p)
+        second = grouping.shares(p)
+        assert np.array_equal(first, second)
+        rebuilt = FieldsGrouping(("word",), KeyDistribution(
+            dist.keys, dist.weights
+        ))
+        assert np.array_equal(first, rebuilt.shares(p))
+
+    @given(key=keys, p=parallelisms)
+    @settings(max_examples=200, deadline=None)
+    def test_single_key_routes_to_its_hash_slot(self, key, p):
+        """All of one key's mass lands on hash(key) % p — Heron routing."""
+        dist = KeyDistribution((key,), (1.0,))
+        shares = FieldsGrouping(("word",), dist).shares(p)
+        expected = np.zeros(p)
+        expected[stable_hash(key) % p] = 1.0
+        assert np.allclose(shares, expected)
+
+    @given(dist=distributions, p=parallelisms)
+    @settings(max_examples=100, deadline=None)
+    def test_scaling_preserves_mass(self, dist, p):
+        """Changing parallelism reshuffles keys but loses none."""
+        grouping = FieldsGrouping(("word",), dist)
+        for q in (1, p, 2 * p):
+            assert float(grouping.shares(q).sum()) == pytest.approx(1.0, rel=1e-9)
+
+
+class TestShuffleGrouping:
+    @given(p=parallelisms)
+    @settings(max_examples=100, deadline=None)
+    def test_balanced_within_tolerance(self, p):
+        """Every instance gets exactly 1/p (Eq. 8) — no skew at all."""
+        shares = ShuffleGrouping().shares(p)
+        assert shares.shape == (p,)
+        assert float(shares.sum()) == pytest.approx(1.0, rel=1e-9)
+        assert float(shares.max() - shares.min()) < 1e-12
+        assert np.allclose(shares, 1.0 / p)

@@ -1,0 +1,101 @@
+"""Gap detection/repair helpers and complete-minute aggregation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import MetricsError
+from repro.timeseries.gaps import fill_gaps, gap_fraction, missing_timestamps
+from repro.timeseries.series import TimeSeries
+from repro.timeseries.store import MetricsStore
+
+
+def _series(stamps, values=None):
+    stamps = np.asarray(stamps, dtype=np.int64)
+    if values is None:
+        values = np.arange(len(stamps), dtype=np.float64)
+    return TimeSeries(stamps, np.asarray(values, dtype=np.float64))
+
+
+class TestMissingTimestamps:
+    def test_healthy_grid_has_none(self):
+        assert missing_timestamps(_series([0, 60, 120, 180])).size == 0
+
+    def test_interior_gaps_found(self):
+        missing = missing_timestamps(_series([0, 60, 240, 300]))
+        assert missing.tolist() == [120, 180]
+
+    def test_short_series_have_no_interior(self):
+        assert missing_timestamps(_series([0])).size == 0
+        assert missing_timestamps(_series([])).size == 0
+
+    def test_bad_step_rejected(self):
+        with pytest.raises(MetricsError):
+            missing_timestamps(_series([0, 60]), step=0)
+
+
+class TestGapFraction:
+    def test_zero_for_healthy(self):
+        assert gap_fraction(_series([0, 60, 120])) == 0.0
+
+    def test_fraction_of_expected_grid(self):
+        # grid 0..300 expects 6 samples, 2 are missing
+        assert gap_fraction(_series([0, 60, 240, 300])) == pytest.approx(2 / 6)
+
+
+class TestFillGaps:
+    def test_no_gaps_returns_same_data(self):
+        series = _series([0, 60, 120])
+        assert fill_gaps(series) is series
+
+    def test_linear_interpolation(self):
+        series = _series([0, 60, 240], [0.0, 10.0, 40.0])
+        filled = fill_gaps(series)
+        assert filled.timestamps.tolist() == [0, 60, 120, 180, 240]
+        assert filled.values.tolist() == [0.0, 10.0, 20.0, 30.0, 40.0]
+
+
+class TestAggregateComplete:
+    @pytest.fixture()
+    def store(self):
+        store = MetricsStore()
+        # Two instances; instance b missed minute 120.
+        for ts in (0, 60, 120, 180):
+            store.write("execute-count", ts, 10.0,
+                        {"component": "c", "instance": "a"})
+        for ts in (0, 60, 180):
+            store.write("execute-count", ts, 20.0,
+                        {"component": "c", "instance": "b"})
+        return store
+
+    def test_partial_minutes_dropped_and_reported(self, store):
+        series, degraded = store.aggregate_complete(
+            "execute-count", {"component": "c"}
+        )
+        assert series.timestamps.tolist() == [0, 60, 180]
+        assert series.values.tolist() == [30.0, 30.0, 30.0]
+        assert degraded == [120]
+
+    def test_matches_aggregate_on_healthy_data(self, store):
+        series, degraded = store.aggregate_complete(
+            "execute-count", {"component": "c", "instance": "a"}
+        )
+        full = store.aggregate(
+            "execute-count", {"component": "c", "instance": "a"}
+        )
+        assert degraded == []
+        assert np.array_equal(series.timestamps, full.timestamps)
+        assert np.array_equal(series.values, full.values)
+
+    def test_interior_cadence_gap_reported(self):
+        store = MetricsStore()
+        for ts in (0, 60, 240):
+            store.write("execute-count", ts, 1.0, {"instance": "a"})
+        series, degraded = store.aggregate_complete("execute-count")
+        assert series.timestamps.tolist() == [0, 60, 240]
+        assert degraded == [120, 180]
+
+    def test_no_match_raises(self):
+        with pytest.raises(MetricsError, match="no series match"):
+            MetricsStore().aggregate_complete("execute-count")
