@@ -12,14 +12,24 @@ worker pool, and ``GET /model/result/{id}`` retrieves the outcome.
 By default an endpoint runs *all* configured model implementations and
 concatenates the results into one JSON response, as the paper
 describes; ``?model=`` narrows to one.
+
+Modelling traffic flows through :class:`~repro.serving.ServingLayer`
+(unless disabled in configuration): identical requests over unchanged
+inputs are answered from a content-addressed cache, concurrent identical
+requests coalesce into one computation, and overload is shed with a
+structured 429 + ``Retry-After``.  ``GET /serving/stats`` exposes the
+layer's counters.
 """
 
 from __future__ import annotations
 
+import json
 import threading
+import time
 import uuid
-from collections.abc import Mapping
+from collections.abc import Callable, Mapping
 from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
 from typing import Any
 
 from repro.config.loader import CaladriusConfig
@@ -27,9 +37,23 @@ from repro.config.registry import ModelRegistry, build_registry
 from repro.errors import ApiError, ReproError, TopologyError
 from repro.faults.health import assess_topology_metrics
 from repro.heron.tracker import TopologyTracker
+from repro.serving import (
+    INTERACTIVE,
+    PRECOMPUTE,
+    RequestDescriptor,
+    ServingLayer,
+)
 from repro.timeseries.store import MetricsStore
 
 __all__ = ["CaladriusApp"]
+
+
+@dataclass
+class _Job:
+    """One async modelling job: its future plus completion bookkeeping."""
+
+    future: Future
+    done_at: float | None = None
 
 
 class CaladriusApp:
@@ -38,13 +62,16 @@ class CaladriusApp:
     Parameters
     ----------
     config:
-        Validated service configuration (enabled models and options).
+        Validated service configuration (enabled models, serving-layer
+        options).
     tracker:
         Topology metadata source.
     store:
         Metrics database.
     max_workers:
         Size of the asynchronous modelling pool.
+    clock:
+        Monotonic time source (injectable for async-job TTL tests).
     """
 
     def __init__(
@@ -53,16 +80,32 @@ class CaladriusApp:
         tracker: TopologyTracker,
         store: MetricsStore,
         max_workers: int = 4,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         self.config = config
         self.tracker = tracker
         self.store = store
         self.registry: ModelRegistry = build_registry(config, tracker, store)
+        self._clock = clock
         self._pool = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="caladrius-model"
         )
-        self._jobs: dict[str, Future[dict[str, Any]]] = {}
+        self._jobs: dict[str, _Job] = {}
         self._jobs_lock = threading.Lock()
+        self._job_ttl = config.serving.job_result_ttl_seconds
+        self.serving: ServingLayer | None = None
+        if config.serving.enabled:
+            self.serving = ServingLayer(
+                tracker,
+                store,
+                cache_bytes=config.serving.cache_bytes,
+                ttl_seconds=config.serving.ttl_seconds,
+                max_concurrent=config.serving.max_concurrent,
+                max_queue=config.serving.max_queue,
+                precompute_top_k=config.serving.precompute_top_k,
+                clock=clock,
+            )
+            self.serving.set_recompute(self._recompute)
 
     # ------------------------------------------------------------------
     # Entry point
@@ -94,6 +137,8 @@ class CaladriusApp:
     ) -> dict[str, Any]:
         if method == "GET" and parts == ["topologies"]:
             return {"topologies": self.tracker.names()}
+        if method == "GET" and parts == ["serving", "stats"]:
+            return self._serving_stats()
         if method == "GET" and len(parts) == 3 and parts[0] == "topology":
             return self._topology_info(parts[1], parts[2])
         if (
@@ -164,16 +209,54 @@ class CaladriusApp:
             return tracked.packing_plan()
         raise ApiError(f"unknown topology view {kind!r}", 404)
 
+    def _serving_stats(self) -> dict[str, Any]:
+        if self.serving is None:
+            return {"enabled": False}
+        return self.serving.stats()
+
+    # ------------------------------------------------------------------
+    # Modelling endpoints (routed through the serving layer)
+    # ------------------------------------------------------------------
+    def _serve(
+        self,
+        descriptor: RequestDescriptor,
+        compute: Callable[[], dict[str, Any]],
+        priority: int,
+    ) -> dict[str, Any]:
+        if self.serving is None:
+            return compute()
+        return self.serving.execute(descriptor, compute, priority)
+
     def _traffic(
         self, topology: str, query: Mapping[str, str]
     ) -> dict[str, Any]:
         horizon = _int_param(query, "horizon_minutes", default=60)
         source = _int_param(query, "source_minutes", default=None)
+        model = query.get("model")
+        self._tracked(topology)  # 404 before caching/admission
+        descriptor = RequestDescriptor.of(
+            "traffic",
+            topology,
+            model,
+            {"horizon_minutes": horizon, "source_minutes": source},
+        )
+        return self._serve(
+            descriptor,
+            lambda: self._traffic_uncached(topology, horizon, source, model),
+            _priority_param(query),
+        )
+
+    def _traffic_uncached(
+        self,
+        topology: str,
+        horizon: int,
+        source: int | None,
+        model: str | None,
+    ) -> dict[str, Any]:
         self._require_healthy_metrics(topology)
-        models = self.registry.traffic_model(query.get("model"))
+        models = self.registry.traffic_model(model)
         results = [
-            model.predict(topology, source, horizon).as_dict()
-            for model in models
+            m.predict(topology, source, horizon).as_dict() for m in models
         ]
         return {"topology": topology, "results": results}
 
@@ -193,23 +276,75 @@ class CaladriusApp:
             ):
                 raise ApiError("parallelisms must map components to integers")
         traffic_model_name = body.get("traffic_model")
+        horizon = _int_param(query, "horizon_minutes", default=60)
+        model = query.get("model")
+        self._tracked(topology)  # 404 before caching/admission
+        descriptor = RequestDescriptor.of(
+            "performance",
+            topology,
+            model,
+            {
+                "horizon_minutes": horizon,
+                "source_rate": source_rate,
+                "parallelisms": parallelisms,
+                "traffic_model": traffic_model_name,
+            },
+        )
+        return self._serve(
+            descriptor,
+            lambda: self._performance_uncached(
+                topology, horizon, source_rate, parallelisms,
+                traffic_model_name, model,
+            ),
+            _priority_param(query),
+        )
+
+    def _performance_uncached(
+        self,
+        topology: str,
+        horizon: int,
+        source_rate: float | None,
+        parallelisms: dict[str, int] | None,
+        traffic_model_name: str | None,
+        model: str | None,
+    ) -> dict[str, Any]:
         self._require_healthy_metrics(topology)
         traffic = None
         if source_rate is None:
-            horizon = _int_param(query, "horizon_minutes", default=60)
             traffic_models = self.registry.traffic_model(traffic_model_name)
             traffic = traffic_models[0].predict(topology, None, horizon)
-        models = self.registry.performance_model(query.get("model"))
+        models = self.registry.performance_model(model)
         results = [
-            model.predict(
+            m.predict(
                 topology,
                 source_rate=source_rate,
                 traffic=traffic,
                 parallelisms=parallelisms,
             ).as_dict()
-            for model in models
+            for m in models
         ]
         return {"topology": topology, "results": results}
+
+    def _recompute(self, descriptor: RequestDescriptor) -> dict[str, Any]:
+        """Replay a descriptor's computation (warm-cache precompute)."""
+        params = json.loads(descriptor.params)
+        if descriptor.kind == "traffic":
+            return self._traffic_uncached(
+                descriptor.topology,
+                params["horizon_minutes"],
+                params["source_minutes"],
+                descriptor.model,
+            )
+        if descriptor.kind == "performance":
+            return self._performance_uncached(
+                descriptor.topology,
+                params["horizon_minutes"],
+                params["source_rate"],
+                params["parallelisms"],
+                params["traffic_model"],
+                descriptor.model,
+            )
+        raise ApiError(f"unknown descriptor kind {descriptor.kind!r}", 500)
 
     # ------------------------------------------------------------------
     # Async jobs
@@ -218,22 +353,39 @@ class CaladriusApp:
         if query.get("async") not in ("1", "true", "yes"):
             return work()
         request_id = uuid.uuid4().hex
-        future = self._pool.submit(work)
+        job = _Job(self._pool.submit(work))
+        # Stamp completion when the worker finishes, whether or not any
+        # client ever polls — expiry must not depend on being observed.
+        job.future.add_done_callback(
+            lambda _future, job=job: setattr(job, "done_at", self._clock())
+        )
         with self._jobs_lock:
-            self._jobs[request_id] = future
+            self._evict_expired_jobs_locked()
+            self._jobs[request_id] = job
         return {"request_id": request_id, "status": "pending"}
+
+    def _evict_expired_jobs_locked(self) -> None:
+        now = self._clock()
+        expired = [
+            request_id
+            for request_id, job in self._jobs.items()
+            if job.done_at is not None and now - job.done_at > self._job_ttl
+        ]
+        for request_id in expired:
+            del self._jobs[request_id]
 
     def _result(self, request_id: str) -> dict[str, Any]:
         with self._jobs_lock:
-            future = self._jobs.get(request_id)
-        if future is None:
+            self._evict_expired_jobs_locked()
+            job = self._jobs.get(request_id)
+        if job is None:
             raise ApiError(f"unknown request id {request_id!r}", 404)
-        if not future.done():
+        if not job.future.done():
             return {"request_id": request_id, "status": "pending"}
-        with self._jobs_lock:
-            self._jobs.pop(request_id, None)
+        # Completed results stay pollable until their TTL expires, so a
+        # retried or concurrent poll is idempotent instead of 404ing.
         try:
-            result = future.result()
+            result = job.future.result()
         except ReproError as exc:
             return {"request_id": request_id, "status": "error", "error": str(exc)}
         return {"request_id": request_id, "status": "done", "result": result}
@@ -241,6 +393,8 @@ class CaladriusApp:
     def shutdown(self) -> None:
         """Stop the worker pool (pending jobs are completed)."""
         self._pool.shutdown(wait=True)
+        if self.serving is not None:
+            self.serving.close()
 
 
 def _int_param(
@@ -256,3 +410,14 @@ def _int_param(
     if value < 1:
         raise ApiError(f"{name} must be >= 1")
     return value
+
+
+def _priority_param(query: Mapping[str, str]) -> int:
+    raw = query.get("priority", "interactive")
+    if raw == "interactive":
+        return INTERACTIVE
+    if raw == "precompute":
+        return PRECOMPUTE
+    raise ApiError(
+        f"priority must be 'interactive' or 'precompute', got {raw!r}"
+    )

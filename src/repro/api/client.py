@@ -16,16 +16,23 @@ from repro.errors import ApiError
 __all__ = ["CaladriusClient"]
 
 #: Statuses worth retrying: the service said "not right now", not "no".
-RETRYABLE_STATUSES = frozenset({502, 503, 504})
+RETRYABLE_STATUSES = frozenset({429, 502, 503, 504})
+
+#: Statuses whose ``Retry-After`` (header or payload field) overrides
+#: the exponential backoff schedule: the server's load-shedding (429)
+#: and degraded-metrics (503) answers know better than our guess.
+HONOR_RETRY_AFTER = frozenset({429, 503})
 
 
 class CaladriusClient:
     """Thin JSON-over-HTTP client mirroring the API endpoints.
 
-    Transient failures — connection refused/reset, or a 502/503/504
+    Transient failures — connection refused/reset, or a 429/502/503/504
     response — are retried with exponential backoff and deterministic
-    jitter.  Anything else (4xx, malformed bodies) surfaces immediately
-    as :class:`~repro.errors.ApiError`.
+    jitter.  When a 429/503 carries ``Retry-After`` (the serving layer's
+    load shedding does), that delay is honored instead, capped at
+    ``backoff_max_seconds``.  Anything else (other 4xx, malformed
+    bodies) surfaces immediately as :class:`~repro.errors.ApiError`.
 
     Parameters
     ----------
@@ -85,8 +92,8 @@ class CaladriusClient:
         method: str,
         path: str,
         payload: bytes | None,
-    ) -> tuple[int, dict[str, Any]]:
-        """One HTTP round-trip; returns (status, decoded JSON body)."""
+    ) -> tuple[int, dict[str, Any], float | None]:
+        """One round-trip: (status, decoded JSON body, Retry-After)."""
         connection = HTTPConnection(self.host, self.port, timeout=self.timeout)
         try:
             headers = {"Content-Type": "application/json"} if payload else {}
@@ -94,6 +101,9 @@ class CaladriusClient:
             response = connection.getresponse()
             raw = response.read()
             status = response.status
+            retry_after = _parse_retry_after(
+                response.getheader("Retry-After")
+            )
         finally:
             connection.close()
         try:
@@ -106,7 +116,13 @@ class CaladriusClient:
             raise ApiError(
                 f"response body is not a JSON object (HTTP {status})", status
             )
-        return status, data
+        if retry_after is None:
+            body_hint = data.get("retry_after")
+            if isinstance(body_hint, (int, float)) and not isinstance(
+                body_hint, bool
+            ):
+                retry_after = float(body_hint)
+        return status, data, retry_after
 
     def _request(
         self,
@@ -119,15 +135,27 @@ class CaladriusClient:
             path = f"{path}?{urlencode(query)}"
         payload = json.dumps(body).encode("utf8") if body is not None else None
         last_error: Exception | None = None
+        server_delay: float | None = None
         for attempt in range(self.retries + 1):
             if attempt > 0:
-                self._sleep(self._backoff(attempt))
+                if server_delay is not None:
+                    # The server asked for a specific delay (Retry-After
+                    # on a shed/degraded answer); honor it up to the
+                    # backoff cap instead of guessing.
+                    self._sleep(min(server_delay, self.backoff_max_seconds))
+                else:
+                    self._sleep(self._backoff(attempt))
+            server_delay = None
             try:
-                status, data = self._attempt(method, path, payload)
+                status, data, retry_after = self._attempt(
+                    method, path, payload
+                )
             except (OSError, http.client.HTTPException) as exc:
                 last_error = exc
                 continue
             if status in RETRYABLE_STATUSES and attempt < self.retries:
+                if status in HONOR_RETRY_AFTER and retry_after is not None:
+                    server_delay = retry_after
                 last_error = ApiError(
                     data.get("error", f"HTTP {status}"), status, data
                 )
@@ -149,6 +177,10 @@ class CaladriusClient:
     def topologies(self) -> list[str]:
         """Registered topology names."""
         return self._request("GET", "/topologies")["topologies"]
+
+    def serving_stats(self) -> dict[str, Any]:
+        """The serving layer's counters (hit rate, sheds, queue depth)."""
+        return self._request("GET", "/serving/stats")
 
     def logical_plan(self, topology: str) -> dict[str, Any]:
         """The logical plan of one topology."""
@@ -224,3 +256,14 @@ class CaladriusClient:
                 raise ApiError(result.get("error", "modelling failed"), 500)
             time.sleep(poll_seconds)
         raise ApiError(f"request {request_id} timed out", 504)
+
+
+def _parse_retry_after(raw: str | None) -> float | None:
+    """Decode a Retry-After header (delta-seconds form only)."""
+    if raw is None:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        return None  # HTTP-date form; fall back to our own backoff
+    return max(0.0, value)

@@ -39,6 +39,13 @@ def _make_handler(app: CaladriusApp) -> type[BaseHTTPRequestHandler]:
             self.send_response(status)
             self.send_header("Content-Type", "application/json")
             self.send_header("Content-Length", str(len(data)))
+            retry_after = payload.get("retry_after")
+            if isinstance(retry_after, (int, float)) and not isinstance(
+                retry_after, bool
+            ):
+                # Load-shedding (429) and degraded-metrics (503) answers
+                # tell clients when to come back.
+                self.send_header("Retry-After", str(int(retry_after)))
             self.end_headers()
             self.wfile.write(data)
 
@@ -49,6 +56,14 @@ def _make_handler(app: CaladriusApp) -> type[BaseHTTPRequestHandler]:
             self._respond("POST")
 
     return Handler
+
+
+class _Listener(ThreadingHTTPServer):
+    # The socketserver default backlog of 5 resets connections under
+    # concurrent bursts; admission control is the serving layer's job,
+    # so accept generously and let the scheduler shed with 429 instead.
+    request_queue_size = 128
+    daemon_threads = True
 
 
 class CaladriusServer:
@@ -67,7 +82,7 @@ class CaladriusServer:
         self, app: CaladriusApp, host: str = "127.0.0.1", port: int = 0
     ) -> None:
         self.app = app
-        self._httpd = ThreadingHTTPServer((host, port), _make_handler(app))
+        self._httpd = _Listener((host, port), _make_handler(app))
         self._thread: threading.Thread | None = None
 
     @property

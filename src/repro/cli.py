@@ -26,6 +26,7 @@ import argparse
 import json
 import sys
 from collections.abc import Sequence
+from dataclasses import replace
 
 import numpy as np
 
@@ -67,6 +68,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="register a simulated Word Count deployment with metrics",
     )
     serve.add_argument(
+        "--cache-mb", type=float, default=None, metavar="MB",
+        help="serving-layer result cache budget (overrides config)",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=None, metavar="N",
+        help="admission-control queue bound (overrides config)",
+    )
+    serve.add_argument(
+        "--no-serving", action="store_true",
+        help="disable the serving layer (recompute every request)",
+    )
+    serve.add_argument(
         "--once",
         action="store_true",
         help=argparse.SUPPRESS,  # start and stop immediately (tests)
@@ -97,6 +110,13 @@ def build_parser() -> argparse.ArgumentParser:
     predict.add_argument("--seed", type=int, default=0)
     predict.add_argument("--json", action="store_true", dest="as_json")
 
+    stats = sub.add_parser(
+        "serving-stats", help="query a running service's serving stats"
+    )
+    stats.add_argument("--host", default="127.0.0.1")
+    stats.add_argument("--port", type=int, default=8080)
+    stats.add_argument("--json", action="store_true", dest="as_json")
+
     forecast = sub.add_parser("forecast", help="traffic forecasting demo")
     forecast.add_argument("--history-minutes", type=int, default=360)
     forecast.add_argument("--horizon-minutes", type=int, default=60)
@@ -116,6 +136,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "simulate": _cmd_simulate,
         "predict": _cmd_predict,
         "forecast": _cmd_forecast,
+        "serving-stats": _cmd_serving_stats,
     }
     try:
         return handlers[args.command](args)
@@ -165,6 +186,17 @@ def _parse_proposal(text: str | None) -> dict[str, int] | None:
 # ----------------------------------------------------------------------
 def _cmd_serve(args) -> int:
     config = load_config(args.config) if args.config else load_config({})
+    serving_overrides = {}
+    if args.cache_mb is not None:
+        serving_overrides["cache_mb"] = args.cache_mb
+    if args.max_queue is not None:
+        serving_overrides["max_queue"] = args.max_queue
+    if args.no_serving:
+        serving_overrides["enabled"] = False
+    if serving_overrides:
+        config = replace(
+            config, serving=replace(config.serving, **serving_overrides)
+        )
     if args.demo:
         tracker, store = _demo_deployment(
             splitter=2, counter=4, seed=0,
@@ -173,6 +205,8 @@ def _cmd_serve(args) -> int:
     else:
         tracker, store = TopologyTracker(), MetricsStore()
     app = CaladriusApp(config, tracker, store)
+    if app.serving is not None:
+        app.serving.start()  # warm-cache precompute loop
     server = CaladriusServer(app, host=args.host, port=args.port)
     server.start()
     print(f"caladrius serving on {server.host}:{server.port}")
@@ -297,6 +331,33 @@ def _cmd_predict(args) -> int:
         print(f"risk         : {prediction.backpressure_risk}"
               + (f" (bottleneck: {prediction.bottleneck})"
                  if prediction.bottleneck else ""))
+    return 0
+
+
+def _cmd_serving_stats(args) -> int:
+    from repro.api.client import CaladriusClient
+
+    client = CaladriusClient(args.host, args.port, retries=1)
+    stats = client.serving_stats()
+    if args.as_json:
+        print(json.dumps(stats, indent=2))
+        return 0
+    if not stats.get("enabled", False):
+        print("serving layer: disabled")
+        return 0
+    print(f"requests     : {stats['requests']}")
+    print(f"hit rate     : {stats['hit_rate']:.1%} ({stats['hits']} hits)")
+    print(f"computations : {stats['computations']}")
+    print(f"coalesced    : {stats['coalesced']}")
+    print(f"shed (429)   : {stats['shed']}")
+    print(f"queue depth  : {stats['queue_depth']}")
+    print(f"precomputed  : {stats['precomputed']}")
+    cache = stats["cache"]
+    print(f"cache        : {cache['entries']} entries, "
+          f"{cache['bytes'] / 1024:.1f} KiB / "
+          f"{cache['max_bytes'] / (1024 * 1024):.0f} MiB, "
+          f"{cache['evictions']} evicted, "
+          f"{cache['invalidations']} invalidated")
     return 0
 
 

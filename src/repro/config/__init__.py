@@ -8,7 +8,13 @@ package loads and validates that YAML, and builds the configured model
 registry.
 """
 
-from repro.config.loader import CaladriusConfig, load_config
+from repro.config.loader import CaladriusConfig, ServingConfig, load_config
 from repro.config.registry import ModelRegistry, build_registry
 
-__all__ = ["CaladriusConfig", "ModelRegistry", "build_registry", "load_config"]
+__all__ = [
+    "CaladriusConfig",
+    "ModelRegistry",
+    "ServingConfig",
+    "build_registry",
+    "load_config",
+]

@@ -11,7 +11,7 @@ import yaml
 
 from repro.errors import ConfigError
 
-__all__ = ["CaladriusConfig", "load_config"]
+__all__ = ["CaladriusConfig", "ServingConfig", "load_config"]
 
 _KNOWN_TRAFFIC_MODELS = (
     "prophet",
@@ -23,6 +23,33 @@ _KNOWN_PERFORMANCE_MODELS = (
     "throughput-prediction",
     "backpressure-evaluation",
 )
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Serving-layer settings (cache, admission control, precompute).
+
+    ``enabled`` switches the whole layer off (every request recomputes,
+    the pre-serving behaviour).  ``cache_mb`` bounds the result cache in
+    megabytes and ``ttl_seconds`` the lifetime of an entry;
+    ``max_concurrent``/``max_queue`` bound the admission gate;
+    ``precompute_top_k`` is how many popular queries are re-warmed per
+    invalidation; ``job_result_ttl_seconds`` is how long a finished
+    async job's result stays pollable.
+    """
+
+    enabled: bool = True
+    cache_mb: float = 64.0
+    ttl_seconds: float | None = 300.0
+    max_concurrent: int = 4
+    max_queue: int = 32
+    precompute_top_k: int = 8
+    job_result_ttl_seconds: float = 60.0
+
+    @property
+    def cache_bytes(self) -> int:
+        """The cache budget in bytes."""
+        return int(self.cache_mb * 1024 * 1024)
 
 
 @dataclass(frozen=True)
@@ -46,6 +73,7 @@ class CaladriusConfig:
     api_port: int = 8080
     log_level: str = "INFO"
     degraded_threshold: float = 0.25
+    serving: ServingConfig = field(default_factory=ServingConfig)
 
     def options_for(self, model: str) -> dict[str, Any]:
         """Keyword options configured for one model (may be empty)."""
@@ -66,6 +94,14 @@ def load_config(source: str | Path | Mapping[str, Any]) -> CaladriusConfig:
           api: {host: 127.0.0.1, port: 8080}
           log_level: INFO
           degraded_threshold: 0.25
+          serving:
+            enabled: true
+            cache_mb: 64
+            ttl_seconds: 300
+            max_concurrent: 4
+            max_queue: 32
+            precompute_top_k: 8
+            job_result_ttl_seconds: 60
 
     Unknown model names and malformed sections raise
     :class:`~repro.errors.ConfigError` with a precise message.
@@ -124,6 +160,7 @@ def load_config(source: str | Path | Mapping[str, Any]) -> CaladriusConfig:
         raise ConfigError(
             f"degraded_threshold must be in [0, 1], got {threshold!r}"
         )
+    serving = _parse_serving(section.get("serving", {}))
     return CaladriusConfig(
         traffic_models=traffic,
         performance_models=performance,
@@ -132,7 +169,74 @@ def load_config(source: str | Path | Mapping[str, Any]) -> CaladriusConfig:
         api_port=port,
         log_level=log_level,
         degraded_threshold=float(threshold),
+        serving=serving,
     )
+
+
+def _parse_serving(section: Any) -> ServingConfig:
+    if not isinstance(section, dict):
+        raise ConfigError("'serving' section must be a mapping")
+    defaults = ServingConfig()
+    known = {
+        "enabled", "cache_mb", "ttl_seconds", "max_concurrent",
+        "max_queue", "precompute_top_k", "job_result_ttl_seconds",
+    }
+    unknown = sorted(set(section) - known)
+    if unknown:
+        raise ConfigError(
+            f"unknown serving keys {unknown}; known: {sorted(known)}"
+        )
+    enabled = section.get("enabled", defaults.enabled)
+    if not isinstance(enabled, bool):
+        raise ConfigError("serving.enabled must be a boolean")
+    cache_mb = _positive_number(
+        section.get("cache_mb", defaults.cache_mb), "serving.cache_mb"
+    )
+    ttl = section.get("ttl_seconds", defaults.ttl_seconds)
+    if ttl is not None:
+        ttl = _positive_number(ttl, "serving.ttl_seconds")
+    max_concurrent = _positive_int(
+        section.get("max_concurrent", defaults.max_concurrent),
+        "serving.max_concurrent",
+    )
+    max_queue = _positive_int(
+        section.get("max_queue", defaults.max_queue), "serving.max_queue"
+    )
+    top_k = _positive_int(
+        section.get("precompute_top_k", defaults.precompute_top_k),
+        "serving.precompute_top_k",
+    )
+    job_ttl = _positive_number(
+        section.get(
+            "job_result_ttl_seconds", defaults.job_result_ttl_seconds
+        ),
+        "serving.job_result_ttl_seconds",
+    )
+    return ServingConfig(
+        enabled=enabled,
+        cache_mb=float(cache_mb),
+        ttl_seconds=float(ttl) if ttl is not None else None,
+        max_concurrent=max_concurrent,
+        max_queue=max_queue,
+        precompute_top_k=top_k,
+        job_result_ttl_seconds=float(job_ttl),
+    )
+
+
+def _positive_number(value: Any, name: str) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ConfigError(f"{name} must be a number, got {value!r}")
+    if value <= 0:
+        raise ConfigError(f"{name} must be positive, got {value!r}")
+    return float(value)
+
+
+def _positive_int(value: Any, name: str) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ConfigError(f"{name} must be an integer, got {value!r}")
+    if value < 1:
+        raise ConfigError(f"{name} must be >= 1, got {value!r}")
+    return value
 
 
 def _name_list(

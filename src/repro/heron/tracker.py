@@ -16,7 +16,7 @@ can be invalidated precisely.
 from __future__ import annotations
 
 import threading
-from collections.abc import Mapping
+from collections.abc import Callable, Mapping
 from dataclasses import dataclass
 
 from repro.errors import TopologyError
@@ -78,6 +78,7 @@ class TopologyTracker:
         self._lock = threading.Lock()
         self._topologies: dict[tuple[str, str, str], TrackedTopology] = {}
         self._revision = 0
+        self._listeners: list[Callable[[str], None]] = []
 
     def _key(self, cluster: str, environ: str, name: str) -> tuple[str, str, str]:
         return (cluster, environ, name)
@@ -101,7 +102,10 @@ class TopologyTracker:
                 topology, packing, cluster, environ, self._revision
             )
             self._topologies[self._key(cluster, environ, topology.name)] = tracked
-            return tracked
+            listeners = list(self._listeners)
+        for listener in listeners:
+            listener(topology.name)
+        return tracked
 
     def update(
         self,
@@ -129,7 +133,10 @@ class TopologyTracker:
                 topology, packing, cluster, environ, self._revision
             )
             self._topologies[key] = tracked
-            return tracked
+            listeners = list(self._listeners)
+        for listener in listeners:
+            listener(name)
+        return tracked
 
     def get(
         self,
@@ -165,6 +172,21 @@ class TopologyTracker:
     ) -> int:
         """The registered revision (cache-invalidation token)."""
         return self.get(name, cluster, environ).revision
+
+    def add_listener(self, listener: Callable[[str], None]) -> None:
+        """Call ``listener(name)`` after every register/update.
+
+        Listeners run outside the tracker lock; the serving tier uses
+        them to invalidate cached modelling results on plan changes.
+        """
+        with self._lock:
+            self._listeners.append(listener)
+
+    def remove_listener(self, listener: Callable[[str], None]) -> None:
+        """Unsubscribe a previously added listener (idempotent)."""
+        with self._lock:
+            if listener in self._listeners:
+                self._listeners.remove(listener)
 
 
 class GraphCache:

@@ -1,0 +1,72 @@
+"""Content-addressed cache keys for modelling requests.
+
+A cached answer is valid exactly as long as every input that produced it
+is unchanged.  The fingerprint therefore digests the *complete* input
+identity: topology name, the tracker's plan revision (bumped on every
+register/update), the metrics-window digest (bumped on every write that
+can affect the topology's series), the model selector and the request
+parameters.  Equal fingerprints imply equal answers; any input change
+yields a different key, so a stale entry can never be addressed, let
+alone served.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections.abc import Mapping
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["RequestDescriptor", "canonical_json", "fingerprint"]
+
+
+def canonical_json(value: Any) -> str:
+    """A deterministic JSON encoding: sorted keys, minimal separators."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def fingerprint(fields: Mapping[str, Any]) -> str:
+    """SHA-256 hex digest of the canonical encoding of ``fields``."""
+    encoded = canonical_json(dict(fields)).encode("utf8")
+    return hashlib.sha256(encoded).hexdigest()
+
+
+@dataclass(frozen=True)
+class RequestDescriptor:
+    """The replayable identity of one modelling request.
+
+    ``kind`` is the endpoint family (``"traffic"`` or ``"performance"``),
+    ``model`` the ``?model=`` selector (``None`` = all enabled), and
+    ``params`` the remaining request parameters as a canonical-JSON
+    string — keeping the descriptor hashable so it can key popularity
+    tracking and single-flight groups.
+    """
+
+    kind: str
+    topology: str
+    model: str | None
+    params: str
+
+    @classmethod
+    def of(
+        cls,
+        kind: str,
+        topology: str,
+        model: str | None,
+        params: Mapping[str, Any],
+    ) -> "RequestDescriptor":
+        return cls(kind, topology, model, canonical_json(dict(params)))
+
+    def cache_key(self, plan_revision: int, metrics_digest: int) -> str:
+        """The content-addressed key at a given input state."""
+        return fingerprint(
+            {
+                "kind": self.kind,
+                "topology": self.topology,
+                "plan_revision": plan_revision,
+                "metrics_digest": metrics_digest,
+                "model": self.model,
+                "params": self.params,
+            }
+        )

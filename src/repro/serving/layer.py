@@ -1,0 +1,263 @@
+"""The serving facade: cache → single-flight → scheduler → models.
+
+:class:`ServingLayer` is what :class:`~repro.api.app.CaladriusApp`
+calls instead of invoking models directly.  One request flows:
+
+1. **fingerprint** — the descriptor plus the tracker's plan revision and
+   the store's metrics digest form a content-addressed key;
+2. **cache** — a hit returns the stored payload immediately
+   (byte-identical to the original response);
+3. **single-flight** — concurrent misses on the same key elect one
+   leader; the rest wait and share its result;
+4. **scheduler** — the leader's computation passes priority admission
+   control (shedding 429 + ``Retry-After`` under overload);
+5. **store** — the JSON-serialized result is cached for next time.
+
+Invalidation is event-driven: the layer subscribes to
+:class:`~repro.timeseries.store.MetricsStore` writes and
+:class:`~repro.heron.tracker.TopologyTracker` plan changes, evicting the
+touched topology's entries and queueing its popular queries for warm
+recomputation.  Because keys also embed the revision/digest, even an
+entry that escaped eviction can never be addressed again — eviction is
+a space optimisation, not a correctness requirement.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections.abc import Callable
+from typing import Any
+
+from repro.errors import ReproError, TopologyError
+from repro.heron.tracker import TopologyTracker
+from repro.serving.cache import ResultCache
+from repro.serving.fingerprint import RequestDescriptor
+from repro.serving.precompute import WarmCachePrecomputer
+from repro.serving.scheduler import INTERACTIVE, PRECOMPUTE, PriorityScheduler
+from repro.serving.singleflight import SingleFlight
+from repro.timeseries.store import MetricsStore
+
+__all__ = ["ServingLayer"]
+
+
+class ServingLayer:
+    """Content-addressed serving for modelling requests.
+
+    Parameters
+    ----------
+    tracker / store:
+        The shared metadata and metrics sources; both are subscribed to
+        for invalidation.
+    cache_bytes:
+        Result-cache budget in bytes.
+    ttl_seconds:
+        Result-cache entry lifetime (``None`` = no expiry).
+    max_concurrent / max_queue:
+        Admission-control bounds (see :class:`PriorityScheduler`).
+    precompute_top_k:
+        Popular queries recomputed per invalidation.
+    clock:
+        Monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        tracker: TopologyTracker,
+        store: MetricsStore,
+        cache_bytes: int = 64 * 1024 * 1024,
+        ttl_seconds: float | None = 300.0,
+        max_concurrent: int = 4,
+        max_queue: int = 32,
+        precompute_top_k: int = 8,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.tracker = tracker
+        self.store = store
+        self.cache = ResultCache(cache_bytes, ttl_seconds, clock)
+        self.flight = SingleFlight()
+        self.scheduler = PriorityScheduler(max_concurrent, max_queue, clock)
+        self.precomputer = WarmCachePrecomputer(precompute_top_k)
+        self._recompute: Callable[[RequestDescriptor], dict[str, Any]] | None = None
+        self._counters = threading.Lock()
+        self.requests = 0
+        self.hits = 0
+        self.computations = 0
+        self.precomputed = 0
+        self.precompute_failures = 0
+        self._dirty = threading.Event()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        store.add_invalidation_listener(self._on_store_write)
+        tracker.add_listener(self._on_plan_change)
+
+    # ------------------------------------------------------------------
+    # Request path
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        descriptor: RequestDescriptor,
+        compute: Callable[[], dict[str, Any]],
+        priority: int = INTERACTIVE,
+        timeout: float | None = None,
+        record: bool = True,
+    ) -> dict[str, Any]:
+        """Serve one request through cache, coalescing and admission.
+
+        ``compute`` runs at most once per distinct input state no matter
+        how many concurrent callers present the same descriptor.  The
+        returned dict is decoded from the cached JSON payload, so every
+        caller — leader, coalesced waiter, later cache hit — receives an
+        identical response.
+        """
+        key = self._key(descriptor)
+        if record:
+            with self._counters:
+                self.requests += 1
+        payload = self.cache.get(key)
+        if payload is None:
+            payload, _ = self.flight.do(
+                key, lambda: self._compute_and_store(key, descriptor, compute,
+                                                     priority, timeout)
+            )
+        elif record:
+            with self._counters:
+                self.hits += 1
+        if record:
+            self.precomputer.record(descriptor)
+        return json.loads(payload)
+
+    def _compute_and_store(
+        self,
+        key: str,
+        descriptor: RequestDescriptor,
+        compute: Callable[[], dict[str, Any]],
+        priority: int,
+        timeout: float | None,
+    ) -> bytes:
+        # A racing leader may have filled the cache between our miss and
+        # winning the flight; re-check before paying for a computation.
+        payload = self.cache.get(key)
+        if payload is not None:
+            return payload
+        result = self.scheduler.run(compute, priority, timeout)
+        with self._counters:
+            self.computations += 1
+        # Insertion order is preserved through dumps/loads, so the HTTP
+        # tier re-encodes cached responses to the exact uncached bytes.
+        payload = json.dumps(result).encode("utf8")
+        self.cache.put(key, payload, descriptor.topology)
+        return payload
+
+    def _key(self, descriptor: RequestDescriptor) -> str:
+        try:
+            revision = self.tracker.revision_of(descriptor.topology)
+        except TopologyError:
+            revision = -1  # unknown topologies 404 in the handler anyway
+        digest = self.store.data_version(descriptor.topology)
+        return descriptor.cache_key(revision, digest)
+
+    # ------------------------------------------------------------------
+    # Invalidation + warm precompute
+    # ------------------------------------------------------------------
+    def _on_store_write(self, topology: str | None) -> None:
+        self.cache.invalidate_topology(topology)
+        self.precomputer.invalidate(topology)
+        self._dirty.set()
+
+    def _on_plan_change(self, topology: str) -> None:
+        self.cache.invalidate_topology(topology)
+        self.precomputer.invalidate(topology)
+        self._dirty.set()
+
+    def set_recompute(
+        self, fn: Callable[[RequestDescriptor], dict[str, Any]]
+    ) -> None:
+        """Register the callback that replays a descriptor's computation."""
+        self._recompute = fn
+
+    def precompute_now(self) -> int:
+        """Recompute pending popular queries; returns how many succeeded.
+
+        Runs at PRECOMPUTE priority, so a busy interactive queue starves
+        precomputation (by design), and sheds silently under overload —
+        warm-cache work is best-effort.
+        """
+        if self._recompute is None:
+            return 0
+        done = 0
+        for descriptor in self.precomputer.take_pending():
+            try:
+                self.execute(
+                    descriptor,
+                    lambda d=descriptor: self._recompute(d),
+                    priority=PRECOMPUTE,
+                    record=False,
+                )
+                done += 1
+            except ReproError:
+                with self._counters:
+                    self.precompute_failures += 1
+        with self._counters:
+            self.precomputed += done
+        return done
+
+    def start(self, interval_seconds: float = 0.5) -> None:
+        """Run :meth:`precompute_now` on a daemon thread after writes."""
+        if self._thread is not None:
+            return
+        self._stop.clear()
+
+        def loop() -> None:
+            while not self._stop.is_set():
+                self._dirty.wait(interval_seconds)
+                if self._stop.is_set():
+                    return
+                self._dirty.clear()
+                self.precompute_now()
+
+        self._thread = threading.Thread(
+            target=loop, name="caladrius-precompute", daemon=True
+        )
+        self._thread.start()
+
+    def close(self) -> None:
+        """Unsubscribe from invalidation sources and stop precompute."""
+        self._stop.set()
+        self._dirty.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+        self.store.remove_invalidation_listener(self._on_store_write)
+        self.tracker.remove_listener(self._on_plan_change)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, Any]:
+        """The ``/serving/stats`` payload."""
+        with self._counters:
+            requests = self.requests
+            hits = self.hits
+            computations = self.computations
+            precomputed = self.precomputed
+            precompute_failures = self.precompute_failures
+        flight = self.flight.stats()
+        sched = self.scheduler.stats()
+        return {
+            "enabled": True,
+            "requests": requests,
+            "hits": hits,
+            "hit_rate": (hits / requests) if requests else 0.0,
+            "coalesced": flight["coalesced"],
+            "computations": computations,
+            "shed": sched["shed"],
+            "queue_depth": sched["queue_depth"],
+            "precomputed": precomputed,
+            "precompute_failures": precompute_failures,
+            "cache": self.cache.stats(),
+            "scheduler": sched,
+            "singleflight": flight,
+            "precompute": self.precomputer.stats(),
+        }

@@ -1,0 +1,175 @@
+"""Priority admission control for model computations.
+
+Model evaluations are the expensive step ("up to several seconds",
+paper Section V-F).  Under overload an unbounded queue turns every
+response slow; this scheduler instead bounds the queue, runs interactive
+requests ahead of background precomputation, and *sheds* excess load
+with a structured 429 carrying a ``Retry-After`` estimate — the
+behaviour a client can actually cooperate with.
+
+The scheduler is a gate, not a pool: computations execute on the calling
+thread (an HTTP handler thread or the async worker pool), at most
+``max_concurrent`` at a time, admitted in (priority, arrival) order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import threading
+import time
+from collections.abc import Callable
+from typing import Any, TypeVar
+
+from repro.errors import ApiError, ConfigError
+
+__all__ = ["AdmissionError", "INTERACTIVE", "PRECOMPUTE", "PriorityScheduler"]
+
+#: Priority classes: lower sorts first.  Interactive requests (a human
+#: or an autoscaler waiting on the answer) always run before warm-cache
+#: precomputation.
+INTERACTIVE = 0
+PRECOMPUTE = 1
+
+T = TypeVar("T")
+
+
+class AdmissionError(ApiError):
+    """The queue is full (or the deadline passed); retry later.
+
+    Maps to HTTP 429; ``retry_after`` (seconds) is the scheduler's
+    estimate of when a slot will be free, surfaced both in the payload
+    and as a ``Retry-After`` header by the HTTP tier.
+    """
+
+    def __init__(self, retry_after: int, queue_depth: int) -> None:
+        super().__init__(
+            f"service is at capacity ({queue_depth} queued); "
+            f"retry in ~{retry_after}s",
+            429,
+            {"retry_after": retry_after, "queue_depth": queue_depth},
+        )
+        self.retry_after = retry_after
+
+
+class PriorityScheduler:
+    """Bounded, priority-ordered admission gate.
+
+    Parameters
+    ----------
+    max_concurrent:
+        Computations allowed to run simultaneously.
+    max_queue:
+        Waiters allowed beyond the running ones; an arrival past this
+        bound is shed with :class:`AdmissionError`.
+    clock:
+        Monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        max_concurrent: int = 4,
+        max_queue: int = 32,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_concurrent < 1:
+            raise ConfigError("max_concurrent must be >= 1")
+        if max_queue < 1:
+            raise ConfigError("max_queue must be >= 1")
+        self.max_concurrent = max_concurrent
+        self.max_queue = max_queue
+        self._clock = clock
+        self._cond = threading.Condition()
+        self._waiting: list[tuple[int, int]] = []
+        self._running = 0
+        self._seq = 0
+        self._avg_seconds = 1.0
+        self._timed_samples = 0
+        self.executed = 0
+        self.shed = 0
+        self.peak_queue = 0
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        fn: Callable[[], T],
+        priority: int = INTERACTIVE,
+        timeout: float | None = None,
+    ) -> T:
+        """Run ``fn`` once admitted; shed with 429 when over capacity.
+
+        ``timeout`` bounds the wait for a slot (a request deadline): a
+        request still queued when it expires is shed exactly like an
+        over-capacity arrival.
+        """
+        deadline = self._clock() + timeout if timeout is not None else None
+        with self._cond:
+            if len(self._waiting) >= self.max_queue:
+                self.shed += 1
+                raise AdmissionError(
+                    self._retry_after_locked(), len(self._waiting)
+                )
+            self._seq += 1
+            ticket = (priority, self._seq)
+            heapq.heappush(self._waiting, ticket)
+            self.peak_queue = max(self.peak_queue, len(self._waiting))
+            while (
+                self._running >= self.max_concurrent
+                or self._waiting[0] != ticket
+            ):
+                if deadline is None:
+                    self._cond.wait()
+                    continue
+                remaining = deadline - self._clock()
+                if remaining <= 0 or not self._cond.wait(remaining):
+                    if deadline - self._clock() <= 0:
+                        self._waiting.remove(ticket)
+                        heapq.heapify(self._waiting)
+                        self.shed += 1
+                        self._cond.notify_all()
+                        raise AdmissionError(
+                            self._retry_after_locked(), len(self._waiting)
+                        )
+            heapq.heappop(self._waiting)
+            self._running += 1
+            self._cond.notify_all()
+        start = self._clock()
+        try:
+            return fn()
+        finally:
+            elapsed = max(0.0, self._clock() - start)
+            with self._cond:
+                self._running -= 1
+                self.executed += 1
+                # EWMA of computation time feeds the Retry-After estimate.
+                self._timed_samples += 1
+                weight = 0.2 if self._timed_samples > 1 else 1.0
+                self._avg_seconds += weight * (elapsed - self._avg_seconds)
+                self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def _retry_after_locked(self) -> int:
+        backlog = len(self._waiting) + self._running
+        estimate = self._avg_seconds * backlog / self.max_concurrent
+        return max(1, math.ceil(estimate))
+
+    def queue_depth(self) -> int:
+        """Requests currently waiting for a slot."""
+        with self._cond:
+            return len(self._waiting)
+
+    def stats(self) -> dict[str, Any]:
+        """Counters plus instantaneous depth (for ``/serving/stats``)."""
+        with self._cond:
+            return {
+                "executed": self.executed,
+                "shed": self.shed,
+                "queue_depth": len(self._waiting),
+                "running": self._running,
+                "peak_queue": self.peak_queue,
+                "avg_compute_seconds": round(self._avg_seconds, 6),
+            }

@@ -1,0 +1,79 @@
+"""Single-flight coalescing: one computation per key, shared by waiters.
+
+When N identical requests arrive concurrently, exactly one of them (the
+*leader*) runs the computation; the other N-1 block on an event and
+receive the leader's result (or its exception).  Keys are the same
+content-addressed fingerprints the cache uses, so "identical" means
+identical inputs, not merely identical URLs.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Callable
+from typing import Any
+
+__all__ = ["SingleFlight"]
+
+_UNSET = object()
+
+
+class _Call:
+    __slots__ = ("done", "result", "error")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.result: Any = _UNSET
+        self.error: BaseException | None = None
+
+
+class SingleFlight:
+    """Coalesce concurrent calls that share a key."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._calls: dict[str, _Call] = {}
+        self.coalesced = 0
+        self.led = 0
+
+    def do(self, key: str, fn: Callable[[], Any]) -> tuple[Any, bool]:
+        """Run ``fn`` once per in-flight key; returns ``(result, led)``.
+
+        ``led`` is True for the call that actually executed ``fn``.  An
+        exception raised by the leader propagates to every waiter.
+        """
+        with self._lock:
+            call = self._calls.get(key)
+            if call is None:
+                call = _Call()
+                self._calls[key] = call
+                leader = True
+                self.led += 1
+            else:
+                leader = False
+                self.coalesced += 1
+        if not leader:
+            call.done.wait()
+            if call.error is not None:
+                raise call.error
+            return call.result, False
+        try:
+            call.result = fn()
+        except BaseException as exc:
+            call.error = exc
+            raise
+        finally:
+            with self._lock:
+                del self._calls[key]
+            call.done.set()
+        return call.result, True
+
+    def in_flight(self) -> int:
+        """Number of keys currently being computed."""
+        with self._lock:
+            return len(self._calls)
+
+    def stats(self) -> dict[str, int]:
+        """Leader/waiter counters (for ``/serving/stats``)."""
+        with self._lock:
+            return {"led": self.led, "coalesced": self.coalesced}

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import json
 import threading
-from collections.abc import Iterable, Mapping
+from collections.abc import Callable, Iterable, Mapping
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -97,6 +97,10 @@ class MetricsStore:
         self._series: dict[MetricKey, _SeriesBuffer] = {}
         self._lock = threading.Lock()
         self._latest: int | None = None
+        # Write counters per `topology` tag value (None = untagged),
+        # plus subscribers — the serving tier's invalidation hooks.
+        self._versions: dict[str | None, int] = {}
+        self._listeners: list[Callable[[str | None], None]] = []
 
     # ------------------------------------------------------------------
     # Writing
@@ -110,12 +114,17 @@ class MetricsStore:
     ) -> None:
         """Append one sample to the series identified by name + tags."""
         key = MetricKey.of(name, tags)
+        topology = key.tag_dict().get("topology")
         with self._lock:
             buffer = self._series.setdefault(key, _SeriesBuffer())
             buffer.append(timestamp, value)
             if self._latest is None or timestamp > self._latest:
                 self._latest = int(timestamp)
+            self._versions[topology] = self._versions.get(topology, 0) + 1
             self._apply_retention_locked()
+            listeners = list(self._listeners)
+        for listener in listeners:
+            listener(topology)
 
     def write_many(
         self,
@@ -291,6 +300,50 @@ class MetricsStore:
         with self._lock:
             self._series.clear()
             self._latest = None
+            # A wipe changes what every query returns: bump the untagged
+            # counter (which folds into every topology's digest).
+            self._versions[None] = self._versions.get(None, 0) + 1
+            listeners = list(self._listeners)
+        for listener in listeners:
+            listener(None)
+
+    # ------------------------------------------------------------------
+    # Cache invalidation support
+    # ------------------------------------------------------------------
+    def data_version(self, topology: str | None = None) -> int:
+        """Monotonic digest of the writes that can affect one topology.
+
+        Any write tagged ``topology=<name>`` bumps that topology's
+        counter; untagged writes (and :meth:`clear`) bump a shared
+        counter folded into every digest.  Equal digests therefore
+        guarantee the topology's queryable data is unchanged — the
+        metrics half of the serving tier's content-addressed cache key.
+        """
+        with self._lock:
+            version = self._versions.get(topology, 0)
+            if topology is not None:
+                version += self._versions.get(None, 0)
+            return version
+
+    def add_invalidation_listener(
+        self, listener: Callable[[str | None], None]
+    ) -> None:
+        """Call ``listener(topology_tag)`` after every write (and clear).
+
+        Listeners run outside the store lock and must be cheap — the
+        serving tier uses them to evict cached results and queue warm
+        recomputation.
+        """
+        with self._lock:
+            self._listeners.append(listener)
+
+    def remove_invalidation_listener(
+        self, listener: Callable[[str | None], None]
+    ) -> None:
+        """Unsubscribe a previously added listener (idempotent)."""
+        with self._lock:
+            if listener in self._listeners:
+                self._listeners.remove(listener)
 
     def __len__(self) -> int:
         with self._lock:

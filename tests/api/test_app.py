@@ -167,7 +167,8 @@ class TestAsyncJobs:
         assert result["status"] == "done"
         assert result["result"]["results"][0]["output_rate"] > 0
 
-    def test_result_consumed_once(self, app):
+    def test_poll_is_idempotent_within_ttl(self, app):
+        """Retried/concurrent polls of a done job all get the result."""
         _, submitted = app.handle(
             "POST",
             "/model/topology/heron/word-count",
@@ -181,8 +182,11 @@ class TestAsyncJobs:
             if result["status"] == "done":
                 break
             time.sleep(0.05)
-        status, _ = app.handle("GET", f"/model/result/{request_id}")
-        assert status == 404
+        assert result["status"] == "done"
+        for _ in range(3):
+            status, again = app.handle("GET", f"/model/result/{request_id}")
+            assert status == 200
+            assert again == result
 
     def test_unknown_request_id(self, app):
         status, _ = app.handle("GET", "/model/result/does-not-exist")
@@ -204,3 +208,74 @@ class TestAsyncJobs:
             time.sleep(0.05)
         assert result["status"] == "error"
         assert "missing-topology" in result["error"]
+
+
+class _FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestAsyncJobTtl:
+    """Completed jobs are retained for a TTL, then evicted — not leaked."""
+
+    @pytest.fixture()
+    def ttl_app(self, deployed_wordcount):
+        _, _, _, store, tracker = deployed_wordcount
+        config = load_config(
+            {
+                "traffic_models": ["stats-summary"],
+                "performance_models": ["throughput-prediction"],
+                "serving": {"job_result_ttl_seconds": 30},
+            }
+        )
+        clock = _FakeClock()
+        application = CaladriusApp(config, tracker, store, clock=clock)
+        yield application, clock
+        application.shutdown()
+
+    def _finish_job(self, app):
+        _, submitted = app.handle(
+            "POST",
+            "/model/topology/heron/word-count",
+            {"async": "1", "model": "throughput-prediction"},
+            {"source_rate": 10 * M},
+        )
+        request_id = submitted["request_id"]
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            _, result = app.handle("GET", f"/model/result/{request_id}")
+            if result["status"] == "done":
+                return request_id
+            time.sleep(0.05)
+        raise AssertionError("job did not complete")
+
+    def test_done_result_expires_after_ttl(self, ttl_app):
+        app, clock = ttl_app
+        request_id = self._finish_job(app)
+        clock.advance(29)
+        status, _ = app.handle("GET", f"/model/result/{request_id}")
+        assert status == 200
+        clock.advance(2)
+        status, _ = app.handle("GET", f"/model/result/{request_id}")
+        assert status == 404
+
+    def test_unpolled_jobs_are_evicted(self, ttl_app):
+        """Jobs whose clients never poll do not stay in memory forever."""
+        app, clock = ttl_app
+        self._finish_job(app)  # poll only to learn it completed
+        assert len(app._jobs) == 1
+        clock.advance(31)
+        # Any later submission sweeps the expired job out.
+        app.handle(
+            "POST",
+            "/model/topology/heron/word-count",
+            {"async": "1", "model": "throughput-prediction"},
+            {"source_rate": 11 * M},
+        )
+        assert len(app._jobs) == 1  # only the new job remains

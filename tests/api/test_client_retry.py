@@ -16,9 +16,10 @@ from repro.errors import ApiError
 class _FlakyHandler(http.server.BaseHTTPRequestHandler):
     """Serves `behaviour` for the first `failures` requests, then JSON."""
 
-    behaviour = "close"  # "close" | "503" | "html" | "empty"
+    behaviour = "close"  # "close" | "503" | "429" | "429_body" | "html" | "empty"
     failures = 0
     seen = 0
+    retry_after = 7
 
     def do_GET(self):  # noqa: N802 - BaseHTTPRequestHandler API
         cls = type(self)
@@ -32,6 +33,18 @@ class _FlakyHandler(http.server.BaseHTTPRequestHandler):
                 self.send_response(503)
                 self.send_header("Content-Type", "application/json")
                 self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+                return
+            if cls.behaviour in ("429", "429_body"):
+                body = json.dumps(
+                    {"error": "overloaded", "retry_after": cls.retry_after}
+                ).encode()
+                self.send_response(429)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(body)))
+                if cls.behaviour == "429":
+                    self.send_header("Retry-After", str(cls.retry_after))
                 self.end_headers()
                 self.wfile.write(body)
                 return
@@ -66,10 +79,13 @@ def flaky_server():
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
 
-    def configure(behaviour: str, failures: int) -> tuple[str, int]:
+    def configure(
+        behaviour: str, failures: int, retry_after: int = 7
+    ) -> tuple[str, int]:
         _FlakyHandler.behaviour = behaviour
         _FlakyHandler.failures = failures
         _FlakyHandler.seen = 0
+        _FlakyHandler.retry_after = retry_after
         return server.server_address
 
     yield configure
@@ -127,6 +143,44 @@ class TestRetries:
     def test_negative_retries_rejected(self):
         with pytest.raises(ApiError, match="non-negative"):
             CaladriusClient("localhost", 1, retries=-1)
+
+
+class TestRetryAfter:
+    def test_429_retried_until_success(self, flaky_server):
+        host, port = flaky_server("429", failures=2)
+        client, sleeps = _client(host, port)
+        assert client.topologies() == ["word-count"]
+        assert len(sleeps) == 2
+
+    def test_server_delay_capped_at_max_backoff(self, flaky_server):
+        # Retry-After: 7 far exceeds backoff_max_seconds=0.05; the
+        # client must honor the hint but cap it at its own ceiling.
+        host, port = flaky_server("429", failures=2, retry_after=7)
+        client, sleeps = _client(host, port)
+        client.topologies()
+        assert sleeps == [0.05, 0.05]
+
+    def test_small_server_delay_used_verbatim(self, flaky_server):
+        # Retry-After: 0 is below the backoff schedule; exactly zero
+        # sleep proves the header (not jittered backoff) set the delay.
+        host, port = flaky_server("429", failures=1, retry_after=0)
+        client, sleeps = _client(host, port)
+        client.topologies()
+        assert sleeps == [0.0]
+
+    def test_body_retry_after_used_when_header_missing(self, flaky_server):
+        host, port = flaky_server("429_body", failures=1, retry_after=0)
+        client, sleeps = _client(host, port)
+        client.topologies()
+        assert sleeps == [0.0]
+
+    def test_429_exhausting_retries_surfaces_status(self, flaky_server):
+        host, port = flaky_server("429", failures=10)
+        client, _ = _client(host, port, retries=2)
+        with pytest.raises(ApiError) as excinfo:
+            client.topologies()
+        assert excinfo.value.status == 429
+        assert "overloaded" in str(excinfo.value)
 
 
 class TestNonJsonBodies:

@@ -1,0 +1,299 @@
+"""Concurrent API use: single-flight, byte-identical answers, live writes.
+
+Hammers a real :class:`CaladriusServer` from a thread pool with mixed
+identical/distinct requests and asserts the serving-layer contract:
+
+* each distinct computation executes exactly once no matter how many
+  concurrent clients ask for it (single-flight + cache);
+* served responses are byte-identical to what an uncached service
+  computes for the same inputs;
+* metrics writes racing with reads never corrupt aggregation — every
+  response remains byte-identical to the clean baseline while the cache
+  is being invalidated underneath;
+* overload sheds with 429 + ``Retry-After`` instead of queueing forever.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.api.app import CaladriusApp
+from repro.api.client import CaladriusClient
+from repro.api.server import CaladriusServer
+from repro.config import load_config
+from repro.heron.simulation import HeronSimulation, SimulationConfig
+from repro.heron.tracker import TopologyTracker
+from repro.heron.wordcount import WordCountParams, build_word_count
+from repro.timeseries.store import MetricsStore
+
+M = 1e6
+
+_MODEL_CONFIG = {
+    "traffic_models": ["stats-summary"],
+    "performance_models": ["throughput-prediction"],
+}
+
+
+@pytest.fixture(scope="module")
+def private_deployment():
+    """A deployment not shared with other tests, safe to write into."""
+    topology, packing, logic = build_word_count(
+        WordCountParams(
+            spout_parallelism=4,
+            splitter_parallelism=2,
+            counter_parallelism=4,
+        )
+    )
+    store = MetricsStore()
+    sim = HeronSimulation(
+        topology, packing, logic, store, SimulationConfig(seed=11)
+    )
+    for rate in np.arange(4 * M, 44 * M + 1, 8 * M):
+        sim.set_source_rate("sentence-spout", float(rate))
+        sim.run(2)
+    tracker = TopologyTracker()
+    tracker.register(topology, packing)
+    return tracker, store
+
+
+def canonical(payload: dict) -> str:
+    return json.dumps(payload, sort_keys=True)
+
+
+class TestSingleFlightOverHttp:
+    def test_distinct_computations_run_once_and_match_uncached(
+        self, private_deployment
+    ):
+        tracker, store = private_deployment
+        config = load_config(_MODEL_CONFIG)
+        app = CaladriusApp(config, tracker, store)
+        uncached = CaladriusApp(
+            load_config({**_MODEL_CONFIG, "serving": {"enabled": False}}),
+            tracker,
+            store,
+        )
+        try:
+            rates = [8 * M, 12 * M, 16 * M, 20 * M]
+            expected = {}
+            for rate in rates:
+                status, payload = uncached.handle(
+                    "POST",
+                    "/model/topology/heron/word-count",
+                    {},
+                    {"source_rate": rate},
+                )
+                assert status == 200
+                expected[rate] = canonical(payload)
+
+            barrier = threading.Barrier(16, timeout=30)
+
+            def hammer(rate):
+                client = CaladriusClient(
+                    "127.0.0.1", server.port, timeout=60, retries=0
+                )
+                barrier.wait()
+                return rate, client.performance(
+                    "word-count", source_rate=rate
+                )
+
+            with CaladriusServer(app) as server:
+                with ThreadPoolExecutor(max_workers=16) as pool:
+                    # 16 concurrent requests over 4 distinct rates.
+                    futures = [
+                        pool.submit(hammer, rates[i % len(rates)])
+                        for i in range(16)
+                    ]
+                    responses = [f.result(120) for f in futures]
+                status, stats = app.handle("GET", "/serving/stats")
+            assert status == 200
+            # Every response is byte-identical to the uncached baseline.
+            for rate, payload in responses:
+                assert canonical(payload) == expected[rate]
+            # Each distinct request computed exactly once; the other 12
+            # were answered by coalescing or the cache.
+            assert stats["computations"] == len(rates)
+            assert stats["requests"] == 16
+            assert stats["hits"] + stats["coalesced"] == 16 - len(rates)
+        finally:
+            app.shutdown()
+            uncached.shutdown()
+
+    def test_writes_during_reads_never_corrupt_aggregation(
+        self, private_deployment
+    ):
+        tracker, store = private_deployment
+        config = load_config(_MODEL_CONFIG)
+        app = CaladriusApp(config, tracker, store)
+        uncached = CaladriusApp(
+            load_config({**_MODEL_CONFIG, "serving": {"enabled": False}}),
+            tracker,
+            store,
+        )
+        try:
+            status, baseline = uncached.handle(
+                "GET",
+                "/model/traffic/heron/word-count",
+                {"horizon_minutes": "10"},
+            )
+            assert status == 200
+            expected = canonical(baseline)
+
+            stop = threading.Event()
+            written = []
+
+            def writer():
+                # A metric the models do not read, tagged to the served
+                # topology: every write invalidates the cache without
+                # changing the correct answer.
+                ts = 0
+                while not stop.is_set():
+                    ts += 60
+                    store.write(
+                        "serving-test-noise", ts, 1.0,
+                        {"topology": "word-count"},
+                    )
+                    written.append(ts)
+                    time.sleep(0.002)
+
+            def reader():
+                client = CaladriusClient(
+                    "127.0.0.1", server.port, timeout=60, retries=0
+                )
+                payloads = []
+                for _ in range(5):
+                    payloads.append(
+                        client.traffic("word-count", horizon_minutes=10)
+                    )
+                return payloads
+
+            with CaladriusServer(app) as server:
+                writer_thread = threading.Thread(target=writer)
+                writer_thread.start()
+                try:
+                    with ThreadPoolExecutor(max_workers=8) as pool:
+                        futures = [pool.submit(reader) for _ in range(8)]
+                        results = [f.result(120) for f in futures]
+                finally:
+                    stop.set()
+                    writer_thread.join(10)
+            # Aggregation stayed correct under racing invalidations.
+            for payloads in results:
+                for payload in payloads:
+                    assert canonical(payload) == expected
+            # And the writes themselves all landed, in order.
+            noise = store.get(
+                "serving-test-noise", {"topology": "word-count"}
+            )
+            assert list(noise.timestamps) == written
+        finally:
+            app.shutdown()
+            uncached.shutdown()
+
+
+class TestLoadSheddingOverHttp:
+    def test_429_with_retry_after_header(self, private_deployment):
+        tracker, store = private_deployment
+        config = load_config(
+            {
+                **_MODEL_CONFIG,
+                "serving": {"max_concurrent": 1, "max_queue": 1},
+            }
+        )
+        app = CaladriusApp(config, tracker, store)
+        try:
+            barrier = threading.Barrier(8, timeout=30)
+
+            def hammer(rate):
+                connection = http.client.HTTPConnection(
+                    "127.0.0.1", server.port, timeout=60
+                )
+                try:
+                    body = json.dumps({"source_rate": rate}).encode()
+                    barrier.wait()
+                    connection.request(
+                        "POST",
+                        "/model/topology/heron/word-count",
+                        body=body,
+                        headers={"Content-Type": "application/json"},
+                    )
+                    response = connection.getresponse()
+                    payload = json.loads(response.read().decode())
+                    return (
+                        response.status,
+                        response.getheader("Retry-After"),
+                        payload,
+                    )
+                finally:
+                    connection.close()
+
+            with CaladriusServer(app) as server:
+                with ThreadPoolExecutor(max_workers=8) as pool:
+                    # 8 concurrent *distinct* requests (no coalescing)
+                    # against 1 slot + 1 queue place: most must shed.
+                    futures = [
+                        pool.submit(hammer, (30 + i) * M) for i in range(8)
+                    ]
+                    outcomes = [f.result(120) for f in futures]
+            shed = [o for o in outcomes if o[0] == 429]
+            served = [o for o in outcomes if o[0] == 200]
+            assert len(served) >= 1
+            assert len(shed) >= 1
+            for status, retry_after, payload in shed:
+                assert retry_after is not None
+                assert int(retry_after) >= 1
+                assert payload["retry_after"] >= 1
+                assert "error" in payload
+            status, stats = app.handle("GET", "/serving/stats")
+            assert stats["shed"] == len(shed)
+        finally:
+            app.shutdown()
+
+
+class TestServingStatsEndpoint:
+    def test_disabled_layer_reports_disabled(self, private_deployment):
+        tracker, store = private_deployment
+        app = CaladriusApp(
+            load_config({**_MODEL_CONFIG, "serving": {"enabled": False}}),
+            tracker,
+            store,
+        )
+        try:
+            status, payload = app.handle("GET", "/serving/stats")
+            assert status == 200
+            assert payload == {"enabled": False}
+        finally:
+            app.shutdown()
+
+    def test_client_helper_fetches_stats(self, private_deployment):
+        tracker, store = private_deployment
+        app = CaladriusApp(load_config(_MODEL_CONFIG), tracker, store)
+        try:
+            with CaladriusServer(app) as server:
+                client = CaladriusClient("127.0.0.1", server.port)
+                stats = client.serving_stats()
+            assert stats["enabled"] is True
+            assert "hit_rate" in stats
+            assert "queue_depth" in stats
+        finally:
+            app.shutdown()
+
+    def test_priority_param_validated(self, private_deployment):
+        tracker, store = private_deployment
+        app = CaladriusApp(load_config(_MODEL_CONFIG), tracker, store)
+        try:
+            status, payload = app.handle(
+                "GET",
+                "/model/traffic/heron/word-count",
+                {"priority": "urgent"},
+            )
+            assert status == 400
+            assert "priority" in payload["error"]
+        finally:
+            app.shutdown()

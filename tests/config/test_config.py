@@ -156,3 +156,71 @@ class TestHoltWintersRegistration:
         forecaster = model.make_forecaster()
         assert isinstance(forecaster, HoltWinters)
         assert forecaster.season_length == 24
+
+
+class TestServingConfig:
+    def test_defaults(self):
+        config = load_config({})
+        serving = config.serving
+        assert serving.enabled is True
+        assert serving.cache_mb == 64.0
+        assert serving.cache_bytes == 64 * 1024 * 1024
+        assert serving.ttl_seconds == 300.0
+        assert serving.max_concurrent == 4
+        assert serving.max_queue == 32
+        assert serving.precompute_top_k == 8
+        assert serving.job_result_ttl_seconds == 60.0
+
+    def test_overrides(self):
+        config = load_config(
+            {
+                "serving": {
+                    "enabled": False,
+                    "cache_mb": 8,
+                    "ttl_seconds": None,
+                    "max_concurrent": 2,
+                    "max_queue": 4,
+                    "precompute_top_k": 3,
+                    "job_result_ttl_seconds": 10,
+                }
+            }
+        )
+        serving = config.serving
+        assert serving.enabled is False
+        assert serving.cache_mb == 8.0
+        assert serving.cache_bytes == 8 * 1024 * 1024
+        assert serving.ttl_seconds is None
+        assert serving.max_concurrent == 2
+        assert serving.max_queue == 4
+        assert serving.precompute_top_k == 3
+        assert serving.job_result_ttl_seconds == 10.0
+
+    def test_section_must_be_a_mapping(self):
+        with pytest.raises(ConfigError, match="mapping"):
+            load_config({"serving": ["cache_mb"]})
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ConfigError, match="unknown serving keys"):
+            load_config({"serving": {"cache_gb": 1}})
+
+    def test_enabled_must_be_boolean(self):
+        with pytest.raises(ConfigError, match="enabled"):
+            load_config({"serving": {"enabled": "yes"}})
+
+    @pytest.mark.parametrize(
+        "key", ["cache_mb", "ttl_seconds", "job_result_ttl_seconds"]
+    )
+    def test_numbers_must_be_positive(self, key):
+        with pytest.raises(ConfigError, match=key):
+            load_config({"serving": {key: 0}})
+        with pytest.raises(ConfigError, match=key):
+            load_config({"serving": {key: "lots"}})
+
+    @pytest.mark.parametrize(
+        "key", ["max_concurrent", "max_queue", "precompute_top_k"]
+    )
+    def test_counts_must_be_positive_integers(self, key):
+        with pytest.raises(ConfigError, match=key):
+            load_config({"serving": {key: 0}})
+        with pytest.raises(ConfigError, match=key):
+            load_config({"serving": {key: 2.5}})

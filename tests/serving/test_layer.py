@@ -1,0 +1,189 @@
+"""ServingLayer: content-addressed keys, invalidation, warm precompute."""
+
+from __future__ import annotations
+
+import json
+
+from repro.heron.tracker import TopologyTracker
+from repro.heron.wordcount import WordCountParams, build_word_count
+from repro.serving.fingerprint import RequestDescriptor, fingerprint
+from repro.serving.layer import ServingLayer
+from repro.timeseries.store import MetricsStore
+
+
+def make_layer(**kwargs):
+    tracker, store = TopologyTracker(), MetricsStore()
+    layer = ServingLayer(tracker, store, **kwargs)
+    return layer, tracker, store
+
+
+def desc(topology="wc", horizon=60):
+    return RequestDescriptor.of(
+        "traffic", topology, None, {"horizon_minutes": horizon}
+    )
+
+
+class TestFingerprint:
+    def test_param_order_does_not_matter(self):
+        a = RequestDescriptor.of("traffic", "wc", None, {"a": 1, "b": 2})
+        b = RequestDescriptor.of("traffic", "wc", None, {"b": 2, "a": 1})
+        assert a == b
+        assert a.cache_key(1, 1) == b.cache_key(1, 1)
+
+    def test_every_field_changes_the_key(self):
+        base = desc().cache_key(1, 1)
+        assert desc(horizon=61).cache_key(1, 1) != base
+        assert desc(topology="other").cache_key(1, 1) != base
+        assert desc().cache_key(2, 1) != base  # plan revision
+        assert desc().cache_key(1, 2) != base  # metrics digest
+        named = RequestDescriptor.of(
+            "traffic", "wc", "prophet", {"horizon_minutes": 60}
+        )
+        assert named.cache_key(1, 1) != base
+
+    def test_fingerprint_is_stable(self):
+        fields = {"kind": "traffic", "topology": "wc"}
+        assert fingerprint(fields) == fingerprint(dict(fields))
+
+
+class TestContentAddressing:
+    def test_unchanged_inputs_hit_the_cache(self):
+        layer, _, _ = make_layer()
+        calls = []
+        compute = lambda: calls.append(1) or {"value": 7}  # noqa: E731
+        first = layer.execute(desc(), compute)
+        second = layer.execute(desc(), compute)
+        assert first == second == {"value": 7}
+        assert len(calls) == 1
+        assert layer.stats()["hit_rate"] == 0.5
+        layer.close()
+
+    def test_cached_payload_is_byte_identical(self):
+        layer, _, _ = make_layer()
+        result = {"nested": {"b": 2.5, "a": [1, 2]}, "rate": 1e7 / 3}
+        first = layer.execute(desc(), lambda: result)
+        second = layer.execute(desc(), lambda: dict(result))
+        assert json.dumps(first) == json.dumps(second)
+        layer.close()
+
+    def test_metrics_write_invalidates(self):
+        layer, _, store = make_layer()
+        values = iter([1, 2])
+        compute = lambda: {"value": next(values)}  # noqa: E731
+        assert layer.execute(desc(), compute) == {"value": 1}
+        store.write("m", 0, 1.0, {"topology": "wc"})
+        assert layer.execute(desc(), compute) == {"value": 2}
+        assert layer.cache.stats()["invalidations"] >= 1
+        layer.close()
+
+    def test_write_to_other_topology_does_not_invalidate(self):
+        layer, _, store = make_layer()
+        calls = []
+        compute = lambda: calls.append(1) or {"value": 1}  # noqa: E731
+        layer.execute(desc(), compute)
+        store.write("m", 0, 1.0, {"topology": "unrelated"})
+        layer.execute(desc(), compute)
+        assert len(calls) == 1
+        layer.close()
+
+    def test_untagged_write_invalidates_everything(self):
+        layer, _, store = make_layer()
+        calls = []
+        compute = lambda: calls.append(1) or {"value": 1}  # noqa: E731
+        layer.execute(desc(), compute)
+        store.write("m", 0, 1.0)  # no topology tag: conservative
+        layer.execute(desc(), compute)
+        assert len(calls) == 2
+        layer.close()
+
+    def test_plan_update_invalidates(self):
+        layer, tracker, _ = make_layer()
+        topology, packing, _ = build_word_count(WordCountParams())
+        tracker.register(topology, packing)
+        calls = []
+        compute = lambda: calls.append(1) or {"value": 1}  # noqa: E731
+        layer.execute(desc(topology.name), compute)
+        tracker.update(topology.name, topology, packing)
+        layer.execute(desc(topology.name), compute)
+        assert len(calls) == 2
+        layer.close()
+
+
+class TestWarmPrecompute:
+    def test_popular_query_is_rewarmed_after_invalidation(self):
+        layer, _, store = make_layer()
+        computes = []
+
+        def recompute(descriptor):
+            computes.append(descriptor)
+            return {"topology": descriptor.topology, "warm": True}
+
+        layer.set_recompute(recompute)
+        # Make the query popular through the interactive path.
+        layer.execute(desc(), lambda: {"topology": "wc", "warm": False})
+        layer.execute(desc(), lambda: {"topology": "wc", "warm": False})
+        store.write("m", 0, 1.0, {"topology": "wc"})
+        assert layer.precompute_now() == 1
+        assert computes[0] == desc()
+        # The interactive path now hits the warm entry without computing.
+        hits_before = layer.stats()["hits"]
+        result = layer.execute(
+            desc(), lambda: {"topology": "wc", "warm": False}
+        )
+        assert result["warm"] is True
+        assert layer.stats()["hits"] == hits_before + 1
+        layer.close()
+
+    def test_precompute_failure_is_counted_not_raised(self):
+        layer, _, store = make_layer()
+
+        def failing(descriptor):
+            from repro.errors import ModelError
+
+            raise ModelError("cannot recompute")
+
+        layer.set_recompute(failing)
+        layer.execute(desc(), lambda: {"v": 1})
+        store.write("m", 0, 1.0, {"topology": "wc"})
+        assert layer.precompute_now() == 0
+        assert layer.stats()["precompute_failures"] == 1
+        layer.close()
+
+    def test_background_loop_rewarms(self):
+        import time
+
+        layer, _, store = make_layer()
+        layer.set_recompute(lambda d: {"warm": True})
+        layer.execute(desc(), lambda: {"warm": False})
+        layer.start(interval_seconds=0.05)
+        store.write("m", 0, 1.0, {"topology": "wc"})
+        deadline = time.monotonic() + 5
+        while time.monotonic() < deadline:
+            if layer.stats()["precomputed"] >= 1:
+                break
+            time.sleep(0.01)
+        assert layer.stats()["precomputed"] >= 1
+        layer.close()
+
+
+class TestStats:
+    def test_stats_shape(self):
+        layer, _, _ = make_layer()
+        layer.execute(desc(), lambda: {"v": 1})
+        stats = layer.stats()
+        assert stats["enabled"] is True
+        assert stats["requests"] == 1
+        assert stats["computations"] == 1
+        assert 0.0 <= stats["hit_rate"] <= 1.0
+        for section in ("cache", "scheduler", "singleflight", "precompute"):
+            assert isinstance(stats[section], dict)
+        layer.close()
+
+    def test_close_unsubscribes(self):
+        layer, tracker, store = make_layer()
+        layer.close()
+        # Writes after close must not touch the (closed) layer.
+        store.write("m", 0, 1.0, {"topology": "wc"})
+        topology, packing, _ = build_word_count(WordCountParams())
+        tracker.register(topology, packing)
+        assert layer.cache.stats()["invalidations"] == 0

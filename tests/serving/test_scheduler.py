@@ -1,0 +1,156 @@
+"""PriorityScheduler: concurrency bound, priority order, load shedding."""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.serving.scheduler import (
+    INTERACTIVE,
+    PRECOMPUTE,
+    AdmissionError,
+    PriorityScheduler,
+)
+
+
+def wait_until(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.005)
+    return predicate()
+
+
+class TestExecution:
+    def test_runs_and_returns(self):
+        scheduler = PriorityScheduler(max_concurrent=2, max_queue=4)
+        assert scheduler.run(lambda: 42) == 42
+        assert scheduler.stats()["executed"] == 1
+
+    def test_concurrency_is_bounded(self):
+        scheduler = PriorityScheduler(max_concurrent=2, max_queue=16)
+        running = []
+        peak = []
+        lock = threading.Lock()
+        release = threading.Event()
+
+        def work():
+            with lock:
+                running.append(1)
+                peak.append(len(running))
+            release.wait(5)
+            with lock:
+                running.pop()
+            return True
+
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            futures = [pool.submit(scheduler.run, work) for _ in range(6)]
+            assert wait_until(lambda: len(running) == 2)
+            time.sleep(0.05)  # give over-admission a chance to show up
+            release.set()
+            assert all(f.result(5) for f in futures)
+        assert max(peak) <= 2
+
+    def test_exceptions_release_the_slot(self):
+        scheduler = PriorityScheduler(max_concurrent=1, max_queue=4)
+        with pytest.raises(ValueError):
+            scheduler.run(lambda: (_ for _ in ()).throw(ValueError("x")))
+        assert scheduler.run(lambda: "ok") == "ok"
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            PriorityScheduler(max_concurrent=0)
+        with pytest.raises(ConfigError):
+            PriorityScheduler(max_queue=0)
+
+
+class TestPriority:
+    def test_interactive_runs_before_precompute(self):
+        scheduler = PriorityScheduler(max_concurrent=1, max_queue=8)
+        order = []
+        release = threading.Event()
+        occupied = threading.Event()
+
+        def blocker():
+            occupied.set()
+            release.wait(5)
+            return "blocker"
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            first = pool.submit(scheduler.run, blocker, INTERACTIVE)
+            assert occupied.wait(5)
+            # Queue a precompute, then an interactive, while the slot is
+            # held; the interactive one must be admitted first.
+            pre = pool.submit(
+                scheduler.run, lambda: order.append("pre"), PRECOMPUTE
+            )
+            assert wait_until(lambda: scheduler.queue_depth() == 1)
+            inter = pool.submit(
+                scheduler.run, lambda: order.append("inter"), INTERACTIVE
+            )
+            assert wait_until(lambda: scheduler.queue_depth() == 2)
+            release.set()
+            first.result(5)
+            pre.result(5)
+            inter.result(5)
+        assert order == ["inter", "pre"]
+
+
+class TestAdmissionControl:
+    def test_sheds_with_429_when_queue_full(self):
+        scheduler = PriorityScheduler(max_concurrent=1, max_queue=1)
+        release = threading.Event()
+        occupied = threading.Event()
+
+        def blocker():
+            occupied.set()
+            release.wait(5)
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            running = pool.submit(scheduler.run, blocker)
+            assert occupied.wait(5)
+            queued = pool.submit(scheduler.run, lambda: "queued")
+            assert wait_until(lambda: scheduler.queue_depth() == 1)
+            with pytest.raises(AdmissionError) as excinfo:
+                scheduler.run(lambda: "shed")
+            release.set()
+            running.result(5)
+            assert queued.result(5) == "queued"
+        assert excinfo.value.status == 429
+        assert excinfo.value.payload["retry_after"] >= 1
+        assert excinfo.value.payload["queue_depth"] == 1
+        assert scheduler.stats()["shed"] == 1
+
+    def test_deadline_expiry_sheds(self):
+        scheduler = PriorityScheduler(max_concurrent=1, max_queue=4)
+        release = threading.Event()
+        occupied = threading.Event()
+
+        def blocker():
+            occupied.set()
+            release.wait(5)
+
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            running = pool.submit(scheduler.run, blocker)
+            assert occupied.wait(5)
+            # A request whose deadline passes while still queued must be
+            # shed, not served late.
+            with pytest.raises(AdmissionError):
+                scheduler.run(lambda: "late", INTERACTIVE, timeout=0.1)
+            release.set()
+            running.result(5)
+        assert scheduler.queue_depth() == 0
+        assert scheduler.stats()["shed"] == 1
+
+    def test_retry_after_scales_with_backlog(self):
+        scheduler = PriorityScheduler(max_concurrent=1, max_queue=100)
+        with scheduler._cond:
+            scheduler._avg_seconds = 2.0
+            scheduler._waiting = [(0, i) for i in range(10)]
+            estimate = scheduler._retry_after_locked()
+        assert estimate >= 20
