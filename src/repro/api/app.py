@@ -30,10 +30,18 @@ import uuid
 from collections.abc import Callable, Mapping
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, TypeVar
 
 from repro.config.loader import CaladriusConfig
 from repro.config.registry import ModelRegistry, build_registry
+from repro.durability.breaker import CircuitBreaker
+from repro.durability.deadline import (
+    DEADLINE_HEADER,
+    current_deadline,
+    deadline_scope,
+    parse_deadline_header,
+)
+from repro.durability.lifecycle import LifecycleController
 from repro.errors import ApiError, ReproError, TopologyError
 from repro.faults.health import assess_topology_metrics
 from repro.heron.tracker import TopologyTracker
@@ -46,6 +54,8 @@ from repro.serving import (
 from repro.timeseries.store import MetricsStore
 
 __all__ = ["CaladriusApp"]
+
+T = TypeVar("T")
 
 
 @dataclass
@@ -93,6 +103,18 @@ class CaladriusApp:
         self._jobs: dict[str, _Job] = {}
         self._jobs_lock = threading.Lock()
         self._job_ttl = config.serving.job_result_ttl_seconds
+        self.lifecycle = LifecycleController(clock=clock)
+        durability = config.durability
+        self._drain_retry_after = max(1, round(durability.drain_timeout_seconds))
+        self.breaker: CircuitBreaker | None = None
+        if durability.breaker_enabled:
+            self.breaker = CircuitBreaker(
+                failure_threshold=durability.breaker_failure_threshold,
+                window=durability.breaker_window,
+                min_calls=durability.breaker_min_calls,
+                open_seconds=durability.breaker_open_seconds,
+                clock=clock,
+            )
         self.serving: ServingLayer | None = None
         if config.serving.enabled:
             self.serving = ServingLayer(
@@ -116,13 +138,17 @@ class CaladriusApp:
         path: str,
         query: Mapping[str, str] | None = None,
         body: Mapping[str, Any] | None = None,
+        headers: Mapping[str, str] | None = None,
     ) -> tuple[int, dict[str, Any]]:
         """Route one request; returns ``(status, json_payload)``."""
         query = dict(query or {})
         body = dict(body or {})
+        lowered = {k.lower(): v for k, v in dict(headers or {}).items()}
         parts = [p for p in path.split("/") if p]
         try:
-            return 200, self._route(method.upper(), parts, query, body)
+            deadline = parse_deadline_header(lowered.get(DEADLINE_HEADER.lower()))
+            with deadline_scope(deadline):
+                return 200, self._route(method.upper(), parts, query, body)
         except ApiError as exc:
             return exc.status, {"error": str(exc), **exc.payload}
         except ReproError as exc:
@@ -135,6 +161,13 @@ class CaladriusApp:
         query: Mapping[str, str],
         body: Mapping[str, Any],
     ) -> dict[str, Any]:
+        if method == "GET" and parts == ["healthz"]:
+            return self._healthz()
+        if method == "GET" and parts == ["readyz"]:
+            return self._readyz()
+        if method == "POST" and parts == ["metrics", "write"]:
+            self._refuse_if_draining()
+            return self._metrics_write(body)
         if method == "GET" and parts == ["topologies"]:
             return {"topologies": self.tracker.names()}
         if method == "GET" and parts == ["serving", "stats"]:
@@ -149,6 +182,7 @@ class CaladriusApp:
         ):
             if method != "GET":
                 raise ApiError("traffic modelling uses GET", 405)
+            self._refuse_if_draining()
             return self._maybe_async(
                 query, lambda: self._traffic(parts[3], query)
             )
@@ -160,6 +194,7 @@ class CaladriusApp:
         ):
             if method != "POST":
                 raise ApiError("performance modelling uses POST", 405)
+            self._refuse_if_draining()
             return self._maybe_async(
                 query, lambda: self._performance(parts[3], query, body)
             )
@@ -201,6 +236,83 @@ class CaladriusApp:
                 {"metrics_health": health.as_dict()},
             )
 
+    # ------------------------------------------------------------------
+    # Lifecycle endpoints
+    # ------------------------------------------------------------------
+    def _healthz(self) -> dict[str, Any]:
+        """Liveness: 200 as long as the process can answer at all."""
+        payload: dict[str, Any] = {"status": "ok", **self.lifecycle.status()}
+        if self.breaker is not None:
+            payload["breaker"] = self.breaker.stats()
+        recovery = getattr(self.store, "recovery", None)
+        if recovery is not None:
+            payload["recovery"] = recovery.as_dict()
+        return payload
+
+    def _readyz(self) -> dict[str, Any]:
+        """Readiness: flips to 503 the moment a drain begins."""
+        if self.lifecycle.is_draining():
+            raise ApiError(
+                "service is draining; not accepting new work",
+                503,
+                {
+                    "retry_after": self._drain_retry_after,
+                    **self.lifecycle.status(),
+                },
+            )
+        return {"ready": True, **self.lifecycle.status()}
+
+    def _refuse_if_draining(self) -> None:
+        """503 + ``Retry-After`` for new work once a drain has begun.
+
+        Health probes, result polls and read-only topology lookups stay
+        available so load balancers and pollers see a clean hand-off.
+        """
+        if self.lifecycle.is_draining():
+            raise ApiError(
+                "service is draining; retry against another replica",
+                503,
+                {
+                    "retry_after": self._drain_retry_after,
+                    "state": self.lifecycle.state,
+                },
+            )
+
+    def _metrics_write(self, body: Mapping[str, Any]) -> dict[str, Any]:
+        """Append samples to the store; 200 means *durably* accepted.
+
+        The write goes through :meth:`MetricsStore.write`, so when the
+        store is a :class:`~repro.durability.DurableMetricsStore` every
+        sample is journalled (per the configured fsync policy) before
+        the response leaves — the contract the crash-recovery harness
+        verifies with ``kill -9``.
+        """
+        name = body.get("name")
+        if not isinstance(name, str) or not name:
+            raise ApiError("name must be a non-empty string")
+        tags = body.get("tags") or {}
+        if not isinstance(tags, dict) or not all(
+            isinstance(k, str) and isinstance(v, str) for k, v in tags.items()
+        ):
+            raise ApiError("tags must map strings to strings")
+        samples = body.get("samples")
+        if not isinstance(samples, list) or not samples:
+            raise ApiError("samples must be a non-empty list of [ts, value]")
+        written = 0
+        for sample in samples:
+            if (
+                not isinstance(sample, (list, tuple))
+                or len(sample) != 2
+                or not isinstance(sample[0], (int, float))
+                or not isinstance(sample[1], (int, float))
+            ):
+                raise ApiError(
+                    "each sample must be a [timestamp, value] number pair"
+                )
+            self.store.write(name, int(sample[0]), float(sample[1]), tags)
+            written += 1
+        return {"written": written}
+
     def _topology_info(self, name: str, kind: str) -> dict[str, Any]:
         tracked = self._tracked(name)
         if kind == "logical":
@@ -211,8 +323,12 @@ class CaladriusApp:
 
     def _serving_stats(self) -> dict[str, Any]:
         if self.serving is None:
-            return {"enabled": False}
-        return self.serving.stats()
+            stats: dict[str, Any] = {"enabled": False}
+        else:
+            stats = self.serving.stats()
+        if self.breaker is not None:
+            stats["breaker"] = self.breaker.stats()
+        return stats
 
     # ------------------------------------------------------------------
     # Modelling endpoints (routed through the serving layer)
@@ -223,9 +339,20 @@ class CaladriusApp:
         compute: Callable[[], dict[str, Any]],
         priority: int,
     ) -> dict[str, Any]:
+        deadline = current_deadline()
+        timeout = None
+        if deadline is not None:
+            deadline.check()  # 504 before queueing when already expired
+            timeout = deadline.remaining()
         if self.serving is None:
             return compute()
-        return self.serving.execute(descriptor, compute, priority)
+        return self.serving.execute(descriptor, compute, priority, timeout=timeout)
+
+    def _evaluate(self, compute: Callable[[], T]) -> T:
+        """Run model evaluation under the circuit breaker (if enabled)."""
+        if self.breaker is None:
+            return compute()
+        return self.breaker.call(compute)
 
     def _traffic(
         self, topology: str, query: Mapping[str, str]
@@ -255,9 +382,11 @@ class CaladriusApp:
     ) -> dict[str, Any]:
         self._require_healthy_metrics(topology)
         models = self.registry.traffic_model(model)
-        results = [
-            m.predict(topology, source, horizon).as_dict() for m in models
-        ]
+        results = self._evaluate(
+            lambda: [
+                m.predict(topology, source, horizon).as_dict() for m in models
+            ]
+        )
         return {"topology": topology, "results": results}
 
     def _performance(
@@ -309,21 +438,24 @@ class CaladriusApp:
         model: str | None,
     ) -> dict[str, Any]:
         self._require_healthy_metrics(topology)
-        traffic = None
-        if source_rate is None:
-            traffic_models = self.registry.traffic_model(traffic_model_name)
-            traffic = traffic_models[0].predict(topology, None, horizon)
-        models = self.registry.performance_model(model)
-        results = [
-            m.predict(
-                topology,
-                source_rate=source_rate,
-                traffic=traffic,
-                parallelisms=parallelisms,
-            ).as_dict()
-            for m in models
-        ]
-        return {"topology": topology, "results": results}
+
+        def evaluate() -> list[dict[str, Any]]:
+            traffic = None
+            if source_rate is None:
+                traffic_models = self.registry.traffic_model(traffic_model_name)
+                traffic = traffic_models[0].predict(topology, None, horizon)
+            models = self.registry.performance_model(model)
+            return [
+                m.predict(
+                    topology,
+                    source_rate=source_rate,
+                    traffic=traffic,
+                    parallelisms=parallelisms,
+                ).as_dict()
+                for m in models
+            ]
+
+        return {"topology": topology, "results": self._evaluate(evaluate)}
 
     def _recompute(self, descriptor: RequestDescriptor) -> dict[str, Any]:
         """Replay a descriptor's computation (warm-cache precompute)."""
@@ -353,7 +485,15 @@ class CaladriusApp:
         if query.get("async") not in ("1", "true", "yes"):
             return work()
         request_id = uuid.uuid4().hex
-        job = _Job(self._pool.submit(work))
+        # The pool worker runs outside the request's context; re-install
+        # the deadline so async jobs honour it too.
+        deadline = current_deadline()
+
+        def scoped_work():
+            with deadline_scope(deadline):
+                return work()
+
+        job = _Job(self._pool.submit(scoped_work))
         # Stamp completion when the worker finishes, whether or not any
         # client ever polls — expiry must not depend on being observed.
         job.future.add_done_callback(

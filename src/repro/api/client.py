@@ -11,6 +11,7 @@ from http.client import HTTPConnection
 from typing import Any
 from urllib.parse import urlencode
 
+from repro.durability.deadline import DEADLINE_HEADER
 from repro.errors import ApiError
 
 __all__ = ["CaladriusClient"]
@@ -92,11 +93,14 @@ class CaladriusClient:
         method: str,
         path: str,
         payload: bytes | None,
+        extra_headers: dict[str, str] | None = None,
     ) -> tuple[int, dict[str, Any], float | None]:
         """One round-trip: (status, decoded JSON body, Retry-After)."""
         connection = HTTPConnection(self.host, self.port, timeout=self.timeout)
         try:
             headers = {"Content-Type": "application/json"} if payload else {}
+            if extra_headers:
+                headers.update(extra_headers)
             connection.request(method, path, body=payload, headers=headers)
             response = connection.getresponse()
             raw = response.read()
@@ -130,10 +134,14 @@ class CaladriusClient:
         path: str,
         query: dict[str, Any] | None = None,
         body: dict[str, Any] | None = None,
+        deadline_seconds: float | None = None,
     ) -> dict[str, Any]:
         if query:
             path = f"{path}?{urlencode(query)}"
         payload = json.dumps(body).encode("utf8") if body is not None else None
+        extra_headers: dict[str, str] | None = None
+        if deadline_seconds is not None:
+            extra_headers = {DEADLINE_HEADER: str(deadline_seconds)}
         last_error: Exception | None = None
         server_delay: float | None = None
         for attempt in range(self.retries + 1):
@@ -148,7 +156,7 @@ class CaladriusClient:
             server_delay = None
             try:
                 status, data, retry_after = self._attempt(
-                    method, path, payload
+                    method, path, payload, extra_headers
                 )
             except (OSError, http.client.HTTPException) as exc:
                 last_error = exc
@@ -174,6 +182,59 @@ class CaladriusClient:
     # ------------------------------------------------------------------
     # Endpoints
     # ------------------------------------------------------------------
+    def healthz(self) -> dict[str, Any]:
+        """Liveness: lifecycle state, breaker stats, recovery report."""
+        return self._request("GET", "/healthz")
+
+    def readyz(self) -> dict[str, Any]:
+        """Readiness; raises :class:`ApiError` (503) while draining."""
+        # Single shot on purpose: retrying a 503 readyz probe would turn
+        # "not ready" into a multi-second stall for the caller.
+        status, data, _ = self._attempt("GET", "/readyz", None)
+        if status >= 400:
+            raise ApiError(data.get("error", f"HTTP {status}"), status, data)
+        return data
+
+    def wait_ready(
+        self,
+        timeout: float = 10.0,
+        poll_seconds: float = 0.05,
+    ) -> dict[str, Any]:
+        """Poll ``/readyz`` until the service admits work.
+
+        Swallows connection errors (the process may still be binding its
+        socket) and not-ready answers until ``timeout``, then raises
+        :class:`~repro.errors.ApiError` (503) with the last failure.
+        """
+        deadline = time.monotonic() + timeout
+        last: str = "never reached the service"
+        while time.monotonic() < deadline:
+            try:
+                return self.readyz()
+            except (OSError, http.client.HTTPException, ApiError) as exc:
+                last = str(exc)
+            self._sleep(poll_seconds)
+        raise ApiError(
+            f"service at {self.host}:{self.port} not ready within "
+            f"{timeout:.1f}s: {last}",
+            503,
+        )
+
+    def write_metrics(
+        self,
+        name: str,
+        samples: list[tuple[int, float]] | list[list[float]],
+        tags: dict[str, str] | None = None,
+    ) -> int:
+        """Durably append samples; returns the count acknowledged."""
+        body: dict[str, Any] = {
+            "name": name,
+            "samples": [list(s) for s in samples],
+        }
+        if tags:
+            body["tags"] = tags
+        return self._request("POST", "/metrics/write", body=body)["written"]
+
     def topologies(self) -> list[str]:
         """Registered topology names."""
         return self._request("GET", "/topologies")["topologies"]
@@ -196,6 +257,7 @@ class CaladriusClient:
         horizon_minutes: int = 60,
         source_minutes: int | None = None,
         model: str | None = None,
+        deadline_seconds: float | None = None,
     ) -> dict[str, Any]:
         """Run the traffic models for a topology."""
         query: dict[str, Any] = {"horizon_minutes": horizon_minutes}
@@ -203,7 +265,12 @@ class CaladriusClient:
             query["source_minutes"] = source_minutes
         if model is not None:
             query["model"] = model
-        return self._request("GET", f"/model/traffic/heron/{topology}", query)
+        return self._request(
+            "GET",
+            f"/model/traffic/heron/{topology}",
+            query,
+            deadline_seconds=deadline_seconds,
+        )
 
     def performance(
         self,
@@ -212,6 +279,7 @@ class CaladriusClient:
         parallelisms: dict[str, int] | None = None,
         model: str | None = None,
         horizon_minutes: int = 60,
+        deadline_seconds: float | None = None,
     ) -> dict[str, Any]:
         """Run the performance models for a topology (synchronous)."""
         query: dict[str, Any] = {"horizon_minutes": horizon_minutes}
@@ -223,7 +291,11 @@ class CaladriusClient:
         if parallelisms is not None:
             body["parallelisms"] = parallelisms
         return self._request(
-            "POST", f"/model/topology/heron/{topology}", query, body
+            "POST",
+            f"/model/topology/heron/{topology}",
+            query,
+            body,
+            deadline_seconds=deadline_seconds,
         )
 
     def performance_async(

@@ -1,15 +1,30 @@
-"""HTTP listener adapting :class:`CaladriusApp` to real sockets."""
+"""HTTP listener adapting :class:`CaladriusApp` to real sockets.
+
+Beyond socket plumbing the server owns the *graceful lifecycle*: it
+brackets every request with the app's
+:class:`~repro.durability.LifecycleController` gauge, and
+:meth:`CaladriusServer.shutdown_gracefully` implements the SIGTERM
+sequence — flip ``/readyz``, refuse new work with 503 + ``Retry-After``,
+wait (bounded) for in-flight requests, run the caller's final-checkpoint
+hook, then close the socket.  :meth:`install_signal_handlers` wires
+SIGTERM/SIGINT to that sequence for ``caladrius serve``.
+"""
 
 from __future__ import annotations
 
 import json
+import logging
+import signal
 import threading
+from collections.abc import Callable
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qsl, urlsplit
 
 from repro.api.app import CaladriusApp
 
 __all__ = ["CaladriusServer"]
+
+logger = logging.getLogger("repro.api.server")
 
 
 def _make_handler(app: CaladriusApp) -> type[BaseHTTPRequestHandler]:
@@ -31,8 +46,16 @@ def _make_handler(app: CaladriusApp) -> type[BaseHTTPRequestHandler]:
                 except json.JSONDecodeError:
                     self._send(400, {"error": "request body is not JSON"})
                     return
-            status, payload = app.handle(method, split.path, query, body)
-            self._send(status, payload)
+            # The in-flight gauge brackets routing AND response writing:
+            # a drain must not close the socket mid-response.
+            app.lifecycle.request_started()
+            try:
+                status, payload = app.handle(
+                    method, split.path, query, body, headers=dict(self.headers)
+                )
+                self._send(status, payload)
+            finally:
+                app.lifecycle.request_finished()
 
         def _send(self, status: int, payload: dict) -> None:
             data = json.dumps(payload).encode("utf8")
@@ -43,8 +66,8 @@ def _make_handler(app: CaladriusApp) -> type[BaseHTTPRequestHandler]:
             if isinstance(retry_after, (int, float)) and not isinstance(
                 retry_after, bool
             ):
-                # Load-shedding (429) and degraded-metrics (503) answers
-                # tell clients when to come back.
+                # Load-shedding (429), degraded-metrics and draining
+                # (503) answers tell clients when to come back.
                 self.send_header("Retry-After", str(int(retry_after)))
             self.end_headers()
             self.wfile.write(data)
@@ -84,6 +107,8 @@ class CaladriusServer:
         self.app = app
         self._httpd = _Listener((host, port), _make_handler(app))
         self._thread: threading.Thread | None = None
+        self._shutdown_lock = threading.Lock()
+        self._shutdown_done = threading.Event()
 
     @property
     def port(self) -> int:
@@ -109,7 +134,90 @@ class CaladriusServer:
         self._httpd.server_close()
         if self._thread is not None:
             self._thread.join(timeout=5)
+            if self._thread.is_alive():
+                logger.warning(
+                    "serve thread did not join within 5s; "
+                    "a handler may be blocked — socket is closed, "
+                    "continuing shutdown"
+                )
             self._thread = None
+        self.app.lifecycle.mark_stopped()
+
+    def shutdown_gracefully(
+        self,
+        drain_timeout: float | None = None,
+        on_drained: Callable[[], None] | None = None,
+    ) -> bool:
+        """Drain and stop; returns ``True`` when the drain ran clean.
+
+        Sequence: flip the lifecycle to *draining* (``/readyz`` → 503,
+        new work refused), wait up to ``drain_timeout`` seconds for
+        in-flight requests to finish, run ``on_drained`` (the CLI hooks
+        WAL flush + final checkpoint here), then close the socket.
+        Idempotent: concurrent signals collapse into one shutdown.
+        """
+        if drain_timeout is None:
+            drain_timeout = self.app.config.durability.drain_timeout_seconds
+        with self._shutdown_lock:
+            if self._shutdown_done.is_set():
+                return True
+            clean = True
+            if self.app.lifecycle.begin_drain():
+                clean = self.app.lifecycle.wait_idle(drain_timeout)
+                if not clean:
+                    logger.warning(
+                        "drain deadline (%.1fs) passed with %d request(s) "
+                        "still in flight; shutting down anyway",
+                        drain_timeout,
+                        self.app.lifecycle.inflight(),
+                    )
+            if on_drained is not None:
+                try:
+                    on_drained()
+                except Exception:
+                    logger.exception("on_drained hook failed")
+                    clean = False
+            self.stop()
+            self._shutdown_done.set()
+            return clean
+
+    def install_signal_handlers(
+        self,
+        drain_timeout: float | None = None,
+        on_drained: Callable[[], None] | None = None,
+    ) -> threading.Event:
+        """Route SIGTERM/SIGINT into :meth:`shutdown_gracefully`.
+
+        Returns an event that is set once shutdown completes — the CLI
+        main thread waits on it instead of sleeping in a loop.  The
+        handler spawns a thread because the drain blocks and Python
+        signal handlers run on the main thread.
+        """
+
+        def _handle(signum: int, _frame) -> None:
+            logger.info(
+                "received %s; draining", signal.Signals(signum).name
+            )
+            threading.Thread(
+                target=self._graceful_then_set,
+                args=(drain_timeout, on_drained),
+                name="caladrius-drain",
+                daemon=True,
+            ).start()
+
+        signal.signal(signal.SIGTERM, _handle)
+        signal.signal(signal.SIGINT, _handle)
+        return self._shutdown_done
+
+    def _graceful_then_set(
+        self,
+        drain_timeout: float | None,
+        on_drained: Callable[[], None] | None,
+    ) -> None:
+        try:
+            self.shutdown_gracefully(drain_timeout, on_drained)
+        finally:
+            self._shutdown_done.set()
 
     def __enter__(self) -> "CaladriusServer":
         return self.start()

@@ -80,10 +80,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the serving layer (recompute every request)",
     )
     serve.add_argument(
+        "--data-dir", default=None, metavar="DIR",
+        help="durable state directory (WAL + checkpoints); metrics and "
+             "packing plans survive crashes and restarts",
+    )
+    serve.add_argument(
+        "--fsync", choices=("always", "interval", "never"), default=None,
+        help="WAL fsync policy (overrides config; default: interval)",
+    )
+    serve.add_argument(
+        "--drain-timeout", type=float, default=None, metavar="SECONDS",
+        help="graceful-shutdown bound on waiting for in-flight requests",
+    )
+    serve.add_argument(
         "--once",
         action="store_true",
         help=argparse.SUPPRESS,  # start and stop immediately (tests)
     )
+
+    recover = sub.add_parser(
+        "recover",
+        help="replay a data directory offline and compact its WAL",
+    )
+    recover.add_argument("--data-dir", required=True, metavar="DIR")
+    recover.add_argument(
+        "--no-checkpoint", action="store_true",
+        help="report only; skip the compacting checkpoint",
+    )
+    recover.add_argument("--json", action="store_true", dest="as_json")
 
     simulate = sub.add_parser("simulate", help="run a simulated topology")
     simulate.add_argument("--rate", type=float, required=True,
@@ -133,6 +157,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     handlers = {
         "serve": _cmd_serve,
+        "recover": _cmd_recover,
         "simulate": _cmd_simulate,
         "predict": _cmd_predict,
         "forecast": _cmd_forecast,
@@ -149,20 +174,32 @@ def main(argv: Sequence[str] | None = None) -> int:
 # Shared helpers
 # ----------------------------------------------------------------------
 def _demo_deployment(
-    splitter: int, counter: int, seed: int, rates: Sequence[float]
+    splitter: int,
+    counter: int,
+    seed: int,
+    rates: Sequence[float],
+    tracker: TopologyTracker | None = None,
+    store: MetricsStore | None = None,
 ) -> tuple[TopologyTracker, MetricsStore]:
+    """Simulate Word Count into ``store`` (a fresh one by default).
+
+    With a durable store the simulated metrics are journalled like any
+    other write, so a demo deployment survives restart too.
+    """
     params = WordCountParams(
         splitter_parallelism=splitter, counter_parallelism=counter
     )
     topology, packing, logic = build_word_count(params)
-    store = MetricsStore()
+    if store is None:
+        store = MetricsStore()
     sim = HeronSimulation(
         topology, packing, logic, store, SimulationConfig(seed=seed)
     )
     for rate in rates:
         sim.set_source_rate("sentence-spout", float(rate))
         sim.run(2)
-    tracker = TopologyTracker()
+    if tracker is None:
+        tracker = TopologyTracker()
     tracker.register(topology, packing)
     return tracker, store
 
@@ -197,32 +234,103 @@ def _cmd_serve(args) -> int:
         config = replace(
             config, serving=replace(config.serving, **serving_overrides)
         )
-    if args.demo:
-        tracker, store = _demo_deployment(
-            splitter=2, counter=4, seed=0,
-            rates=np.arange(4 * M, 44 * M + 1, 8 * M),
+    durability_overrides = {}
+    if args.data_dir is not None:
+        durability_overrides["data_dir"] = args.data_dir
+    if args.fsync is not None:
+        durability_overrides["fsync"] = args.fsync
+    if args.drain_timeout is not None:
+        durability_overrides["drain_timeout_seconds"] = args.drain_timeout
+    if durability_overrides:
+        config = replace(
+            config,
+            durability=replace(config.durability, **durability_overrides),
+        )
+
+    checkpointer = None
+    durable_store = None
+    if config.durability.data_dir:
+        from repro.durability import CheckpointManager, open_data_dir
+
+        store, tracker = open_data_dir(
+            config.durability.data_dir,
+            fsync=config.durability.fsync,
+            fsync_interval_seconds=config.durability.fsync_interval_seconds,
+            segment_max_bytes=config.durability.segment_max_bytes,
+        )
+        durable_store = store
+        checkpointer = CheckpointManager(store, tracker)
+        print(
+            f"recovered {config.durability.data_dir}: "
+            f"{json.dumps(store.recovery.as_dict())}",
+            file=sys.stderr,
         )
     else:
         tracker, store = TopologyTracker(), MetricsStore()
+    if args.demo and "word-count" not in tracker.names():
+        _demo_deployment(
+            splitter=2, counter=4, seed=0,
+            rates=np.arange(4 * M, 44 * M + 1, 8 * M),
+            tracker=tracker, store=store,
+        )
+
     app = CaladriusApp(config, tracker, store)
     if app.serving is not None:
         app.serving.start()  # warm-cache precompute loop
     server = CaladriusServer(app, host=args.host, port=args.port)
     server.start()
-    print(f"caladrius serving on {server.host}:{server.port}")
+    # flush=True: the crash harness parses this line through a pipe.
+    print(f"caladrius serving on {server.host}:{server.port}", flush=True)
+
+    def _final_checkpoint() -> None:
+        if durable_store is None:
+            return
+        durable_store.flush()
+        summary = checkpointer.checkpoint()
+        durable_store.close()
+        print(f"final checkpoint: {json.dumps(summary)}", file=sys.stderr)
+
     if args.once:
         server.stop()
+        _final_checkpoint()
         app.shutdown()
         return 0
-    try:
-        while True:  # pragma: no cover - interactive loop
-            import time
+    done = server.install_signal_handlers(
+        drain_timeout=config.durability.drain_timeout_seconds,
+        on_drained=_final_checkpoint,
+    )
+    done.wait()  # pragma: no cover - exercised via subprocess tests
+    app.shutdown()
+    return 0
 
-            time.sleep(3600)
-    except KeyboardInterrupt:  # pragma: no cover
-        server.stop()
-        app.shutdown()
+
+def _cmd_recover(args) -> int:
+    from repro.durability import CheckpointManager, open_data_dir
+
+    store, tracker = open_data_dir(args.data_dir)
+    report: dict[str, object] = {
+        "data_dir": args.data_dir,
+        "recovery": store.recovery.as_dict(),
+        "topologies": tracker.names(),
+    }
+    if not args.no_checkpoint:
+        report["checkpoint"] = CheckpointManager(store, tracker).checkpoint()
+    store.close()
+    if args.as_json:
+        print(json.dumps(report, indent=2))
         return 0
+    recovery = report["recovery"]
+    print(f"data dir     : {args.data_dir}")
+    print(f"checkpoint   : lsn {recovery['checkpoint_lsn']}, "
+          f"{recovery['snapshot_samples']} snapshot samples")
+    print(f"wal replay   : {recovery['replayed_records']} records "
+          f"({recovery['skipped_records']} skipped, "
+          f"{recovery['torn_records']} torn)")
+    print(f"last lsn     : {recovery['last_lsn']}")
+    print(f"topologies   : {', '.join(report['topologies']) or '(none)'}")
+    if "checkpoint" in report:
+        print(f"compacted    : {json.dumps(report['checkpoint'])}")
+    return 0
 
 
 def _cmd_simulate(args) -> int:

@@ -8,11 +8,17 @@ package loads and validates that YAML, and builds the configured model
 registry.
 """
 
-from repro.config.loader import CaladriusConfig, ServingConfig, load_config
+from repro.config.loader import (
+    CaladriusConfig,
+    DurabilityConfig,
+    ServingConfig,
+    load_config,
+)
 from repro.config.registry import ModelRegistry, build_registry
 
 __all__ = [
     "CaladriusConfig",
+    "DurabilityConfig",
     "ModelRegistry",
     "ServingConfig",
     "build_registry",

@@ -11,7 +11,12 @@ import yaml
 
 from repro.errors import ConfigError
 
-__all__ = ["CaladriusConfig", "ServingConfig", "load_config"]
+__all__ = [
+    "CaladriusConfig",
+    "DurabilityConfig",
+    "ServingConfig",
+    "load_config",
+]
 
 _KNOWN_TRAFFIC_MODELS = (
     "prophet",
@@ -53,6 +58,32 @@ class ServingConfig:
 
 
 @dataclass(frozen=True)
+class DurabilityConfig:
+    """Durable-state and lifecycle settings.
+
+    ``data_dir`` switches durability on: metrics writes are journaled
+    to a write-ahead log there and recovered on restart (``None`` keeps
+    the memory-only behaviour).  ``fsync`` is one of ``always`` /
+    ``interval`` / ``never``; ``interval`` syncs at most once per
+    ``fsync_interval_seconds``.  ``drain_timeout_seconds`` bounds how
+    long a SIGTERM-initiated drain waits for in-flight requests.  The
+    ``breaker_*`` knobs configure the circuit breaker around model
+    evaluation (``breaker_enabled: false`` disables it).
+    """
+
+    data_dir: str | None = None
+    fsync: str = "interval"
+    fsync_interval_seconds: float = 0.05
+    segment_max_bytes: int = 4 * 1024 * 1024
+    drain_timeout_seconds: float = 10.0
+    breaker_enabled: bool = True
+    breaker_failure_threshold: float = 0.5
+    breaker_window: int = 20
+    breaker_min_calls: int = 5
+    breaker_open_seconds: float = 5.0
+
+
+@dataclass(frozen=True)
 class CaladriusConfig:
     """Validated service configuration.
 
@@ -74,6 +105,7 @@ class CaladriusConfig:
     log_level: str = "INFO"
     degraded_threshold: float = 0.25
     serving: ServingConfig = field(default_factory=ServingConfig)
+    durability: DurabilityConfig = field(default_factory=DurabilityConfig)
 
     def options_for(self, model: str) -> dict[str, Any]:
         """Keyword options configured for one model (may be empty)."""
@@ -102,6 +134,17 @@ def load_config(source: str | Path | Mapping[str, Any]) -> CaladriusConfig:
             max_queue: 32
             precompute_top_k: 8
             job_result_ttl_seconds: 60
+          durability:
+            data_dir: /var/lib/caladrius
+            fsync: interval
+            fsync_interval_seconds: 0.05
+            segment_max_bytes: 4194304
+            drain_timeout_seconds: 10
+            breaker_enabled: true
+            breaker_failure_threshold: 0.5
+            breaker_window: 20
+            breaker_min_calls: 5
+            breaker_open_seconds: 5
 
     Unknown model names and malformed sections raise
     :class:`~repro.errors.ConfigError` with a precise message.
@@ -161,6 +204,7 @@ def load_config(source: str | Path | Mapping[str, Any]) -> CaladriusConfig:
             f"degraded_threshold must be in [0, 1], got {threshold!r}"
         )
     serving = _parse_serving(section.get("serving", {}))
+    durability = _parse_durability(section.get("durability", {}))
     return CaladriusConfig(
         traffic_models=traffic,
         performance_models=performance,
@@ -170,6 +214,7 @@ def load_config(source: str | Path | Mapping[str, Any]) -> CaladriusConfig:
         log_level=log_level,
         degraded_threshold=float(threshold),
         serving=serving,
+        durability=durability,
     )
 
 
@@ -220,6 +265,90 @@ def _parse_serving(section: Any) -> ServingConfig:
         max_queue=max_queue,
         precompute_top_k=top_k,
         job_result_ttl_seconds=float(job_ttl),
+    )
+
+
+def _parse_durability(section: Any) -> DurabilityConfig:
+    if not isinstance(section, dict):
+        raise ConfigError("'durability' section must be a mapping")
+    defaults = DurabilityConfig()
+    known = {
+        "data_dir", "fsync", "fsync_interval_seconds", "segment_max_bytes",
+        "drain_timeout_seconds", "breaker_enabled",
+        "breaker_failure_threshold", "breaker_window", "breaker_min_calls",
+        "breaker_open_seconds",
+    }
+    unknown = sorted(set(section) - known)
+    if unknown:
+        raise ConfigError(
+            f"unknown durability keys {unknown}; known: {sorted(known)}"
+        )
+    data_dir = section.get("data_dir", defaults.data_dir)
+    if data_dir is not None and (
+        not isinstance(data_dir, str) or not data_dir
+    ):
+        raise ConfigError(
+            "durability.data_dir must be a non-empty string or null"
+        )
+    fsync = section.get("fsync", defaults.fsync)
+    if fsync not in ("always", "interval", "never"):
+        raise ConfigError(
+            f"durability.fsync must be always/interval/never, got {fsync!r}"
+        )
+    interval = _positive_number(
+        section.get(
+            "fsync_interval_seconds", defaults.fsync_interval_seconds
+        ),
+        "durability.fsync_interval_seconds",
+    )
+    segment = _positive_int(
+        section.get("segment_max_bytes", defaults.segment_max_bytes),
+        "durability.segment_max_bytes",
+    )
+    if segment < 1024:
+        raise ConfigError("durability.segment_max_bytes must be >= 1024")
+    drain = _positive_number(
+        section.get(
+            "drain_timeout_seconds", defaults.drain_timeout_seconds
+        ),
+        "durability.drain_timeout_seconds",
+    )
+    breaker_enabled = section.get("breaker_enabled", defaults.breaker_enabled)
+    if not isinstance(breaker_enabled, bool):
+        raise ConfigError("durability.breaker_enabled must be a boolean")
+    threshold = section.get(
+        "breaker_failure_threshold", defaults.breaker_failure_threshold
+    )
+    if isinstance(threshold, bool) or not isinstance(
+        threshold, (int, float)
+    ) or not 0.0 < float(threshold) <= 1.0:
+        raise ConfigError(
+            "durability.breaker_failure_threshold must be in (0, 1], "
+            f"got {threshold!r}"
+        )
+    window = _positive_int(
+        section.get("breaker_window", defaults.breaker_window),
+        "durability.breaker_window",
+    )
+    min_calls = _positive_int(
+        section.get("breaker_min_calls", defaults.breaker_min_calls),
+        "durability.breaker_min_calls",
+    )
+    open_seconds = _positive_number(
+        section.get("breaker_open_seconds", defaults.breaker_open_seconds),
+        "durability.breaker_open_seconds",
+    )
+    return DurabilityConfig(
+        data_dir=data_dir,
+        fsync=fsync,
+        fsync_interval_seconds=float(interval),
+        segment_max_bytes=segment,
+        drain_timeout_seconds=float(drain),
+        breaker_enabled=breaker_enabled,
+        breaker_failure_threshold=float(threshold),
+        breaker_window=window,
+        breaker_min_calls=min_calls,
+        breaker_open_seconds=float(open_seconds),
     )
 
 

@@ -36,6 +36,7 @@ from repro.core.component_model import ComponentModel
 from repro.core.instance_model import InstanceModel
 from repro.core.topology_model import TopologyModel
 from repro.core.traffic_models import TrafficPrediction
+from repro.durability.deadline import check_deadline
 from repro.errors import CalibrationError, MetricsError, ModelError
 from repro.graph.topology_graph import source_sink_paths
 from repro.heron.groupings import ShuffleGrouping
@@ -159,6 +160,7 @@ def calibrate_topology(
     fetched: dict[tuple[str, ...], object] = {}
     try:
         for spec in topology.topological_order():
+            check_deadline()
             name = spec.name
             tags = {"topology": topology.name, "component": name}
             if spec.is_spout:
@@ -212,6 +214,7 @@ def calibrate_topology(
             offered[name] = offered[name] + values
 
     for spec in topology.topological_order():
+        check_deadline()
         name = spec.name
         if spec.is_spout:
             values = sel(("source", name))
@@ -413,6 +416,7 @@ class ThroughputPredictionModel(PerformanceModel):
         worst_rate = float("inf")
         worst_path = None
         for path in paths:
+            check_deadline()
             sat = model.path_bottleneck(path)
             path_reports.append(
                 {

@@ -1,0 +1,142 @@
+"""Atomic checkpoints: snapshot state, then reclaim replayed WAL.
+
+A checkpoint is a single JSON file, ``checkpoint.json``, written with
+the classic atomic-replace dance (temp file in the same directory →
+flush → fsync → ``os.replace`` → directory fsync), so a crash at any
+instant leaves either the previous checkpoint or the new one — never a
+truncated hybrid.  The payload records the WAL position (``last_lsn``)
+the snapshot covers; recovery restores the snapshot and replays only
+records past that position.  After a successful replace the manager
+prunes WAL segments the snapshot has subsumed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from repro.durability.codec import encode_tracker_state
+from repro.durability.wal import _fsync_directory
+from repro.errors import DurabilityError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.durability.store import DurableMetricsStore
+    from repro.heron.tracker import TopologyTracker
+
+__all__ = ["CHECKPOINT_FORMAT", "CheckpointManager", "atomic_write_json"]
+
+CHECKPOINT_FORMAT = "repro-checkpoint-v1"
+CHECKPOINT_FILENAME = "checkpoint.json"
+
+
+def atomic_write_json(path: str | Path, payload: dict[str, Any]) -> None:
+    """Write JSON so readers see the old file or the new one, never less.
+
+    The temp file is created *in the target directory* — ``os.replace``
+    is only atomic within one filesystem.
+    """
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=path.name + ".", suffix=".tmp", dir=path.parent
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf8") as handle:
+            json.dump(payload, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    _fsync_directory(path.parent)
+
+
+def read_checkpoint(directory: str | Path) -> dict[str, Any] | None:
+    """The checkpoint payload, or ``None`` when none has been written."""
+    path = Path(directory) / CHECKPOINT_FILENAME
+    if not path.exists():
+        return None
+    try:
+        with open(path, encoding="utf8") as handle:
+            payload = json.load(handle)
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise DurabilityError(
+            f"checkpoint {path} is corrupt or truncated: {exc}"
+        ) from exc
+    if (
+        not isinstance(payload, dict)
+        or payload.get("format") != CHECKPOINT_FORMAT
+    ):
+        raise DurabilityError(
+            f"{path} is not a {CHECKPOINT_FORMAT} checkpoint "
+            f"(format={payload.get('format') if isinstance(payload, dict) else None!r})"
+        )
+    return payload
+
+
+class CheckpointManager:
+    """Snapshots a durable store (and optionally a tracker) atomically.
+
+    Parameters
+    ----------
+    store:
+        The :class:`DurableMetricsStore` whose series and WAL this
+        manager snapshots and truncates.
+    tracker:
+        When given, its registered topologies (packing plans included)
+        ride along in the same atomic snapshot.
+    """
+
+    def __init__(
+        self,
+        store: "DurableMetricsStore",
+        tracker: "TopologyTracker | None" = None,
+    ) -> None:
+        self.store = store
+        self.tracker = tracker
+        self.checkpoints_taken = 0
+
+    @property
+    def path(self) -> Path:
+        """Where the checkpoint file lives."""
+        return self.store.data_dir / CHECKPOINT_FILENAME
+
+    def checkpoint(self) -> dict[str, Any]:
+        """Take one checkpoint; returns a small summary dict.
+
+        The snapshot is cut under the store's journal lock (so it is a
+        consistent prefix of the WAL ending exactly at ``last_lsn``) but
+        serialisation, the atomic replace and segment pruning all happen
+        outside it — concurrent writers only block for the state copy.
+        """
+        state, last_lsn = self.store.snapshot_state()
+        payload: dict[str, Any] = {
+            "format": CHECKPOINT_FORMAT,
+            "last_lsn": last_lsn,
+            "retention_seconds": self.store.retention_seconds,
+            "store": state,
+            "tracker": (
+                encode_tracker_state(self.tracker)
+                if self.tracker is not None
+                else None
+            ),
+        }
+        atomic_write_json(self.path, payload)
+        pruned = self.store.wal.prune_through(last_lsn)
+        self.checkpoints_taken += 1
+        return {
+            "last_lsn": last_lsn,
+            "series": len(state["series"]),
+            "segments_pruned": pruned,
+            "topologies": (
+                len(payload["tracker"]["topologies"])
+                if payload["tracker"] is not None
+                else 0
+            ),
+        }

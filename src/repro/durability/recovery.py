@@ -1,0 +1,46 @@
+"""One-call recovery of a data directory into live service state."""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+from pathlib import Path
+from typing import Any
+
+from repro.durability.codec import restore_tracker_state
+from repro.durability.store import DurableMetricsStore
+from repro.durability.wal import FSYNC_INTERVAL
+from repro.heron.tracker import TopologyTracker
+
+__all__ = ["open_data_dir"]
+
+
+def open_data_dir(
+    data_dir: str | Path,
+    retention_seconds: int | None = None,
+    fsync: str = FSYNC_INTERVAL,
+    fsync_interval_seconds: float = 0.05,
+    segment_max_bytes: int = 4 * 1024 * 1024,
+    clock: Callable[[], float] = time.monotonic,
+    faults: Any | None = None,
+) -> tuple[DurableMetricsStore, TopologyTracker]:
+    """Recover (or initialise) a data directory.
+
+    Returns a :class:`DurableMetricsStore` restored from snapshot + WAL
+    replay and a :class:`TopologyTracker` re-registered from the last
+    checkpoint's topology snapshot.  A fresh directory yields an empty
+    store and tracker — the same call serves first boot and restart.
+    """
+    store = DurableMetricsStore(
+        data_dir,
+        retention_seconds=retention_seconds,
+        fsync=fsync,
+        fsync_interval_seconds=fsync_interval_seconds,
+        segment_max_bytes=segment_max_bytes,
+        clock=clock,
+        faults=faults,
+    )
+    tracker = TopologyTracker()
+    if store.tracker_snapshot is not None:
+        restore_tracker_state(tracker, store.tracker_snapshot)
+    return store, tracker

@@ -1,0 +1,258 @@
+"""A :class:`MetricsStore` whose acknowledged writes survive ``kill -9``.
+
+:class:`DurableMetricsStore` keeps the in-memory store as the serving
+copy and journals every mutation to a :class:`WriteAheadLog` before the
+call returns — under ``fsync="always"`` a write that returned is a
+write that recovery will restore.  Opening a data directory runs the
+recovery sequence:
+
+1. load ``checkpoint.json`` (if present) and restore the snapshotted
+   series and version counters;
+2. replay WAL records with ``lsn > checkpoint.last_lsn``, skipping a
+   torn final record (a crash mid-append) without aborting;
+3. resume appending after the last recovered LSN.
+
+Mutations are validated against the in-memory store *first*, then
+journaled: an out-of-order timestamp raises before it can pollute the
+log, and a crash between apply and append only ever loses a write the
+caller was never told succeeded.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import time
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.durability.checkpoint import read_checkpoint
+from repro.durability.codec import encode_store_state, restore_store_state
+from repro.durability.wal import FSYNC_INTERVAL, WriteAheadLog
+from repro.errors import MetricsError
+from repro.timeseries.store import MetricKey, MetricsStore
+
+__all__ = ["DurableMetricsStore", "RecoveryReport"]
+
+_WAL_SUBDIR = "wal"
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """What opening a data directory recovered."""
+
+    checkpoint_lsn: int
+    snapshot_samples: int
+    replayed_records: int
+    skipped_records: int
+    torn_records: int
+    last_lsn: int
+
+    def as_dict(self) -> dict[str, int]:
+        """JSON-friendly form (the ``recover`` CLI prints this)."""
+        return {
+            "checkpoint_lsn": self.checkpoint_lsn,
+            "snapshot_samples": self.snapshot_samples,
+            "replayed_records": self.replayed_records,
+            "skipped_records": self.skipped_records,
+            "torn_records": self.torn_records,
+            "last_lsn": self.last_lsn,
+        }
+
+
+class DurableMetricsStore(MetricsStore):
+    """Write-ahead-logged metrics store bound to a data directory.
+
+    Parameters
+    ----------
+    data_dir:
+        Directory holding ``checkpoint.json`` and the ``wal/`` segment
+        subdirectory; created (and recovered) on construction.
+    retention_seconds:
+        As for :class:`MetricsStore`; ``None`` falls back to whatever
+        the checkpoint recorded (so a restart keeps the configured
+        retention without re-specifying it).
+    fsync / fsync_interval_seconds / segment_max_bytes:
+        Write-ahead-log durability knobs (see
+        :class:`~repro.durability.wal.WriteAheadLog`).
+    faults:
+        Optional service-level fault injector threaded into the WAL.
+    """
+
+    def __init__(
+        self,
+        data_dir: str | Path,
+        retention_seconds: int | None = None,
+        fsync: str = FSYNC_INTERVAL,
+        fsync_interval_seconds: float = 0.05,
+        segment_max_bytes: int = 4 * 1024 * 1024,
+        clock: Callable[[], float] = time.monotonic,
+        faults: Any | None = None,
+    ) -> None:
+        self.data_dir = Path(data_dir)
+        self.data_dir.mkdir(parents=True, exist_ok=True)
+        checkpoint = read_checkpoint(self.data_dir)
+        if retention_seconds is None and checkpoint is not None:
+            retention_seconds = checkpoint.get("retention_seconds")
+        super().__init__(retention_seconds)
+        # One lock serialises apply+journal so WAL order always matches
+        # in-memory apply order (replay must not reorder same-series
+        # writes).  It is re-entrant because recovery applies records
+        # through the plain (journalling-off) superclass path, and it
+        # replaces the superclass lock outright so a journaled write
+        # pays one lock round-trip, not two.
+        self._journal_lock = threading.RLock()
+        self._lock = self._journal_lock
+        self._journalling = False
+        # The WAL shares the journal lock, so apply + journal is one
+        # lock round-trip and WAL drains serialise against store reads.
+        self.wal = WriteAheadLog(
+            self.data_dir / _WAL_SUBDIR,
+            segment_max_bytes=segment_max_bytes,
+            fsync=fsync,
+            fsync_interval_seconds=fsync_interval_seconds,
+            clock=clock,
+            faults=faults,
+            lock=self._journal_lock,
+        )
+        if checkpoint is not None:
+            # A checkpoint that reclaimed every segment leaves nothing
+            # for the scan to number from; LSNs must still move forward.
+            self.wal.advance_to(int(checkpoint.get("last_lsn", 0)))
+        self.tracker_snapshot: dict[str, Any] | None = (
+            checkpoint.get("tracker") if checkpoint else None
+        )
+        self.recovery = self._recover(checkpoint)
+        self._journalling = True
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    def _recover(self, checkpoint: dict[str, Any] | None) -> RecoveryReport:
+        checkpoint_lsn = 0
+        snapshot_samples = 0
+        if checkpoint is not None:
+            checkpoint_lsn = int(checkpoint.get("last_lsn", 0))
+            snapshot_samples = restore_store_state(self, checkpoint["store"])
+        replayed = 0
+        skipped = 0
+        for record in self.wal.replay(after_lsn=checkpoint_lsn):
+            try:
+                self._apply(record)
+                replayed += 1
+            except MetricsError:
+                # A record the in-memory store rejects (it predates the
+                # checkpoint cut, or duplicates a replayed sample) is
+                # skipped: recovery restores everything restorable.
+                skipped += 1
+        return RecoveryReport(
+            checkpoint_lsn=checkpoint_lsn,
+            snapshot_samples=snapshot_samples,
+            replayed_records=replayed,
+            skipped_records=skipped,
+            torn_records=self.wal.scan.torn_records,
+            last_lsn=self.wal.last_lsn,
+        )
+
+    def _apply(self, record: Mapping[str, Any]) -> None:
+        op = record.get("op")
+        if op == "write":
+            MetricsStore.write(
+                self,
+                record["name"],
+                int(record["ts"]),
+                float(record["v"]),
+                record.get("tags") or None,
+            )
+        elif op == "clear":
+            MetricsStore.clear(self)
+        else:
+            raise MetricsError(f"unknown WAL op {op!r}")
+
+    # ------------------------------------------------------------------
+    # Journaled mutations
+    # ------------------------------------------------------------------
+    def write(
+        self,
+        name: str,
+        timestamp: int,
+        value: float,
+        tags: Mapping[str, str] | None = None,
+    ) -> None:
+        """Append one sample; durable (per fsync policy) before return."""
+        key = MetricKey.of(name, tags)
+        with self._journal_lock:
+            buffer = MetricsStore._write_keyed(self, key, timestamp, value)
+            if self._journalling:
+                if type(value) is not float:
+                    value = float(value)
+                if type(timestamp) is not int:
+                    timestamp = int(timestamp)
+                template = buffer.journal_template
+                if template is None:
+                    template = self._render_template(key, buffer)
+                if math.isfinite(value):
+                    self.wal.append_template(template, timestamp, value)
+                else:
+                    # repr() of inf/nan is not JSON; take the slow path.
+                    self.wal.append(
+                        {
+                            "op": "write",
+                            "name": name,
+                            "ts": timestamp,
+                            "v": value,
+                            "tags": dict(tags) if tags else {},
+                        }
+                    )
+
+    def _render_template(self, key: MetricKey, buffer: Any) -> str:
+        # %r of a finite float is its shortest round-tripping repr,
+        # which is valid JSON; non-finite values take the slow path.
+        fields = '"op":"write","name":%s,"tags":%s' % (
+            json.dumps(key.name),
+            json.dumps(key.tag_dict(), separators=(",", ":")),
+        )
+        template = (
+            '{"lsn":%d,' + fields.replace("%", "%%") + ',"ts":%d,"v":%r}'
+        )
+        buffer.journal_template = template
+        return template
+
+    def clear(self) -> None:
+        """Drop every stored series (journaled)."""
+        with self._journal_lock:
+            super().clear()
+            if self._journalling:
+                self.wal.append({"op": "clear"})
+
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    @property
+    def retention_seconds(self) -> int | None:
+        """The configured retention window (checkpointed for restarts)."""
+        return self._retention
+
+    def snapshot_state(self) -> tuple[dict[str, Any], int]:
+        """A consistent ``(state, last_lsn)`` cut for checkpointing."""
+        with self._journal_lock:
+            return encode_store_state(self), self.wal.last_lsn
+
+    def flush(self) -> None:
+        """Force journaled writes to disk regardless of fsync policy."""
+        with self._journal_lock:
+            self.wal.flush()
+
+    def close(self) -> None:
+        """Flush and close the write-ahead log."""
+        with self._journal_lock:
+            self.wal.close()
+
+    def __enter__(self) -> "DurableMetricsStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

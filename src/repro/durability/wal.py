@@ -1,0 +1,668 @@
+"""An append-only write-ahead log with CRC-framed records.
+
+The log is a directory of segment files named ``wal-<first_lsn>.log``.
+Each record is framed as::
+
+    u32 payload_length | u32 crc32(payload) | payload (UTF-8 JSON)
+
+(little-endian header).  Records carry a monotonically increasing log
+sequence number (LSN) inside the payload; segments are rotated at a
+configurable size so checkpoints can reclaim space by deleting whole
+files rather than rewriting them.
+
+Durability is governed by the fsync policy:
+
+``always``
+    ``fsync`` after every append — an acknowledged record survives
+    ``kill -9`` (the crash-recovery harness runs in this mode).
+``interval``
+    ``fsync`` at most once per ``fsync_interval_seconds``; a crash can
+    lose the unsynced suffix but never an earlier record.
+``never``
+    Leave flushing to the OS (benchmarks and tests).
+
+Under ``interval`` and ``never``, appends are group-committed: framed
+records buffer in memory and hit the file in batches (on the fsync
+tick, on ``flush()``/``replay()``/``rotate()``, or when the buffer
+tops 256 KB).  That keeps the per-append cost near a list append
+without widening the policies' loss window.
+
+Replay tolerates a *torn tail*: a crash mid-append leaves a truncated or
+CRC-broken final record, which is skipped (and counted) rather than
+aborting recovery.  Corruption anywhere else — a bad frame followed by
+more data, or any damage in a non-final segment — is a real integrity
+failure and raises :class:`~repro.errors.DurabilityError`.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import struct
+import threading
+import time
+import zlib
+from collections.abc import Callable, Iterator
+from dataclasses import dataclass
+from json.encoder import encode_basestring_ascii as _escape
+from pathlib import Path
+from typing import Any
+
+from repro.errors import DurabilityError
+
+__all__ = [
+    "FSYNC_ALWAYS",
+    "FSYNC_INTERVAL",
+    "FSYNC_NEVER",
+    "FSYNC_POLICIES",
+    "WalScan",
+    "WriteAheadLog",
+]
+
+FSYNC_ALWAYS = "always"
+FSYNC_INTERVAL = "interval"
+FSYNC_NEVER = "never"
+FSYNC_POLICIES = (FSYNC_ALWAYS, FSYNC_INTERVAL, FSYNC_NEVER)
+
+_HEADER = struct.Struct("<II")
+_SEGMENT_PREFIX = "wal-"
+_SEGMENT_SUFFIX = ".log"
+#: Frames larger than this are treated as corruption, not allocation
+#: requests — a torn length word must not make replay try to read 4 GB.
+_MAX_RECORD_BYTES = 64 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class WalScan:
+    """What a segment scan found: the recoverable extent of the log."""
+
+    last_lsn: int
+    torn_records: int
+    segments: int
+    records: int
+
+
+def _encode_value(value: Any) -> str | None:
+    """Compact JSON for the plain types WAL records are made of.
+
+    ``json.dumps`` builds a fresh encoder per call, which dominates the
+    append path; records are flat dicts of strings, numbers and string
+    maps, so render those directly and return ``None`` (fall back to
+    ``json.dumps``) for anything fancier — subclasses, non-finite
+    floats, exotic containers.
+    """
+    kind = type(value)
+    if kind is str:
+        return _escape(value)
+    if kind is bool:
+        return "true" if value else "false"
+    if kind is int:
+        return str(value)
+    if kind is float:
+        if value != value or value in (float("inf"), float("-inf")):
+            return None
+        return repr(value)
+    if value is None:
+        return "null"
+    if kind is dict:
+        return _encode_object(value)
+    if kind is list or kind is tuple:
+        items = [_encode_value(item) for item in value]
+        if None in items:
+            return None
+        return "[" + ",".join(items) + "]"
+    return None
+
+
+def _encode_object(mapping: dict) -> str | None:
+    parts = []
+    for key, value in mapping.items():
+        if type(key) is not str:
+            return None
+        encoded = _encode_value(value)
+        if encoded is None:
+            return None
+        parts.append(_escape(key) + ":" + encoded)
+    return "{" + ",".join(parts) + "}"
+
+
+def _segment_path(directory: Path, first_lsn: int) -> Path:
+    return directory / f"{_SEGMENT_PREFIX}{first_lsn:016d}{_SEGMENT_SUFFIX}"
+
+
+def _segment_first_lsn(path: Path) -> int:
+    stem = path.name[len(_SEGMENT_PREFIX) : -len(_SEGMENT_SUFFIX)]
+    try:
+        return int(stem)
+    except ValueError:
+        raise DurabilityError(f"not a WAL segment name: {path}") from None
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Persist directory metadata (new/renamed/deleted segment files)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return  # e.g. platforms without directory fds; best effort
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+class WriteAheadLog:
+    """Append-only segmented log of JSON records.
+
+    Parameters
+    ----------
+    directory:
+        Where segment files live; created if missing.
+    segment_max_bytes:
+        Rotate to a new segment once the active one exceeds this size.
+    fsync:
+        One of :data:`FSYNC_POLICIES` (see module docstring).
+    fsync_interval_seconds:
+        Minimum spacing of fsyncs under the ``interval`` policy.
+    clock:
+        Monotonic time source (injectable for tests).
+    faults:
+        Optional :class:`~repro.faults.service.ServiceFaultInjector`
+        driving torn-write / fsync-error / disk-full fault tests.
+    lock:
+        Optional re-entrant lock to use as the internal state lock.  A
+        caller that already serialises its own writes can share its lock
+        so the append path pays a re-entrant acquire (an owner check)
+        instead of a second full lock round-trip.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        segment_max_bytes: int = 4 * 1024 * 1024,
+        fsync: str = FSYNC_INTERVAL,
+        fsync_interval_seconds: float = 0.05,
+        clock: Callable[[], float] = time.monotonic,
+        faults: Any | None = None,
+        lock: Any | None = None,
+    ) -> None:
+        if fsync not in FSYNC_POLICIES:
+            raise DurabilityError(
+                f"unknown fsync policy {fsync!r}; known: {FSYNC_POLICIES}"
+            )
+        if segment_max_bytes < 1024:
+            raise DurabilityError("segment_max_bytes must be >= 1024")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.segment_max_bytes = segment_max_bytes
+        self.fsync_policy = fsync
+        self.fsync_interval_seconds = fsync_interval_seconds
+        self._sync_always = fsync == FSYNC_ALWAYS
+        self._sync_timed = fsync == FSYNC_INTERVAL
+        # Group commit: under the interval/never policies framed records
+        # buffer here and hit the file in batches.  The loss window is
+        # unchanged (flush()/the fsync tick drain first), but the hot
+        # append path drops to a list.append.
+        self._pending: list[bytes] = []
+        self._pending_bytes = 0
+        self._pending_first_lsn = 0
+        self._group_max_bytes = min(segment_max_bytes, 256 * 1024)
+        # Internal state lock (re-entrant: flush → drain → rotate nest).
+        # _fd_lock serialises fsync against handle close so the interval
+        # flusher can fsync *outside* _mutex — appends never stall
+        # behind the disk.
+        self._mutex = lock if lock is not None else threading.RLock()
+        self._fd_lock = threading.Lock()
+        self._flusher: threading.Thread | None = None
+        self._flusher_stop = threading.Event()
+        self._clock = clock
+        self._faults = faults
+        self._handle: io.BufferedWriter | None = None
+        self._active_path: Path | None = None
+        self._active_bytes = 0
+        self._last_sync = self._clock()
+        self._unsynced = False
+        self._failed: str | None = None
+        self.appended = 0
+        self.fsyncs = 0
+        self._scan = self._scan_segments()
+        self._next_lsn = self._scan.last_lsn + 1
+        if self._sync_timed:
+            # The fsync tick runs on this thread, off the append path:
+            # a slow disk delays durability (within the interval
+            # contract) instead of stalling writers.
+            self._sync_timed = False
+            self._flusher = threading.Thread(
+                target=self._flush_loop, name="wal-flusher", daemon=True
+            )
+            self._flusher.start()
+
+    # ------------------------------------------------------------------
+    # Reading back
+    # ------------------------------------------------------------------
+    def _segment_paths(self) -> list[Path]:
+        paths = [
+            p
+            for p in self.directory.iterdir()
+            if p.name.startswith(_SEGMENT_PREFIX)
+            and p.name.endswith(_SEGMENT_SUFFIX)
+        ]
+        return sorted(paths, key=_segment_first_lsn)
+
+    def _scan_segments(self) -> WalScan:
+        """Walk every segment, truncating a torn tail on the last one."""
+        last_lsn = 0
+        torn = 0
+        records = 0
+        paths = self._segment_paths()
+        for position, path in enumerate(paths):
+            final = position == len(paths) - 1
+            valid_end, segment_records, segment_last, segment_torn = (
+                self._scan_one(path, final)
+            )
+            records += segment_records
+            torn += segment_torn
+            if segment_last is not None:
+                last_lsn = segment_last
+            if final and segment_torn:
+                # Cut the file back to the last whole record so appends
+                # resume at a clean frame boundary.
+                with open(path, "r+b") as handle:
+                    handle.truncate(valid_end)
+                _fsync_directory(self.directory)
+        return WalScan(last_lsn, torn, len(paths), records)
+
+    def _scan_one(
+        self, path: Path, final: bool
+    ) -> tuple[int, int, int | None, int]:
+        """One segment: (valid_end_offset, records, last_lsn, torn)."""
+        records = 0
+        last_lsn: int | None = None
+        valid_end = 0
+        with open(path, "rb") as handle:
+            while True:
+                header = handle.read(_HEADER.size)
+                if not header:
+                    return valid_end, records, last_lsn, 0
+                if len(header) < _HEADER.size:
+                    break  # torn mid-header
+                length, crc = _HEADER.unpack(header)
+                if length > _MAX_RECORD_BYTES:
+                    break  # torn/corrupt length word
+                payload = handle.read(length)
+                if len(payload) < length:
+                    break  # torn mid-payload
+                if zlib.crc32(payload) != crc:
+                    break  # torn mid-overwrite (or bit rot)
+                try:
+                    record = json.loads(payload.decode("utf8"))
+                except (json.JSONDecodeError, UnicodeDecodeError):
+                    break
+                records += 1
+                last_lsn = int(record.get("lsn", 0)) or last_lsn
+                valid_end = handle.tell()
+            # A frame failed to parse.  Torn-tail tolerance only covers
+            # the *end of the log*: the final segment, with nothing but
+            # the damaged bytes after the last whole record.
+            handle.seek(0, os.SEEK_END)
+            file_end = handle.tell()
+        if not final:
+            raise DurabilityError(
+                f"WAL segment {path} is corrupt at offset {valid_end} "
+                "and is not the final segment; refusing to replay past it"
+            )
+        torn = 1 if file_end > valid_end else 0
+        return valid_end, records, last_lsn, torn
+
+    def replay(self, after_lsn: int = 0) -> Iterator[dict[str, Any]]:
+        """Yield every recoverable record with ``lsn > after_lsn``.
+
+        The torn tail (if any) was already truncated by the opening
+        scan, so this simply walks the remaining frames in order.
+        """
+        # Surface buffered (not-yet-fsynced) appends to this reader;
+        # durability is still governed by the fsync policy.
+        with self._mutex:
+            if self._pending:
+                self._drain()
+            if self._handle is not None:
+                self._handle.flush()
+        for path in self._segment_paths():
+            with open(path, "rb") as handle:
+                while True:
+                    header = handle.read(_HEADER.size)
+                    if len(header) < _HEADER.size:
+                        break
+                    length, crc = _HEADER.unpack(header)
+                    if length > _MAX_RECORD_BYTES:
+                        break
+                    payload = handle.read(length)
+                    if len(payload) < length or zlib.crc32(payload) != crc:
+                        break
+                    record = json.loads(payload.decode("utf8"))
+                    if int(record.get("lsn", 0)) > after_lsn:
+                        yield record
+
+    @property
+    def scan(self) -> WalScan:
+        """What the opening scan found (torn records, extent)."""
+        return self._scan
+
+    @property
+    def last_lsn(self) -> int:
+        """The LSN of the most recently appended (or recovered) record."""
+        return self._next_lsn - 1
+
+    def advance_to(self, lsn: int) -> None:
+        """Never issue an LSN at or below ``lsn``.
+
+        A checkpoint that subsumes every segment leaves the directory
+        empty, so a reopened log would otherwise restart numbering at 1
+        — below the checkpoint's ``last_lsn`` — and recovery would skip
+        the new records as already snapshotted.  The store calls this
+        with the checkpoint LSN before journalling resumes.
+        """
+        with self._mutex:
+            self._next_lsn = max(self._next_lsn, lsn + 1)
+
+    # ------------------------------------------------------------------
+    # Appending
+    # ------------------------------------------------------------------
+    def append(self, record: dict[str, Any]) -> int:
+        """Frame, write and (per policy) sync one record; returns its LSN."""
+        body = None if "lsn" in record else _encode_object(record)
+        if body is None:
+            body = json.dumps(record, separators=(",", ":"))
+        return self.append_body(body)
+
+    def append_body(self, body: str) -> int:
+        """Append a pre-rendered JSON object (sans LSN); returns its LSN.
+
+        ``body`` must be compact JSON object text — the LSN field is
+        spliced in here so callers on the hot write path can cache the
+        rendered record fragments instead of re-encoding every append.
+        This is the hot path: it stays flat (no helper calls, locals
+        over attributes) because its overhead versus a plain in-memory
+        write is a benchmarked gate (``bench_wal_overhead``).
+        """
+        with self._mutex:
+            if self._failed:
+                raise DurabilityError(
+                    f"write-ahead log is failed ({self._failed}); "
+                    "reopen the data directory to recover"
+                )
+            lsn = self._next_lsn
+            if body == "{}":
+                payload = b'{"lsn":%d}' % lsn
+            else:
+                payload = ('{"lsn":%d,%s' % (lsn, body[1:])).encode("utf8")
+            frame = _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+            if not self._pending:
+                self._pending_first_lsn = lsn
+            self._pending.append(frame)
+            self._pending_bytes += len(frame)
+            self._next_lsn = lsn + 1
+            self.appended += 1
+            self._unsynced = True
+            if self._sync_always:
+                self.flush()
+            elif self._pending_bytes >= self._group_max_bytes:
+                self._drain()
+            elif self._sync_timed:
+                if self._clock() - self._last_sync >= self.fsync_interval_seconds:
+                    self.flush()
+            return lsn
+
+    def append_template(self, template: str, *args: Any) -> int:
+        """Append via a cached ``%``-format template; returns the LSN.
+
+        ``template`` must render to compact JSON object text, with the
+        LSN as its *first* placeholder followed by one placeholder per
+        element of ``args``.  Callers that append the same record shape
+        repeatedly (the durable store's write path) cache the template
+        once per series, so the whole payload is rendered by a single
+        format pass here — no intermediate body string, no splice.
+        Shares :meth:`append_body`'s enqueue tail verbatim: both are the
+        benchmarked hot path and stay flat.
+        """
+        with self._mutex:
+            if self._failed:
+                raise DurabilityError(
+                    f"write-ahead log is failed ({self._failed}); "
+                    "reopen the data directory to recover"
+                )
+            lsn = self._next_lsn
+            payload = (template % (lsn, *args)).encode("utf8")
+            frame = _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+            if not self._pending:
+                self._pending_first_lsn = lsn
+            self._pending.append(frame)
+            self._pending_bytes += len(frame)
+            self._next_lsn = lsn + 1
+            self.appended += 1
+            self._unsynced = True
+            if self._sync_always:
+                self.flush()
+            elif self._pending_bytes >= self._group_max_bytes:
+                self._drain()
+            elif self._sync_timed:
+                if self._clock() - self._last_sync >= self.fsync_interval_seconds:
+                    self.flush()
+            return lsn
+
+    def _drain(self) -> None:
+        """Write buffered frames to the active segment (no fsync)."""
+        frames = self._pending
+        if not frames:
+            return
+        first_lsn = self._pending_first_lsn
+        self._pending = []
+        self._pending_bytes = 0
+        if self._faults is None:
+            total = sum(map(len, frames))
+            handle = self._handle
+            if handle is None:
+                handle = self._handle_for(total, first_lsn)
+            if (
+                self._active_bytes + total <= self.segment_max_bytes
+                or self._active_bytes == 0
+            ):
+                try:
+                    handle.write(b"".join(frames))
+                except OSError as exc:
+                    self._failed = f"append failed: {exc}"
+                    raise DurabilityError(
+                        f"WAL append failed: {exc}"
+                    ) from exc
+                self._active_bytes += total
+                return
+        # Slow path: rotation boundaries inside the batch, or fault
+        # injection that must see each frame individually.
+        for offset, frame in enumerate(frames):
+            frame_len = len(frame)
+            handle = self._handle
+            if handle is None or (
+                self._active_bytes + frame_len > self.segment_max_bytes
+                and self._active_bytes > 0
+            ):
+                handle = self._handle_for(frame_len, first_lsn + offset)
+            if self._faults is not None:
+                frame = self._inject_append_faults(handle, frame)
+            try:
+                handle.write(frame)
+            except OSError as exc:
+                self._failed = f"append failed: {exc}"
+                raise DurabilityError(f"WAL append failed: {exc}") from exc
+            self._active_bytes += frame_len
+
+    def _inject_append_faults(
+        self, handle: io.BufferedWriter, frame: bytes
+    ) -> bytes:
+        """Apply service-level fault injection to one append."""
+        try:
+            self._faults.before_write(len(frame))  # may raise ENOSPC
+        except OSError as exc:
+            self._failed = f"append failed: {exc}"
+            raise DurabilityError(f"WAL append failed: {exc}") from exc
+        torn = self._faults.torn_prefix(frame)
+        if torn is not None:
+            # Simulate a crash mid-write: persist only a prefix of the
+            # frame, then fail the log as the dying process would.
+            handle.write(torn)
+            handle.flush()
+            os.fsync(handle.fileno())
+            self._failed = "torn write injected"
+            raise DurabilityError(
+                "WAL append torn mid-write (injected fault); "
+                "reopen the data directory to recover"
+            )
+        return frame
+
+    def _handle_for(
+        self, frame_bytes: int, first_lsn: int | None = None
+    ) -> io.BufferedWriter:
+        """The active segment handle, rotating when over the size bound.
+
+        ``first_lsn`` names a fresh segment after the first record that
+        will land in it (drains carry records appended earlier than
+        ``_next_lsn`` says).
+        """
+        if first_lsn is None:
+            first_lsn = self._next_lsn
+        if (
+            self._handle is not None
+            and self._active_bytes + frame_bytes > self.segment_max_bytes
+            and self._active_bytes > 0
+        ):
+            self.rotate()
+        if self._handle is None:
+            path = _segment_path(self.directory, first_lsn)
+            existing = self._segment_paths()
+            if existing and _segment_first_lsn(existing[-1]) < first_lsn:
+                last = existing[-1]
+                if last.stat().st_size + frame_bytes <= self.segment_max_bytes:
+                    path = last  # resume the recovered tail segment
+            self._handle = open(path, "ab", buffering=256 * 1024)
+            self._active_path = path
+            self._active_bytes = path.stat().st_size
+            _fsync_directory(self.directory)
+        return self._handle
+
+    def flush(self) -> None:
+        """Force buffered appends to disk (fsync)."""
+        with self._mutex:
+            if self._pending:
+                self._drain()
+            if self._handle is None or not self._unsynced:
+                return
+            self._handle.flush()
+            if self._faults is not None:
+                try:
+                    self._faults.before_fsync()  # may raise EIO
+                except OSError as exc:
+                    self._failed = f"fsync failed: {exc}"
+                    raise DurabilityError(f"WAL fsync failed: {exc}") from exc
+            with self._fd_lock:
+                os.fsync(self._handle.fileno())
+            self.fsyncs += 1
+            self._last_sync = self._clock()
+            self._unsynced = False
+
+    def _flush_loop(self) -> None:
+        """Interval policy's fsync tick, run off the append path.
+
+        State changes happen under ``_mutex``; the fsync itself happens
+        outside it (guarded only by ``_fd_lock`` against a concurrent
+        segment close) so a slow disk delays durability rather than
+        blocking appenders.
+        """
+        while not self._flusher_stop.wait(self.fsync_interval_seconds):
+            with self._mutex:
+                if self._failed:
+                    return
+                if not self._pending and not self._unsynced:
+                    continue
+                try:
+                    self._drain()
+                except DurabilityError:
+                    return
+                handle = self._handle
+                if handle is None:
+                    continue
+                try:
+                    handle.flush()
+                except OSError as exc:
+                    self._failed = f"flush failed: {exc}"
+                    return
+                self._last_sync = self._clock()
+                self._unsynced = False
+            try:
+                if self._faults is not None:
+                    self._faults.before_fsync()
+                with self._fd_lock:
+                    os.fsync(handle.fileno())
+                self.fsyncs += 1
+            except (OSError, ValueError) as exc:
+                with self._mutex:
+                    self._failed = f"fsync failed: {exc}"
+                return
+
+    def rotate(self) -> None:
+        """Close the active segment; the next append opens a fresh one."""
+        with self._mutex:
+            if self._handle is None and not self._pending:
+                return
+            self.flush()
+            if self._handle is not None:
+                with self._fd_lock:
+                    self._handle.close()
+                self._handle = None
+            self._active_path = None
+            self._active_bytes = 0
+
+    def prune_through(self, lsn: int) -> int:
+        """Delete whole segments containing only records with ``<= lsn``.
+
+        Call after a checkpoint: everything at or below the snapshot's
+        LSN is reconstructable from the snapshot.  The active segment is
+        rotated first so it can be reclaimed too.  Returns the number of
+        segment files deleted.
+        """
+        with self._mutex:
+            self.rotate()
+            deleted = 0
+            paths = self._segment_paths()
+            for position, path in enumerate(paths):
+                # A segment's records run from its first LSN up to the
+                # next segment's first LSN (exclusive), or to last_lsn
+                # for the final one.
+                if position + 1 < len(paths):
+                    segment_last = _segment_first_lsn(paths[position + 1]) - 1
+                else:
+                    segment_last = self.last_lsn
+                if segment_last <= lsn:
+                    path.unlink()
+                    deleted += 1
+            if deleted:
+                _fsync_directory(self.directory)
+            return deleted
+
+    def close(self) -> None:
+        """Flush and close the active segment; stops the fsync tick."""
+        if self._flusher is not None:
+            self._flusher_stop.set()
+            self._flusher.join(timeout=5)
+            self._flusher = None
+        with self._mutex:
+            if not self._failed:
+                self.flush()
+            if self._handle is not None:
+                with self._fd_lock:
+                    self._handle.close()
+                self._handle = None
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -54,6 +54,10 @@ class FaultError(ReproError):
     """A fault plan is malformed or targets entities the topology lacks."""
 
 
+class DurabilityError(ReproError):
+    """The write-ahead log or a checkpoint could not be read or written."""
+
+
 class ApiError(ReproError):
     """An API-tier request was malformed or could not be served.
 

@@ -9,18 +9,24 @@ This package supplies the three pieces of the robustness story:
   plan through :class:`~repro.heron.simulation.HeronSimulation` tick by
   tick;
 * :mod:`repro.faults.health` — :func:`assess_topology_metrics`, the
-  metrics-health check behind the API tier's structured 503s.
+  metrics-health check behind the API tier's structured 503s;
+* :mod:`repro.faults.service` — :class:`ServiceFaultInjector`,
+  storage-layer faults (torn write, fsync error, disk full) driving the
+  durability subsystem's crash-recovery tests.
 """
 
 from repro.faults.health import MetricsHealth, assess_topology_metrics
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultEvent, FaultPlan, load_fault_plan
+from repro.faults.service import ServiceFault, ServiceFaultInjector
 
 __all__ = [
     "FaultEvent",
     "FaultPlan",
     "FaultInjector",
     "MetricsHealth",
+    "ServiceFault",
+    "ServiceFaultInjector",
     "assess_topology_metrics",
     "load_fault_plan",
 ]

@@ -1,0 +1,133 @@
+"""Service-level fault injection: the storage layer misbehaving.
+
+PR 1's fault plans model the *observed cluster* failing; these faults
+model the *modelling service's own* storage failing, and drive the
+durability subsystem's recovery tests:
+
+``torn_write``
+    The process dies mid-append: only a prefix of the framed record
+    reaches the file.  Replay must skip the torn tail and recover every
+    earlier record.
+``fsync_error``
+    ``fsync`` fails (a dying disk, a full journal): the append is not
+    durable, so the write must fail rather than be acknowledged.
+``disk_full``
+    The write itself fails with ``ENOSPC`` before any bytes land.
+
+Faults trigger on the Nth append (1-based), counted across the life of
+the injector, making every schedule deterministic.  The injector is
+handed to :class:`~repro.durability.wal.WriteAheadLog` (via
+``DurableMetricsStore(faults=...)``) which consults it on every append
+and fsync.
+"""
+
+from __future__ import annotations
+
+import errno
+import threading
+from dataclasses import dataclass
+
+from repro.errors import FaultError
+
+__all__ = [
+    "KIND_TORN_WRITE",
+    "KIND_FSYNC_ERROR",
+    "KIND_DISK_FULL",
+    "SERVICE_KINDS",
+    "ServiceFault",
+    "ServiceFaultInjector",
+]
+
+KIND_TORN_WRITE = "torn_write"
+KIND_FSYNC_ERROR = "fsync_error"
+KIND_DISK_FULL = "disk_full"
+SERVICE_KINDS = (KIND_TORN_WRITE, KIND_FSYNC_ERROR, KIND_DISK_FULL)
+
+
+@dataclass(frozen=True)
+class ServiceFault:
+    """One scheduled storage fault.
+
+    ``at_append`` is the 1-based index of the WAL append the fault
+    strikes; ``keep_bytes`` (torn writes only) is how many bytes of the
+    frame actually reach the file before the simulated crash — the
+    default tears mid-header, the nastiest case.
+    """
+
+    kind: str
+    at_append: int
+    keep_bytes: int = 6
+
+    def __post_init__(self) -> None:
+        if self.kind not in SERVICE_KINDS:
+            raise FaultError(
+                f"unknown service fault kind {self.kind!r}; "
+                f"known: {SERVICE_KINDS}"
+            )
+        if self.at_append < 1:
+            raise FaultError("at_append is 1-based and must be >= 1")
+        if self.keep_bytes < 0:
+            raise FaultError("keep_bytes must be non-negative")
+
+
+class ServiceFaultInjector:
+    """Deterministic storage-fault schedule consulted by the WAL.
+
+    Thread-safe: the WAL may be appended from several handler threads.
+    Each fault fires exactly once.
+    """
+
+    def __init__(self, faults: list[ServiceFault] | tuple[ServiceFault, ...]) -> None:
+        self._lock = threading.Lock()
+        self._faults = sorted(faults, key=lambda f: f.at_append)
+        seen = set()
+        for fault in self._faults:
+            if fault.at_append in seen:
+                raise FaultError(
+                    f"two service faults scheduled at append "
+                    f"{fault.at_append}"
+                )
+            seen.add(fault.at_append)
+        self._appends = 0
+        self._pending_torn: ServiceFault | None = None
+        self.fired: list[ServiceFault] = []
+
+    def _take(self, kind: str) -> ServiceFault | None:
+        """Pop the due fault of ``kind``, if one is scheduled.
+
+        Due means ``at_append <= appends so far`` — an ``fsync_error``
+        scheduled at append N fires on the first fsync at or after it
+        (under ``fsync=interval`` the flush may lag the append).
+        """
+        for fault in self._faults:
+            if fault.at_append <= self._appends and fault.kind == kind:
+                self._faults.remove(fault)
+                self.fired.append(fault)
+                return fault
+        return None
+
+    # ------------------------------------------------------------------
+    # Hooks the WAL calls (in append order: write → torn → fsync)
+    # ------------------------------------------------------------------
+    def before_write(self, nbytes: int) -> None:
+        """Called before the frame is written; may raise ``ENOSPC``."""
+        with self._lock:
+            self._appends += 1
+            if self._take(KIND_DISK_FULL) is not None:
+                raise OSError(errno.ENOSPC, "injected disk-full fault")
+            self._pending_torn = self._take(KIND_TORN_WRITE)
+
+    def torn_prefix(self, frame: bytes) -> bytes | None:
+        """The partial frame to persist for a torn write, else ``None``."""
+        with self._lock:
+            fault = self._pending_torn
+            self._pending_torn = None
+        if fault is None:
+            return None
+        return frame[: min(fault.keep_bytes, len(frame) - 1)]
+
+    def before_fsync(self) -> None:
+        """Called before ``fsync``; may raise ``EIO``."""
+        with self._lock:
+            if self._take(KIND_FSYNC_ERROR) is not None:
+                raise OSError(errno.EIO, "injected fsync fault")

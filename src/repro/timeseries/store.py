@@ -54,6 +54,10 @@ class _SeriesBuffer:
 
     timestamps: list[int] = field(default_factory=list)
     values: list[float] = field(default_factory=list)
+    # Opaque per-series cache slot for subclasses: the durable store
+    # parks its rendered WAL record template here, so the journaling
+    # hot path pays an attribute read instead of a second keyed lookup.
+    journal_template: str | None = None
 
     def append(self, timestamp: int, value: float) -> None:
         if self.timestamps and timestamp <= self.timestamps[-1]:
@@ -113,7 +117,14 @@ class MetricsStore:
         tags: Mapping[str, str] | None = None,
     ) -> None:
         """Append one sample to the series identified by name + tags."""
-        key = MetricKey.of(name, tags)
+        self._write_keyed(MetricKey.of(name, tags), timestamp, value)
+
+    def _write_keyed(
+        self, key: MetricKey, timestamp: int, value: float
+    ) -> _SeriesBuffer:
+        """``write`` with the key already built; returns the series
+        buffer so the durable subclass can reach its per-series cache
+        slot without a second keyed lookup."""
         topology = key.tag_dict().get("topology")
         with self._lock:
             buffer = self._series.setdefault(key, _SeriesBuffer())
@@ -125,6 +136,7 @@ class MetricsStore:
             listeners = list(self._listeners)
         for listener in listeners:
             listener(topology)
+        return buffer
 
     def write_many(
         self,
@@ -353,11 +365,16 @@ class MetricsStore:
     # Persistence
     # ------------------------------------------------------------------
     def save(self, path: "str | Path") -> None:
-        """Write the whole store to a JSON file.
+        """Write the whole store to a JSON file, atomically.
 
         The format is self-describing and append-friendly enough for
         experiment caching: one record per series with its name, tags,
         timestamps and values.  Load with :meth:`MetricsStore.load`.
+
+        The dump is written to a temporary file in the same directory,
+        fsynced and renamed over the target, so a crash mid-save leaves
+        either the old complete dump or the new one — never a truncated
+        file that :meth:`load` would reject.
         """
         with self._lock:
             records = [
@@ -374,24 +391,46 @@ class MetricsStore:
                 "retention_seconds": self._retention,
                 "series": records,
             }
-        with open(path, "w", encoding="utf8") as handle:
-            json.dump(payload, handle)
+        # Imported here (not module top) to keep the hot read/write path
+        # free of persistence-only dependencies.
+        from repro.durability.checkpoint import atomic_write_json
+
+        atomic_write_json(Path(path), payload)
 
     @classmethod
     def load(cls, path: "str | Path") -> "MetricsStore":
-        """Rebuild a store previously written by :meth:`save`."""
-        with open(path, encoding="utf8") as handle:
-            payload = json.load(handle)
-        if payload.get("format") != "repro-metrics-v1":
+        """Rebuild a store previously written by :meth:`save`.
+
+        A missing, empty, truncated or otherwise non-JSON file raises
+        :class:`~repro.errors.MetricsError` naming the path — callers
+        get one exception type for "this dump is unusable" instead of
+        a grab-bag of ``OSError``/``JSONDecodeError``/``KeyError``.
+        """
+        try:
+            with open(path, encoding="utf8") as handle:
+                payload = json.load(handle)
+        except OSError as exc:
+            raise MetricsError(f"cannot read metrics dump {path}: {exc}") from exc
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
             raise MetricsError(
-                f"{path} is not a repro metrics dump "
-                f"(format={payload.get('format')!r})"
+                f"metrics dump {path} is not valid JSON "
+                f"(empty, truncated or corrupt): {exc}"
+            ) from exc
+        if not isinstance(payload, dict) or payload.get("format") != "repro-metrics-v1":
+            fmt = payload.get("format") if isinstance(payload, dict) else None
+            raise MetricsError(
+                f"{path} is not a repro metrics dump (format={fmt!r})"
             )
         store = cls(retention_seconds=payload.get("retention_seconds"))
-        for record in payload["series"]:
-            store.write_many(
-                record["name"],
-                zip(record["timestamps"], record["values"]),
-                record["tags"],
-            )
+        try:
+            for record in payload["series"]:
+                store.write_many(
+                    record["name"],
+                    zip(record["timestamps"], record["values"]),
+                    record["tags"],
+                )
+        except (KeyError, TypeError) as exc:
+            raise MetricsError(
+                f"metrics dump {path} is malformed: {exc!r}"
+            ) from exc
         return store

@@ -1,0 +1,1 @@
+"""Durability subsystem tests: WAL, checkpoints, recovery, lifecycle."""

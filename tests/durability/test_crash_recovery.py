@@ -1,0 +1,168 @@
+"""End-to-end crash recovery: a real server, a real ``kill -9``.
+
+The harness boots ``caladrius serve --data-dir … --fsync always`` as a
+subprocess, pours metrics writes into it over HTTP, hard-kills it mid
+write storm, then reopens the data directory and asserts every write
+the server *acknowledged* (HTTP 200) is present.  A second test sends
+SIGTERM instead and asserts the graceful path: exit code 0, a final
+checkpoint on disk, and a recovery report with nothing left to replay.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+from repro.api.client import CaladriusClient
+from repro.durability import open_data_dir
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+_PORT_LINE = re.compile(r"caladrius serving on ([\d.]+):(\d+)")
+
+
+def _spawn(data_dir: Path, *extra: str) -> tuple[subprocess.Popen, int]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_SRC)
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--data-dir", str(data_dir),
+            "--fsync", "always",
+            "--port", "0",
+            *extra,
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    deadline = time.monotonic() + 30
+    line = ""
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        match = _PORT_LINE.search(line)
+        if match:
+            return process, int(match.group(2))
+        if process.poll() is not None:
+            break
+        time.sleep(0.01)
+    stderr = process.stderr.read() if process.stderr else ""
+    process.kill()
+    raise AssertionError(f"server never announced a port: {line!r}\n{stderr}")
+
+
+class TestKillNine:
+    def test_acknowledged_writes_survive_sigkill(self, tmp_path):
+        data_dir = tmp_path / "data"
+        process, port = _spawn(data_dir)
+        acked: list[int] = []  # batch ids the server said yes to
+        try:
+            client = CaladriusClient("127.0.0.1", port, retries=0)
+            client.wait_ready(timeout=20)
+            stop_writing = threading.Event()
+
+            def storm():
+                batch = 0
+                while not stop_writing.is_set():
+                    batch += 1
+                    base = batch * 1000
+                    try:
+                        client.write_metrics(
+                            "storm",
+                            [(base + i, float(base + i)) for i in range(10)],
+                            {"topology": "crashy", "batch": str(batch)},
+                        )
+                    except Exception:
+                        return  # the server died mid-request: expected
+                    acked.append(batch)
+
+            writer = threading.Thread(target=storm)
+            writer.start()
+            # let the storm build, then pull the plug mid-flight
+            deadline = time.monotonic() + 20
+            while len(acked) < 25 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            process.send_signal(signal.SIGKILL)
+            process.wait(timeout=10)
+            stop_writing.set()
+            writer.join(timeout=30)
+            assert len(acked) >= 25, "write storm never got going"
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=10)
+
+        store, _ = open_data_dir(data_dir)
+        try:
+            for batch in acked:
+                series = store.get(
+                    "storm", {"topology": "crashy", "batch": str(batch)}
+                )
+                base = batch * 1000
+                assert list(series.timestamps) == [base + i for i in range(10)], (
+                    f"acknowledged batch {batch} lost after kill -9"
+                )
+        finally:
+            store.close()
+
+    def test_restarted_server_serves_recovered_writes(self, tmp_path):
+        data_dir = tmp_path / "data"
+        process, port = _spawn(data_dir)
+        try:
+            client = CaladriusClient("127.0.0.1", port, retries=0)
+            client.wait_ready(timeout=20)
+            client.write_metrics("persisted", [(60, 1.0), (120, 2.0)])
+            process.send_signal(signal.SIGKILL)
+            process.wait(timeout=10)
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=10)
+
+        process, port = _spawn(data_dir)
+        try:
+            client = CaladriusClient("127.0.0.1", port, retries=0)
+            client.wait_ready(timeout=20)
+            health = client.healthz()
+            assert health["recovery"]["replayed_records"] == 2
+            # the recovered series accepts writes exactly where it left off
+            client.write_metrics("persisted", [(180, 3.0)])
+        finally:
+            process.send_signal(signal.SIGKILL)
+            process.wait(timeout=10)
+
+
+class TestSigterm:
+    def test_graceful_exit_checkpoints_and_drains(self, tmp_path):
+        data_dir = tmp_path / "data"
+        process, port = _spawn(data_dir, "--drain-timeout", "10")
+        client = CaladriusClient("127.0.0.1", port, retries=0)
+        client.wait_ready(timeout=20)
+        client.write_metrics("graceful", [(60 * i, float(i)) for i in range(1, 8)])
+        process.send_signal(signal.SIGTERM)
+        try:
+            process.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            raise AssertionError("SIGTERM did not stop the server in time")
+        stderr = process.stderr.read()
+        assert process.returncode == 0, stderr
+        assert "final checkpoint" in stderr
+
+        # everything was checkpointed: recovery has nothing to replay
+        store, _ = open_data_dir(data_dir)
+        try:
+            report = store.recovery
+            assert report.replayed_records == 0
+            assert report.torn_records == 0
+            assert report.snapshot_samples == 7
+            series = store.get("graceful")
+            assert list(series.values) == [float(i) for i in range(1, 8)]
+        finally:
+            store.close()

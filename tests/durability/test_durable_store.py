@@ -1,0 +1,121 @@
+"""DurableMetricsStore: journalled mutations and the recovery contract.
+
+"Crashes" here are simulated the honest way: the store object is
+abandoned without ``close()`` (so nothing is flushed beyond what the
+fsync policy already persisted) and the directory is reopened fresh.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.durability import DurableMetricsStore, open_data_dir
+from repro.errors import MetricsError
+
+
+def _fill(store, n, name="m", topology="t"):
+    for i in range(n):
+        store.write(name, 60 * (i + 1), float(i), {"topology": topology})
+
+
+class TestJournalledWrites:
+    def test_acked_writes_survive_abandonment(self, tmp_path):
+        store = DurableMetricsStore(tmp_path, fsync="always")
+        _fill(store, 30)
+        # no close(): the process "dies" here
+        recovered = DurableMetricsStore(tmp_path)
+        series = recovered.get("m", {"topology": "t"})
+        assert list(series.values) == [float(i) for i in range(30)]
+        assert recovered.recovery.replayed_records == 30
+        recovered.close()
+
+    def test_validation_errors_do_not_pollute_the_log(self, tmp_path):
+        store = DurableMetricsStore(tmp_path, fsync="always")
+        store.write("m", 120, 1.0)
+        with pytest.raises(MetricsError):
+            store.write("m", 60, 2.0)  # out of order: rejected pre-journal
+        store.close()
+        recovered = DurableMetricsStore(tmp_path)
+        assert recovered.recovery.replayed_records == 1
+        assert recovered.recovery.skipped_records == 0
+        recovered.close()
+
+    def test_clear_is_journalled(self, tmp_path):
+        store = DurableMetricsStore(tmp_path, fsync="always")
+        _fill(store, 5)
+        store.clear()
+        store.write("fresh", 60, 9.0)
+        recovered = DurableMetricsStore(tmp_path)
+        assert recovered.metric_names() == ["fresh"]
+        recovered.close()
+
+    def test_unknown_wal_op_is_skipped_not_fatal(self, tmp_path):
+        store = DurableMetricsStore(tmp_path, fsync="always")
+        store.write("m", 60, 1.0)
+        store.wal.append({"op": "frobnicate"})
+        store.write("m", 120, 2.0)
+        recovered = DurableMetricsStore(tmp_path)
+        assert recovered.recovery.replayed_records == 2
+        assert recovered.recovery.skipped_records == 1
+        assert list(recovered.get("m").values) == [1.0, 2.0]
+        recovered.close()
+
+
+class TestVersionsAcrossRestart:
+    def test_data_version_never_rewinds(self, tmp_path):
+        store = DurableMetricsStore(tmp_path, fsync="always")
+        _fill(store, 25, topology="wc")
+        before = store.data_version("wc")
+        assert before == 25
+        recovered = DurableMetricsStore(tmp_path)
+        assert recovered.data_version("wc") >= before
+        recovered.write("m", 60 * 26, 25.0, {"topology": "wc"})
+        assert recovered.data_version("wc") > before
+        recovered.close()
+
+    def test_retention_comes_back_from_the_checkpoint(self, tmp_path):
+        from repro.durability import CheckpointManager
+
+        store, tracker = open_data_dir(tmp_path, retention_seconds=600)
+        _fill(store, 5)
+        CheckpointManager(store, tracker).checkpoint()
+        store.close()
+        # reopened without re-specifying retention
+        recovered, _ = open_data_dir(tmp_path)
+        assert recovered.retention_seconds == 600
+        recovered.close()
+
+    def test_retention_trims_replay_without_losing_new_writes(self, tmp_path):
+        store = DurableMetricsStore(tmp_path, retention_seconds=300, fsync="always")
+        _fill(store, 20)  # spans 60..1200s; retention keeps the last 300s
+        version = store.data_version("t")
+        store.close()
+        recovered = DurableMetricsStore(tmp_path, retention_seconds=300)
+        series = recovered.get("m", {"topology": "t"})
+        assert series.timestamps[0] >= 1200 - 300
+        assert series.timestamps[-1] == 1200
+        # the version counter still reflects every write ever applied
+        assert recovered.data_version("t") >= version
+        recovered.close()
+
+
+class TestFsyncPolicies:
+    def test_interval_policy_persists_on_close(self, tmp_path):
+        store = DurableMetricsStore(
+            tmp_path, fsync="interval", fsync_interval_seconds=3600
+        )
+        _fill(store, 10)
+        store.close()  # close flushes regardless of the interval
+        recovered = DurableMetricsStore(tmp_path)
+        assert len(recovered.get("m", {"topology": "t"}).timestamps) == 10
+        recovered.close()
+
+    def test_flush_forces_durability_mid_interval(self, tmp_path):
+        store = DurableMetricsStore(
+            tmp_path, fsync="interval", fsync_interval_seconds=3600
+        )
+        _fill(store, 7)
+        store.flush()
+        recovered = DurableMetricsStore(tmp_path)  # store never closed
+        assert len(recovered.get("m", {"topology": "t"}).timestamps) == 7
+        recovered.close()

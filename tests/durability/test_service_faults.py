@@ -1,0 +1,114 @@
+"""Service-level storage faults driving the WAL's failure handling.
+
+Each fault simulates a specific way real disks betray a database —
+a write torn mid-frame by a crash, a failing fsync, a full volume —
+and asserts the durability contract: the caller sees an error (never a
+false acknowledgement), earlier acknowledged writes stay recoverable,
+and reopening the directory repairs the log.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.durability import DurableMetricsStore
+from repro.errors import DurabilityError, FaultError
+from repro.faults import ServiceFault, ServiceFaultInjector
+
+
+class TestScheduleValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultError, match="unknown service fault kind"):
+            ServiceFault("gamma_ray", at_append=1)
+
+    def test_zero_append_index_rejected(self):
+        with pytest.raises(FaultError, match="1-based"):
+            ServiceFault("torn_write", at_append=0)
+
+    def test_duplicate_slot_rejected(self):
+        with pytest.raises(FaultError, match="two service faults"):
+            ServiceFaultInjector(
+                [
+                    ServiceFault("torn_write", at_append=3),
+                    ServiceFault("disk_full", at_append=3),
+                ]
+            )
+
+
+class TestDiskFull:
+    def test_write_fails_and_earlier_records_survive(self, tmp_path):
+        faults = ServiceFaultInjector([ServiceFault("disk_full", at_append=4)])
+        store = DurableMetricsStore(tmp_path, fsync="always", faults=faults)
+        for i in range(3):
+            store.write("m", 60 * (i + 1), float(i))
+        with pytest.raises(DurabilityError, match="append failed"):
+            store.write("m", 240, 3.0)
+        assert faults.fired[0].kind == "disk_full"
+        # the log is failed: further writes refuse rather than lie
+        with pytest.raises(DurabilityError, match="reopen the data directory"):
+            store.write("m", 300, 4.0)
+        recovered = DurableMetricsStore(tmp_path)
+        assert list(recovered.get("m").values) == [0.0, 1.0, 2.0]
+        recovered.close()
+
+
+class TestTornWrite:
+    def test_prefix_lands_and_reopen_repairs(self, tmp_path):
+        faults = ServiceFaultInjector([ServiceFault("torn_write", at_append=3)])
+        store = DurableMetricsStore(tmp_path, fsync="always", faults=faults)
+        store.write("m", 60, 0.0)
+        store.write("m", 120, 1.0)
+        with pytest.raises(DurabilityError, match="torn mid-write"):
+            store.write("m", 180, 2.0)
+        # the torn prefix is on disk; recovery truncates it away
+        recovered = DurableMetricsStore(tmp_path)
+        assert recovered.recovery.torn_records == 1
+        assert list(recovered.get("m").values) == [0.0, 1.0]
+        recovered.write("m", 180, 2.0)  # appends resume on the repaired log
+        recovered.close()
+        final = DurableMetricsStore(tmp_path)
+        assert list(final.get("m").values) == [0.0, 1.0, 2.0]
+        assert final.recovery.torn_records == 0
+        final.close()
+
+    def test_keep_bytes_controls_the_tear(self, tmp_path):
+        faults = ServiceFaultInjector(
+            [ServiceFault("torn_write", at_append=1, keep_bytes=2)]
+        )
+        store = DurableMetricsStore(tmp_path, fsync="always", faults=faults)
+        with pytest.raises(DurabilityError):
+            store.write("m", 60, 0.0)
+        segment = next((tmp_path / "wal").glob("wal-*.log"))
+        assert segment.stat().st_size == 2  # only the torn prefix landed
+        recovered = DurableMetricsStore(tmp_path)
+        assert recovered.recovery.torn_records == 1
+        assert len(recovered) == 0
+        recovered.close()
+
+
+class TestFsyncError:
+    def test_failed_fsync_is_not_an_acknowledgement(self, tmp_path):
+        faults = ServiceFaultInjector([ServiceFault("fsync_error", at_append=2)])
+        store = DurableMetricsStore(tmp_path, fsync="always", faults=faults)
+        store.write("m", 60, 0.0)
+        with pytest.raises(DurabilityError, match="fsync failed"):
+            store.write("m", 120, 1.0)
+        with pytest.raises(DurabilityError, match="reopen the data directory"):
+            store.write("m", 180, 2.0)
+        recovered = DurableMetricsStore(tmp_path)
+        # only the write that was acked before the fault is guaranteed
+        values = list(recovered.get("m").values)
+        assert values[0] == 0.0
+        recovered.close()
+
+    def test_interval_policy_fault_fires_on_flush(self, tmp_path):
+        faults = ServiceFaultInjector([ServiceFault("fsync_error", at_append=1)])
+        store = DurableMetricsStore(
+            tmp_path,
+            fsync="interval",
+            fsync_interval_seconds=3600,
+            faults=faults,
+        )
+        store.write("m", 60, 0.0)  # buffered; the lazy fsync hasn't run
+        with pytest.raises(DurabilityError, match="fsync failed"):
+            store.flush()

@@ -1,0 +1,96 @@
+"""Satellite hardening: atomic dumps, unreadable-file errors, retention
+interactions with the ``data_version`` counter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MetricsError
+from repro.timeseries.store import MetricsStore
+
+
+class TestAtomicSave:
+    def test_save_leaves_no_temp_files(self, tmp_path):
+        store = MetricsStore()
+        store.write("m", 60, 1.0, {"topology": "t"})
+        target = tmp_path / "dump.json"
+        store.save(target)
+        store.write("m", 120, 2.0, {"topology": "t"})
+        store.save(target)  # overwrite in place
+        assert [p.name for p in tmp_path.iterdir()] == ["dump.json"]
+        loaded = MetricsStore.load(target)
+        assert list(loaded.get("m", {"topology": "t"}).values) == [1.0, 2.0]
+
+    def test_round_trip_preserves_retention(self, tmp_path):
+        store = MetricsStore(retention_seconds=600)
+        store.write("m", 60, 1.0)
+        target = tmp_path / "dump.json"
+        store.save(target)
+        assert MetricsStore.load(target)._retention == 600
+
+
+class TestLoadErrors:
+    @pytest.mark.parametrize(
+        "content,hint",
+        [
+            ("", "not valid JSON"),
+            ("{trunca", "not valid JSON"),
+            ('"just a string"', "not a repro metrics dump"),
+            ('{"format": "other-v9"}', "not a repro metrics dump"),
+            ('{"format": "repro-metrics-v1"}', "malformed"),
+            (
+                '{"format": "repro-metrics-v1", "series": [{"name": "m"}]}',
+                "malformed",
+            ),
+        ],
+    )
+    def test_unusable_dump_raises_metrics_error_naming_path(
+        self, tmp_path, content, hint
+    ):
+        target = tmp_path / "broken.json"
+        target.write_text(content)
+        with pytest.raises(MetricsError) as excinfo:
+            MetricsStore.load(target)
+        assert str(target) in str(excinfo.value)
+        assert hint in str(excinfo.value)
+
+    def test_missing_file_raises_metrics_error(self, tmp_path):
+        target = tmp_path / "nope.json"
+        with pytest.raises(MetricsError) as excinfo:
+            MetricsStore.load(target)
+        assert str(target) in str(excinfo.value)
+
+
+class TestRetentionVersusDataVersion:
+    def test_trims_never_rewind_the_counter(self):
+        store = MetricsStore(retention_seconds=300)
+        versions = []
+        for i in range(50):
+            store.write("m", 60 * (i + 1), float(i), {"topology": "wc"})
+            versions.append(store.data_version("wc"))
+        # the counter increments exactly once per write, through trims
+        assert versions == list(range(1, 51))
+        # and the retention really was applied underneath
+        series = store.get("m", {"topology": "wc"})
+        assert series.timestamps[0] >= 60 * 50 - 300
+
+    def test_trim_to_empty_series_keeps_counting(self):
+        store = MetricsStore(retention_seconds=60)
+        store.write("old", 60, 1.0, {"topology": "wc"})
+        # a far-future write on another series trims `old` to nothing
+        store.write("new", 10_000, 2.0, {"topology": "wc"})
+        assert store.data_version("wc") == 2
+        store.write("new", 10_060, 3.0, {"topology": "wc"})
+        assert store.data_version("wc") == 3
+
+    def test_untagged_writes_fold_into_every_digest(self):
+        store = MetricsStore(retention_seconds=300)
+        store.write("m", 60, 1.0)
+        assert store.data_version() == 1
+        assert store.data_version("wc") == 1  # untagged counter folds in
+        store.write("m", 60, 1.0, {"topology": "wc"})
+        assert store.data_version("wc") == 2
+        # a trim-triggering untagged write still only moves forward
+        store.write("m", 100_000, 2.0)
+        assert store.data_version() == 2
+        assert store.data_version("wc") == 3
