@@ -9,6 +9,13 @@ pays per request, which the paper flags as "up to several seconds".
 The heavyweight simulation sweeps are session-scoped so experiments that
 share a workload (Figs. 4-6 share the single-instance sweep; Figs. 7, 8,
 11, 12 share the Splitter sweeps) only simulate it once.
+
+Besides the figure benches, three infrastructure benchmarks gate CI:
+``bench_serving_throughput`` (cache hit rate / warm speedup),
+``bench_wal_overhead`` (durable-write throughput) and
+``bench_plan_sweep`` (calibrate-once sweep speedup and byte-identity
+against serial evaluation).  Each doubles as a standalone script with a
+``--smoke`` flag and writes its table to ``benchmarks/results/``.
 """
 
 from __future__ import annotations

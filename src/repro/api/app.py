@@ -51,6 +51,7 @@ from repro.serving import (
     RequestDescriptor,
     ServingLayer,
 )
+from repro.sweep import PlanSweepEngine
 from repro.timeseries.store import MetricsStore
 
 __all__ = ["CaladriusApp"]
@@ -115,6 +116,7 @@ class CaladriusApp:
                 open_seconds=durability.breaker_open_seconds,
                 clock=clock,
             )
+        self.sweep_engine = PlanSweepEngine(tracker, store)
         self.serving: ServingLayer | None = None
         if config.serving.enabled:
             self.serving = ServingLayer(
@@ -197,6 +199,18 @@ class CaladriusApp:
             self._refuse_if_draining()
             return self._maybe_async(
                 query, lambda: self._performance(parts[3], query, body)
+            )
+        if (
+            len(parts) == 4
+            and parts[0] == "model"
+            and parts[1] == "plan_sweep"
+            and parts[2] == "heron"
+        ):
+            if method != "POST":
+                raise ApiError("plan sweeps use POST", 405)
+            self._refuse_if_draining()
+            return self._maybe_async(
+                query, lambda: self._plan_sweep(parts[3], query, body)
             )
         if method == "GET" and len(parts) == 3 and parts[:2] == ["model", "result"]:
             return self._result(parts[2])
@@ -457,6 +471,72 @@ class CaladriusApp:
 
         return {"topology": topology, "results": self._evaluate(evaluate)}
 
+    _MAX_SWEEP_PLANS = 1024
+
+    def _plan_sweep(
+        self,
+        topology: str,
+        query: Mapping[str, str],
+        body: Mapping[str, Any],
+    ) -> dict[str, Any]:
+        source_rate = body.get("source_rate")
+        if not isinstance(source_rate, (int, float)) or isinstance(
+            source_rate, bool
+        ):
+            raise ApiError("source_rate must be a number")
+        plans = body.get("plans")
+        if not isinstance(plans, list) or not plans:
+            raise ApiError("plans must be a non-empty list of parallelism maps")
+        if len(plans) > self._MAX_SWEEP_PLANS:
+            raise ApiError(
+                f"at most {self._MAX_SWEEP_PLANS} plans per sweep, "
+                f"got {len(plans)}"
+            )
+        for plan in plans:
+            if not isinstance(plan, dict) or not all(
+                isinstance(k, str)
+                and isinstance(v, int)
+                and not isinstance(v, bool)
+                for k, v in plan.items()
+            ):
+                raise ApiError(
+                    "each plan must map component names to integer "
+                    "parallelisms"
+                )
+        top_k = _int_param(query, "top_k", default=None)
+        self._tracked(topology)  # 404 before caching/admission
+        descriptor = RequestDescriptor.of(
+            "plan_sweep",
+            topology,
+            None,
+            {
+                "source_rate": source_rate,
+                "plans": plans,
+                "top_k": top_k,
+            },
+        )
+        return self._serve(
+            descriptor,
+            lambda: self._plan_sweep_uncached(
+                topology, float(source_rate), plans, top_k
+            ),
+            _priority_param(query),
+        )
+
+    def _plan_sweep_uncached(
+        self,
+        topology: str,
+        source_rate: float,
+        plans: list[dict[str, int]],
+        top_k: int | None,
+    ) -> dict[str, Any]:
+        self._require_healthy_metrics(topology)
+        return self._evaluate(
+            lambda: self.sweep_engine.sweep(
+                topology, source_rate, plans, top_k=top_k
+            )
+        )
+
     def _recompute(self, descriptor: RequestDescriptor) -> dict[str, Any]:
         """Replay a descriptor's computation (warm-cache precompute)."""
         params = json.loads(descriptor.params)
@@ -475,6 +555,13 @@ class CaladriusApp:
                 params["parallelisms"],
                 params["traffic_model"],
                 descriptor.model,
+            )
+        if descriptor.kind == "plan_sweep":
+            return self._plan_sweep_uncached(
+                descriptor.topology,
+                float(params["source_rate"]),
+                params["plans"],
+                params["top_k"],
             )
         raise ApiError(f"unknown descriptor kind {descriptor.kind!r}", 500)
 

@@ -298,6 +298,30 @@ class CaladriusClient:
             deadline_seconds=deadline_seconds,
         )
 
+    def plan_sweep(
+        self,
+        topology: str,
+        source_rate: float,
+        plans: list[dict[str, int]],
+        top_k: int | None = None,
+        deadline_seconds: float | None = None,
+    ) -> dict[str, Any]:
+        """Rank candidate parallelism plans in one request.
+
+        One calibration on the server scores the whole ``plans`` list;
+        the response carries the plans ranked by predicted output rate.
+        """
+        query: dict[str, Any] = {}
+        if top_k is not None:
+            query["top_k"] = top_k
+        return self._request(
+            "POST",
+            f"/model/plan_sweep/heron/{topology}",
+            query,
+            {"source_rate": source_rate, "plans": plans},
+            deadline_seconds=deadline_seconds,
+        )
+
     def performance_async(
         self,
         topology: str,

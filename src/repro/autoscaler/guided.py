@@ -21,9 +21,10 @@ import math
 
 from repro.autoscaler.cluster import SimulatedCluster
 from repro.autoscaler.types import ScalingRound, ScalingTrace
-from repro.core.performance_models import calibrate_topology
 from repro.errors import ModelError
 from repro.heron.metrics import MetricNames
+from repro.serving.fingerprint import canonical_json
+from repro.sweep import PlanSweepEngine, evaluate_plans
 
 __all__ = ["ModelGuidedScaler"]
 
@@ -70,6 +71,15 @@ class ModelGuidedScaler:
         self.observe_minutes = observe_minutes
         self.headroom = headroom
         self.backpressure_slo_ms = backpressure_slo_ms
+        # Calibrate-once / evaluate-many: the engine memoizes the
+        # calibration artifact per observation window and revalidates it
+        # against the metrics data_version, so candidate evaluation —
+        # however many plans the search scores — never re-reads metrics
+        # while the window is unchanged.  CPU fitting is skipped: sizing
+        # only needs the throughput chain.
+        self._engine = PlanSweepEngine(
+            cluster.tracker, cluster.store, warmup_minutes=1, fit_cpu=False
+        )
 
     def run(self, source_tpm: float) -> ScalingTrace:
         """Size the topology for ``source_tpm`` and verify.
@@ -148,14 +158,11 @@ class ModelGuidedScaler:
         exceeds what they were ever offered, in which case the fit bound
         applies.
         """
-        tracked = self.cluster.tracker.get(self.cluster.topology_name)
-        model, fits = calibrate_topology(
-            tracked,
-            self.cluster.store,
-            warmup_minutes=1,
-            since_seconds=window_start,
+        artifact = self._engine.artifact(
+            self.cluster.topology_name, since_seconds=window_start
         )
-        topology = tracked.topology
+        model, fits = artifact.base, artifact.fits
+        topology = artifact.topology
         demand: dict[str, float] = {
             spout.name: source_tpm / len(topology.spouts())
             for spout in topology.spouts()
@@ -184,7 +191,49 @@ class ModelGuidedScaler:
                 demand[stream.destination] = (
                     demand.get(stream.destination, 0.0) + incoming * alpha
                 )
-        return proposal
+        return self._best_candidate(artifact, source_tpm, proposal)
+
+    def _best_candidate(
+        self,
+        artifact,
+        source_tpm: float,
+        proposal: dict[str, int],
+    ) -> dict[str, int]:
+        """Refine the analytic proposal through the plan-sweep kernel.
+
+        The proposal plus its upward neighborhood (each component +1,
+        and all +1) is scored in one batch against the memoized
+        artifact.  The cheapest plan predicted to clear the output SLO
+        wins, preferring low backpressure risk; candidates only grow the
+        proposal, so the search can correct under-sizing but never
+        shrinks what the analytic bound asked for.  With no viable
+        candidate the proposal stands and verification has the last
+        word.
+        """
+        candidates: list[dict[str, int]] = [dict(proposal)]
+        for name in proposal:
+            bumped = dict(proposal)
+            bumped[name] += 1
+            candidates.append(bumped)
+        if proposal:
+            candidates.append({name: p + 1 for name, p in proposal.items()})
+        predictions = evaluate_plans(artifact, source_tpm, candidates)
+        viable = [
+            (plan, prediction)
+            for plan, prediction in zip(candidates, predictions)
+            if prediction.output_rate >= self.slo_output_tpm
+        ]
+        if not viable:
+            return dict(proposal)
+        best, _ = min(
+            viable,
+            key=lambda item: (
+                item[1].backpressure_risk != "low",
+                sum(item[0].values()),
+                canonical_json(item[0]),
+            ),
+        )
+        return best
 
     def _instance_capacity(
         self,

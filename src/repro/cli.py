@@ -25,6 +25,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from collections.abc import Sequence
 from dataclasses import replace
 
@@ -134,6 +135,29 @@ def build_parser() -> argparse.ArgumentParser:
     predict.add_argument("--seed", type=int, default=0)
     predict.add_argument("--json", action="store_true", dest="as_json")
 
+    sweep = sub.add_parser(
+        "sweep", help="rank candidate parallelism plans in one calibration"
+    )
+    sweep.add_argument("--rate", type=float, required=True,
+                       help="traffic to evaluate, tuples/minute")
+    sweep.add_argument("--splitter", type=int, default=3,
+                       help="deployed splitter parallelism")
+    sweep.add_argument("--counter", type=int, default=3,
+                       help="deployed counter parallelism")
+    sweep.add_argument("--splitters", default="1-8",
+                       help='candidate splitter range, e.g. "2-6" or "4"')
+    sweep.add_argument("--counters", default="1-8",
+                       help='candidate counter range, e.g. "3-8" or "5"')
+    sweep.add_argument("--plans", default=None, metavar="JSON",
+                       help="explicit JSON list of plans (overrides ranges)")
+    sweep.add_argument("--top-k", type=int, default=10, dest="top_k")
+    sweep.add_argument("--validate-top", type=int, default=0,
+                       help="simulate the N best plans for validation")
+    sweep.add_argument("--workers", type=int, default=0,
+                       help="process-pool size for validation (0 = inline)")
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument("--json", action="store_true", dest="as_json")
+
     stats = sub.add_parser(
         "serving-stats", help="query a running service's serving stats"
     )
@@ -160,6 +184,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "recover": _cmd_recover,
         "simulate": _cmd_simulate,
         "predict": _cmd_predict,
+        "sweep": _cmd_sweep,
         "forecast": _cmd_forecast,
         "serving-stats": _cmd_serving_stats,
     }
@@ -439,6 +464,98 @@ def _cmd_predict(args) -> int:
         print(f"risk         : {prediction.backpressure_risk}"
               + (f" (bottleneck: {prediction.bottleneck})"
                  if prediction.bottleneck else ""))
+    return 0
+
+
+def _parse_range(text: str, flag: str) -> list[int]:
+    """Parse ``"2-6"`` or ``"4"`` into a list of parallelisms."""
+    lo, sep, hi = text.partition("-")
+    try:
+        if sep:
+            values = list(range(int(lo), int(hi) + 1))
+        else:
+            values = [int(lo)]
+    except ValueError:
+        raise SystemExit(f'cannot parse {flag} {text!r}; use "N" or "LO-HI"')
+    if not values or min(values) < 1:
+        raise SystemExit(f"{flag} must cover parallelisms >= 1")
+    return values
+
+
+def _cmd_sweep(args) -> int:
+    from repro.sweep import PlanSweepEngine, ValidationSpec, validate_plans
+
+    params = WordCountParams(
+        splitter_parallelism=args.splitter, counter_parallelism=args.counter
+    )
+    topology, packing, logic = build_word_count(params)
+    tracker, store = _demo_deployment(
+        args.splitter, args.counter, args.seed,
+        rates=np.arange(4 * M, 44 * M + 1, 8 * M),
+    )
+    if args.plans:
+        try:
+            plans = json.loads(args.plans)
+        except json.JSONDecodeError as exc:
+            raise SystemExit(f"--plans is not valid JSON: {exc}")
+        if not isinstance(plans, list):
+            raise SystemExit("--plans must be a JSON list of objects")
+    else:
+        plans = [
+            {"splitter": s, "counter": c}
+            for s in _parse_range(args.splitters, "--splitters")
+            for c in _parse_range(args.counters, "--counters")
+        ]
+    engine = PlanSweepEngine(tracker, store)
+    started = time.perf_counter()
+    payload = engine.sweep(
+        "word-count", args.rate, plans, top_k=args.top_k
+    )
+    elapsed = time.perf_counter() - started
+    if args.validate_top > 0:
+        spec = ValidationSpec(
+            topology=topology,
+            logic=logic,
+            source_rates_tpm={"sentence-spout": float(args.rate)},
+            minutes=3,
+            base_seed=args.seed,
+        )
+        top_plans = [e["plan"] for e in payload["ranked"][: args.validate_top]]
+        validated = validate_plans(spec, top_plans, workers=args.workers)
+        by_plan = {
+            json.dumps(v["plan"], sort_keys=True): v for v in validated
+        }
+        for entry in payload["ranked"][: args.validate_top]:
+            entry["simulated"] = by_plan[
+                json.dumps(entry["plan"], sort_keys=True)
+            ]
+    if args.as_json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    artifact = payload["artifact"]
+    print(f"topology     : {payload['topology']}")
+    print(f"traffic      : {payload['source_rate'] / M:.1f}M tuples/min")
+    print(f"plans scored : {payload['plan_count']} "
+          f"in {elapsed * 1000:.1f} ms (one calibration)")
+    print(f"artifact     : {artifact['hash'][:12]} "
+          f"(revision {artifact['plan_revision']}, "
+          f"data v{artifact['data_version']})")
+    for entry in payload["ranked"]:
+        cores = entry["estimated_cpu_cores"]
+        line = (
+            f"  #{entry['rank']:<3} {entry['plan']} "
+            f"out={entry['output_rate'] / M:.1f}M "
+            f"sat={entry['saturation_source_rate'] / M:.1f}M "
+            f"risk={entry['backpressure_risk']}"
+            + (f" cpu={cores:.1f}" if cores is not None else "")
+        )
+        simulated = entry.get("simulated")
+        if simulated:
+            line += (
+                f" | sim out={simulated['output_tpm'] / M:.1f}M "
+                f"bp={simulated['backpressure_ms']:.0f}ms"
+            )
+        print(line)
     return 0
 
 

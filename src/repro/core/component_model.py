@@ -94,17 +94,25 @@ class ComponentModel:
     def output_rate(
         self, source_rate: float, stream: str = DEFAULT_STREAM
     ) -> float:
-        """Eq. 7: summed instance outputs on one stream."""
-        return sum(
-            self.instance.output_rate(rate, stream)
-            for rate in self.instance_input_rates(source_rate)
+        """Eq. 7: summed instance outputs on one stream.
+
+        Evaluated as one vectorized ``alpha * min(rates, SP)`` reduction
+        so the plan-sweep batch kernel, which stacks many plans into one
+        matrix and reduces along the instance axis, produces bitwise
+        identical sums.
+        """
+        rates = self.instance_input_rates(source_rate)
+        alpha = self.instance.alpha(stream)
+        return float(
+            (alpha * np.minimum(rates, self.instance.saturation_point)).sum()
         )
 
     def total_output_rate(self, source_rate: float) -> float:
         """Summed instance outputs over all streams."""
-        return sum(
-            self.instance.total_output_rate(rate)
-            for rate in self.instance_input_rates(source_rate)
+        rates = self.instance_input_rates(source_rate)
+        alpha = self.instance.total_alpha()
+        return float(
+            (alpha * np.minimum(rates, self.instance.saturation_point)).sum()
         )
 
     # ------------------------------------------------------------------

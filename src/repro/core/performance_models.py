@@ -51,6 +51,10 @@ __all__ = [
     "ThroughputPredictionModel",
     "BackpressureEvaluationModel",
     "calibrate_topology",
+    "grouping_input_shares",
+    "apply_parallelisms",
+    "evaluate_throughput",
+    "chain_relative_stderr",
 ]
 
 
@@ -102,7 +106,7 @@ class PerformancePrediction:
 # ----------------------------------------------------------------------
 # Calibration over a whole topology
 # ----------------------------------------------------------------------
-def _input_shares(
+def grouping_input_shares(
     topology: LogicalTopology, component: str, parallelism: int
 ) -> Sequence[float] | None:
     """Share vector for a component's instances at a given parallelism.
@@ -123,6 +127,143 @@ def _input_shares(
     if total <= 0:
         return None
     return list(shares / total)
+
+
+# Backwards-compatible private alias (pre-sweep call sites).
+_input_shares = grouping_input_shares
+
+
+def apply_parallelisms(
+    topology: LogicalTopology,
+    base: TopologyModel,
+    parallelisms: Mapping[str, int],
+) -> TopologyModel:
+    """Rescale a calibrated model to proposed parallelisms (Eq. 9).
+
+    Grouping-induced share vectors are recomputed from the *logical*
+    topology for every changed component, exactly as the serving path
+    does, so batch and one-at-a-time evaluations share the same rescaled
+    models.
+    """
+    if not parallelisms:
+        return base
+    new_shares = {}
+    for component, p in parallelisms.items():
+        shares = grouping_input_shares(topology, component, p)
+        if shares is not None:
+            new_shares[component] = shares
+    return base.with_parallelism(dict(parallelisms), new_shares)
+
+
+def chain_relative_stderr(
+    model: TopologyModel,
+    fits: Mapping[str, PiecewiseLinearFit],
+    path: Sequence[str],
+    source_rate: float,
+) -> float:
+    """Relative standard error of a chained output prediction.
+
+    Per stage: an unsaturated component contributes its slope's
+    relative standard error; a saturated one the plateau's (residual
+    std over the saturation throughput).  Independent stage errors
+    compound in quadrature — the accumulation the paper observes in
+    its chained CPU prediction.
+    """
+    total_sq = 0.0
+    rate = source_rate
+    topology = model.topology
+    for stage, name in enumerate(path):
+        fit = fits.get(name)
+        component = model.component(name)
+        if fit is not None:
+            if component.is_saturated(rate) and fit.saturated:
+                denominator = fit.saturation_throughput
+                rel = (
+                    fit.residual_std / denominator
+                    if denominator > 0
+                    else 0.0
+                )
+            else:
+                rel = (
+                    fit.alpha_stderr / fit.alpha if fit.alpha > 0 else 0.0
+                )
+            total_sq += rel * rel
+        if stage + 1 < len(path):
+            streams = [
+                s.name
+                for s in topology.outputs(name)
+                if s.destination == path[stage + 1]
+            ]
+            rate = component.output_rate(rate, streams[0])
+    return math.sqrt(total_sq)
+
+
+def evaluate_throughput(
+    topology_name: str,
+    model: TopologyModel,
+    fits: Mapping[str, PiecewiseLinearFit],
+    rate: float,
+    model_name: str = "throughput-prediction",
+) -> PerformancePrediction:
+    """Evaluate an already-calibrated model at one source rate.
+
+    This is the evaluation half of
+    :meth:`ThroughputPredictionModel.predict` with calibration factored
+    out, so a calibrate-once / evaluate-many sweep can call it per plan
+    (or validate a batch kernel against it) without touching metrics.
+    """
+    topology = model.topology
+    spouts = [s.name for s in topology.spouts()]
+    # The topology source rate divides evenly over spouts (the
+    # evaluation-spout convention); path-level figures below are in
+    # per-spout units and the topology-level saturation rate scales
+    # back up by the spout count.
+    share = rate / len(spouts)
+    report = model.propagate({s: share for s in spouts})
+    paths = source_sink_paths(topology)
+    path_reports = []
+    worst_rate = float("inf")
+    worst_path = None
+    for path in paths:
+        check_deadline()
+        sat = model.path_bottleneck(path)
+        path_reports.append(
+            {
+                "path": path,
+                "output_rate": model.critical_path_output(path, share),
+                "saturation_source_rate": sat[1],
+                "bottleneck": sat[0],
+            }
+        )
+        if sat[1] < worst_rate:
+            worst_rate = sat[1]
+            worst_path = path
+    output_rate = sum(
+        float(report[sink.name]["processed"]) for sink in topology.sinks()
+    )
+    risk = model.backpressure_risk(worst_path, share) if worst_path else None
+    worst_rate = worst_rate * len(spouts)
+    rel_stderr = (
+        chain_relative_stderr(model, fits, worst_path, share)
+        if worst_path
+        else 0.0
+    )
+    return PerformancePrediction(
+        topology=topology_name,
+        model=model_name,
+        source_rate=rate,
+        parallelisms={
+            name: spec.parallelism
+            for name, spec in topology.components.items()
+        },
+        components=report,
+        output_rate=output_rate,
+        saturation_source_rate=worst_rate,
+        backpressure_risk=risk.risk.value if risk else "low",
+        bottleneck=risk.bottleneck if risk else None,
+        paths=path_reports,
+        output_rate_stderr=output_rate * rel_stderr,
+    )
 
 
 def calibrate_topology(
@@ -326,12 +467,7 @@ class PerformanceModel(ABC):
         tracked = self.tracker.get(topology_name, cluster, environ)
         base, fits = calibrate_topology(tracked, self.store)
         if parallelisms:
-            new_shares = {}
-            for component, p in parallelisms.items():
-                shares = _input_shares(tracked.topology, component, p)
-                if shares is not None:
-                    new_shares[component] = shares
-            base = base.with_parallelism(dict(parallelisms), new_shares)
+            base = apply_parallelisms(tracked.topology, base, parallelisms)
         return tracked, base, fits
 
     @staticmethod
@@ -341,41 +477,8 @@ class PerformanceModel(ABC):
         path: Sequence[str],
         source_rate: float,
     ) -> float:
-        """Relative standard error of a chained output prediction.
-
-        Per stage: an unsaturated component contributes its slope's
-        relative standard error; a saturated one the plateau's
-        (residual std over the saturation throughput).  Independent
-        stage errors compound in quadrature — the accumulation the
-        paper observes in its chained CPU prediction.
-        """
-        total_sq = 0.0
-        rate = source_rate
-        topology = model.topology
-        for stage, name in enumerate(path):
-            fit = fits.get(name)
-            component = model.component(name)
-            if fit is not None:
-                if component.is_saturated(rate) and fit.saturated:
-                    denominator = fit.saturation_throughput
-                    rel = (
-                        fit.residual_std / denominator
-                        if denominator > 0
-                        else 0.0
-                    )
-                else:
-                    rel = (
-                        fit.alpha_stderr / fit.alpha if fit.alpha > 0 else 0.0
-                    )
-                total_sq += rel * rel
-            if stage + 1 < len(path):
-                streams = [
-                    s.name
-                    for s in topology.outputs(name)
-                    if s.destination == path[stage + 1]
-                ]
-                rate = component.output_rate(rate, streams[0])
-        return math.sqrt(total_sq)
+        """See :func:`chain_relative_stderr` (module-level)."""
+        return chain_relative_stderr(model, fits, path, source_rate)
 
 
 class ThroughputPredictionModel(PerformanceModel):
@@ -403,57 +506,8 @@ class ThroughputPredictionModel(PerformanceModel):
         tracked, model, fits = self._calibrated(
             topology_name, parallelisms, cluster, environ
         )
-        topology = model.topology
-        spouts = [s.name for s in topology.spouts()]
-        # The topology source rate divides evenly over spouts (the
-        # evaluation-spout convention); path-level figures below are in
-        # per-spout units and the topology-level saturation rate scales
-        # back up by the spout count.
-        share = rate / len(spouts)
-        report = model.propagate({s: share for s in spouts})
-        paths = source_sink_paths(topology)
-        path_reports = []
-        worst_rate = float("inf")
-        worst_path = None
-        for path in paths:
-            check_deadline()
-            sat = model.path_bottleneck(path)
-            path_reports.append(
-                {
-                    "path": path,
-                    "output_rate": model.critical_path_output(path, share),
-                    "saturation_source_rate": sat[1],
-                    "bottleneck": sat[0],
-                }
-            )
-            if sat[1] < worst_rate:
-                worst_rate = sat[1]
-                worst_path = path
-        output_rate = sum(
-            float(report[sink.name]["processed"]) for sink in topology.sinks()
-        )
-        risk = model.backpressure_risk(worst_path, share) if worst_path else None
-        worst_rate = worst_rate * len(spouts)
-        rel_stderr = (
-            self._chain_relative_stderr(model, fits, worst_path, share)
-            if worst_path
-            else 0.0
-        )
-        return PerformancePrediction(
-            topology=topology_name,
-            model=self.name,
-            source_rate=rate,
-            parallelisms={
-                name: spec.parallelism
-                for name, spec in topology.components.items()
-            },
-            components=report,
-            output_rate=output_rate,
-            saturation_source_rate=worst_rate,
-            backpressure_risk=risk.risk.value if risk else "low",
-            bottleneck=risk.bottleneck if risk else None,
-            paths=path_reports,
-            output_rate_stderr=output_rate * rel_stderr,
+        return evaluate_throughput(
+            topology_name, model, fits, rate, model_name=self.name
         )
 
 

@@ -20,6 +20,7 @@ import math
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass
 from enum import Enum
+from types import MappingProxyType
 
 from repro.core.component_model import ComponentModel
 from repro.core.instance_model import InstanceModel
@@ -101,6 +102,11 @@ class TopologyModel:
             return self._models[name]
         except KeyError:
             raise ModelError(f"no model for component {name!r}") from None
+
+    @property
+    def component_models(self) -> Mapping[str, ComponentModel]:
+        """Read-only view of every component's model (spouts included)."""
+        return MappingProxyType(self._models)
 
     # ------------------------------------------------------------------
     # Path utilities

@@ -151,6 +151,29 @@ class MetricsManager:
             buffer.gauge_integrals.get(name, 0.0) + value * dt
         )
 
+    def add_gauge_integral(
+        self,
+        component: str,
+        instance: str,
+        container: str,
+        name: str,
+        integral: float,
+    ) -> None:
+        """Add a pre-integrated gauge contribution (value x seconds).
+
+        Batched emitters accumulate ``value * dt`` across many ticks in
+        numpy and hand the total over in one call; adding the integral
+        directly (instead of replaying it through :meth:`add_gauge`)
+        keeps the flushed time-average bit-identical to per-tick
+        accumulation.
+        """
+        if name not in MetricNames.GAUGES:
+            raise MetricsError(f"{name!r} is not a gauge metric")
+        buffer = self._buffer(component, instance, container)
+        buffer.gauge_integrals[name] = (
+            buffer.gauge_integrals.get(name, 0.0) + integral
+        )
+
     def add_backpressure(
         self,
         component: str,
@@ -161,6 +184,24 @@ class MetricsManager:
         """Record that an instance suppressed spouts for ``dt`` seconds."""
         buffer = self._buffer(component, instance, container)
         buffer.backpressure_ms += dt * 1000.0
+
+    def add_backpressure_ms(
+        self,
+        component: str,
+        instance: str,
+        container: str,
+        ms: float,
+    ) -> None:
+        """Add pre-accumulated backpressure milliseconds.
+
+        The milliseconds variant exists for the same reason as
+        :meth:`add_gauge_integral`: round-tripping a batched total back
+        through ``dt * 1000`` would perturb the low bits.
+        """
+        if ms < 0:
+            raise MetricsError("backpressure milliseconds must be non-negative")
+        buffer = self._buffer(component, instance, container)
+        buffer.backpressure_ms += ms
 
     def add_topology_backpressure(self, dt: float) -> None:
         """Record topology-wide backpressure for ``dt`` seconds."""
@@ -215,6 +256,15 @@ class MetricsManager:
         self._elapsed_in_minute += dt
         if self._elapsed_in_minute >= MINUTE_SECONDS - 1e-9:
             self._flush_minute()
+
+    def minute_closing(self, dt: float) -> bool:
+        """True when the next :meth:`advance` call of ``dt`` will flush.
+
+        Batched emitters use this to hand their accumulated minute over
+        *before* the advance that closes it, using the manager's own
+        clock so the decision never drifts from the actual flush.
+        """
+        return self._elapsed_in_minute + dt >= MINUTE_SECONDS - 1e-9
 
     def _flush_minute(self) -> None:
         timestamp = self._minute_start

@@ -240,6 +240,59 @@ class _BoltState:
         return self.queue_tuples * self.logic.input_tuple_bytes
 
 
+class _SpoutMinuteAcc:
+    """One simulated minute of spout metrics, accumulated in numpy.
+
+    The tick loop adds whole per-instance arrays here instead of making
+    half a dozen dict updates (plus float casts and f-string instance
+    names) per instance per tick; the totals flow into the
+    :class:`~repro.heron.metrics.MetricsManager` once per minute.  Each
+    array element sees the same addition sequence a per-tick
+    ``add_counter``/``add_gauge`` call chain would produce, so the
+    flushed values are bit-identical.
+    """
+
+    __slots__ = ("source", "fetched", "emitted", "streams", "backlog", "cpu")
+
+    def __init__(self, parallelism: int, stream_names: list[str]) -> None:
+        self.source = np.zeros(parallelism)
+        self.fetched = np.zeros(parallelism)
+        self.emitted = np.zeros(parallelism)
+        self.streams = {name: np.zeros(parallelism) for name in stream_names}
+        self.backlog = np.zeros(parallelism)
+        self.cpu = np.zeros(parallelism)
+
+    def reset(self) -> None:
+        for arr in (self.source, self.fetched, self.emitted,
+                    self.backlog, self.cpu, *self.streams.values()):
+            arr.fill(0.0)
+
+
+class _BoltMinuteAcc:
+    """One simulated minute of bolt metrics (see :class:`_SpoutMinuteAcc`)."""
+
+    __slots__ = ("arrivals", "processed", "emitted", "failed", "memory",
+                 "latency", "streams", "pending", "cpu", "bp_ms")
+
+    def __init__(self, parallelism: int, stream_names: list[str]) -> None:
+        self.arrivals = np.zeros(parallelism)
+        self.processed = np.zeros(parallelism)
+        self.emitted = np.zeros(parallelism)
+        self.failed = np.zeros(parallelism)
+        self.memory = np.zeros(parallelism)
+        self.latency = np.zeros(parallelism)
+        self.streams = {name: np.zeros(parallelism) for name in stream_names}
+        self.pending = np.zeros(parallelism)
+        self.cpu = np.zeros(parallelism)
+        self.bp_ms = np.zeros(parallelism)
+
+    def reset(self) -> None:
+        for arr in (self.arrivals, self.processed, self.emitted, self.failed,
+                    self.memory, self.latency, self.pending, self.cpu,
+                    self.bp_ms, *self.streams.values()):
+            arr.fill(0.0)
+
+
 class _StmgrState:
     """Runtime state for one container's stream manager.
 
@@ -332,13 +385,27 @@ class HeronSimulation:
                     f"got {type(faults).__name__}"
                 )
             self._injector.attach(self)
+        self._minute_labels: dict[str, list[tuple[str, str]]] = {}
         for component in self._order:
+            labels = []
             for index in range(topology.parallelism(component)):
-                self.metrics.register_instance(
-                    component,
-                    f"{component}_{index}",
-                    str(packing.container_of(component, index)),
-                )
+                instance = f"{component}_{index}"
+                container = str(packing.container_of(component, index))
+                self.metrics.register_instance(component, instance, container)
+                labels.append((instance, container))
+            self._minute_labels[component] = labels
+        self._spout_acc = {
+            name: _SpoutMinuteAcc(
+                state.parallelism, self._output_stream_names(name)
+            )
+            for name, state in self._spouts.items()
+        }
+        self._bolt_acc = {
+            name: _BoltMinuteAcc(
+                bolt.parallelism, self._output_stream_names(name)
+            )
+            for name, bolt in self._bolts.items()
+        }
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -379,6 +446,13 @@ class HeronSimulation:
                 ]
             )
             self._containers[name] = containers
+
+    def _output_stream_names(self, component: str) -> list[str]:
+        """Declared output stream names, deduplicated in outputs order
+        (the order ``tick_stream_emitted`` fills in every tick)."""
+        return list(
+            dict.fromkeys(s.name for s in self.topology.outputs(component))
+        )
 
     def _shares(self, stream: Stream) -> np.ndarray:
         dest_p = self.topology.parallelism(stream.destination)
@@ -844,9 +918,16 @@ class HeronSimulation:
     # Metrics
     # ------------------------------------------------------------------
     def _record_tick(self, bp_at_start: bool, dt: float) -> None:
+        # Per-tick metric emission is batched: whole per-instance arrays
+        # are added into preallocated minute accumulators, and the
+        # totals reach the MetricsManager only on the tick that closes
+        # the minute.  Every element sees the same IEEE-754 addition
+        # sequence the old per-instance add_* loop produced (counters:
+        # 0.0 + a_1 + ... + a_n; gauges: 0.0 + v_1*dt + ...), so the
+        # flushed per-minute values are bit-identical.
         metrics = self.metrics
         for name, state in self._spouts.items():
-            containers = self._containers[name]
+            acc = self._spout_acc[name]
             logic = state.logic
             utilisation = np.zeros(state.parallelism)
             if state.rate_tps > 0:
@@ -858,37 +939,15 @@ class HeronSimulation:
                 * (state.tick_fetched + state.tick_emitted)
                 / dt
             )
-            for i in range(state.parallelism):
-                instance = f"{name}_{i}"
-                container = str(containers[i])
-                metrics.add_counter(
-                    name, instance, container,
-                    MetricNames.SOURCE_COUNT, float(state.tick_source[i]),
-                )
-                metrics.add_counter(
-                    name, instance, container,
-                    MetricNames.EXECUTE_COUNT, float(state.tick_fetched[i]),
-                )
-                metrics.add_counter(
-                    name, instance, container,
-                    MetricNames.EMIT_COUNT, float(state.tick_emitted[i]),
-                )
-                for stream_name, per_stream in state.tick_stream_emitted.items():
-                    metrics.add_counter(
-                        name, instance, container,
-                        MetricNames.stream_emit(stream_name),
-                        float(per_stream[i]),
-                    )
-                metrics.add_gauge(
-                    name, instance, container,
-                    MetricNames.BACKLOG_TUPLES, float(state.backlog[i]), dt,
-                )
-                metrics.add_gauge(
-                    name, instance, container,
-                    MetricNames.CPU_LOAD, float(cpu[i]), dt,
-                )
+            acc.source += state.tick_source
+            acc.fetched += state.tick_fetched
+            acc.emitted += state.tick_emitted
+            for stream_name, per_stream in state.tick_stream_emitted.items():
+                acc.streams[stream_name] += per_stream
+            acc.backlog += state.backlog * dt
+            acc.cpu += cpu * dt
         for name, bolt in self._bolts.items():
-            containers = self._containers[name]
+            acc = self._bolt_acc[name]
             logic = bolt.logic
             nominal = logic.capacity_tps * dt
             utilisation = np.minimum(1.0, bolt.tick_processed / nominal)
@@ -906,49 +965,110 @@ class HeronSimulation:
             memory = (
                 logic.base_memory_bytes + pending + bolt.state_bytes
             )
-            for i in range(bolt.parallelism):
-                instance = f"{name}_{i}"
-                container = str(containers[i])
+            acc.arrivals += bolt.tick_arrivals
+            acc.processed += bolt.tick_processed
+            acc.emitted += bolt.tick_emitted
+            acc.failed += bolt.tick_failed
+            acc.memory += memory * dt
+            acc.latency += latency_ms * dt
+            for stream_name, per_stream in bolt.tick_stream_emitted.items():
+                acc.streams[stream_name] += per_stream
+            acc.pending += pending * dt
+            acc.cpu += cpu * dt
+            acc.bp_ms += np.where(bolt.bp_flag, dt * 1000.0, 0.0)
+        if bp_at_start or self.backpressure_active():
+            metrics.add_topology_backpressure(dt)
+        if metrics.minute_closing(dt):
+            # Hand the accumulated minute over before the advance that
+            # flushes it.  Using the manager's own clock keeps the
+            # decision aligned with the actual flush, whatever the tick.
+            self._flush_minute_accumulators()
+        metrics.advance(dt)
+
+    def _flush_minute_accumulators(self) -> None:
+        """Feed one minute of accumulated metrics into the manager.
+
+        Per-instance add order mirrors the old per-tick loop exactly, so
+        buffer-dict insertion order — and therefore store write order and
+        series key-insertion order — is unchanged.
+        """
+        metrics = self.metrics
+        for name, state in self._spouts.items():
+            acc = self._spout_acc[name]
+            for i, (instance, container) in enumerate(
+                self._minute_labels[name]
+            ):
                 metrics.add_counter(
                     name, instance, container,
-                    MetricNames.RECEIVED_COUNT, float(bolt.tick_arrivals[i]),
+                    MetricNames.SOURCE_COUNT, float(acc.source[i]),
                 )
                 metrics.add_counter(
                     name, instance, container,
-                    MetricNames.EXECUTE_COUNT, float(bolt.tick_processed[i]),
+                    MetricNames.EXECUTE_COUNT, float(acc.fetched[i]),
                 )
                 metrics.add_counter(
                     name, instance, container,
-                    MetricNames.EMIT_COUNT, float(bolt.tick_emitted[i]),
+                    MetricNames.EMIT_COUNT, float(acc.emitted[i]),
                 )
-                metrics.add_counter(
-                    name, instance, container,
-                    MetricNames.FAIL_COUNT, float(bolt.tick_failed[i]),
-                )
-                metrics.add_gauge(
-                    name, instance, container,
-                    MetricNames.MEMORY_BYTES, float(memory[i]), dt,
-                )
-                metrics.add_gauge(
-                    name, instance, container,
-                    MetricNames.QUEUE_LATENCY_MS, float(latency_ms[i]), dt,
-                )
-                for stream_name, per_stream in bolt.tick_stream_emitted.items():
+                for stream_name, totals in acc.streams.items():
                     metrics.add_counter(
                         name, instance, container,
                         MetricNames.stream_emit(stream_name),
-                        float(per_stream[i]),
+                        float(totals[i]),
                     )
-                metrics.add_gauge(
+                metrics.add_gauge_integral(
                     name, instance, container,
-                    MetricNames.PENDING_BYTES, float(pending[i]), dt,
+                    MetricNames.BACKLOG_TUPLES, float(acc.backlog[i]),
                 )
-                metrics.add_gauge(
+                metrics.add_gauge_integral(
                     name, instance, container,
-                    MetricNames.CPU_LOAD, float(cpu[i]), dt,
+                    MetricNames.CPU_LOAD, float(acc.cpu[i]),
                 )
-                if bolt.bp_flag[i]:
-                    metrics.add_backpressure(name, instance, container, dt)
-        if bp_at_start or self.backpressure_active():
-            metrics.add_topology_backpressure(dt)
-        metrics.advance(dt)
+            acc.reset()
+        for name, bolt in self._bolts.items():
+            acc = self._bolt_acc[name]
+            for i, (instance, container) in enumerate(
+                self._minute_labels[name]
+            ):
+                metrics.add_counter(
+                    name, instance, container,
+                    MetricNames.RECEIVED_COUNT, float(acc.arrivals[i]),
+                )
+                metrics.add_counter(
+                    name, instance, container,
+                    MetricNames.EXECUTE_COUNT, float(acc.processed[i]),
+                )
+                metrics.add_counter(
+                    name, instance, container,
+                    MetricNames.EMIT_COUNT, float(acc.emitted[i]),
+                )
+                metrics.add_counter(
+                    name, instance, container,
+                    MetricNames.FAIL_COUNT, float(acc.failed[i]),
+                )
+                metrics.add_gauge_integral(
+                    name, instance, container,
+                    MetricNames.MEMORY_BYTES, float(acc.memory[i]),
+                )
+                metrics.add_gauge_integral(
+                    name, instance, container,
+                    MetricNames.QUEUE_LATENCY_MS, float(acc.latency[i]),
+                )
+                for stream_name, totals in acc.streams.items():
+                    metrics.add_counter(
+                        name, instance, container,
+                        MetricNames.stream_emit(stream_name),
+                        float(totals[i]),
+                    )
+                metrics.add_gauge_integral(
+                    name, instance, container,
+                    MetricNames.PENDING_BYTES, float(acc.pending[i]),
+                )
+                metrics.add_gauge_integral(
+                    name, instance, container,
+                    MetricNames.CPU_LOAD, float(acc.cpu[i]),
+                )
+                metrics.add_backpressure_ms(
+                    name, instance, container, float(acc.bp_ms[i]),
+                )
+            acc.reset()

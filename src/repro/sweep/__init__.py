@@ -1,0 +1,28 @@
+"""Calibrate-once / evaluate-many plan-sweep engine.
+
+Three layers (ROADMAP: "score many candidate packing plans per query"):
+
+* :class:`~repro.sweep.artifact.CalibrationArtifact` — immutable,
+  pickleable product of one calibration pass;
+* :func:`~repro.sweep.kernel.evaluate_plans` — vectorized batch kernel,
+  bitwise identical to the one-at-a-time path;
+* :func:`~repro.sweep.pool.validate_plans` — process-pool fan-out for
+  simulator-backed validation with deterministic per-plan seeds;
+
+orchestrated by :class:`~repro.sweep.engine.PlanSweepEngine`.
+"""
+
+from repro.sweep.artifact import CalibrationArtifact
+from repro.sweep.engine import PlanSweepEngine
+from repro.sweep.kernel import estimate_plan_cpu, evaluate_plans
+from repro.sweep.pool import ValidationSpec, plan_seed, validate_plans
+
+__all__ = [
+    "CalibrationArtifact",
+    "PlanSweepEngine",
+    "evaluate_plans",
+    "estimate_plan_cpu",
+    "ValidationSpec",
+    "plan_seed",
+    "validate_plans",
+]

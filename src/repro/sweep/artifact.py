@@ -1,0 +1,237 @@
+"""The calibrate-once half of the plan-sweep engine.
+
+A :class:`CalibrationArtifact` freezes every piece of metrics-derived
+state a plan evaluation needs — the fitted per-instance curves, the
+piecewise-linear fit statistics, per-bolt CPU coefficients and the
+source→sink path set — so candidate parallelism plans can be scored
+without touching the metrics store again.  The artifact is immutable and
+pickleable: the process-pool validation path ships it to each worker
+exactly once.
+
+Identity is content-addressed the same way the serving tier keys its
+result cache: a ``(plan_revision, data_version)`` pair.  Calibration is
+deterministic given the tracked topology revision and the store's write
+counter, so equal pairs guarantee an equal artifact.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.calibration import PiecewiseLinearFit
+from repro.core.cpu_model import CpuModel, fit_cpu_model
+from repro.core.performance_models import (
+    apply_parallelisms,
+    calibrate_topology,
+    grouping_input_shares,
+)
+from repro.core.topology_model import TopologyModel
+from repro.errors import MetricsError, ModelError
+from repro.graph.topology_graph import source_sink_paths
+from repro.heron.metrics import MetricNames
+from repro.heron.topology import LogicalTopology
+from repro.heron.tracker import TrackedTopology
+from repro.serving.fingerprint import fingerprint
+from repro.timeseries.store import MetricsStore
+
+__all__ = ["CalibrationArtifact"]
+
+
+def _fit_cpu_models(
+    topology: LogicalTopology,
+    store: MetricsStore,
+    warmup_minutes: int,
+    since_seconds: int | None,
+) -> dict[str, CpuModel]:
+    """Per-bolt CPU coefficients from per-instance observations.
+
+    Pairs every instance's per-minute ``received-count`` with its
+    ``cpu-load`` gauge (aligned on shared timestamps), concatenates the
+    instances of a component and fits one per-instance ``psi``.  Bolts
+    whose series are missing or degenerate are simply skipped — CPU
+    estimates are an optional enrichment of the sweep output, not a
+    prerequisite for throughput ranking.
+    """
+    models: dict[str, CpuModel] = {}
+    for spec in topology.bolts():
+        tags = {"topology": topology.name, "component": spec.name}
+        try:
+            received = store.query(
+                MetricNames.RECEIVED_COUNT, tags, start=since_seconds
+            )
+            cpu = store.query(MetricNames.CPU_LOAD, tags, start=since_seconds)
+        except MetricsError:
+            continue
+        xs: list[np.ndarray] = []
+        ys: list[np.ndarray] = []
+        by_instance = {
+            key.tag_dict().get("instance"): series
+            for key, series in cpu.items()
+        }
+        for key, series in received.items():
+            cpu_series = by_instance.get(key.tag_dict().get("instance"))
+            if cpu_series is None:
+                continue
+            common = np.intersect1d(series.timestamps, cpu_series.timestamps)
+            common = common[warmup_minutes:]
+            if common.shape[0] < 3:
+                continue
+            xs.append(series.values[np.isin(series.timestamps, common)])
+            ys.append(
+                cpu_series.values[np.isin(cpu_series.timestamps, common)]
+            )
+        if not xs:
+            continue
+        try:
+            model, _ = fit_cpu_model(
+                spec.name, np.concatenate(xs), np.concatenate(ys)
+            )
+        except ModelError:
+            continue
+        models[spec.name] = model
+    return models
+
+
+@dataclass(frozen=True)
+class CalibrationArtifact:
+    """Immutable product of one calibration pass over stored metrics.
+
+    Everything here derives deterministically from ``(topology at
+    plan_revision, metrics at data_version)``; evaluating a candidate
+    plan reads only this object.
+    """
+
+    topology_name: str
+    cluster: str
+    environ: str
+    topology: LogicalTopology
+    base: TopologyModel
+    fits: Mapping[str, PiecewiseLinearFit]
+    cpu_models: Mapping[str, CpuModel]
+    paths: tuple[tuple[str, ...], ...]
+    plan_revision: int
+    data_version: int
+    warmup_minutes: int
+    since_seconds: int | None = None
+    _share_cache: dict = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    @classmethod
+    def build(
+        cls,
+        tracked: TrackedTopology,
+        store: MetricsStore,
+        warmup_minutes: int = 1,
+        since_seconds: int | None = None,
+        fit_cpu: bool = True,
+    ) -> "CalibrationArtifact":
+        """Run one calibration and freeze its products.
+
+        The metrics ``data_version`` is read *before* calibrating so a
+        concurrent write invalidates the artifact rather than leaking
+        into a supposedly-consistent snapshot.
+        """
+        data_version = store.data_version(tracked.name)
+        base, fits = calibrate_topology(
+            tracked, store, warmup_minutes=warmup_minutes,
+            since_seconds=since_seconds,
+        )
+        topology = tracked.topology
+        cpu_models = (
+            _fit_cpu_models(topology, store, warmup_minutes, since_seconds)
+            if fit_cpu
+            else {}
+        )
+        return cls(
+            topology_name=tracked.name,
+            cluster=tracked.cluster,
+            environ=tracked.environ,
+            topology=topology,
+            base=base,
+            fits=fits,
+            cpu_models=cpu_models,
+            paths=tuple(tuple(p) for p in source_sink_paths(topology)),
+            plan_revision=tracked.revision,
+            data_version=data_version,
+            warmup_minutes=warmup_minutes,
+            since_seconds=since_seconds,
+        )
+
+    # ------------------------------------------------------------------
+    # Identity / freshness
+    # ------------------------------------------------------------------
+    @property
+    def artifact_hash(self) -> str:
+        """Content hash of the calibration inputs (cache / audit key)."""
+        return fingerprint(
+            {
+                "topology": self.topology_name,
+                "cluster": self.cluster,
+                "environ": self.environ,
+                "plan_revision": self.plan_revision,
+                "data_version": self.data_version,
+                "warmup_minutes": self.warmup_minutes,
+                "since_seconds": self.since_seconds,
+            }
+        )
+
+    def is_current(self, tracked: TrackedTopology, store: MetricsStore) -> bool:
+        """True while no write or redeploy has outdated the artifact."""
+        return (
+            tracked.revision == self.plan_revision
+            and store.data_version(self.topology_name) == self.data_version
+        )
+
+    # ------------------------------------------------------------------
+    # Per-plan derivations
+    # ------------------------------------------------------------------
+    def validate_plan(self, plan: Mapping[str, int]) -> dict[str, int]:
+        """Normalize one candidate plan; reject unknown components."""
+        normalized: dict[str, int] = {}
+        for name, p in plan.items():
+            if name not in self.topology.components:
+                raise ModelError(
+                    f"plan names unknown component {name!r} "
+                    f"in topology {self.topology_name!r}"
+                )
+            p = int(p)
+            if p < 1:
+                raise ModelError(
+                    f"plan parallelism for {name!r} must be >= 1, got {p}"
+                )
+            normalized[name] = p
+        return normalized
+
+    def plan_shares(
+        self, component: str, parallelism: int
+    ) -> Sequence[float] | None:
+        """Grouping-induced share vector, cached per (component, p)."""
+        key = (component, parallelism)
+        if key not in self._share_cache:
+            self._share_cache[key] = grouping_input_shares(
+                self.topology, component, parallelism
+            )
+        return self._share_cache[key]
+
+    def model_for_plan(self, plan: Mapping[str, int]) -> TopologyModel:
+        """The calibrated model rescaled to one candidate plan (Eq. 9).
+
+        Exactly the rescaling the one-at-a-time serving path performs —
+        the sweep's serial reference path calls this per plan.
+        """
+        return apply_parallelisms(self.topology, self.base, plan)
+
+    def plan_parallelisms(self, plan: Mapping[str, int]) -> dict[str, int]:
+        """Full component→parallelism map for one plan (base + overrides)."""
+        return {
+            name: int(plan.get(name, spec.parallelism))
+            for name, spec in self.topology.components.items()
+        }
+
+    def plan_total_instances(self, plan: Mapping[str, int]) -> int:
+        """Instance count the plan would deploy."""
+        return sum(self.plan_parallelisms(plan).values())

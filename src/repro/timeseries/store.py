@@ -58,6 +58,12 @@ class _SeriesBuffer:
     # parks its rendered WAL record template here, so the journaling
     # hot path pays an attribute read instead of a second keyed lookup.
     journal_template: str | None = None
+    # Cached frozen view: rebuilding numpy arrays per read dominates
+    # repeated-query cost (calibration reads every series several
+    # times per sweep).  TimeSeries is immutable with read-only
+    # arrays, so serving the same object is safe; any mutation of the
+    # buffer drops the cache.
+    _frozen: TimeSeries | None = None
 
     def append(self, timestamp: int, value: float) -> None:
         if self.timestamps and timestamp <= self.timestamps[-1]:
@@ -67,9 +73,12 @@ class _SeriesBuffer:
             )
         self.timestamps.append(int(timestamp))
         self.values.append(float(value))
+        self._frozen = None
 
     def freeze(self) -> TimeSeries:
-        return TimeSeries(self.timestamps, self.values)
+        if self._frozen is None:
+            self._frozen = TimeSeries(self.timestamps, self.values)
+        return self._frozen
 
     def trim_before(self, cutoff: int) -> None:
         # Timestamps are sorted, so find the first index to keep.
@@ -79,6 +88,8 @@ class _SeriesBuffer:
                 break
         else:
             keep_from = len(self.timestamps)
+        if keep_from:
+            self._frozen = None
         del self.timestamps[:keep_from]
         del self.values[:keep_from]
 

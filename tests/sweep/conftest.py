@@ -1,0 +1,30 @@
+"""Fixtures for the plan-sweep engine tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sweep import PlanSweepEngine
+
+M = 1e6
+
+
+@pytest.fixture()
+def sweep_engine(deployed_wordcount):
+    """A fresh engine over the shared calibrated Word Count deployment."""
+    _, _, _, store, tracker = deployed_wordcount
+    return PlanSweepEngine(tracker, store)
+
+
+@pytest.fixture()
+def wordcount_artifact(sweep_engine):
+    return sweep_engine.artifact("word-count")
+
+
+def plan_grid(max_splitter: int = 8, max_counter: int = 8):
+    """The 64-plan splitter x counter grid used across the battery."""
+    return [
+        {"splitter": s, "counter": c}
+        for s in range(1, max_splitter + 1)
+        for c in range(1, max_counter + 1)
+    ]

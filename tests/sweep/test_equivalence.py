@@ -1,0 +1,116 @@
+"""The sweep's core promise: batch evaluation == one-at-a-time, exactly.
+
+The vectorized kernel is only trusted because its arithmetic is the
+*same* IEEE-754 operation sequence the serial path performs per plan, so
+these tests demand byte identity (via canonical JSON of the prediction
+dicts), not approximate closeness.  A loose 1e-9 tolerance assertion
+rides along to state the ISSUE's weaker contract explicitly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.performance_models import ThroughputPredictionModel
+from repro.serving.fingerprint import canonical_json
+from repro.sweep import evaluate_plans, estimate_plan_cpu
+from repro.sweep.kernel import estimate_plan_cpu as kernel_estimate_plan_cpu
+
+from tests.sweep.conftest import M, plan_grid
+
+RATE = 30 * M
+
+
+class TestBatchMatchesSerial:
+    def test_byte_identical_across_plan_grid(self, sweep_engine,
+                                             wordcount_artifact):
+        plans = plan_grid()
+        batch = evaluate_plans(wordcount_artifact, RATE, plans)
+        serial = sweep_engine.evaluate_serial(wordcount_artifact, RATE, plans)
+        assert len(batch) == len(serial) == len(plans)
+        for plan, b, s in zip(plans, batch, serial):
+            assert canonical_json(b.as_dict()) == canonical_json(s.as_dict()), (
+                f"batch and serial predictions diverge for plan {plan}"
+            )
+
+    def test_numeric_fields_within_1e9(self, sweep_engine, wordcount_artifact):
+        plans = plan_grid(4, 4)
+        batch = evaluate_plans(wordcount_artifact, RATE, plans)
+        serial = sweep_engine.evaluate_serial(wordcount_artifact, RATE, plans)
+        for b, s in zip(batch, serial):
+            assert abs(b.output_rate - s.output_rate) < 1e-9
+            assert abs(b.output_rate_stderr - s.output_rate_stderr) < 1e-9
+            assert b.backpressure_risk == s.backpressure_risk
+            assert b.bottleneck == s.bottleneck
+
+    def test_matches_the_serving_path_model(self, deployed_wordcount,
+                                            wordcount_artifact):
+        """The batch result equals what POST /model/topology would say."""
+        _, _, _, store, tracker = deployed_wordcount
+        model = ThroughputPredictionModel(tracker, store)
+        plans = [{"splitter": 5, "counter": 7}, {"splitter": 1, "counter": 1}]
+        batch = evaluate_plans(wordcount_artifact, RATE, plans)
+        for plan, prediction in zip(plans, batch):
+            reference = model.predict(
+                "word-count", source_rate=RATE, parallelisms=plan
+            )
+            assert canonical_json(prediction.as_dict()) == canonical_json(
+                reference.as_dict()
+            )
+
+    def test_base_plan_is_the_uncalibrated_passthrough(self, sweep_engine,
+                                                       wordcount_artifact):
+        """An empty plan scores the deployed configuration unchanged."""
+        (batch,) = evaluate_plans(wordcount_artifact, RATE, [{}])
+        (serial,) = sweep_engine.evaluate_serial(wordcount_artifact, RATE, [{}])
+        assert canonical_json(batch.as_dict()) == canonical_json(
+            serial.as_dict()
+        )
+
+    def test_varied_rates(self, sweep_engine, wordcount_artifact):
+        plans = plan_grid(3, 3)
+        for rate in (1 * M, 10 * M, 60 * M, 200 * M):
+            batch = evaluate_plans(wordcount_artifact, rate, plans)
+            serial = sweep_engine.evaluate_serial(
+                wordcount_artifact, rate, plans
+            )
+            for b, s in zip(batch, serial):
+                assert canonical_json(b.as_dict()) == canonical_json(
+                    s.as_dict()
+                )
+
+
+class TestCpuEstimates:
+    def test_cpu_matches_serial_computation(self, wordcount_artifact):
+        plans = plan_grid(4, 4)
+        predictions = evaluate_plans(wordcount_artifact, RATE, plans)
+        estimates = estimate_plan_cpu(wordcount_artifact, predictions)
+        assert len(estimates) == len(plans)
+        for plan, prediction, estimate in zip(plans, predictions, estimates):
+            model = wordcount_artifact.model_for_plan(
+                wordcount_artifact.validate_plan(plan)
+            )
+            expected = 0.0
+            for name, cpu_model in wordcount_artifact.cpu_models.items():
+                expected += cpu_model.component_cpu(
+                    model.component(name),
+                    prediction.components[name]["input"],
+                )
+            assert estimate == pytest.approx(expected, abs=1e-9)
+
+    def test_reexported_name(self):
+        assert estimate_plan_cpu is kernel_estimate_plan_cpu
+
+
+class TestValidation:
+    def test_unknown_component_rejected(self, wordcount_artifact):
+        from repro.errors import ModelError
+
+        with pytest.raises(ModelError, match="unknown component"):
+            evaluate_plans(wordcount_artifact, RATE, [{"nope": 2}])
+
+    def test_nonpositive_parallelism_rejected(self, wordcount_artifact):
+        from repro.errors import ModelError
+
+        with pytest.raises(ModelError, match=">= 1"):
+            evaluate_plans(wordcount_artifact, RATE, [{"splitter": 0}])

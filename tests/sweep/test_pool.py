@@ -1,0 +1,79 @@
+"""Determinism of the process-pool validation fan-out."""
+
+from __future__ import annotations
+
+from repro.heron.wordcount import WordCountParams, build_word_count
+from repro.sweep import ValidationSpec, plan_seed, validate_plans
+
+M = 1e6
+
+PLANS = [
+    {"splitter": 2, "counter": 2},
+    {"splitter": 3, "counter": 4},
+    {"splitter": 4, "counter": 4},
+    {"splitter": 5, "counter": 6},
+]
+
+
+def make_spec(minutes: int = 3, base_seed: int = 11) -> ValidationSpec:
+    topology, _, logic = build_word_count(
+        WordCountParams(spout_parallelism=2, splitter_parallelism=2,
+                        counter_parallelism=2)
+    )
+    return ValidationSpec(
+        topology=topology,
+        logic=logic,
+        source_rates_tpm={"sentence-spout": 20 * M},
+        minutes=minutes,
+        base_seed=base_seed,
+    )
+
+
+class TestSeeds:
+    def test_seed_is_deterministic(self):
+        plan = {"splitter": 3}
+        assert plan_seed(7, plan) == plan_seed(7, plan)
+
+    def test_seed_ignores_key_order(self):
+        assert plan_seed(7, {"a": 1, "b": 2}) == plan_seed(7, {"b": 2, "a": 1})
+
+    def test_distinct_plans_draw_distinct_seeds(self):
+        seeds = {plan_seed(0, plan) for plan in PLANS}
+        assert len(seeds) == len(PLANS)
+
+    def test_base_seed_changes_every_seed(self):
+        assert plan_seed(0, PLANS[0]) != plan_seed(1, PLANS[0])
+
+
+class TestPoolDeterminism:
+    def test_pool_matches_inline_exactly(self):
+        """Worker count, chunking and scheduling must not change results."""
+        spec = make_spec()
+        inline = validate_plans(spec, PLANS, workers=0)
+        pooled = validate_plans(spec, PLANS, workers=2)
+        assert inline == pooled
+
+    def test_chunk_size_is_irrelevant(self):
+        spec = make_spec(minutes=2)
+        plans = PLANS[:3]
+        by_one = validate_plans(spec, plans, workers=2, chunk_size=1)
+        by_three = validate_plans(spec, plans, workers=2, chunk_size=3)
+        assert by_one == by_three
+
+    def test_results_in_plan_order(self):
+        spec = make_spec(minutes=2)
+        results = validate_plans(spec, PLANS, workers=2)
+        assert [r["plan"] for r in results] == PLANS
+
+    def test_single_plan_short_circuits_inline(self):
+        spec = make_spec(minutes=2)
+        (result,) = validate_plans(spec, PLANS[:1], workers=4)
+        assert result["plan"] == PLANS[0]
+        assert result["output_tpm"] > 0
+
+    def test_bigger_plans_process_more(self):
+        spec = make_spec()
+        results = validate_plans(spec, PLANS, workers=0)
+        small = results[0]["output_tpm"]
+        large = results[-1]["output_tpm"]
+        assert large >= small

@@ -1,0 +1,196 @@
+"""Property test: batch evaluation == serial, over random topologies.
+
+Hypothesis draws small chain/diamond topologies with random calibrated
+parameters (alphas, saturation points, groupings) and random plan sets,
+then demands the vectorized kernel reproduce the serial path's
+predictions byte-for-byte.  Alphas stay strictly positive — a zero alpha
+makes the serial bottleneck chain divide by zero, and that *parity* is
+pinned by a dedicated test below.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.component_model import ComponentModel
+from repro.core.calibration import PiecewiseLinearFit
+from repro.core.instance_model import InstanceModel
+from repro.core.performance_models import (
+    evaluate_throughput,
+    grouping_input_shares,
+)
+from repro.core.topology_model import TopologyModel
+from repro.graph.topology_graph import source_sink_paths
+from repro.heron.groupings import (
+    FieldsGrouping,
+    KeyDistribution,
+    ShuffleGrouping,
+)
+from repro.heron.topology import TopologyBuilder
+from repro.serving.fingerprint import canonical_json
+from repro.sweep import CalibrationArtifact, evaluate_plans
+
+alphas = st.floats(min_value=0.05, max_value=5.0, allow_nan=False)
+sps = st.one_of(
+    st.just(math.inf),
+    st.floats(min_value=1e3, max_value=1e9, allow_nan=False),
+)
+parallelisms = st.integers(min_value=1, max_value=5)
+groupings = st.one_of(
+    st.just(None),  # shuffle
+    st.floats(min_value=0.0, max_value=2.0).map(
+        lambda e: KeyDistribution.zipf([f"k{i}" for i in range(8)], e)
+    ),
+)
+
+
+@st.composite
+def topologies(draw):
+    """A chain (spout -> b0 -> ... -> bK) or diamond shaped topology,
+    with a synthetic calibration artifact wrapped around it."""
+    diamond = draw(st.booleans())
+    builder = TopologyBuilder("prop")
+    builder.add_spout("spout", draw(parallelisms))
+    if diamond:
+        bolts = ["left", "right", "join"]
+        for name in bolts:
+            builder.add_bolt(name, draw(parallelisms))
+        edges = [("spout", "left"), ("spout", "right"),
+                 ("left", "join"), ("right", "join")]
+    else:
+        depth = draw(st.integers(min_value=1, max_value=3))
+        bolts = [f"b{i}" for i in range(depth)]
+        for name in bolts:
+            builder.add_bolt(name, draw(parallelisms))
+        edges = [("spout", bolts[0])] + [
+            (bolts[i], bolts[i + 1]) for i in range(depth - 1)
+        ]
+    for source, dest in edges:
+        distribution = draw(groupings)
+        grouping = (
+            ShuffleGrouping()
+            if distribution is None
+            else FieldsGrouping(["key"], distribution)
+        )
+        builder.connect(source, dest, grouping)
+    topology = builder.build()
+
+    sinks = {s.name for s in topology.components.values()} - {
+        stream.source for name in topology.components
+        for stream in topology.outputs(name)
+    } - {"spout"}
+    components = {}
+    fits = {}
+    for name in bolts:
+        spec = topology.components[name]
+        out_streams = {s.name for s in topology.outputs(name)}
+        alpha = draw(alphas)
+        instance_sp = draw(sps)
+        components[name] = ComponentModel(
+            name,
+            InstanceModel(
+                {stream: alpha for stream in out_streams}, instance_sp
+            ),
+            spec.parallelism,
+            grouping_input_shares(topology, name, spec.parallelism),
+        )
+        fits[name] = PiecewiseLinearFit(
+            alpha=alpha,
+            saturation_point=(
+                instance_sp * spec.parallelism
+                if math.isfinite(instance_sp)
+                else math.inf
+            ),
+            residual_std=draw(
+                st.floats(min_value=0.0, max_value=1e3, allow_nan=False)
+            ),
+            alpha_stderr=draw(
+                st.floats(min_value=0.0, max_value=0.5, allow_nan=False)
+            ),
+            r_squared=0.99,
+            n_points=10,
+        )
+    del sinks  # shape bookkeeping only
+    base = TopologyModel(topology, components)
+    artifact = CalibrationArtifact(
+        topology_name=topology.name,
+        cluster="local",
+        environ="test",
+        topology=topology,
+        base=base,
+        fits=fits,
+        cpu_models={},
+        paths=tuple(tuple(p) for p in source_sink_paths(topology)),
+        plan_revision=0,
+        data_version=0,
+        warmup_minutes=1,
+    )
+    plans = draw(
+        st.lists(
+            st.dictionaries(st.sampled_from(bolts), parallelisms, max_size=3),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    rate = draw(st.floats(min_value=0.0, max_value=1e9, allow_nan=False))
+    return artifact, rate, plans
+
+
+@given(topologies())
+@settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_batch_equals_serial_on_random_topologies(case):
+    artifact, rate, plans = case
+    batch = evaluate_plans(artifact, rate, plans)
+    for plan, prediction in zip(plans, batch):
+        reference = evaluate_throughput(
+            artifact.topology_name,
+            artifact.model_for_plan(artifact.validate_plan(plan)),
+            artifact.fits,
+            rate,
+        )
+        assert canonical_json(prediction.as_dict()) == canonical_json(
+            reference.as_dict()
+        )
+
+
+def test_zero_alpha_divide_parity():
+    """A zero mid-chain alpha breaks the serial bottleneck chain with a
+    ZeroDivisionError; the kernel reproduces the same failure instead of
+    silently emitting numpy infinities."""
+    builder = TopologyBuilder("zero")
+    builder.add_spout("spout", 1)
+    builder.add_bolt("mid", 1)
+    builder.add_bolt("sink", 1)
+    builder.connect("spout", "mid", ShuffleGrouping())
+    builder.connect("mid", "sink", ShuffleGrouping())
+    topology = builder.build()
+    components = {
+        "mid": ComponentModel("mid", InstanceModel({"default": 0.0}, 1e6), 1),
+        "sink": ComponentModel("sink", InstanceModel({}, 1e6), 1),
+    }
+    base = TopologyModel(topology, components)
+    fits = {
+        name: PiecewiseLinearFit(0.0 if name == "mid" else 1.0, 1e6,
+                                 0.0, 0.0, 1.0, 10)
+        for name in ("mid", "sink")
+    }
+    artifact = CalibrationArtifact(
+        topology_name="zero", cluster="local", environ="test",
+        topology=topology, base=base, fits=fits, cpu_models={},
+        paths=tuple(tuple(p) for p in source_sink_paths(topology)),
+        plan_revision=0, data_version=0, warmup_minutes=1,
+    )
+    with pytest.raises(ZeroDivisionError):
+        evaluate_throughput(
+            "zero", artifact.model_for_plan({}), fits, 1e5
+        )
+    with pytest.raises(ZeroDivisionError):
+        evaluate_plans(artifact, 1e5, [{}])

@@ -1,0 +1,62 @@
+"""Repeated reads reuse frozen series views until a write invalidates."""
+
+from __future__ import annotations
+
+from repro.timeseries.store import MetricsStore
+
+TAGS = {"topology": "t", "component": "c"}
+
+
+def populated_store() -> MetricsStore:
+    store = MetricsStore()
+    for minute in range(5):
+        store.write("execute-count", minute * 60, float(minute), TAGS)
+    return store
+
+
+class TestFrozenViewCache:
+    def test_repeated_get_returns_same_object(self):
+        store = populated_store()
+        first = store.get("execute-count", TAGS)
+        second = store.get("execute-count", TAGS)
+        assert first is second
+
+    def test_views_are_read_only(self):
+        store = populated_store()
+        series = store.get("execute-count", TAGS)
+        assert not series.values.flags.writeable
+        assert not series.timestamps.flags.writeable
+
+    def test_write_invalidates_the_cached_view(self):
+        store = populated_store()
+        before = store.get("execute-count", TAGS)
+        version = store.data_version("t")
+        store.write("execute-count", 300, 5.0, TAGS)
+        assert store.data_version("t") > version
+        after = store.get("execute-count", TAGS)
+        assert after is not before
+        assert len(after) == len(before) + 1
+
+    def test_query_reuses_the_same_frozen_views(self):
+        store = populated_store()
+        (first,) = store.query("execute-count", {"topology": "t"}).values()
+        (second,) = store.query("execute-count", {"topology": "t"}).values()
+        assert first is second
+
+    def test_unrelated_series_keep_their_cache(self):
+        store = populated_store()
+        other_tags = {"topology": "t", "component": "other"}
+        store.write("execute-count", 0, 1.0, other_tags)
+        cached = store.get("execute-count", TAGS)
+        store.write("execute-count", 60, 2.0, other_tags)
+        assert store.get("execute-count", TAGS) is cached
+
+    def test_retention_trim_invalidates(self):
+        store = MetricsStore(retention_seconds=120)
+        for minute in range(3):
+            store.write("execute-count", minute * 60, float(minute), TAGS)
+        before = store.get("execute-count", TAGS)
+        store.write("execute-count", 300, 9.0, TAGS)  # trims old minutes
+        after = store.get("execute-count", TAGS)
+        assert after is not before
+        assert int(after.timestamps[0]) >= 300 - 120
