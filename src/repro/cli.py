@@ -14,6 +14,11 @@ Four subcommands cover the operational surface:
 ``forecast``
     Fit the traffic models on a simulated seasonal history and print
     the forecast summary.
+``matrix``
+    Run the workload-diversity scenario matrix: generated topologies
+    (diamond, fan-in, deep chain, multi-spout) × fault kinds × traffic
+    patterns, each cell scored as calibration MAPE against a fresh
+    validation run, with a machine-readable ``matrix_report.json``.
 
 Every subcommand is pure stdlib + this package; run as
 ``python -m repro.cli <subcommand>`` or through the ``caladrius``
@@ -165,6 +170,27 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--port", type=int, default=8080)
     stats.add_argument("--json", action="store_true", dest="as_json")
 
+    matrix = sub.add_parser(
+        "matrix",
+        help="run the workload-diversity scenario matrix "
+             "(shape x fault x traffic differential tests)",
+    )
+    matrix.add_argument("--seed", type=int, default=7,
+                        help="matrix seed; workloads, faults and traffic "
+                             "all derive from it deterministically")
+    matrix.add_argument("--cells", type=int, default=None, metavar="N",
+                        help="run only the first N grid cells "
+                             "(default: the full grid)")
+    matrix.add_argument("--shapes", default=None, metavar="CSV",
+                        help="comma-separated shape subset "
+                             "(diamond,fanin,deep_chain,multi_spout)")
+    matrix.add_argument("--minutes", type=int, default=9,
+                        help="calibration-run length per cell")
+    matrix.add_argument("--report", default=None, metavar="PATH",
+                        help="write matrix_report.json here")
+    matrix.add_argument("--json", action="store_true", dest="as_json",
+                        help="print the full report instead of the table")
+
     forecast = sub.add_parser("forecast", help="traffic forecasting demo")
     forecast.add_argument("--history-minutes", type=int, default=360)
     forecast.add_argument("--horizon-minutes", type=int, default=60)
@@ -185,6 +211,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "simulate": _cmd_simulate,
         "predict": _cmd_predict,
         "sweep": _cmd_sweep,
+        "matrix": _cmd_matrix,
         "forecast": _cmd_forecast,
         "serving-stats": _cmd_serving_stats,
     }
@@ -557,6 +584,54 @@ def _cmd_sweep(args) -> int:
             )
         print(line)
     return 0
+
+
+def _cmd_matrix(args) -> int:
+    from pathlib import Path
+
+    from repro.workloads import SHAPES, report_json, run_matrix
+
+    shapes = SHAPES
+    if args.shapes:
+        shapes = tuple(s.strip() for s in args.shapes.split(",") if s.strip())
+        unknown = [s for s in shapes if s not in SHAPES]
+        if unknown:
+            raise SystemExit(
+                f"unknown shapes {unknown}; known: {list(SHAPES)}"
+            )
+    report = run_matrix(
+        seed=args.seed,
+        cells=args.cells,
+        shapes=shapes,
+        calibration_minutes=args.minutes,
+    )
+    if args.report:
+        Path(args.report).write_text(report_json(report), encoding="utf8")
+    summary = report["summary"]
+    if args.as_json:
+        print(report_json(report), end="")
+    else:
+        print(f"{'cell':<42} {'arrival':>8} {'cpu':>8} {'deg':>4} "
+              f"{'trace':>12} verdict")
+        for cell in report["cells"]:
+            if cell["error"]:
+                print(f"  {cell['id']:<40} {'-':>8} {'-':>8} {'-':>4} "
+                      f"{'-':>12} ERROR: {cell['error']}")
+                continue
+            print(
+                f"  {cell['id']:<40} {cell['arrival_mape']:>8.4f} "
+                f"{cell['cpu_mape']:>8.4f} {cell['degraded_warnings']:>4} "
+                f"{cell['trace_hash'][:12]:>12} "
+                f"{'pass' if cell['passed'] else 'FAIL'}"
+            )
+        print(f"cells  : {summary['cells']} "
+              f"({summary['passed']} passed, {summary['failed']} failed)")
+        if summary["worst_arrival_mape"] is not None:
+            print(f"worst  : arrival {summary['worst_arrival_mape']:.4f}, "
+                  f"cpu {summary['worst_cpu_mape']:.4f}")
+        if args.report:
+            print(f"report : {args.report}")
+    return 0 if summary["ok"] else 1
 
 
 def _cmd_serving_stats(args) -> int:

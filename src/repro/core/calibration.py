@@ -35,6 +35,7 @@ __all__ = [
     "LinearFit",
     "fit_piecewise_linear",
     "fit_linear",
+    "mape",
     "degraded_aggregate",
     "component_observations",
     "calibrate_component",
@@ -153,6 +154,31 @@ def fit_linear(
         residual_std=float(np.sqrt(ss_res / x.shape[0])),
         r_squared=r2,
         n_points=int(x.shape[0]),
+    )
+
+
+def mape(actual: np.ndarray, predicted: np.ndarray) -> float:
+    """Mean absolute percentage error of predictions against truth.
+
+    The workload matrix's per-cell score: ``mean(|pred - act| / act)``
+    over the pairs whose actual value is positive (a component that
+    observed nothing contributes no percentage).  Raises when *no* pair
+    has a positive actual — a score of a silent topology is meaningless,
+    not zero.
+    """
+    actual = np.asarray(actual, dtype=np.float64)
+    predicted = np.asarray(predicted, dtype=np.float64)
+    if actual.shape != predicted.shape or actual.ndim != 1:
+        raise CalibrationError(
+            "actual and predicted must be 1-D arrays of equal length"
+        )
+    mask = np.isfinite(actual) & np.isfinite(predicted) & (actual > 0)
+    if not mask.any():
+        raise CalibrationError(
+            "mape needs at least one pair with a positive actual value"
+        )
+    return float(
+        np.mean(np.abs(predicted[mask] - actual[mask]) / actual[mask])
     )
 
 

@@ -1,0 +1,45 @@
+"""Experiment harness wrapper around the workload-diversity matrix.
+
+Gives the scenario matrix the same ergonomics as the figure
+reproductions: ``python -m repro.experiments.runner --only matrix``
+runs a grid and prints one summary line per fault kind, so a regression
+in generated-shape calibration shows up next to the paper-figure checks
+rather than only in the nightly CI gate.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.workloads import run_matrix
+
+__all__ = ["run_matrix_section"]
+
+
+def run_matrix_section(quick: bool) -> list[str]:
+    """Run a reduced (quick) or full grid and summarise per fault kind."""
+    report = run_matrix(seed=7, cells=12 if quick else None)
+    summary = report["summary"]
+    worst: dict[str, list[float]] = defaultdict(lambda: [0.0, 0.0])
+    for cell in report["cells"]:
+        if cell["error"]:
+            continue
+        worst[cell["fault"]][0] = max(
+            worst[cell["fault"]][0], cell["arrival_mape"]
+        )
+        worst[cell["fault"]][1] = max(
+            worst[cell["fault"]][1], cell["cpu_mape"]
+        )
+    lines = [
+        f"matrix: {summary['cells']} cells, {summary['passed']} passed, "
+        f"{summary['failed']} failed "
+        f"({'ok' if summary['ok'] else 'REGRESSION'})",
+    ]
+    for fault, (arrival, cpu) in sorted(worst.items()):
+        gate = report["thresholds"][fault]
+        lines.append(
+            f"matrix[{fault}]: worst arrival MAPE {arrival:.3f} "
+            f"(gate {gate['arrival_mape']:.2f}), worst cpu MAPE {cpu:.3f} "
+            f"(gate {gate['cpu_mape']:.2f})"
+        )
+    return lines

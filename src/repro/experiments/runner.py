@@ -15,6 +15,7 @@ import sys
 from collections.abc import Sequence
 
 from repro.experiments import figures
+from repro.experiments.matrix import run_matrix_section
 
 M = 1e6
 
@@ -99,6 +100,7 @@ SECTIONS = {
     "fig09": run_fig09,
     "fig10": run_fig10,
     "fig11-12": run_fig11_to_12,
+    "matrix": run_matrix_section,
 }
 
 

@@ -17,7 +17,12 @@ This package supplies the three pieces of the robustness story:
 
 from repro.faults.health import MetricsHealth, assess_topology_metrics
 from repro.faults.injector import FaultInjector
-from repro.faults.plan import FaultEvent, FaultPlan, load_fault_plan
+from repro.faults.plan import (
+    FaultEvent,
+    FaultPlan,
+    load_fault_plan,
+    single_event_plan,
+)
 from repro.faults.service import ServiceFault, ServiceFaultInjector
 
 __all__ = [
@@ -29,4 +34,5 @@ __all__ = [
     "ServiceFaultInjector",
     "assess_topology_metrics",
     "load_fault_plan",
+    "single_event_plan",
 ]

@@ -42,7 +42,12 @@ from repro.errors import FaultError
 from repro.heron.packing import PackingPlan
 from repro.heron.topology import LogicalTopology
 
-__all__ = ["FaultEvent", "FaultPlan", "load_fault_plan"]
+__all__ = [
+    "FaultEvent",
+    "FaultPlan",
+    "load_fault_plan",
+    "single_event_plan",
+]
 
 _MINUTE = 60.0
 
@@ -343,6 +348,35 @@ class FaultPlan:
                 component=component, duration_seconds=length,
             ))
         return cls(events=tuple(events), seed=seed)
+
+
+def single_event_plan(
+    kind: str,
+    at_seconds: float,
+    duration_seconds: float,
+    component: str | None = None,
+    index: int | None = None,
+    container: int | None = None,
+    factor: float | None = None,
+    seed: int = 0,
+) -> FaultPlan:
+    """A validated one-event plan — the scenario-matrix building block.
+
+    Each matrix cell injects exactly one canonical fault so per-cell
+    calibration error is attributable to one degradation mechanism;
+    this helper keeps that construction in the faults layer, where
+    :class:`FaultEvent` validation lives.
+    """
+    event = FaultEvent(
+        at_seconds=at_seconds,
+        kind=kind,
+        component=component,
+        index=index,
+        container=container,
+        duration_seconds=duration_seconds,
+        factor=factor,
+    )
+    return FaultPlan(events=(event,), seed=seed)
 
 
 def load_fault_plan(

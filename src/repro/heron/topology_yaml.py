@@ -31,9 +31,21 @@ as YAML and handed to :class:`~repro.heron.simulation.HeronSimulation`:
          fields: [word], keys: 6000, key_skew: 0.6}
 
 ``capacity_tpm`` is tuples per *minute* per instance (the unit the paper
-reports); it is converted to the simulator's per-second rate.  Fields
-groupings take either an explicit key list or a ``keys`` count with a
+reports); it is converted to the simulator's per-second rate.  Documents
+may instead carry ``capacity_tps`` (per second, the simulator's native
+unit) — that form is *exact*, which matters for the dump→load→dump
+round-trip below.  Fields groupings take an explicit key list (optionally
+with ``key_weights`` frequencies), or a ``keys`` count with a
 ``key_skew`` Zipf exponent.
+
+:func:`dump_topology_document` is the inverse of
+:func:`parse_topology_document`: it serialises a (topology, packing,
+logic) triple back into the YAML document shape.  The pair round-trips
+byte-identically — ``dump(load(dump(w))) == dump(w)`` — including
+multi-spout topologies, named streams and fields groupings with skewed
+key distributions, because the dumper only emits exact-representation
+fields (``capacity_tps``, explicit ``key_list`` + ``key_weights``) and
+the loader reads every field the dumper writes.
 """
 
 from __future__ import annotations
@@ -57,7 +69,12 @@ from repro.heron.packing import PackingPlan, RoundRobinPacking
 from repro.heron.simulation import ComponentLogic, SpoutLogic
 from repro.heron.topology import LogicalTopology, TopologyBuilder
 
-__all__ = ["load_topology_yaml", "parse_topology_document"]
+__all__ = [
+    "load_topology_yaml",
+    "parse_topology_document",
+    "dump_topology_document",
+    "dump_topology_yaml",
+]
 
 _MINUTE = 60.0
 
@@ -125,13 +142,23 @@ def parse_topology_document(
             )
         else:
             builder.add_bolt(component_name, parallelism)
-            capacity_tpm = spec.get("capacity_tpm")
-            if not isinstance(capacity_tpm, (int, float)) or capacity_tpm <= 0:
-                raise ConfigError(
-                    f"bolt {component_name!r} needs a positive capacity_tpm"
-                )
+            capacity_tps = spec.get("capacity_tps")
+            if capacity_tps is not None:
+                if not isinstance(capacity_tps, (int, float)) or capacity_tps <= 0:
+                    raise ConfigError(
+                        f"bolt {component_name!r} capacity_tps must be positive"
+                    )
+                capacity = float(capacity_tps)
+            else:
+                capacity_tpm = spec.get("capacity_tpm")
+                if not isinstance(capacity_tpm, (int, float)) or capacity_tpm <= 0:
+                    raise ConfigError(
+                        f"bolt {component_name!r} needs a positive "
+                        "capacity_tps or capacity_tpm"
+                    )
+                capacity = float(capacity_tpm) / _MINUTE
             logic[component_name] = ComponentLogic(
-                capacity_tps=float(capacity_tpm) / _MINUTE,
+                capacity_tps=capacity,
                 alphas={s: float(a) for s, a in streams.items()},
                 input_tuple_bytes=float(spec.get("input_tuple_bytes", 64.0)),
                 failure_rate=float(spec.get("failure_rate", 0.0)),
@@ -184,9 +211,25 @@ def _parse_grouping(connection: Mapping[str, Any]) -> Grouping:
         if explicit_keys is not None:
             if not isinstance(explicit_keys, list) or not explicit_keys:
                 raise ConfigError("'key_list' must be a non-empty list")
-            distribution = KeyDistribution.uniform(
-                [str(k) for k in explicit_keys]
-            )
+            weights = connection.get("key_weights")
+            if weights is not None:
+                if (
+                    not isinstance(weights, list)
+                    or len(weights) != len(explicit_keys)
+                    or not all(isinstance(w, (int, float)) for w in weights)
+                ):
+                    raise ConfigError(
+                        "'key_weights' must be a list of numbers parallel "
+                        "to 'key_list'"
+                    )
+                distribution = KeyDistribution(
+                    tuple(str(k) for k in explicit_keys),
+                    tuple(float(w) for w in weights),
+                )
+            else:
+                distribution = KeyDistribution.uniform(
+                    [str(k) for k in explicit_keys]
+                )
         else:
             count = connection.get("keys", 1000)
             skew = connection.get("key_skew", 0.0)
@@ -197,3 +240,93 @@ def _parse_grouping(connection: Mapping[str, Any]) -> Grouping:
             )
         return FieldsGrouping([str(f) for f in fields], distribution)
     raise ConfigError(f"unknown grouping {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Dumping (the inverse of parsing)
+# ----------------------------------------------------------------------
+def dump_topology_document(
+    topology: LogicalTopology,
+    packing: PackingPlan,
+    logic: Mapping[str, SpoutLogic | ComponentLogic],
+) -> dict[str, Any]:
+    """Serialise a deployment triple into the YAML document shape.
+
+    Every field the loader reads is emitted, and only in exact
+    representations (``capacity_tps`` rather than the lossy
+    ``capacity_tpm`` division, explicit ``key_list`` + ``key_weights``
+    rather than a regenerated Zipf), so ``dump → load → dump`` is
+    byte-identical — including multi-spout topologies, where earlier
+    ad-hoc exporters dropped per-spout stream alphas and renamed
+    non-default stream names.
+    """
+    components: dict[str, Any] = {}
+    for name, spec in topology.components.items():
+        entry = logic.get(name)
+        if entry is None:
+            raise ConfigError(f"no logic provided for component {name!r}")
+        if spec.is_spout:
+            if not isinstance(entry, SpoutLogic):
+                raise ConfigError(f"spout {name!r} needs SpoutLogic to dump")
+            components[name] = {
+                "kind": "spout",
+                "parallelism": spec.parallelism,
+                "fetch_multiplier": float(entry.fetch_multiplier),
+                "streams": {s: float(a) for s, a in entry.alphas.items()}
+                or {"default": 1.0},
+            }
+        else:
+            if not isinstance(entry, ComponentLogic):
+                raise ConfigError(f"bolt {name!r} needs ComponentLogic to dump")
+            components[name] = {
+                "kind": "bolt",
+                "parallelism": spec.parallelism,
+                "capacity_tps": float(entry.capacity_tps),
+                "input_tuple_bytes": float(entry.input_tuple_bytes),
+                "failure_rate": float(entry.failure_rate),
+                "capacity_noise": float(entry.capacity_noise),
+                "streams": {s: float(a) for s, a in entry.alphas.items()},
+            }
+    connections = [
+        _dump_connection(stream) for stream in topology.streams
+    ]
+    return {
+        "topology": topology.name,
+        "containers": packing.num_containers(),
+        "components": components,
+        "connections": connections,
+    }
+
+
+def _dump_connection(stream: Any) -> dict[str, Any]:
+    connection: dict[str, Any] = {
+        "from": stream.source,
+        "to": stream.destination,
+        "stream": stream.name,
+        "grouping": stream.grouping.name,
+    }
+    grouping = stream.grouping
+    if isinstance(grouping, FieldsGrouping):
+        distribution = grouping.key_distribution
+        connection["fields"] = list(grouping.fields)
+        connection["key_list"] = list(distribution.keys)
+        connection["key_weights"] = [float(w) for w in distribution.weights]
+    return connection
+
+
+def dump_topology_yaml(
+    topology: LogicalTopology,
+    packing: PackingPlan,
+    logic: Mapping[str, SpoutLogic | ComponentLogic],
+    path: str | Path | None = None,
+) -> str:
+    """Serialise a deployment to YAML text (optionally writing ``path``).
+
+    The text is deterministic (insertion order preserved, no key
+    sorting) so identical deployments produce identical bytes.
+    """
+    document = dump_topology_document(topology, packing, logic)
+    text = yaml.safe_dump(document, sort_keys=False, default_flow_style=False)
+    if path is not None:
+        Path(path).write_text(text, encoding="utf8")
+    return text

@@ -1,0 +1,349 @@
+"""The scenario-matrix runner: (shape × fault × traffic) differential tests.
+
+Every cell runs the full Caladrius loop against the simulator and scores
+the model against a run it never saw:
+
+1. **Simulate** — generate the cell's workload (one topology per shape,
+   shared across that shape's fault/traffic cells), drive it through the
+   cell's traffic schedule with the cell's canonical fault injected;
+2. **Calibrate** — fit the chained topology model
+   (:func:`~repro.core.performance_models.calibrate_topology`) and a
+   per-bolt CPU line on the degraded window, counting every skipped
+   minute;
+3. **Predict** — run a *fresh, fault-free* validation simulation at two
+   rate levels the calibration never replayed, and score the model's
+   per-bolt arrival-rate and CPU-load predictions as MAPE.
+
+A cell passes when both errors are finite and inside its fault kind's
+thresholds.  The whole report is a pure function of ``(seed, grid)``:
+cell seeds derive from CRC32 of the cell identity, no wall clock is ever
+read, and :func:`report_json` serialises with sorted keys — two runs of
+``caladrius matrix --seed 7`` must produce byte-identical files, and the
+nightly CI job diffs exactly that.
+
+Grid ordering is prefix-friendly: traffic is the outer axis, fault kinds
+come before the no-fault control, shapes innermost — so ``--cells 12``
+covers crash/straggler/stall across all four shapes, and ``--cells 16``
+additionally covers metric dropout (every fault kind × every shape).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import warnings
+import zlib
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.core.calibration import (
+    LinearFit,
+    degraded_aggregate,
+    fit_linear,
+    mape,
+)
+from repro.core.performance_models import calibrate_topology
+from repro.errors import DegradedMetricsWarning, ReproError
+from repro.heron.metrics import MetricNames
+from repro.heron.simulation import HeronSimulation, SimulationConfig
+from repro.heron.tracker import TopologyTracker
+from repro.timeseries.store import MetricsStore
+from repro.workloads.generator import (
+    SHAPES,
+    GeneratedWorkload,
+    generate_workload,
+    workload_seed,
+)
+from repro.workloads.scenarios import (
+    FAULTS,
+    TRAFFICS,
+    fault_plan_for,
+    traffic_schedule,
+)
+from repro.workloads.trace import canonical_store_trace, trace_hash
+
+__all__ = [
+    "REPORT_SCHEMA",
+    "DEFAULT_THRESHOLDS",
+    "MatrixCell",
+    "default_grid",
+    "cell_seed",
+    "run_cell",
+    "run_matrix",
+    "build_report",
+    "report_json",
+]
+
+REPORT_SCHEMA = "caladrius.matrix_report/v1"
+
+# Per-fault-kind regression gates on the cell MAPEs.  Calibrating
+# through a fault costs accuracy in kind-specific ways: dropout minutes
+# are flagged degraded and skipped cleanly, so that error stays at the
+# clean baseline; a crash additionally leaves *unflagged* post-restart
+# recovery minutes whose counts tilt the fit — worst under ramp traffic,
+# where each transient lands at a distinct rate level; stalls poison one
+# whole minute of every series (metrics arrive, they are just wrong).
+# Values are ~2x the worst observed cell of each kind over full grids at
+# seeds 7 and 11 (crash 0.29, straggler/stall 0.075, none 0.06, dropout
+# < 0.01) — tight enough to catch a calibration regression, loose
+# enough to ride out seed-to-seed noise.
+DEFAULT_THRESHOLDS: dict[str, dict[str, float]] = {
+    "none": {"arrival_mape": 0.12, "cpu_mape": 0.15},
+    "crash": {"arrival_mape": 0.45, "cpu_mape": 0.45},
+    "straggler": {"arrival_mape": 0.15, "cpu_mape": 0.18},
+    "stmgr_stall": {"arrival_mape": 0.20, "cpu_mape": 0.22},
+    "metric_dropout": {"arrival_mape": 0.12, "cpu_mape": 0.15},
+}
+
+_VALIDATION_LEVELS = (0.55, 0.85)
+_VALIDATION_MINUTES_PER_LEVEL = 3
+
+
+@dataclass(frozen=True)
+class MatrixCell:
+    """One (shape, fault, traffic) coordinate of the grid."""
+
+    shape: str
+    fault: str
+    traffic: str
+
+    @property
+    def id(self) -> str:
+        """Stable cell identity used for seeding and reporting."""
+        return f"{self.shape}/{self.fault}/{self.traffic}"
+
+
+def default_grid(
+    shapes: Sequence[str] = SHAPES,
+    faults: Sequence[str] = FAULTS,
+    traffics: Sequence[str] = TRAFFICS,
+) -> list[MatrixCell]:
+    """The full grid in prefix-friendly order (see module docstring)."""
+    return [
+        MatrixCell(shape, fault, traffic)
+        for traffic in traffics
+        for fault in faults
+        for shape in shapes
+    ]
+
+
+def cell_seed(matrix_seed: int, cell: MatrixCell) -> int:
+    """Derive one cell's simulation seed from the matrix seed."""
+    return zlib.crc32(f"{matrix_seed}:{cell.id}".encode("utf8"))
+
+
+def _calibrate_cell(
+    workload: GeneratedWorkload,
+    store: MetricsStore,
+) -> tuple[object, dict[str, LinearFit], int]:
+    """Model + per-bolt CPU fits from a (possibly degraded) store."""
+    topology = workload.topology
+    tracker = TopologyTracker()
+    tracked = tracker.register(topology, workload.packing)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always", DegradedMetricsWarning)
+        model, _ = calibrate_topology(tracked, store, warmup_minutes=1)
+        cpu_fits: dict[str, LinearFit] = {}
+        for bolt in topology.bolts():
+            tags = {"topology": topology.name, "component": bolt.name}
+            received = degraded_aggregate(
+                store, MetricNames.RECEIVED_COUNT, tags
+            )
+            cpu = degraded_aggregate(store, MetricNames.CPU_LOAD, tags)
+            received_aligned, cpu_aligned = received.align(cpu)
+            # Through the origin: the CPU model's premise is load linear
+            # in traffic, and steady-traffic cells cluster all x values
+            # at one level, where an intercept fit is ill-conditioned.
+            cpu_fits[bolt.name] = fit_linear(
+                received_aligned.values,
+                cpu_aligned.values,
+                through_origin=True,
+            )
+    degraded = sum(
+        1 for w in caught if issubclass(w.category, DegradedMetricsWarning)
+    )
+    return model, cpu_fits, degraded
+
+
+def _validate_cell(
+    workload: GeneratedWorkload,
+    model,
+    cpu_fits: Mapping[str, LinearFit],
+    seed: int,
+) -> tuple[float, float]:
+    """(arrival MAPE, CPU MAPE) on a fresh fault-free validation run."""
+    topology = workload.topology
+    store = MetricsStore()
+    simulation = HeronSimulation(
+        workload.topology,
+        workload.packing,
+        workload.logic,
+        store,
+        SimulationConfig(seed=seed),
+    )
+    spouts = [s.name for s in topology.spouts()]
+    actual: list[float] = []
+    predicted: list[float] = []
+    actual_cpu: list[float] = []
+    predicted_cpu: list[float] = []
+    for level in _VALIDATION_LEVELS:
+        rate = level * workload.base_rate_tpm
+        workload.set_source_rates(simulation, rate)
+        simulation.run(_VALIDATION_MINUTES_PER_LEVEL)
+        report = model.propagate({s: rate / len(spouts) for s in spouts})
+        for bolt in topology.bolts():
+            tags = {"topology": topology.name, "component": bolt.name}
+            received = store.aggregate(MetricNames.RECEIVED_COUNT, tags)
+            cpu = store.aggregate(MetricNames.CPU_LOAD, tags)
+            # Each level appends exactly _VALIDATION_MINUTES_PER_LEVEL
+            # minutes; the first is the level-transition minute, so the
+            # measurement window is the last two.
+            actual.append(float(received.values[-2:].mean()))
+            model_input = float(report[bolt.name]["input"])
+            predicted.append(model_input)
+            actual_cpu.append(float(cpu.values[-2:].mean()))
+            predicted_cpu.append(
+                float(cpu_fits[bolt.name].predict(model_input))
+            )
+    return mape(actual, predicted), mape(actual_cpu, predicted_cpu)
+
+
+def run_cell(
+    cell: MatrixCell,
+    matrix_seed: int,
+    calibration_minutes: int = 9,
+    thresholds: Mapping[str, Mapping[str, float]] | None = None,
+) -> dict[str, object]:
+    """Run simulate → calibrate → predict for one cell; never raises.
+
+    Modelling failures (e.g. a calibration starved of clean minutes)
+    become a failed cell with an ``error`` string — one broken cell must
+    not take down the rest of the matrix.
+    """
+    thresholds = thresholds or DEFAULT_THRESHOLDS
+    gate = thresholds[cell.fault]
+    wseed = workload_seed(matrix_seed, cell.shape)
+    cseed = cell_seed(matrix_seed, cell)
+    record: dict[str, object] = {
+        "id": cell.id,
+        "shape": cell.shape,
+        "fault": cell.fault,
+        "traffic": cell.traffic,
+        "workload_seed": wseed,
+        "cell_seed": cseed,
+        "arrival_mape": None,
+        "cpu_mape": None,
+        "degraded_warnings": None,
+        "trace_hash": None,
+        "passed": False,
+        "error": None,
+    }
+    try:
+        workload = generate_workload(cell.shape, wseed)
+        record["topology"] = workload.name
+        plan = fault_plan_for(cell.fault, workload)
+        schedule = traffic_schedule(
+            cell.traffic, calibration_minutes, workload.base_rate_tpm
+        )
+        store = MetricsStore()
+        simulation = HeronSimulation(
+            workload.topology,
+            workload.packing,
+            workload.logic,
+            store,
+            SimulationConfig(seed=cseed),
+            faults=plan,
+        )
+        for rate in schedule:
+            workload.set_source_rates(simulation, rate)
+            simulation.run(1)
+        trace = {
+            "topology": workload.name,
+            "seed": cseed,
+            "schedule_tpm": [float(r) for r in schedule],
+        }
+        trace.update(canonical_store_trace(store, workload.topology))
+        record["trace_hash"] = trace_hash(trace)
+
+        model, cpu_fits, degraded = _calibrate_cell(workload, store)
+        record["degraded_warnings"] = degraded
+        arrival_mape, cpu_mape = _validate_cell(
+            workload, model, cpu_fits, seed=cseed + 101
+        )
+        record["arrival_mape"] = arrival_mape
+        record["cpu_mape"] = cpu_mape
+        record["passed"] = (
+            math.isfinite(arrival_mape)
+            and math.isfinite(cpu_mape)
+            and arrival_mape <= gate["arrival_mape"]
+            and cpu_mape <= gate["cpu_mape"]
+        )
+    except ReproError as exc:
+        record["error"] = f"{type(exc).__name__}: {exc}"
+    return record
+
+
+def run_matrix(
+    seed: int = 7,
+    cells: int | None = None,
+    shapes: Sequence[str] = SHAPES,
+    calibration_minutes: int = 9,
+    thresholds: Mapping[str, Mapping[str, float]] | None = None,
+) -> dict[str, object]:
+    """Run a grid (or its first ``cells`` entries) and build the report."""
+    thresholds = thresholds or DEFAULT_THRESHOLDS
+    grid = default_grid(shapes)
+    if cells is not None:
+        if not 1 <= cells <= len(grid):
+            raise ReproError(
+                f"cells must be between 1 and {len(grid)}, got {cells}"
+            )
+        grid = grid[:cells]
+    results = [
+        run_cell(cell, seed, calibration_minutes, thresholds)
+        for cell in grid
+    ]
+    return build_report(seed, results, thresholds, calibration_minutes)
+
+
+def build_report(
+    seed: int,
+    cell_results: Sequence[Mapping[str, object]],
+    thresholds: Mapping[str, Mapping[str, float]],
+    calibration_minutes: int,
+) -> dict[str, object]:
+    """Assemble the machine-readable ``matrix_report.json`` payload."""
+    passed = sum(1 for cell in cell_results if cell["passed"])
+    arrival = [
+        cell["arrival_mape"]
+        for cell in cell_results
+        if isinstance(cell["arrival_mape"], float)
+    ]
+    cpu = [
+        cell["cpu_mape"]
+        for cell in cell_results
+        if isinstance(cell["cpu_mape"], float)
+    ]
+    return {
+        "schema": REPORT_SCHEMA,
+        "seed": int(seed),
+        "calibration_minutes": int(calibration_minutes),
+        "validation_levels": list(_VALIDATION_LEVELS),
+        "thresholds": {
+            kind: dict(gate) for kind, gate in thresholds.items()
+        },
+        "cells": [dict(cell) for cell in cell_results],
+        "summary": {
+            "cells": len(cell_results),
+            "passed": passed,
+            "failed": len(cell_results) - passed,
+            "worst_arrival_mape": max(arrival) if arrival else None,
+            "worst_cpu_mape": max(cpu) if cpu else None,
+            "ok": passed == len(cell_results) and len(cell_results) > 0,
+        },
+    }
+
+
+def report_json(report: Mapping[str, object]) -> str:
+    """Deterministic serialisation: sorted keys, trailing newline."""
+    return json.dumps(report, indent=2, sort_keys=True) + "\n"

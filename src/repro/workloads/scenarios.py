@@ -1,0 +1,132 @@
+"""Scenario dimensions: traffic patterns and canonical fault plans.
+
+A matrix cell is (shape × fault × traffic).  The shape axis lives in
+:mod:`repro.workloads.generator`; this module supplies the other two:
+
+* **Traffic patterns** are per-minute multiplier schedules over a
+  workload's base rate.  ``steady`` holds one level (the
+  calibration-from-noise regime); ``ramp`` climbs through the operating
+  range (the regime the paper's calibration actually wants — "one
+  [point] in the non-saturation interval" at several distinct rates).
+* **Fault plans** are canonical single-event
+  :class:`~repro.faults.plan.FaultPlan` schedules, one per existing
+  fault kind, always aimed at a deterministic target (the first bolt,
+  instance 0; the lowest container) inside a fixed window.  One event
+  per cell keeps the measured calibration error attributable.
+
+The fault window opens at t=180 s: minute 0 is the calibration warmup
+and minutes 1-2 stay clean, so even cells whose fault blacks out metrics
+retain the >= 3 clean common minutes
+:func:`~repro.core.performance_models.calibrate_topology` requires.
+``stmgr_stall`` gets a shorter window (60 s, exactly one minute): unlike
+crashes and dropouts its minutes are *not* flagged degraded — the
+metrics arrive, they are just wrong — so the stall is confined to one
+polluted minute and the cell's threshold carries the residual bias.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.faults.plan import (
+    KIND_CRASH,
+    KIND_METRIC_DROPOUT,
+    KIND_STMGR_STALL,
+    KIND_STRAGGLER,
+    FaultPlan,
+    single_event_plan,
+)
+from repro.workloads.generator import GeneratedWorkload
+
+__all__ = [
+    "TRAFFICS",
+    "FAULTS",
+    "FAULT_AT_SECONDS",
+    "traffic_schedule",
+    "fault_plan_for",
+]
+
+TRAFFICS = ("steady", "ramp")
+
+# "none" last: grid prefixes (e.g. the nightly 12-cell run) should spend
+# their budget on the degraded cells, which are the ones that regress.
+FAULTS = (
+    KIND_CRASH,
+    KIND_STRAGGLER,
+    KIND_STMGR_STALL,
+    KIND_METRIC_DROPOUT,
+    "none",
+)
+
+FAULT_AT_SECONDS = 180.0
+_FAULT_DURATION_SECONDS = 120.0
+_STALL_DURATION_SECONDS = 60.0
+_STRAGGLER_FACTOR = 0.3
+
+
+def traffic_schedule(
+    pattern: str, minutes: int, base_rate_tpm: float
+) -> list[float]:
+    """Per-minute topology source rates (tuples/minute) for a pattern."""
+    if minutes < 4:
+        raise ConfigError("a traffic schedule needs at least 4 minutes")
+    if pattern == "steady":
+        return [0.7 * base_rate_tpm] * minutes
+    if pattern == "ramp":
+        span = minutes - 1
+        return [
+            (0.3 + 0.7 * minute / span) * base_rate_tpm
+            for minute in range(minutes)
+        ]
+    raise ConfigError(
+        f"unknown traffic pattern {pattern!r}; known: {list(TRAFFICS)}"
+    )
+
+
+def fault_plan_for(
+    kind: str, workload: GeneratedWorkload
+) -> FaultPlan | None:
+    """The canonical single-event plan for one fault kind, or ``None``.
+
+    Targets are deterministic functions of the workload so the same
+    (shape, seed, fault) cell always injects the identical event.
+    """
+    if kind == "none":
+        return None
+    first_bolt = workload.topology.bolts()[0].name
+    if kind == KIND_CRASH:
+        return single_event_plan(
+            KIND_CRASH,
+            at_seconds=FAULT_AT_SECONDS,
+            duration_seconds=_FAULT_DURATION_SECONDS,
+            component=first_bolt,
+            index=0,
+        )
+    if kind == KIND_STRAGGLER:
+        return single_event_plan(
+            KIND_STRAGGLER,
+            at_seconds=FAULT_AT_SECONDS,
+            duration_seconds=_FAULT_DURATION_SECONDS,
+            component=first_bolt,
+            index=0,
+            factor=_STRAGGLER_FACTOR,
+        )
+    if kind == KIND_STMGR_STALL:
+        container = min(
+            c.container_id for c in workload.packing.containers
+        )
+        return single_event_plan(
+            KIND_STMGR_STALL,
+            at_seconds=FAULT_AT_SECONDS,
+            duration_seconds=_STALL_DURATION_SECONDS,
+            container=container,
+        )
+    if kind == KIND_METRIC_DROPOUT:
+        return single_event_plan(
+            KIND_METRIC_DROPOUT,
+            at_seconds=FAULT_AT_SECONDS,
+            duration_seconds=_FAULT_DURATION_SECONDS,
+            component=first_bolt,
+        )
+    raise ConfigError(
+        f"unknown fault kind {kind!r}; known: {list(FAULTS)}"
+    )

@@ -21,7 +21,7 @@ class TestRunner:
 
     def test_sections_cover_all_figures(self):
         assert set(SECTIONS) == {
-            "fig04-06", "fig07-08", "fig09", "fig10", "fig11-12"
+            "fig04-06", "fig07-08", "fig09", "fig10", "fig11-12", "matrix"
         }
 
     def test_quick_full_run_prints_every_group(self, capsys):

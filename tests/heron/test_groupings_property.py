@@ -98,3 +98,67 @@ class TestShuffleGrouping:
         assert float(shares.sum()) == pytest.approx(1.0, rel=1e-9)
         assert float(shares.max() - shares.min()) < 1e-12
         assert np.allclose(shares, 1.0 / p)
+
+
+class TestZipfFieldsRouting:
+    """Zipf-skewed fields routing with s >= 1.5 — the generator's regime.
+
+    The workload generator leans on heavily skewed key distributions;
+    these properties pin down that the skew changes *where* mass lands,
+    never *how much*: routing stays a deterministic pure function of
+    ``stable_hash(key) % p`` and totals conserve tuple counts exactly.
+    """
+
+    key_counts = st.integers(min_value=2, max_value=200)
+    exponents = st.floats(
+        min_value=1.5, max_value=3.0, allow_nan=False, allow_infinity=False
+    )
+
+    @given(n=key_counts, s=exponents, p=parallelisms)
+    @settings(max_examples=150, deadline=None)
+    def test_per_key_routing_matches_hash_mod(self, n, s, p):
+        """Shares re-derived independently key-by-key match exactly."""
+        dist = KeyDistribution.zipf([f"key-{i}" for i in range(n)], s)
+        shares = FieldsGrouping(("key",), dist).shares(p)
+        expected = np.zeros(p)
+        for key, weight in zip(dist.keys, dist.normalised_weights()):
+            expected[stable_hash(key) % p] += weight
+        assert np.allclose(shares, expected, rtol=0, atol=1e-12)
+
+    @given(n=key_counts, s=exponents, p=parallelisms)
+    @settings(max_examples=150, deadline=None)
+    def test_totals_conserve_tuple_counts(self, n, s, p):
+        """Routing a concrete tuple rate loses and invents nothing."""
+        dist = KeyDistribution.zipf([f"key-{i}" for i in range(n)], s)
+        shares = FieldsGrouping(("key",), dist).shares(p)
+        total_tpm = 6.0e6
+        per_instance = shares * total_tpm
+        assert np.all(per_instance >= 0)
+        assert float(per_instance.sum()) == pytest.approx(
+            total_tpm, rel=1e-9
+        )
+
+    @given(n=key_counts, s=exponents, p=parallelisms)
+    @settings(max_examples=100, deadline=None)
+    def test_deterministic_across_rebuilds(self, n, s, p):
+        """Same (keys, exponent) always yields the same share vector."""
+        keys = [f"key-{i}" for i in range(n)]
+        first = FieldsGrouping(("key",), KeyDistribution.zipf(keys, s))
+        second = FieldsGrouping(("key",), KeyDistribution.zipf(keys, s))
+        assert np.array_equal(first.shares(p), second.shares(p))
+        assert np.array_equal(
+            first.shares(p), first.key_distribution.shares_mod(p)
+        )
+
+    @given(n=key_counts, p=parallelisms)
+    @settings(max_examples=50, deadline=None)
+    def test_skew_concentrates_mass_without_losing_it(self, n, p):
+        """Higher exponent piles mass onto the head key's instance."""
+        keys = [f"key-{i}" for i in range(n)]
+        skewed = FieldsGrouping(
+            ("key",), KeyDistribution.zipf(keys, 2.5)
+        ).shares(p)
+        head_slot = stable_hash(keys[0]) % p
+        head_weight = KeyDistribution.zipf(keys, 2.5).normalised_weights()[0]
+        assert skewed[head_slot] >= head_weight - 1e-12
+        assert float(skewed.sum()) == pytest.approx(1.0, rel=1e-9)

@@ -8,8 +8,13 @@ from repro.errors import ConfigError
 from repro.heron.groupings import FieldsGrouping, ShuffleGrouping
 from repro.heron.metrics import MetricNames
 from repro.heron.simulation import HeronSimulation, SimulationConfig
-from repro.heron.topology_yaml import load_topology_yaml, parse_topology_document
+from repro.heron.topology_yaml import (
+    dump_topology_yaml,
+    load_topology_yaml,
+    parse_topology_document,
+)
 from repro.timeseries.store import MetricsStore
+from repro.workloads import SHAPES, generate_workload
 
 WORD_COUNT_YAML = """
 topology: yaml-word-count
@@ -159,3 +164,74 @@ class TestValidation:
         document["containers"] = 0
         with pytest.raises(ConfigError, match="'containers'"):
             parse_topology_document(document)
+
+
+class TestRoundTrip:
+    """dump -> load -> dump must be byte-identical (satellite fix).
+
+    The dumper used to drop spout entries beyond the first and rename
+    fields-grouping metadata, so multi-spout topologies silently lost
+    structure on a save/load cycle.  The contract now is exact: the
+    second dump equals the first byte for byte, and the reloaded
+    deployment carries the same packing and exact capacities.
+    """
+
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_dump_load_dump_is_byte_identical(self, shape):
+        workload = generate_workload(shape, seed=7)
+        first = dump_topology_yaml(*workload.deployment())
+        import yaml
+
+        topology, packing, logic = parse_topology_document(
+            yaml.safe_load(first)
+        )
+        second = dump_topology_yaml(topology, packing, logic)
+        assert second == first
+
+    def test_multi_spout_preserves_every_spout(self):
+        workload = generate_workload("multi_spout", seed=3)
+        text = dump_topology_yaml(*workload.deployment())
+        import yaml
+
+        topology, _, _ = parse_topology_document(yaml.safe_load(text))
+        original = workload.topology
+        spouts = [
+            name for name, spec in topology.components.items()
+            if spec.is_spout
+        ]
+        assert sorted(spouts) == sorted(
+            name for name, spec in original.components.items()
+            if spec.is_spout
+        )
+        assert len(spouts) == 3
+
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_reload_preserves_exact_capacities(self, shape):
+        workload = generate_workload(shape, seed=5)
+        text = dump_topology_yaml(*workload.deployment())
+        import yaml
+
+        _, packing, logic = parse_topology_document(yaml.safe_load(text))
+        _, original_packing, original_logic = workload.deployment()
+        assert packing.num_containers() == original_packing.num_containers()
+        for name, spec in original_logic.items():
+            if hasattr(spec, "capacity_tps"):
+                assert logic[name].capacity_tps == spec.capacity_tps
+
+    def test_fields_grouping_key_distribution_survives(self):
+        workload = generate_workload("diamond", seed=7)
+        text = dump_topology_yaml(*workload.deployment())
+        import yaml
+
+        topology, _, _ = parse_topology_document(yaml.safe_load(text))
+        original = workload.topology
+        for name in topology.components:
+            for reloaded, first in zip(
+                topology.inputs(name), original.inputs(name)
+            ):
+                if isinstance(first.grouping, FieldsGrouping):
+                    assert isinstance(reloaded.grouping, FieldsGrouping)
+                    assert (
+                        reloaded.grouping.key_distribution
+                        == first.grouping.key_distribution
+                    )

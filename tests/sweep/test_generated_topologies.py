@@ -1,0 +1,133 @@
+"""Plan sweep and guided autoscaling over generated topologies.
+
+The sweep engine and guided scaler were developed against the fixed
+Word Count deployment; these tests run them over the generator's
+diamond and fan-in shapes, asserting the two properties the matrix
+leans on: calibration artifacts are reused across sweeps, and the plan
+ranking is stable across simulation seeds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.autoscaler import ModelGuidedScaler, SimulatedCluster
+from repro.heron.simulation import HeronSimulation, SimulationConfig
+from repro.heron.tracker import TopologyTracker
+from repro.sweep import PlanSweepEngine
+from repro.timeseries.store import MetricsStore
+from repro.workloads import generate_workload
+
+
+def bolts_of(topology):
+    return [n for n, s in topology.components.items() if not s.is_spout]
+
+
+def drive(workload, sim_seed: int):
+    """Simulate three rate levels, return (store, tracker)."""
+    store = MetricsStore()
+    tracker = TopologyTracker()
+    topology, packing, logic = workload.deployment()
+    tracker.register(topology, packing)
+    simulation = HeronSimulation(
+        topology, packing, logic, store, SimulationConfig(seed=sim_seed)
+    )
+    for level in (0.4, 0.55, 0.7):
+        workload.set_source_rates(
+            simulation, level * workload.base_rate_tpm
+        )
+        simulation.run(3)
+    return store, tracker
+
+
+def plans_for(workload, width: int = 3):
+    """A small grid scaling the first two bolts of the topology."""
+    first, second = bolts_of(workload.topology)[:2]
+    return [
+        {first: a, second: b}
+        for a in range(1, width + 1)
+        for b in range(1, width + 1)
+    ]
+
+
+def ranking_of(payload):
+    return [
+        tuple(sorted(entry["plan"].items())) for entry in payload["ranked"]
+    ]
+
+
+@pytest.mark.parametrize("shape", ["diamond", "fanin"])
+class TestSweepOnGeneratedShapes:
+    def test_artifact_reused_across_sweeps(self, shape):
+        workload = generate_workload(shape, seed=7)
+        store, tracker = drive(workload, sim_seed=1)
+        engine = PlanSweepEngine(tracker, store)
+        plans = plans_for(workload)
+        rate = 0.7 * workload.base_rate_tpm
+        first = engine.sweep(workload.name, rate, plans)
+        second = engine.sweep(workload.name, rate, plans)
+        stats = engine.stats()
+        assert stats["artifact_hits"] >= 1
+        assert stats["artifact_misses"] == 1
+        assert ranking_of(first) == ranking_of(second)
+
+    def test_ranking_stable_across_sim_seeds(self, shape):
+        workload = generate_workload(shape, seed=7)
+        plans = plans_for(workload)
+        rate = 0.7 * workload.base_rate_tpm
+        rates = []
+        for sim_seed in (1, 2):
+            store, tracker = drive(workload, sim_seed)
+            engine = PlanSweepEngine(tracker, store)
+            payload = engine.sweep(workload.name, rate, plans)
+            rates.append({
+                tuple(sorted(entry["plan"].items())): entry["output_rate"]
+                for entry in payload["ranked"]
+            })
+        # Different measurement noise, same model structure: any pair of
+        # plans that is clearly ordered under one seed (>2% apart) must
+        # keep that order under the other.  Exact ties — plans that hit
+        # the same bottleneck — may legitimately swap positions.
+        first, second = rates
+        keys = list(first)
+        inversions = [
+            (p, q)
+            for p in keys
+            for q in keys
+            if first[p] > 1.02 * first[q] and second[p] <= second[q]
+        ]
+        assert not inversions
+
+
+@pytest.mark.parametrize("shape", ["diamond", "fanin"])
+def test_guided_scaler_reuses_artifacts_on_generated_cluster(shape):
+    workload = generate_workload(shape, seed=7)
+    cluster = SimulatedCluster(
+        build=workload.build_fn(), config=SimulationConfig(seed=5)
+    )
+    spouts = [
+        n for n, s in workload.topology.components.items() if s.is_spout
+    ]
+    for level in (0.4, 0.55, 0.7):
+        per_spout = level * workload.base_rate_tpm / len(spouts)
+        for spout in spouts:
+            cluster.set_source_rate(spout, per_spout)
+        cluster.run(2)
+    # Pin the SLO above what the current deployment delivers so the
+    # scaler actually has to size (an already-met SLO short-circuits
+    # before any modelling happens).
+    current = cluster.recent_output_tpm(2)
+    scaler = ModelGuidedScaler(
+        cluster, slo_output_tpm=1.5 * current, observe_minutes=3
+    )
+    trace = scaler.run(source_tpm=1.5 * 0.7 * workload.base_rate_tpm)
+    assert len(trace.rounds) == 2  # sized and verified, no retry loop
+    stats = scaler._engine.stats()
+    # The sizing pass calibrated through the engine exactly once...
+    assert stats["artifact_misses"] == 1
+    # ...and while the window is unchanged, further artifact requests
+    # reuse it rather than re-reading metrics.
+    first = scaler._engine.artifact(workload.name, since_seconds=0)
+    second = scaler._engine.artifact(workload.name, since_seconds=0)
+    assert first is second
+    assert scaler._engine.stats()["artifact_hits"] >= 1

@@ -158,3 +158,39 @@ class TestSimulateYamlTopology:
         )
         assert code == 2
         assert "does not exist" in capsys.readouterr().err
+
+
+class TestMatrix:
+    def test_report_byte_identical_across_runs(self, tmp_path, capsys):
+        first_path = tmp_path / "first.json"
+        second_path = tmp_path / "second.json"
+        for path in (first_path, second_path):
+            code = main(
+                ["matrix", "--seed", "7", "--cells", "4",
+                 "--report", str(path)]
+            )
+            assert code == 0
+        assert first_path.read_bytes() == second_path.read_bytes()
+        report = json.loads(first_path.read_text())
+        assert report["schema"] == "caladrius.matrix_report/v1"
+        assert len(report["cells"]) == 4
+        assert report["summary"]["ok"] is True
+
+    def test_table_output_lists_cells(self, capsys):
+        code = main(["matrix", "--seed", "7", "--cells", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "diamond/crash/steady" in out
+        assert "fanin/crash/steady" in out
+
+    def test_json_output(self, capsys):
+        code = main(
+            ["matrix", "--seed", "7", "--cells", "1", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["cells"] == 1
+
+    def test_unknown_shape_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["matrix", "--shapes", "pentagon"])

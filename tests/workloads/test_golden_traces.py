@@ -1,0 +1,67 @@
+"""Golden-trace regression fixtures for generated topologies.
+
+Each fixture under ``tests/data/`` pins the canonical simulation trace
+of one (shape, seed) identity.  A hash mismatch means the simulator's
+numerics changed — deliberately or not — and the fixture must be
+regenerated with an explanation, not silently updated:
+
+    PYTHONPATH=src python -c "
+    import json
+    from repro.workloads import golden_trace_payload
+    p = golden_trace_payload('diamond', 7, minutes=4)
+    json.dump(p, open('tests/data/golden_trace_diamond_s7.json', 'w'),
+              indent=2, sort_keys=True)"
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.workloads import golden_trace_payload, trace_hash, workload_trace
+from repro.workloads.generator import generate_workload
+
+DATA_DIR = Path(__file__).resolve().parent.parent / "data"
+
+FIXTURES = [
+    ("diamond", 7),
+    ("fanin", 11),
+    ("multi_spout", 23),
+]
+
+
+def load_fixture(shape: str, seed: int) -> dict:
+    path = DATA_DIR / f"golden_trace_{shape}_s{seed}.json"
+    return json.loads(path.read_text())
+
+
+class TestGoldenTraces:
+    @pytest.mark.parametrize("shape,seed", FIXTURES)
+    def test_replay_matches_committed_hash(self, shape, seed):
+        fixture = load_fixture(shape, seed)
+        replay = golden_trace_payload(shape, seed, fixture["minutes"])
+        assert replay["trace_hash"] == fixture["trace_hash"]
+
+    @pytest.mark.parametrize("shape,seed", FIXTURES)
+    def test_fixture_internally_consistent(self, shape, seed):
+        """The stored hash matches the stored trace — no stale edits."""
+        fixture = load_fixture(shape, seed)
+        assert trace_hash(fixture["trace"]) == fixture["trace_hash"]
+        assert fixture["shape"] == shape
+        assert fixture["seed"] == seed
+
+    def test_hash_sensitive_to_schedule(self):
+        workload = generate_workload("diamond", 7)
+        base = workload.base_rate_tpm
+        first = workload_trace(workload, [0.6 * base] * 3, seed=7)
+        second = workload_trace(workload, [0.7 * base] * 3, seed=7)
+        assert trace_hash(first) != trace_hash(second)
+
+    def test_hash_sensitive_to_sim_seed(self):
+        workload = generate_workload("fanin", 11)
+        schedule = [0.6 * workload.base_rate_tpm] * 3
+        assert trace_hash(
+            workload_trace(workload, schedule, seed=1)
+        ) != trace_hash(workload_trace(workload, schedule, seed=2))

@@ -1,0 +1,122 @@
+"""Tests for the (shape x fault x traffic) scenario-matrix runner."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.workloads import (
+    DEFAULT_THRESHOLDS,
+    FAULTS,
+    REPORT_SCHEMA,
+    SHAPES,
+    TRAFFICS,
+    MatrixCell,
+    build_report,
+    cell_seed,
+    default_grid,
+    report_json,
+    run_cell,
+    run_matrix,
+)
+
+CELL_FIELDS = {
+    "id", "shape", "fault", "traffic", "workload_seed", "cell_seed",
+    "arrival_mape", "cpu_mape", "degraded_warnings", "trace_hash",
+    "passed", "error", "topology",
+}
+
+
+class TestGrid:
+    def test_full_grid_covers_every_combination(self):
+        grid = default_grid()
+        assert len(grid) == len(SHAPES) * len(FAULTS) * len(TRAFFICS)
+        assert len({cell.id for cell in grid}) == len(grid)
+
+    def test_prefix_covers_all_fault_kinds_by_sixteen(self):
+        """--cells 16 must already exercise all four fault kinds."""
+        prefix = default_grid()[:16]
+        faults = {cell.fault for cell in prefix}
+        assert {"crash", "straggler", "stmgr_stall",
+                "metric_dropout"} <= faults
+        shapes = {cell.shape for cell in prefix}
+        assert set(SHAPES) == shapes
+
+    def test_cell_seed_depends_on_everything(self):
+        cell = MatrixCell("diamond", "crash", "steady")
+        other = MatrixCell("diamond", "crash", "ramp")
+        assert cell_seed(7, cell) == cell_seed(7, cell)
+        assert cell_seed(7, cell) != cell_seed(8, cell)
+        assert cell_seed(7, cell) != cell_seed(7, other)
+
+
+class TestRunCell:
+    def test_record_shape_and_finite_error(self):
+        record = run_cell(
+            MatrixCell("diamond", "straggler", "steady"), matrix_seed=7
+        )
+        assert set(record) == CELL_FIELDS
+        assert record["error"] is None
+        assert 0.0 <= record["arrival_mape"] < 1.0
+        assert 0.0 <= record["cpu_mape"] < 1.0
+        assert record["passed"] is True
+        assert len(record["trace_hash"]) == 64
+
+    def test_deterministic_per_seed(self):
+        cell = MatrixCell("fanin", "metric_dropout", "ramp")
+        first = run_cell(cell, matrix_seed=7)
+        second = run_cell(cell, matrix_seed=7)
+        assert first == second
+        third = run_cell(cell, matrix_seed=8)
+        assert third["trace_hash"] != first["trace_hash"]
+
+    def test_threshold_gate_fails_cell(self):
+        tight = {
+            fault: {"arrival_mape": 1e-9, "cpu_mape": 1e-9}
+            for fault in DEFAULT_THRESHOLDS
+        }
+        record = run_cell(
+            MatrixCell("diamond", "none", "steady"),
+            matrix_seed=7,
+            thresholds=tight,
+        )
+        assert record["passed"] is False
+        assert record["error"] is None
+
+
+class TestRunMatrix:
+    def test_report_schema_and_summary(self):
+        report = run_matrix(seed=7, cells=4)
+        assert report["schema"] == REPORT_SCHEMA
+        assert report["seed"] == 7
+        assert len(report["cells"]) == 4
+        summary = report["summary"]
+        assert summary["cells"] == 4
+        assert summary["passed"] + summary["failed"] == 4
+        assert summary["ok"] is (summary["failed"] == 0)
+        assert set(report["thresholds"]) == set(DEFAULT_THRESHOLDS)
+
+    def test_report_json_byte_identical_across_runs(self):
+        first = report_json(run_matrix(seed=7, cells=4))
+        second = report_json(run_matrix(seed=7, cells=4))
+        assert first == second
+        assert first.endswith("\n")
+        parsed = json.loads(first)
+        assert parsed["schema"] == REPORT_SCHEMA
+
+    def test_cells_bounds_validated(self):
+        with pytest.raises(Exception):
+            run_matrix(seed=7, cells=0)
+        with pytest.raises(Exception):
+            run_matrix(seed=7, cells=10_000)
+
+    def test_build_report_summarises_failures(self):
+        cell = MatrixCell("diamond", "none", "steady")
+        record = run_cell(cell, matrix_seed=7)
+        failing = dict(record, passed=False)
+        report = build_report(
+            7, [record, failing], DEFAULT_THRESHOLDS, 9
+        )
+        assert report["summary"]["failed"] == 1
+        assert report["summary"]["ok"] is False
