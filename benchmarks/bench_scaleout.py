@@ -1,0 +1,363 @@
+"""Cluster scale-out: 4-shard warm-path throughput vs one process,
+plus the kill -9 / recover / follower-byte-identity correctness gates.
+
+Boots two real deployments as subprocesses:
+
+* **baseline** — ``caladrius serve --demo --demo-count 8`` (one process,
+  the pre-cluster architecture);
+* **cluster** — ``caladrius serve --shards 4 --replicate --demo
+  --demo-count 8`` (router + 4 workers + 4 followers, per-shard WAL,
+  ``--fsync always``).
+
+The warm-path phase drives the same cached modelling request mix at
+both through shard-aware clients and compares requests/second.  The
+scaling gate adapts to the machine: ≥ 3x on boxes with 8+ cores (the CI
+shape this was sized for), ≥ 1.5x with 4-7, and report-only below —
+four Python processes cannot beat one on a single core, but the
+correctness gates below always run:
+
+* killing one shard with SIGKILL mid write storm loses **zero**
+  acknowledged writes once the supervisor respawns it;
+* the router resumes routing to the recovered shard;
+* after a forced shipping pass the follower replica's content hash is
+  byte-identical to the shard store's.
+
+Run standalone (``python benchmarks/bench_scaleout.py --smoke``) or via
+pytest (``pytest benchmarks/bench_scaleout.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+_PORT_LINE = re.compile(r"serving on ([\d.]+):(\d+)")
+
+#: Scaling gates by available cores; None = report-only.
+FULL_CORES, FULL_SPEEDUP = 8, 3.0
+PARTIAL_CORES, PARTIAL_SPEEDUP = 4, 1.5
+
+SHARDS = 4
+THREADS = 8
+
+
+def _required_speedup() -> float | None:
+    cores = os.cpu_count() or 1
+    if cores >= FULL_CORES:
+        return FULL_SPEEDUP
+    if cores >= PARTIAL_CORES:
+        return PARTIAL_SPEEDUP
+    return None
+
+
+def _spawn(argv: list[str], announce: str) -> tuple[subprocess.Popen, int]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    process = subprocess.Popen(
+        argv,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    stderr_tail: list[str] = []
+
+    def drain(stream, sink):
+        for line in stream:
+            sink.append(line)
+            del sink[:-100]
+
+    threading.Thread(
+        target=drain, args=(process.stderr, stderr_tail), daemon=True
+    ).start()
+    deadline = time.monotonic() + 600
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        match = _PORT_LINE.search(line)
+        if match and announce in line:
+            threading.Thread(
+                target=drain, args=(process.stdout, []), daemon=True
+            ).start()
+            return process, int(match.group(2))
+        if process.poll() is not None:
+            break
+        time.sleep(0.01)
+    process.kill()
+    raise RuntimeError(
+        f"no announce line matching {announce!r}\n"
+        + "".join(stderr_tail[-30:])
+    )
+
+
+def _stop(process: subprocess.Popen) -> None:
+    if process.poll() is None:
+        process.send_signal(signal.SIGTERM)
+        try:
+            process.wait(timeout=120)
+        except subprocess.TimeoutExpired:
+            process.kill()
+
+
+def _measure_warm(call, topologies: list[str], requests: int) -> float:
+    """Requests/second for ``requests`` calls spread over THREADS workers."""
+    for topology in topologies:
+        call(topology)  # fill every cache before the clock starts
+    counter = iter(range(requests))
+    lock = threading.Lock()
+    errors: list[BaseException] = []
+
+    def worker():
+        while True:
+            with lock:
+                i = next(counter, None)
+            if i is None:
+                return
+            try:
+                call(topologies[i % len(topologies)])
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+                return
+
+    threads = [threading.Thread(target=worker) for _ in range(THREADS)]
+    started = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - started
+    if errors:
+        raise errors[0]
+    return requests / elapsed
+
+
+def _demo_names(count: int) -> list[str]:
+    return ["word-count"] + [f"word-count-{i}" for i in range(2, count + 1)]
+
+
+def _throughput_phase(
+    demo_count: int, requests: int, data_root: Path
+) -> dict[str, float]:
+    from repro.api.client import CaladriusClient
+    from repro.cluster import ClusterClient
+
+    topologies = _demo_names(demo_count)
+    metrics: dict[str, float] = {}
+
+    base_argv = [
+        sys.executable, "-m", "repro.cli", "serve",
+        "--port", "0", "--demo", "--demo-count", str(demo_count),
+    ]
+    process, port = _spawn(base_argv, "caladrius serving")
+    try:
+        client = CaladriusClient("127.0.0.1", port, timeout=120, retries=0)
+        client.wait_ready(timeout=120)
+        metrics["single_rps"] = _measure_warm(
+            lambda t: client.performance(t, source_rate=10e6),
+            topologies,
+            requests,
+        )
+        client.close()
+    finally:
+        _stop(process)
+
+    cluster_argv = [
+        sys.executable, "-m", "repro.cli", "serve",
+        "--port", "0", "--shards", str(SHARDS), "--replicate",
+        "--data-dir", str(data_root), "--fsync", "always",
+        "--demo", "--demo-count", str(demo_count),
+    ]
+    process, port = _spawn(cluster_argv, "caladrius cluster")
+    try:
+        cluster = ClusterClient("127.0.0.1", port, timeout=120)
+        cluster.wait_ready(timeout=300)
+        metrics["cluster_rps"] = _measure_warm(
+            lambda t: cluster.performance(t, source_rate=10e6),
+            topologies,
+            requests,
+        )
+        metrics["speedup"] = metrics["cluster_rps"] / metrics["single_rps"]
+        metrics.update(_kill_recover_phase(cluster))
+        cluster.close()
+    finally:
+        _stop(process)
+    return metrics
+
+
+def _kill_recover_phase(cluster) -> dict[str, float]:
+    """SIGKILL one shard mid-storm; verify recovery and replication."""
+    from repro.api.client import CaladriusClient
+    from repro.cluster.ring import HashRing
+    from repro.errors import ApiError
+
+    topology = "scaleout-crashy"
+    ring = cluster.refresh_ring()
+    hash_ring = HashRing(ring["shards"], ring["virtual_nodes"])
+    owner = hash_ring.shard_for(topology)
+    health = cluster.healthz()
+    (shard,) = [s for s in health["shards"] if s["shard_id"] == owner]
+    pid, follower_port = shard["pid"], shard["follower_port"]
+
+    acked: list[int] = []
+    stop_writing = threading.Event()
+
+    def storm():
+        batch = 0
+        while not stop_writing.is_set():
+            batch += 1
+            base = batch * 1000
+            try:
+                cluster.write_metrics(
+                    "storm",
+                    [(base + i, float(base + i)) for i in range(5)],
+                    {"topology": topology, "batch": str(batch)},
+                )
+                acked.append(batch)
+            except (ApiError, OSError):
+                pass  # unacknowledged: allowed to vanish
+
+    writer = threading.Thread(target=storm, daemon=True)
+    writer.start()
+    deadline = time.monotonic() + 60
+    while len(acked) < 20 and time.monotonic() < deadline:
+        time.sleep(0.05)
+    if len(acked) < 20:
+        raise RuntimeError("write storm never got going")
+    os.kill(pid, signal.SIGKILL)
+    time.sleep(1.0)
+    stop_writing.set()
+    writer.join(timeout=60)
+    acked_at_kill = list(acked)
+
+    deadline = time.monotonic() + 180
+    while time.monotonic() < deadline:
+        ring = cluster.refresh_ring()
+        if (
+            ring["states"].get(str(owner)) == "ready"
+            and ring["addresses"].get(str(owner))
+        ):
+            break
+        time.sleep(0.2)
+    else:
+        raise RuntimeError(f"shard {owner} never recovered")
+
+    series = cluster.read_metrics("storm", {"topology": topology})
+    recovered = {int(s["tags"]["batch"]) for s in series}
+    lost = [b for b in acked_at_kill if b not in recovered]
+
+    # Follower byte-identity after a forced shipping pass.
+    host, _, port = ring["addresses"][str(owner)].rpartition(":")
+    direct = CaladriusClient(host, int(port), retries=0)
+    follower = CaladriusClient("127.0.0.1", follower_port, retries=0)
+    try:
+        direct.ship_now()
+        shard_hash = direct.state_hash()["content_hash"]
+        replica_hash = follower._request("GET", "/replica/status")[
+            "content_hash"
+        ]
+    finally:
+        direct.close()
+        follower.close()
+
+    return {
+        "acked_batches": float(len(acked_at_kill)),
+        "lost_batches": float(len(lost)),
+        "router_resumed": 1.0,
+        "replica_identical": 1.0 if shard_hash == replica_hash else 0.0,
+    }
+
+
+def run_benchmark(smoke: bool, data_root: Path) -> tuple[list[str], dict]:
+    demo_count = 4 if smoke else 8
+    requests = 200 if smoke else 1200
+    metrics = _throughput_phase(demo_count, requests, data_root)
+
+    cores = os.cpu_count() or 1
+    required = _required_speedup()
+    lines = [
+        f"scale-out benchmark ({'smoke' if smoke else 'full'}; "
+        f"{cores} core(s), {SHARDS} shards, {THREADS} client threads)",
+        "",
+        f"{'phase':<28}{'requests/s':>12}",
+        f"{'single process (warm)':<28}{metrics['single_rps']:>12.1f}",
+        f"{'4-shard cluster (warm)':<28}{metrics['cluster_rps']:>12.1f}",
+        "",
+        f"speedup: {metrics['speedup']:.2f}x "
+        + (
+            f"(gate: >= {required:.1f}x)"
+            if required is not None
+            else f"(report-only: {cores} core(s) cannot host "
+            f"{SHARDS} busy processes)"
+        ),
+        "",
+        "kill -9 / recover:",
+        f"  acknowledged batches at kill: {int(metrics['acked_batches'])}",
+        f"  lost after recovery:          {int(metrics['lost_batches'])}",
+        f"  follower replica identical:   "
+        f"{'yes' if metrics['replica_identical'] else 'NO'}",
+    ]
+    return lines, metrics
+
+
+def check_gates(metrics: dict) -> list[str]:
+    """Gate violations; correctness gates apply on any machine."""
+    problems = []
+    required = _required_speedup()
+    if required is not None and metrics["speedup"] < required:
+        problems.append(
+            f"cluster speedup {metrics['speedup']:.2f}x < {required:.1f}x"
+        )
+    if metrics["lost_batches"]:
+        problems.append(
+            f"{int(metrics['lost_batches'])} acknowledged batch(es) lost "
+            "after shard kill -9"
+        )
+    if not metrics["replica_identical"]:
+        problems.append(
+            "follower replica content hash differs from shard store"
+        )
+    return problems
+
+
+def bench_scaleout(quick, report, tmp_path):
+    lines, metrics = run_benchmark(smoke=quick, data_root=tmp_path / "data")
+    report("scaleout", lines)
+    assert not check_gates(metrics)
+
+
+def main(argv: list[str] | None = None) -> int:
+    import tempfile
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="fewer demo topologies and requests",
+    )
+    args = parser.parse_args(argv)
+    with tempfile.TemporaryDirectory(prefix="scaleout-") as tmp:
+        lines, metrics = run_benchmark(
+            smoke=args.smoke, data_root=Path(tmp) / "data"
+        )
+    text = "\n".join(lines)
+    print(text)
+    results = Path(__file__).resolve().parent / "results"
+    results.mkdir(exist_ok=True)
+    (results / "scaleout.txt").write_text(text + "\n")
+
+    problems = check_gates(metrics)
+    for problem in problems:
+        print(f"GATE FAILED: {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -92,10 +92,20 @@ class CaladriusApp:
         store: MetricsStore,
         max_workers: int = 4,
         clock: Callable[[], float] = time.monotonic,
+        shard_id: int | None = None,
+        read_only: bool = False,
     ) -> None:
         self.config = config
         self.tracker = tracker
         self.store = store
+        # Cluster identity: a worker knows which shard it is (stamped
+        # into /healthz and async request ids); a follower replica is
+        # read-only and refuses mutations with 403.
+        self.shard_id = shard_id
+        self.read_only = read_only
+        # Set by the CLI when WAL shipping is on; POST /cluster/ship
+        # forces a synchronous pass (tests, pre-drain flush).
+        self.shipper: Any | None = None
         self.registry: ModelRegistry = build_registry(config, tracker, store)
         self._clock = clock
         self._pool = ThreadPoolExecutor(
@@ -169,9 +179,16 @@ class CaladriusApp:
             return self._readyz()
         if method == "POST" and parts == ["metrics", "write"]:
             self._refuse_if_draining()
+            self._refuse_if_read_only()
             return self._metrics_write(body)
+        if method == "GET" and parts == ["metrics", "read"]:
+            return self._metrics_read(query)
         if method == "GET" and parts == ["topologies"]:
             return {"topologies": self.tracker.names()}
+        if method == "GET" and parts == ["cluster", "state_hash"]:
+            return self._state_hash()
+        if method == "POST" and parts == ["cluster", "ship"]:
+            return self._ship_now()
         if method == "GET" and parts == ["serving", "stats"]:
             return self._serving_stats()
         if method == "GET" and len(parts) == 3 and parts[0] == "topology":
@@ -256,6 +273,12 @@ class CaladriusApp:
     def _healthz(self) -> dict[str, Any]:
         """Liveness: 200 as long as the process can answer at all."""
         payload: dict[str, Any] = {"status": "ok", **self.lifecycle.status()}
+        if self.shard_id is not None:
+            payload["shard_id"] = self.shard_id
+        if self.read_only:
+            payload["read_only"] = True
+        if self.shipper is not None:
+            payload["shipping"] = self.shipper.stats()
         if self.breaker is not None:
             payload["breaker"] = self.breaker.stats()
         recovery = getattr(self.store, "recovery", None)
@@ -291,6 +314,66 @@ class CaladriusApp:
                     "state": self.lifecycle.state,
                 },
             )
+
+    def _refuse_if_read_only(self) -> None:
+        """403 for mutations on a read-only replica (follower reads)."""
+        if self.read_only:
+            raise ApiError(
+                "this is a read-only replica; write to the shard owner",
+                403,
+            )
+
+    def _metrics_read(self, query: Mapping[str, str]) -> dict[str, Any]:
+        """Read back stored series: ``?name=…`` plus tag filters.
+
+        Every query parameter other than ``name`` is treated as an
+        exact tag match; a series is returned when the filter is a
+        subset of its tags.  The cluster tier uses this for follower
+        reads and for the acknowledged-write-loss check after a shard
+        ``kill -9``.
+        """
+        name = query.get("name")
+        if not name:
+            raise ApiError("name query parameter is required")
+        filters = {k: v for k, v in query.items() if k != "name"}
+        series = []
+        for key in self.store.keys(name):
+            tags = key.tag_dict()
+            if all(tags.get(k) == v for k, v in filters.items()):
+                full = self.store.get(key.name, tags)
+                series.append(
+                    {
+                        "name": key.name,
+                        "tags": tags,
+                        "timestamps": [int(t) for t in full.timestamps],
+                        "values": [float(v) for v in full.values],
+                    }
+                )
+        return {"series": series}
+
+    def _state_hash(self) -> dict[str, Any]:
+        """Content hash of the store, for shard/replica convergence checks."""
+        from repro.durability.codec import store_content_hash
+
+        payload: dict[str, Any] = {
+            "content_hash": store_content_hash(self.store),
+            "read_only": self.read_only,
+        }
+        if self.shard_id is not None:
+            payload["shard_id"] = self.shard_id
+        wal = getattr(self.store, "wal", None)
+        if wal is not None:
+            payload["last_lsn"] = wal.last_lsn
+        return payload
+
+    def _ship_now(self) -> dict[str, Any]:
+        """Force a synchronous WAL-shipping pass (when shipping is on)."""
+        if self.shipper is None:
+            raise ApiError("WAL shipping is not enabled on this shard", 404)
+        try:
+            return self.shipper.ship_now()
+        except OSError as exc:
+            raise ApiError(f"shipping pass failed: {exc}", 503) from exc
 
     def _metrics_write(self, body: Mapping[str, Any]) -> dict[str, Any]:
         """Append samples to the store; 200 means *durably* accepted.
@@ -572,6 +655,10 @@ class CaladriusApp:
         if query.get("async") not in ("1", "true", "yes"):
             return work()
         request_id = uuid.uuid4().hex
+        if self.shard_id is not None:
+            # Router-routable: /model/result/{id} polls carry the owning
+            # shard in the id itself, so any front door can route them.
+            request_id = f"s{self.shard_id}-{request_id}"
         # The pool worker runs outside the request's context; re-install
         # the deadline so async jobs honour it too.
         deadline = current_deadline()

@@ -5,6 +5,7 @@ from __future__ import annotations
 import http.client
 import json
 import random
+import threading
 import time
 from collections.abc import Callable
 from http.client import HTTPConnection
@@ -75,10 +76,54 @@ class CaladriusClient:
         self.jitter = jitter
         self._sleep = sleep
         self._rng = random.Random(0x5EED)
+        # One persistent HTTP/1.1 connection per thread: the server
+        # speaks keep-alive, so reusing the socket saves a TCP handshake
+        # per request.  Thread-local because HTTPConnection is not
+        # thread-safe and callers share clients across worker threads.
+        self._local = threading.local()
 
     # ------------------------------------------------------------------
     # Transport
     # ------------------------------------------------------------------
+    def _connection(self) -> tuple[HTTPConnection, bool]:
+        """This thread's connection plus whether it has served a request.
+
+        The flag matters for error handling: only a *reused* socket can
+        be stale (closed server-side between requests), so only then is
+        a transparent reconnect-and-retry justified.  A fresh socket
+        failing is a real transport error and goes through the normal
+        backoff schedule.
+        """
+        connection = getattr(self._local, "connection", None)
+        if connection is None:
+            connection = HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+            self._local.connection = connection
+            self._local.connection_used = False
+        return connection, bool(getattr(self._local, "connection_used", False))
+
+    def _drop_connection(self) -> None:
+        connection = getattr(self._local, "connection", None)
+        if connection is not None:
+            connection.close()
+            self._local.connection = None
+
+    def close(self) -> None:
+        """Close this thread's persistent connection (idempotent).
+
+        Other threads' connections close when their threads exit (the
+        sockets are owned by thread-local storage) or on their own next
+        :meth:`close` call.
+        """
+        self._drop_connection()
+
+    def __enter__(self) -> "CaladriusClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     def _backoff(self, attempt: int) -> float:
         """Delay before retry ``attempt`` (1-based), jittered."""
         base = min(
@@ -96,20 +141,37 @@ class CaladriusClient:
         extra_headers: dict[str, str] | None = None,
     ) -> tuple[int, dict[str, Any], float | None]:
         """One round-trip: (status, decoded JSON body, Retry-After)."""
-        connection = HTTPConnection(self.host, self.port, timeout=self.timeout)
-        try:
-            headers = {"Content-Type": "application/json"} if payload else {}
-            if extra_headers:
-                headers.update(extra_headers)
-            connection.request(method, path, body=payload, headers=headers)
-            response = connection.getresponse()
-            raw = response.read()
-            status = response.status
-            retry_after = _parse_retry_after(
-                response.getheader("Retry-After")
-            )
-        finally:
-            connection.close()
+        headers = {"Content-Type": "application/json"} if payload else {}
+        if extra_headers:
+            headers.update(extra_headers)
+        raw = b""
+        status = 0
+        retry_after: float | None = None
+        for retry_stale in (True, False):
+            connection, reused = self._connection()
+            try:
+                connection.request(method, path, body=payload, headers=headers)
+                response = connection.getresponse()
+                raw = response.read()
+                status = response.status
+                retry_after = _parse_retry_after(
+                    response.getheader("Retry-After")
+                )
+                if response.will_close:
+                    self._drop_connection()
+                else:
+                    self._local.connection_used = True
+            except (OSError, http.client.HTTPException):
+                # A reused socket the server already closed (keep-alive
+                # timeout, restart) fails on first use; reconnect once
+                # before treating it as a real transport error.  Fresh
+                # connections get no such grace — their failures feed
+                # the normal retry/backoff schedule.
+                self._drop_connection()
+                if not (retry_stale and reused):
+                    raise
+                continue
+            break
         try:
             data = json.loads(raw.decode("utf8"))
         except (json.JSONDecodeError, UnicodeDecodeError) as exc:
@@ -234,6 +296,23 @@ class CaladriusClient:
         if tags:
             body["tags"] = tags
         return self._request("POST", "/metrics/write", body=body)["written"]
+
+    def read_metrics(
+        self, name: str, tags: dict[str, str] | None = None
+    ) -> list[dict[str, Any]]:
+        """Read stored series back (name plus exact tag filters)."""
+        query: dict[str, Any] = {"name": name}
+        if tags:
+            query.update(tags)
+        return self._request("GET", "/metrics/read", query)["series"]
+
+    def state_hash(self) -> dict[str, Any]:
+        """The server's store content hash (replica convergence checks)."""
+        return self._request("GET", "/cluster/state_hash")
+
+    def ship_now(self) -> dict[str, Any]:
+        """Force a synchronous WAL-shipping pass on a replicating shard."""
+        return self._request("POST", "/cluster/ship", body={})
 
     def topologies(self) -> list[str]:
         """Registered topology names."""

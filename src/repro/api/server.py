@@ -28,6 +28,8 @@ logger = logging.getLogger("repro.api.server")
 
 
 def _make_handler(app: CaladriusApp) -> type[BaseHTTPRequestHandler]:
+    raw_prefixes = tuple(getattr(app, "raw_body_paths", ()))
+
     class Handler(BaseHTTPRequestHandler):
         protocol_version = "HTTP/1.1"
 
@@ -41,11 +43,16 @@ def _make_handler(app: CaladriusApp) -> type[BaseHTTPRequestHandler]:
             length = int(self.headers.get("Content-Length") or 0)
             if length:
                 raw = self.rfile.read(length)
-                try:
-                    body = json.loads(raw.decode("utf8"))
-                except json.JSONDecodeError:
-                    self._send(400, {"error": "request body is not JSON"})
-                    return
+                if split.path.startswith(raw_prefixes):
+                    # Replication endpoints ship WAL frames — opaque
+                    # bytes, not JSON; hand them through untouched.
+                    body = raw
+                else:
+                    try:
+                        body = json.loads(raw.decode("utf8"))
+                    except json.JSONDecodeError:
+                        self._send(400, {"error": "request body is not JSON"})
+                        return
             # The in-flight gauge brackets routing AND response writing:
             # a drain must not close the socket mid-response.
             app.lifecycle.request_started()
@@ -58,19 +65,35 @@ def _make_handler(app: CaladriusApp) -> type[BaseHTTPRequestHandler]:
                 app.lifecycle.request_finished()
 
         def _send(self, status: int, payload: dict) -> None:
-            data = json.dumps(payload).encode("utf8")
-            self.send_response(status)
-            self.send_header("Content-Type", "application/json")
-            self.send_header("Content-Length", str(len(data)))
-            retry_after = payload.get("retry_after")
-            if isinstance(retry_after, (int, float)) and not isinstance(
-                retry_after, bool
-            ):
-                # Load-shedding (429), degraded-metrics and draining
-                # (503) answers tell clients when to come back.
-                self.send_header("Retry-After", str(int(retry_after)))
-            self.end_headers()
-            self.wfile.write(data)
+            # A client that hangs up mid-response (timeout, Ctrl-C,
+            # load-generator teardown) surfaces here as a broken pipe.
+            # That is the client's problem, not ours: swallow it so the
+            # handler thread survives and the in-flight gauge in
+            # _respond's finally still decrements — otherwise a drain
+            # would wait on a request that already died.
+            try:
+                data = json.dumps(payload).encode("utf8")
+                self.send_response(status)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(data)))
+                retry_after = payload.get("retry_after")
+                if isinstance(retry_after, (int, float)) and not isinstance(
+                    retry_after, bool
+                ):
+                    # Load-shedding (429), degraded-metrics and draining
+                    # (503) answers tell clients when to come back.
+                    self.send_header("Retry-After", str(int(retry_after)))
+                self.end_headers()
+                self.wfile.write(data)
+            except (BrokenPipeError, ConnectionResetError) as exc:
+                self.close_connection = True
+                logger.debug(
+                    "client %s disconnected mid-response (%s %s): %s",
+                    self.client_address,
+                    self.command,
+                    self.path,
+                    exc,
+                )
 
         def do_GET(self) -> None:  # noqa: N802
             self._respond("GET")

@@ -4,7 +4,16 @@ Four subcommands cover the operational surface:
 
 ``serve``
     Stand up the web service over a demo cluster (or an empty tracker)
-    from a YAML config — the paper's deployment mode.
+    from a YAML config — the paper's deployment mode.  With
+    ``--shards N`` it becomes the cluster front door: a router process
+    supervising N shard workers (and, with ``--replicate``, one
+    WAL-shipping follower per shard).
+``follow``
+    Run a follower replica: receives shipped WAL segments from a shard
+    and serves read-only modelling queries over the replayed state.
+``cluster-stats``
+    Query a running cluster router for ring layout, per-shard state and
+    proxy counters.
 ``simulate``
     Run the Word Count topology at a source rate and print its
     per-minute metrics, useful for exploring the simulator.
@@ -74,6 +83,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="register a simulated Word Count deployment with metrics",
     )
     serve.add_argument(
+        "--demo-count", type=int, default=1, metavar="K",
+        help="with --demo: register K demo topologies "
+             "(word-count, word-count-2, ...) sharing the same metrics shape",
+    )
+    serve.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="run the cluster tier: a router on --port plus N worker "
+             "processes, topologies consistent-hash-routed across them",
+    )
+    serve.add_argument(
+        "--replicate", action="store_true",
+        help="pair every shard with a follower replica fed by WAL-segment "
+             "shipping (requires --data-dir)",
+    )
+    serve.add_argument(
+        "--shard-id", type=int, default=None,
+        help=argparse.SUPPRESS,  # internal: this process is one shard
+    )
+    serve.add_argument(
+        "--ship-to", default=None, metavar="HOST:PORT",
+        help=argparse.SUPPRESS,  # internal: ship WAL segments here
+    )
+    serve.add_argument(
         "--cache-mb", type=float, default=None, metavar="MB",
         help="serving-layer result cache budget (overrides config)",
     )
@@ -102,6 +134,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--once",
         action="store_true",
         help=argparse.SUPPRESS,  # start and stop immediately (tests)
+    )
+
+    follow = sub.add_parser(
+        "follow",
+        help="run a follower replica fed by WAL-segment shipping",
+    )
+    follow.add_argument("--replica-dir", required=True, metavar="DIR")
+    follow.add_argument("--host", default="127.0.0.1")
+    follow.add_argument("--port", type=int, default=0)
+    follow.add_argument(
+        "--once", action="store_true", help=argparse.SUPPRESS
+    )
+
+    cluster_stats = sub.add_parser(
+        "cluster-stats",
+        help="query a running cluster router's fleet-wide stats",
+    )
+    cluster_stats.add_argument("--host", default="127.0.0.1")
+    cluster_stats.add_argument("--port", type=int, default=8080)
+    cluster_stats.add_argument(
+        "--json", action="store_true", dest="as_json"
     )
 
     recover = sub.add_parser(
@@ -207,6 +260,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     handlers = {
         "serve": _cmd_serve,
+        "follow": _cmd_follow,
+        "cluster-stats": _cmd_cluster_stats,
         "recover": _cmd_recover,
         "simulate": _cmd_simulate,
         "predict": _cmd_predict,
@@ -256,6 +311,75 @@ def _demo_deployment(
     return tracker, store
 
 
+def _demo_names(count: int) -> list[str]:
+    """The demo topology names for ``--demo --demo-count K``."""
+    return ["word-count"] + [f"word-count-{i}" for i in range(2, count + 1)]
+
+
+def _setup_demo(
+    tracker: TopologyTracker,
+    store: MetricsStore,
+    count: int,
+    shard_id: int | None = None,
+    shards: int = 1,
+    virtual_nodes: int = 64,
+) -> list[str]:
+    """Register the demo topologies this process owns, with metrics.
+
+    Word Count is simulated once into a scratch store, then cloned under
+    each demo name (topology, packing plan and metric series with the
+    ``topology`` tag rewritten).  In cluster mode only the names the
+    consistent-hash ring assigns to ``shard_id`` are materialised, so
+    every shard owns a disjoint slice of the demo fleet — the same
+    placement the router computes.
+    """
+    from repro.durability.codec import (
+        _decode_packing,
+        _decode_topology,
+        _encode_packing,
+        _encode_topology,
+    )
+
+    names = _demo_names(count)
+    if shard_id is not None and shards > 1:
+        from repro.cluster.ring import HashRing
+
+        ring = HashRing(list(range(shards)), virtual_nodes)
+        names = [n for n in names if ring.shard_for(n) == shard_id]
+    missing = [n for n in names if n not in tracker.names()]
+    if not missing:
+        return names
+    scratch_tracker, scratch_store = _demo_deployment(
+        splitter=2, counter=4, seed=0,
+        rates=np.arange(4 * M, 44 * M + 1, 8 * M),
+    )
+    base = scratch_tracker.get("word-count")
+    series = [
+        (key, scratch_store.get(key.name, key.tag_dict()))
+        for key in scratch_store.keys()
+    ]
+    for name in missing:
+        logical = _encode_topology(base.topology)
+        logical["name"] = name
+        packing = _encode_packing(base.packing)
+        packing["topology"] = name
+        tracker.register(_decode_topology(logical), _decode_packing(packing))
+        for key, full in series:
+            tags = key.tag_dict()
+            if tags.get("topology") != "word-count":
+                continue
+            tags["topology"] = name
+            store.write_many(
+                key.name,
+                zip(
+                    (int(t) for t in full.timestamps),
+                    (float(v) for v in full.values),
+                ),
+                tags,
+            )
+    return names
+
+
 def _parse_proposal(text: str | None) -> dict[str, int] | None:
     if not text:
         return None
@@ -298,6 +422,17 @@ def _cmd_serve(args) -> int:
             config,
             durability=replace(config.durability, **durability_overrides),
         )
+    cluster_overrides = {}
+    if args.shards is not None:
+        cluster_overrides["shards"] = args.shards
+    if args.replicate:
+        cluster_overrides["replicate"] = True
+    if cluster_overrides:
+        config = replace(
+            config, cluster=replace(config.cluster, **cluster_overrides)
+        )
+    if args.shard_id is None and config.cluster.shards > 1:
+        return _serve_cluster(args, config)
 
     checkpointer = None
     durable_store = None
@@ -319,40 +454,258 @@ def _cmd_serve(args) -> int:
         )
     else:
         tracker, store = TopologyTracker(), MetricsStore()
-    if args.demo and "word-count" not in tracker.names():
-        _demo_deployment(
-            splitter=2, counter=4, seed=0,
-            rates=np.arange(4 * M, 44 * M + 1, 8 * M),
-            tracker=tracker, store=store,
-        )
+    if args.demo:
+        if args.shard_id is not None or args.demo_count > 1:
+            _setup_demo(
+                tracker, store, args.demo_count,
+                shard_id=args.shard_id,
+                shards=config.cluster.shards,
+                virtual_nodes=config.cluster.virtual_nodes,
+            )
+        elif "word-count" not in tracker.names():
+            _demo_deployment(
+                splitter=2, counter=4, seed=0,
+                rates=np.arange(4 * M, 44 * M + 1, 8 * M),
+                tracker=tracker, store=store,
+            )
+        if args.shard_id is not None and checkpointer is not None:
+            # Checkpoint the demo registration immediately: a shard the
+            # supervisor respawns after kill -9 must recover its tracker
+            # (topologies live only in checkpoints) or the demo guard
+            # would re-simulate into the recovered store and crash-loop
+            # on duplicate timestamps.
+            summary = checkpointer.checkpoint()
+            print(
+                f"initial checkpoint: {json.dumps(summary)}",
+                file=sys.stderr,
+            )
 
-    app = CaladriusApp(config, tracker, store)
+    app = CaladriusApp(config, tracker, store, shard_id=args.shard_id)
+    shipper = None
+    if args.ship_to:
+        if durable_store is None:
+            print(
+                "error: --ship-to requires --data-dir (there is no WAL "
+                "to ship without durability)",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.cluster.shipping import SegmentShipper
+
+        shipper = SegmentShipper(
+            durable_store,
+            args.ship_to,
+            interval_seconds=config.cluster.ship_interval_seconds,
+        )
+        app.shipper = shipper
+        shipper.start()
     if app.serving is not None:
         app.serving.start()  # warm-cache precompute loop
     server = CaladriusServer(app, host=args.host, port=args.port)
     server.start()
-    # flush=True: the crash harness parses this line through a pipe.
-    print(f"caladrius serving on {server.host}:{server.port}", flush=True)
 
     def _final_checkpoint() -> None:
         if durable_store is None:
             return
         durable_store.flush()
         summary = checkpointer.checkpoint()
+        if shipper is not None:
+            # Stop ships once more after the checkpoint, so the follower
+            # holds the final checkpoint and every surviving segment.
+            shipper.stop()
         durable_store.close()
         print(f"final checkpoint: {json.dumps(summary)}", file=sys.stderr)
 
     if args.once:
+        print(
+            f"caladrius serving on {server.host}:{server.port}", flush=True
+        )
         server.stop()
         _final_checkpoint()
         app.shutdown()
         return 0
+    # Handlers go in BEFORE the announce line: supervisors (and the
+    # cluster's ShardManager) may SIGTERM the instant they parse the
+    # port, and an unhandled SIGTERM there would skip the drain and the
+    # final checkpoint.
     done = server.install_signal_handlers(
         drain_timeout=config.durability.drain_timeout_seconds,
         on_drained=_final_checkpoint,
     )
+    # flush=True: the crash harness parses this line through a pipe.
+    print(f"caladrius serving on {server.host}:{server.port}", flush=True)
     done.wait()  # pragma: no cover - exercised via subprocess tests
     app.shutdown()
+    return 0
+
+
+def _serve_cluster(args, config) -> int:
+    """``serve --shards N``: router front door over N worker processes."""
+    from pathlib import Path
+
+    from repro.cluster.router import RouterApp
+    from repro.cluster.shard import ShardManager
+
+    shards = config.cluster.shards
+    replicate = config.cluster.replicate
+    if replicate and not config.durability.data_dir:
+        print(
+            "error: --replicate requires --data-dir (followers replay "
+            "shipped WAL segments)",
+            file=sys.stderr,
+        )
+        return 2
+    data_root = (
+        Path(config.durability.data_dir)
+        if config.durability.data_dir
+        else None
+    )
+
+    def worker_argv(shard_id: int, ship_to: str | None) -> list[str]:
+        argv = [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--host", args.host, "--port", "0",
+            "--shard-id", str(shard_id), "--shards", str(shards),
+        ]
+        if args.config:
+            argv += ["--config", args.config]
+        if args.demo:
+            argv += ["--demo", "--demo-count", str(args.demo_count)]
+        if args.cache_mb is not None:
+            argv += ["--cache-mb", str(args.cache_mb)]
+        if args.max_queue is not None:
+            argv += ["--max-queue", str(args.max_queue)]
+        if args.no_serving:
+            argv += ["--no-serving"]
+        if data_root is not None:
+            argv += ["--data-dir", str(data_root / f"shard-{shard_id}")]
+        if args.fsync is not None:
+            argv += ["--fsync", args.fsync]
+        if args.drain_timeout is not None:
+            argv += ["--drain-timeout", str(args.drain_timeout)]
+        if ship_to:
+            argv += ["--ship-to", ship_to]
+        return argv
+
+    follower_argv = None
+    if replicate:
+        def follower_argv(shard_id: int) -> list[str]:
+            return [
+                sys.executable, "-m", "repro.cli", "follow",
+                "--replica-dir", str(data_root / f"replica-{shard_id}"),
+                "--host", args.host, "--port", "0",
+            ]
+
+    manager = ShardManager(
+        worker_argv,
+        follower_argv,
+        host=args.host,
+        restart_backoff_seconds=config.cluster.restart_backoff_seconds,
+    )
+    try:
+        manager.start(shards)
+    except ReproError:
+        manager.stop_all()
+        raise
+    router = RouterApp(
+        config,
+        manager,
+        virtual_nodes=config.cluster.virtual_nodes,
+        proxy_timeout=config.cluster.proxy_timeout_seconds,
+    )
+    server = CaladriusServer(router, host=args.host, port=args.port)
+    server.start()
+
+    def _stop_fleet() -> None:
+        router.shutdown()
+
+    def _announce() -> None:
+        # Same announce shape as single-process serve: harnesses parse
+        # the "serving on host:port" suffix through a pipe.
+        print(
+            f"caladrius cluster ({shards} shard(s)"
+            + (", replicated" if replicate else "")
+            + f") serving on {server.host}:{server.port}",
+            flush=True,
+        )
+
+    if args.once:
+        _announce()
+        server.stop()
+        _stop_fleet()
+        return 0
+    done = server.install_signal_handlers(
+        drain_timeout=config.durability.drain_timeout_seconds,
+        on_drained=_stop_fleet,
+    )
+    _announce()
+    done.wait()  # pragma: no cover - exercised via subprocess tests
+    return 0
+
+
+def _cmd_follow(args) -> int:
+    from repro.cluster.follower import FollowerApp, FollowerReplica
+
+    config = load_config({})
+    # A follower only serves reads over replicated state; the serving
+    # layer's cache keys would be correct but its precompute loop is
+    # wasted work here, so the layer stays off.
+    config = replace(config, serving=replace(config.serving, enabled=False))
+    replica = FollowerReplica(args.replica_dir)
+    inner = CaladriusApp(
+        config, replica.tracker, replica.store, read_only=True
+    )
+    app = FollowerApp(replica, inner)
+    server = CaladriusServer(app, host=args.host, port=args.port)
+    server.start()
+
+    def _announce() -> None:
+        print(
+            f"caladrius follower serving on {server.host}:{server.port}",
+            flush=True,
+        )
+
+    if args.once:
+        _announce()
+        server.stop()
+        app.close()
+        return 0
+    done = server.install_signal_handlers()
+    _announce()
+    done.wait()  # pragma: no cover - exercised via subprocess tests
+    app.close()
+    return 0
+
+
+def _cmd_cluster_stats(args) -> int:
+    from repro.api.client import CaladriusClient
+
+    client = CaladriusClient(args.host, args.port, retries=1)
+    stats = client._request("GET", "/cluster/stats")
+    if args.as_json:
+        print(json.dumps(stats, indent=2))
+        return 0
+    ring = stats["ring"]
+    print(
+        f"ring     : {len(ring['shards'])} shard(s), "
+        f"{ring['virtual_nodes']} virtual nodes, "
+        f"version {ring['version']}"
+    )
+    for shard in stats["shards"]:
+        address = ring["addresses"].get(str(shard["shard_id"]))
+        line = (
+            f"  shard {shard['shard_id']}: {shard['state']:<10} "
+            f"{address or '-':<21} restarts={shard['restarts']}"
+        )
+        if "follower_port" in shard:
+            line += f" follower=:{shard['follower_port']}"
+        print(line)
+    router = stats["router"]
+    print(
+        f"router   : {router['proxied']} proxied, "
+        f"{router['unavailable']} unavailable, "
+        f"up {router['uptime_seconds']:.0f}s"
+    )
     return 0
 
 

@@ -1,0 +1,55 @@
+"""Horizontal scale-out: sharded serving with replicated metrics.
+
+One Caladrius process is bounded by the GIL; the cluster tier scales
+the service across processes while keeping the durability story intact:
+
+* :mod:`repro.cluster.ring` — deterministic consistent-hash placement
+  of topology ids onto shards;
+* :mod:`repro.cluster.shard` — worker/follower process supervision:
+  spawn, crash-detect, respawn onto the same data directory;
+* :mod:`repro.cluster.router` — the HTTP front door: topology-keyed
+  proxying, fleet-wide ``/healthz`` and ``/serving/stats`` aggregation,
+  ring publication and resize;
+* :mod:`repro.cluster.shipping` / :mod:`repro.cluster.follower` — WAL
+  segment shipping from each shard to a read-only follower replica,
+  replayed with the same CRC-framed codec crash recovery uses;
+* :mod:`repro.cluster.client` — shard-aware client that routes
+  data-plane calls directly to shard owners.
+
+``caladrius serve --shards N`` boots the whole tier; see
+``docs/architecture.md`` ("Cluster tier") for the consistency model.
+"""
+
+from repro.cluster.client import ClusterClient
+from repro.cluster.follower import FollowerApp, FollowerReplica
+from repro.cluster.ring import DEFAULT_VIRTUAL_NODES, HashRing
+from repro.cluster.router import RouterApp
+from repro.cluster.shard import (
+    FAILED,
+    READY,
+    RESTARTING,
+    STARTING,
+    STOPPED,
+    ClusterError,
+    ShardHandle,
+    ShardManager,
+)
+from repro.cluster.shipping import SegmentShipper
+
+__all__ = [
+    "ClusterClient",
+    "ClusterError",
+    "DEFAULT_VIRTUAL_NODES",
+    "FAILED",
+    "FollowerApp",
+    "FollowerReplica",
+    "HashRing",
+    "READY",
+    "RESTARTING",
+    "RouterApp",
+    "STARTING",
+    "STOPPED",
+    "SegmentShipper",
+    "ShardHandle",
+    "ShardManager",
+]

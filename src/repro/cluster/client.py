@@ -1,0 +1,215 @@
+"""Shard-aware client: route around the router for data-plane calls.
+
+The router is a single Python process; pushing every modelling request
+and metric write through it would serialise the fleet behind one GIL.
+:class:`ClusterClient` instead fetches ``GET /cluster/ring`` once,
+builds the same :class:`~repro.cluster.ring.HashRing` the router uses
+(the ring is deterministic, so both always agree on placement) and
+talks to the owning shard directly over a per-shard keep-alive
+:class:`~repro.api.client.CaladriusClient`.
+
+When a direct call fails — the shard crashed, or the ring changed under
+us — the client refreshes the ring and falls back to the router proxy
+for that one call, which either reaches the recovered shard or answers
+503 + ``Retry-After`` while its WAL replays.  Control-plane reads
+(``healthz``, ``serving/stats``, ``topologies``) always go to the
+router, whose fan-out aggregation is the point.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from typing import Any
+
+from repro.api.client import CaladriusClient
+from repro.cluster.ring import HashRing
+from repro.errors import ApiError
+
+__all__ = ["ClusterClient"]
+
+logger = logging.getLogger("repro.cluster.client")
+
+
+class ClusterClient:
+    """Routes topology-keyed calls straight to the owning shard.
+
+    Parameters
+    ----------
+    host / port:
+        The cluster router's address.
+    ring_ttl_seconds:
+        How long a fetched ring is trusted before it is re-fetched.
+    **client_options:
+        Forwarded to every underlying :class:`CaladriusClient`
+        (timeouts, retry schedule, injectable sleep).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        ring_ttl_seconds: float = 5.0,
+        **client_options: Any,
+    ) -> None:
+        self.router = CaladriusClient(host, port, **client_options)
+        self.ring_ttl_seconds = ring_ttl_seconds
+        self._client_options = client_options
+        self._lock = threading.Lock()
+        self._ring: HashRing | None = None
+        self._addresses: dict[int, tuple[str, int] | None] = {}
+        self._version = -1
+        self._fetched_at = 0.0
+        self._shard_clients: dict[tuple[str, int], CaladriusClient] = {}
+        self.direct_calls = 0
+        self.router_fallbacks = 0
+
+    # ------------------------------------------------------------------
+    # Ring management
+    # ------------------------------------------------------------------
+    def refresh_ring(self) -> dict[str, Any]:
+        """Fetch the ring from the router and rebuild routing state."""
+        payload = self.router._request("GET", "/cluster/ring")
+        with self._lock:
+            self._ring = HashRing(
+                [int(s) for s in payload["shards"]],
+                int(payload["virtual_nodes"]),
+            )
+            self._version = int(payload["version"])
+            self._addresses = {}
+            for shard_str, address in payload["addresses"].items():
+                if address:
+                    host, _, port = address.rpartition(":")
+                    self._addresses[int(shard_str)] = (host, int(port))
+                else:
+                    self._addresses[int(shard_str)] = None
+            self._fetched_at = time.monotonic()
+        return payload
+
+    def _routing(self) -> tuple[HashRing, dict[int, tuple[str, int] | None]]:
+        with self._lock:
+            fresh = (
+                self._ring is not None
+                and time.monotonic() - self._fetched_at < self.ring_ttl_seconds
+            )
+            if fresh:
+                return self._ring, dict(self._addresses)  # type: ignore[return-value]
+        self.refresh_ring()
+        with self._lock:
+            assert self._ring is not None
+            return self._ring, dict(self._addresses)
+
+    def _shard_client(self, address: tuple[str, int]) -> CaladriusClient:
+        with self._lock:
+            client = self._shard_clients.get(address)
+            if client is None:
+                # Direct calls do not retry: a failed shard call falls
+                # back to the router, which owns the wait-for-recovery
+                # story (503 + Retry-After) and the proxy retry.
+                options = dict(self._client_options)
+                options["retries"] = 0
+                client = CaladriusClient(address[0], address[1], **options)
+                self._shard_clients[address] = client
+            return client
+
+    # ------------------------------------------------------------------
+    # Topology-keyed dispatch
+    # ------------------------------------------------------------------
+    def _call(self, topology: str, operation, *args: Any, **kwargs: Any):
+        """Try the owning shard directly; fall back to the router once."""
+        ring, addresses = self._routing()
+        shard_id = ring.shard_for(topology)
+        address = addresses.get(shard_id)
+        if address is not None:
+            client = self._shard_client(address)
+            try:
+                result = operation(client)(*args, **kwargs)
+                self.direct_calls += 1
+                return result
+            except ApiError as exc:
+                if exc.status not in (502, 503, 504):
+                    raise  # a real answer (400/403/404/429): not routing
+            except OSError:
+                pass
+        # The shard is down, restarting, or the ring moved: let the
+        # router arbitrate, and refetch the ring for the next call.
+        self.router_fallbacks += 1
+        with self._lock:
+            self._fetched_at = 0.0
+        return operation(self.router)(*args, **kwargs)
+
+    def write_metrics(
+        self,
+        name: str,
+        samples: list[tuple[int, float]] | list[list[float]],
+        tags: dict[str, str] | None = None,
+    ) -> int:
+        key = (tags or {}).get("topology") or name
+        return self._call(
+            key, lambda c: c.write_metrics, name, samples, tags
+        )
+
+    def read_metrics(
+        self, name: str, tags: dict[str, str] | None = None
+    ) -> list[dict[str, Any]]:
+        key = (tags or {}).get("topology") or name
+        return self._call(key, lambda c: c.read_metrics, name, tags)
+
+    def traffic(self, topology: str, **kwargs: Any) -> dict[str, Any]:
+        return self._call(topology, lambda c: c.traffic, topology, **kwargs)
+
+    def performance(self, topology: str, **kwargs: Any) -> dict[str, Any]:
+        return self._call(
+            topology, lambda c: c.performance, topology, **kwargs
+        )
+
+    def plan_sweep(
+        self, topology: str, *args: Any, **kwargs: Any
+    ) -> dict[str, Any]:
+        return self._call(
+            topology, lambda c: c.plan_sweep, topology, *args, **kwargs
+        )
+
+    def logical_plan(self, topology: str) -> dict[str, Any]:
+        return self._call(topology, lambda c: c.logical_plan, topology)
+
+    def packing_plan(self, topology: str) -> dict[str, Any]:
+        return self._call(topology, lambda c: c.packing_plan, topology)
+
+    # ------------------------------------------------------------------
+    # Fleet-wide calls (always through the router)
+    # ------------------------------------------------------------------
+    def healthz(self) -> dict[str, Any]:
+        return self.router.healthz()
+
+    def wait_ready(self, timeout: float = 30.0) -> dict[str, Any]:
+        return self.router.wait_ready(timeout=timeout)
+
+    def serving_stats(self) -> dict[str, Any]:
+        return self.router.serving_stats()
+
+    def topologies(self) -> list[str]:
+        return self.router.topologies()
+
+    def cluster_stats(self) -> dict[str, Any]:
+        return self.router._request("GET", "/cluster/stats")
+
+    def resize(self, shards: int) -> dict[str, Any]:
+        return self.router._request(
+            "POST", "/cluster/resize", body={"shards": shards}
+        )
+
+    def close(self) -> None:
+        with self._lock:
+            clients = list(self._shard_clients.values())
+            self._shard_clients.clear()
+        for client in clients:
+            client.close()
+        self.router.close()
+
+    def __enter__(self) -> "ClusterClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

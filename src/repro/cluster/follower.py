@@ -1,0 +1,271 @@
+"""Follower replica: replays shipped WAL segments into a read mirror.
+
+A follower is a separate process paired with one shard.  The shard's
+:class:`~repro.cluster.shipping.SegmentShipper` streams it two things —
+``checkpoint.json`` whenever it changes, and raw segment bytes — and the
+follower maintains:
+
+* **a byte mirror**: shipped bytes are appended verbatim (and fsynced)
+  under ``replica_dir/wal/`` with the checkpoint beside them, so the
+  replica directory is a valid Caladrius data directory.  Losing a
+  shard's disk is recoverable by pointing
+  :func:`repro.durability.recovery.open_data_dir` (or ``caladrius
+  recover``) at the replica;
+* **a live read replica**: every *complete* frame past the applied LSN
+  is decoded with the same codec recovery uses
+  (:func:`~repro.durability.wal.read_segment_records` +
+  :func:`~repro.durability.store.apply_wal_record`) into an in-memory
+  store and tracker, served read-only through an embedded
+  :class:`~repro.api.app.CaladriusApp` — modelling queries
+  (``/model/…``, ``/topologies``) work against the follower; writes are
+  refused with 403.
+
+Replication is asynchronous: a follower read may trail the shard by up
+to one ship interval.  ``GET /replica/status`` reports the applied LSN
+and a content hash so callers (and the scale-out benchmark) can verify
+convergence.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import re
+import threading
+from pathlib import Path
+from typing import Any
+
+from repro.durability.checkpoint import (
+    CHECKPOINT_FILENAME,
+    CHECKPOINT_FORMAT,
+)
+from repro.durability.codec import (
+    restore_store_state,
+    restore_tracker_state,
+    store_content_hash,
+)
+from repro.durability.store import apply_wal_record
+from repro.durability.wal import read_segment_records
+from repro.errors import DurabilityError, MetricsError
+from repro.heron.tracker import TopologyTracker
+from repro.timeseries.store import MetricsStore
+
+__all__ = ["FollowerReplica", "FollowerApp"]
+
+logger = logging.getLogger("repro.cluster.follower")
+
+_SEGMENT_NAME = re.compile(r"^wal-\d{16}\.log$")
+_WAL_SUBDIR = "wal"
+
+
+class FollowerReplica:
+    """Receives shipped checkpoint + segment bytes; serves replica state."""
+
+    def __init__(self, replica_dir: str | Path) -> None:
+        self.replica_dir = Path(replica_dir)
+        self.wal_dir = self.replica_dir / _WAL_SUBDIR
+        self.wal_dir.mkdir(parents=True, exist_ok=True)
+        self._mutex = threading.RLock()
+        self.store: MetricsStore = MetricsStore(None)
+        self.tracker = TopologyTracker()
+        self.applied_lsn = 0
+        self.checkpoint_lsn = 0
+        self.applied_records = 0
+        self.skipped_records = 0
+        self.checkpoints_received = 0
+        self._parse_offsets: dict[str, int] = {}
+        self._bootstrap()
+
+    # ------------------------------------------------------------------
+    # Ingest endpoints (called by the HTTP layer)
+    # ------------------------------------------------------------------
+    def receive_checkpoint(self, raw: bytes) -> dict[str, Any]:
+        """Accept a shipped ``checkpoint.json`` and reset replica state."""
+        try:
+            payload = json.loads(raw.decode("utf8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise DurabilityError(f"shipped checkpoint is not JSON: {exc}")
+        if (
+            not isinstance(payload, dict)
+            or payload.get("format") != CHECKPOINT_FORMAT
+        ):
+            raise DurabilityError("shipped checkpoint has the wrong format")
+        with self._mutex:
+            self._write_atomic(self.replica_dir / CHECKPOINT_FILENAME, raw)
+            self._reset_from_checkpoint(payload)
+            self._replay_all_segments()
+            self.checkpoints_received += 1
+            return {"applied_lsn": self.applied_lsn}
+
+    def receive_segment(
+        self, name: str, offset: int, data: bytes
+    ) -> tuple[int, dict[str, Any]]:
+        """Append shipped bytes at ``offset``; 409 + our offset on a gap."""
+        if not _SEGMENT_NAME.match(name):
+            return 400, {"error": f"not a WAL segment name: {name!r}"}
+        path = self.wal_dir / name
+        with self._mutex:
+            size = path.stat().st_size if path.exists() else 0
+            if offset != size:
+                return 409, {"offset": size}
+            if data:
+                with open(path, "ab") as handle:
+                    handle.write(data)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                self._apply_new_frames(path)
+            return 200, {
+                "offset": size + len(data),
+                "applied_lsn": self.applied_lsn,
+            }
+
+    def status(self) -> dict[str, Any]:
+        """Replication position + content hash, for convergence checks."""
+        with self._mutex:
+            return {
+                "role": "follower",
+                "replica_dir": str(self.replica_dir),
+                "applied_lsn": self.applied_lsn,
+                "checkpoint_lsn": self.checkpoint_lsn,
+                "applied_records": self.applied_records,
+                "skipped_records": self.skipped_records,
+                "checkpoints_received": self.checkpoints_received,
+                "segments": dict(sorted(self._parse_offsets.items())),
+                "content_hash": store_content_hash(self.store),
+                "topologies": self.tracker.names(),
+            }
+
+    # ------------------------------------------------------------------
+    # Replay machinery
+    # ------------------------------------------------------------------
+    def _bootstrap(self) -> None:
+        """A restarted follower rebuilds from its own mirrored files."""
+        checkpoint_path = self.replica_dir / CHECKPOINT_FILENAME
+        if checkpoint_path.exists():
+            try:
+                payload = json.loads(checkpoint_path.read_text("utf8"))
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                logger.warning(
+                    "replica checkpoint is torn; rebuilding from WAL only"
+                )
+                payload = None
+            if isinstance(payload, dict) and (
+                payload.get("format") == CHECKPOINT_FORMAT
+            ):
+                self._reset_from_checkpoint(payload)
+        self._replay_all_segments()
+
+    def _reset_from_checkpoint(self, payload: dict[str, Any]) -> None:
+        retention = payload.get("retention_seconds")
+        store = MetricsStore(retention)
+        restore_store_state(store, payload["store"])
+        tracker = TopologyTracker()
+        if payload.get("tracker"):
+            restore_tracker_state(tracker, payload["tracker"])
+        # Swap wholesale: the embedded read-only app resolves
+        # self.store/self.tracker per request, so assignment is enough.
+        self.store = store
+        self.tracker = tracker
+        self.checkpoint_lsn = int(payload.get("last_lsn", 0))
+        self.applied_lsn = self.checkpoint_lsn
+        self._parse_offsets.clear()
+
+    def _replay_all_segments(self) -> None:
+        for path in sorted(self.wal_dir.glob("wal-*.log")):
+            self._apply_new_frames(path)
+
+    def _apply_new_frames(self, path: Path) -> None:
+        """Decode complete frames past our parse offset and apply them.
+
+        A shipped chunk may end mid-frame; ``read_segment_records``
+        stops at the first incomplete or corrupt frame, and the parse
+        offset stays just before it so the next shipment resumes there.
+        """
+        start = self._parse_offsets.get(path.name, 0)
+        end = start
+        for record, end in read_segment_records(path, start):
+            lsn = int(record.get("lsn", 0))
+            if lsn <= self.applied_lsn:
+                continue
+            try:
+                apply_wal_record(self.store, record)
+                self.applied_records += 1
+            except MetricsError:
+                # Same stance as crash recovery: a record the store
+                # rejects (duplicate of checkpointed data) is skipped.
+                self.skipped_records += 1
+            self.applied_lsn = lsn
+        self._parse_offsets[path.name] = end
+
+    @staticmethod
+    def _write_atomic(path: Path, raw: bytes) -> None:
+        """Byte-preserving atomic replace (keeps the mirror exact)."""
+        tmp = path.with_suffix(".tmp")
+        with open(tmp, "wb") as handle:
+            handle.write(raw)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+
+
+class FollowerApp:
+    """Routes ``/replica/*`` to the replica, everything else read-only.
+
+    Duck-types :class:`~repro.api.app.CaladriusApp` just enough for
+    :class:`~repro.api.server.CaladriusServer` to host it: ``handle``,
+    ``lifecycle``, ``config`` and ``raw_body_paths`` (which makes the
+    server hand ``/replica/…`` bodies through as raw bytes).
+    """
+
+    raw_body_paths = ("/replica/",)
+
+    def __init__(self, replica: FollowerReplica, app: Any) -> None:
+        self.replica = replica
+        self.app = app
+
+    @property
+    def lifecycle(self):
+        return self.app.lifecycle
+
+    @property
+    def config(self):
+        return self.app.config
+
+    def handle(
+        self,
+        method: str,
+        path: str,
+        query: dict[str, str],
+        body: Any,
+        headers: dict[str, str] | None = None,
+    ) -> tuple[int, dict[str, Any]]:
+        if path.startswith("/replica/"):
+            return self._handle_replica(method, path, query, body)
+        # Reads go to the embedded app over the replica's live state.
+        self.app.store = self.replica.store
+        self.app.tracker = self.replica.tracker
+        return self.app.handle(method, path, query, body, headers=headers)
+
+    def _handle_replica(
+        self, method: str, path: str, query: dict[str, str], body: Any
+    ) -> tuple[int, dict[str, Any]]:
+        raw = body if isinstance(body, bytes) else b""
+        if method == "GET" and path == "/replica/status":
+            return 200, self.replica.status()
+        if method == "POST" and path == f"/replica/{CHECKPOINT_FILENAME}":
+            try:
+                return 200, self.replica.receive_checkpoint(raw)
+            except DurabilityError as exc:
+                return 400, {"error": str(exc)}
+        if method == "POST" and path == "/replica/segment":
+            name = query.get("name", "")
+            try:
+                offset = int(query.get("offset", "0"))
+            except ValueError:
+                return 400, {"error": "offset must be an integer"}
+            return self.replica.receive_segment(name, offset, raw)
+        return 404, {"error": f"no replica route for {method} {path}"}
+
+    def close(self) -> None:
+        self.app.shutdown()

@@ -1,0 +1,441 @@
+"""The cluster front door: consistent-hash routing over shard workers.
+
+:class:`RouterApp` duck-types :class:`~repro.api.app.CaladriusApp`
+(``handle`` / ``lifecycle`` / ``config``) so the plain
+:class:`~repro.api.server.CaladriusServer` can host it.  It owns a
+:class:`~repro.cluster.shard.ShardManager` and routes every
+topology-keyed request — modelling calls, topology lookups, metric
+writes — to the shard that owns the topology id on the
+:class:`~repro.cluster.ring.HashRing`.  Fleet-wide endpoints fan out:
+
+* ``GET /healthz`` — per-shard health plus an overall status that
+  degrades when any shard is down or restarting;
+* ``GET /serving/stats`` — per-shard serving counters plus a summed
+  aggregate (hits, requests, shed, …);
+* ``GET /topologies`` — the union of every shard's registry;
+* ``GET /cluster/ring`` — the current ring (shard ids, virtual nodes,
+  addresses, version) for shard-aware clients;
+* ``POST /cluster/resize`` — grow or shrink the fleet; the ring is
+  rebuilt and the version bumped so clients refresh.
+
+While a shard is down or replaying its WAL after a crash, requests for
+its topologies are answered 503 + ``Retry-After`` — the router never
+silently reroutes a topology to a shard that doesn't own it, because
+per-shard data directories mean only the owner has the data.
+
+The router is the *control* plane and slow-path proxy.  Throughput-
+critical callers use :class:`~repro.cluster.client.ClusterClient`,
+which fetches the ring once and talks to shards directly.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import logging
+import re
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any
+
+from repro.cluster.ring import DEFAULT_VIRTUAL_NODES, HashRing
+from repro.cluster.shard import READY, ShardManager
+from repro.config.loader import CaladriusConfig
+from repro.durability.lifecycle import LifecycleController
+
+__all__ = ["RouterApp"]
+
+logger = logging.getLogger("repro.cluster.router")
+
+_RESULT_ID = re.compile(r"^s(\d+)-")
+#: Fleet fan-out parallelism for /healthz, /serving/stats, /topologies.
+_FANOUT_WORKERS = 8
+
+
+class RouterApp:
+    """Routes requests across the shard fleet (hosted by CaladriusServer)."""
+
+    def __init__(
+        self,
+        config: CaladriusConfig,
+        manager: ShardManager,
+        virtual_nodes: int = DEFAULT_VIRTUAL_NODES,
+        proxy_timeout: float = 30.0,
+        retry_after_seconds: int = 1,
+    ) -> None:
+        self.config = config
+        self.manager = manager
+        self.virtual_nodes = virtual_nodes
+        self.proxy_timeout = proxy_timeout
+        self.retry_after_seconds = retry_after_seconds
+        self.lifecycle = LifecycleController()
+        self._ring_lock = threading.Lock()
+        self._ring: HashRing | None = None
+        self._ring_version = -1
+        self._fanout = ThreadPoolExecutor(
+            max_workers=_FANOUT_WORKERS, thread_name_prefix="router-fanout"
+        )
+        self._proxied = 0
+        self._unavailable = 0
+        self._started = time.monotonic()
+
+    # ------------------------------------------------------------------
+    # Ring
+    # ------------------------------------------------------------------
+    def ring(self) -> HashRing:
+        """The current ring, rebuilt when fleet membership changed."""
+        version = self.manager.version
+        with self._ring_lock:
+            if self._ring is None or self._ring_version != version:
+                self._ring = HashRing(
+                    self.manager.shard_ids(), self.virtual_nodes
+                )
+                self._ring_version = version
+            return self._ring
+
+    def shard_for(self, topology: str) -> int:
+        return self.ring().shard_for(topology)
+
+    # ------------------------------------------------------------------
+    # Entry point (CaladriusServer calls this)
+    # ------------------------------------------------------------------
+    def handle(
+        self,
+        method: str,
+        path: str,
+        query: dict[str, str] | None = None,
+        body: Any = None,
+        headers: dict[str, str] | None = None,
+    ) -> tuple[int, dict[str, Any]]:
+        method = method.upper()
+        query = dict(query or {})
+        body = body if isinstance(body, dict) else {}
+        parts = [p for p in path.split("/") if p]
+        try:
+            return self._route(method, parts, query, body, headers or {})
+        except Exception:
+            logger.exception("router failed on %s %s", method, path)
+            return 500, {"error": f"router error handling {method} {path}"}
+
+    def _route(
+        self,
+        method: str,
+        parts: list[str],
+        query: dict[str, str],
+        body: dict[str, Any],
+        headers: dict[str, str],
+    ) -> tuple[int, dict[str, Any]]:
+        if method == "GET" and parts == ["healthz"]:
+            return self._healthz()
+        if method == "GET" and parts == ["readyz"]:
+            return self._readyz()
+        if method == "GET" and parts == ["serving", "stats"]:
+            return self._serving_stats()
+        if method == "GET" and parts == ["topologies"]:
+            return self._topologies()
+        if method == "GET" and parts == ["cluster", "ring"]:
+            return 200, self._ring_payload()
+        if method == "GET" and parts == ["cluster", "stats"]:
+            return self._cluster_stats()
+        if method == "POST" and parts == ["cluster", "resize"]:
+            return self._resize(body)
+        if (
+            method == "GET"
+            and len(parts) == 3
+            and parts[:2] == ["model", "result"]
+        ):
+            return self._route_result(parts[2], query, headers)
+        topology = self._topology_for(method, parts, query, body)
+        if topology is not None:
+            return self._proxy_for_topology(
+                topology, method, parts, query, body, headers
+            )
+        return 404, {
+            "error": f"no cluster route for {method} /{'/'.join(parts)}"
+        }
+
+    # ------------------------------------------------------------------
+    # Topology-keyed routing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _topology_for(
+        method: str,
+        parts: list[str],
+        query: dict[str, str],
+        body: dict[str, Any],
+    ) -> str | None:
+        """The routing key for a request, or ``None`` when unroutable."""
+        if len(parts) == 3 and parts[0] == "topology":
+            return parts[1]
+        if (
+            len(parts) == 4
+            and parts[0] == "model"
+            and parts[1] in ("traffic", "topology", "plan_sweep")
+        ):
+            return parts[3]
+        if parts == ["metrics", "write"]:
+            tags = body.get("tags") or {}
+            if isinstance(tags, dict) and tags.get("topology"):
+                return str(tags["topology"])
+            # Untagged series hash on the metric name: stable, spreads
+            # load, and reads route the same way.
+            name = body.get("name")
+            return str(name) if name else None
+        if parts == ["metrics", "read"]:
+            return query.get("topology") or query.get("name")
+        return None
+
+    def _proxy_for_topology(
+        self,
+        topology: str,
+        method: str,
+        parts: list[str],
+        query: dict[str, str],
+        body: dict[str, Any],
+        headers: dict[str, str],
+    ) -> tuple[int, dict[str, Any]]:
+        shard_id = self.shard_for(topology)
+        return self._proxy(shard_id, method, parts, query, body, headers)
+
+    def _route_result(
+        self, request_id: str, query: dict[str, str], headers: dict[str, str]
+    ) -> tuple[int, dict[str, Any]]:
+        match = _RESULT_ID.match(request_id)
+        if not match:
+            return 404, {
+                "error": (
+                    f"request id {request_id!r} carries no shard prefix; "
+                    "poll the shard that issued it"
+                )
+            }
+        shard_id = int(match.group(1))
+        if shard_id not in self.ring().shard_ids:
+            return 404, {"error": f"no shard {shard_id} in the cluster"}
+        return self._proxy(
+            shard_id, "GET", ["model", "result", request_id], query, {}, headers
+        )
+
+    # ------------------------------------------------------------------
+    # Proxy plumbing
+    # ------------------------------------------------------------------
+    def _proxy(
+        self,
+        shard_id: int,
+        method: str,
+        parts: list[str],
+        query: dict[str, str],
+        body: dict[str, Any],
+        headers: dict[str, str],
+    ) -> tuple[int, dict[str, Any]]:
+        address = self.manager.address_of(shard_id)
+        if address is None:
+            self._unavailable += 1
+            state = self.manager.state_of(shard_id)
+            return 503, {
+                "error": (
+                    f"shard {shard_id} is {state or 'unknown'} "
+                    "(recovering its WAL); retry shortly"
+                ),
+                "retry_after": self.retry_after_seconds,
+                "shard_id": shard_id,
+                "shard_state": state,
+            }
+        host, port = address
+        path = "/" + "/".join(parts)
+        if query:
+            path += "?" + "&".join(f"{k}={v}" for k, v in query.items())
+        payload = json.dumps(body).encode("utf8") if body else None
+        forward = {
+            k: v
+            for k, v in headers.items()
+            if k.lower() in ("x-request-deadline", "x-request-priority")
+        }
+        if payload:
+            forward["Content-Type"] = "application/json"
+        conn = http.client.HTTPConnection(
+            host, port, timeout=self.proxy_timeout
+        )
+        try:
+            conn.request(method, path, body=payload, headers=forward)
+            response = conn.getresponse()
+            raw = response.read()
+        except (OSError, http.client.HTTPException) as exc:
+            self._unavailable += 1
+            return 503, {
+                "error": f"shard {shard_id} is unreachable: {exc}",
+                "retry_after": self.retry_after_seconds,
+                "shard_id": shard_id,
+            }
+        finally:
+            conn.close()
+        self._proxied += 1
+        try:
+            decoded = json.loads(raw.decode("utf8")) if raw else {}
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            decoded = {"error": "shard returned a non-JSON response"}
+        return response.status, decoded
+
+    def _fan_out(
+        self, method: str, path: str
+    ) -> dict[int, tuple[int, dict[str, Any]]]:
+        """Run one request against every shard concurrently."""
+        shard_ids = self.manager.shard_ids()
+        futures = {
+            shard_id: self._fanout.submit(
+                self._proxy, shard_id, method,
+                [p for p in path.split("/") if p], {}, {}, {},
+            )
+            for shard_id in shard_ids
+        }
+        return {shard_id: f.result() for shard_id, f in futures.items()}
+
+    # ------------------------------------------------------------------
+    # Fleet-wide endpoints
+    # ------------------------------------------------------------------
+    def _healthz(self) -> tuple[int, dict[str, Any]]:
+        responses = self._fan_out("GET", "/healthz")
+        shards = []
+        healthy = 0
+        for shard_id in self.manager.shard_ids():
+            handle = self.manager.handle(shard_id)
+            if handle is None:  # resized away mid-request
+                continue
+            status = handle.status()
+            code, payload = responses.get(shard_id, (503, {}))
+            if code == 200:
+                healthy += 1
+                status["health"] = payload
+            shards.append(status)
+        total = len(shards)
+        overall = "ok" if healthy == total and total > 0 else "degraded"
+        return 200, {
+            "status": overall,
+            "role": "router",
+            "lifecycle": self.lifecycle.status(),
+            "shards_total": total,
+            "shards_healthy": healthy,
+            "ring_version": self.manager.version,
+            "shards": shards,
+        }
+
+    def _readyz(self) -> tuple[int, dict[str, Any]]:
+        if self.lifecycle.is_draining():
+            return 503, {
+                "ready": False,
+                "error": "router is draining",
+                "retry_after": self.retry_after_seconds,
+            }
+        if not self.manager.all_ready():
+            return 503, {
+                "ready": False,
+                "error": "one or more shards are not ready",
+                "retry_after": self.retry_after_seconds,
+                "shards": self.manager.statuses(),
+            }
+        return 200, {"ready": True, "shards": len(self.manager.shard_ids())}
+
+    _SUMMED_STATS = (
+        "requests",
+        "hits",
+        "coalesced",
+        "computations",
+        "shed",
+        "queue_depth",
+        "precomputed",
+        "precompute_failures",
+    )
+
+    def _serving_stats(self) -> tuple[int, dict[str, Any]]:
+        responses = self._fan_out("GET", "/serving/stats")
+        per_shard: dict[str, Any] = {}
+        totals = {key: 0 for key in self._SUMMED_STATS}
+        reachable = 0
+        for shard_id, (code, payload) in sorted(responses.items()):
+            per_shard[str(shard_id)] = payload if code == 200 else {
+                "error": payload.get("error", f"status {code}")
+            }
+            if code != 200:
+                continue
+            reachable += 1
+            for key in self._SUMMED_STATS:
+                value = payload.get(key)
+                if isinstance(value, (int, float)) and not isinstance(
+                    value, bool
+                ):
+                    totals[key] += value
+        requests = totals["requests"]
+        totals["hit_rate"] = totals["hits"] / requests if requests else 0.0
+        return 200, {
+            "aggregated": True,
+            "shards_reporting": reachable,
+            "shards_total": len(responses),
+            "totals": totals,
+            "router": {
+                "proxied": self._proxied,
+                "unavailable": self._unavailable,
+                "uptime_seconds": time.monotonic() - self._started,
+            },
+            "per_shard": per_shard,
+        }
+
+    def _topologies(self) -> tuple[int, dict[str, Any]]:
+        responses = self._fan_out("GET", "/topologies")
+        names: set[str] = set()
+        for code, payload in responses.values():
+            if code == 200:
+                names.update(payload.get("topologies", []))
+        return 200, {"topologies": sorted(names)}
+
+    def _ring_payload(self) -> dict[str, Any]:
+        ring = self.ring()
+        addresses = {}
+        states = {}
+        for shard_id in ring.shard_ids:
+            address = self.manager.address_of(shard_id)
+            addresses[str(shard_id)] = (
+                f"{address[0]}:{address[1]}" if address else None
+            )
+            states[str(shard_id)] = self.manager.state_of(shard_id)
+        return {
+            "shards": list(ring.shard_ids),
+            "virtual_nodes": ring.virtual_nodes,
+            "version": self.manager.version,
+            "addresses": addresses,
+            "states": states,
+        }
+
+    def _cluster_stats(self) -> tuple[int, dict[str, Any]]:
+        return 200, {
+            "ring": self._ring_payload(),
+            "shards": self.manager.statuses(),
+            "router": {
+                "proxied": self._proxied,
+                "unavailable": self._unavailable,
+                "uptime_seconds": time.monotonic() - self._started,
+            },
+        }
+
+    def _resize(self, body: dict[str, Any]) -> tuple[int, dict[str, Any]]:
+        shards = body.get("shards")
+        if not isinstance(shards, int) or isinstance(shards, bool) or shards < 1:
+            return 400, {"error": "shards must be a positive integer"}
+        before = self.ring()
+        changes = self.manager.resize(shards)
+        after = self.ring()
+        moved = []
+        # Report which currently-registered topologies changed owner —
+        # callers see exactly what the consistent hash moved.
+        _, payload = self._topologies()
+        for name in payload["topologies"]:
+            if before.shard_for(name) != after.shard_for(name):
+                moved.append(name)
+        return 200, {**changes, "version": self.manager.version, "moved": moved}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def shutdown(self) -> None:
+        """Stop the fan-out pool and the whole shard fleet."""
+        self._fanout.shutdown(wait=False)
+        self.manager.stop_all()

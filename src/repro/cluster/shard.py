@@ -1,0 +1,438 @@
+"""Shard process lifecycle: spawn, watch, restart, stop.
+
+A shard is one ``caladrius serve`` worker process bound to a private
+data directory (and, when replication is on, one follower process its
+WAL segments ship to).  :class:`ShardManager` owns the whole fleet:
+
+* **spawn** — start follower (first, so the worker has somewhere to
+  ship) then worker, parse the announce line for the ephemeral port,
+  then probe ``/readyz`` until the worker admits traffic;
+* **supervise** — a monitor thread polls the processes; a worker that
+  dies (``kill -9``, OOM, crash) is respawned on the *same* data
+  directory, so WAL replay recovers every acknowledged write.  While it
+  replays, the shard reports ``restarting`` and the router answers 503
+  + ``Retry-After`` for its topologies;
+* **resize** — growing the fleet spawns new shard ids, shrinking drains
+  and stops the highest ids; surviving ids keep their data directories
+  and ring points;
+* **stop** — SIGTERM every process (workers drain and checkpoint),
+  escalating to SIGKILL after a bound.
+
+Everything here is transport-free; the HTTP front door lives in
+:mod:`repro.cluster.router`.
+"""
+
+from __future__ import annotations
+
+import logging
+import re
+import signal
+import subprocess
+import threading
+import time
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import IO, Any
+
+from repro.api.client import CaladriusClient
+from repro.errors import ReproError
+
+__all__ = [
+    "ShardManager",
+    "ShardHandle",
+    "ClusterError",
+    "STARTING",
+    "READY",
+    "RESTARTING",
+    "FAILED",
+    "STOPPED",
+]
+
+logger = logging.getLogger("repro.cluster.shard")
+
+STARTING = "starting"
+READY = "ready"
+RESTARTING = "restarting"
+FAILED = "failed"
+STOPPED = "stopped"
+
+_ANNOUNCE = re.compile(r"serving on ([\d.]+):(\d+)")
+#: A worker that dies this quickly after becoming ready is crash-looping.
+_MIN_HEALTHY_UPTIME = 2.0
+#: Consecutive rapid deaths before the manager gives up on a shard.
+_MAX_RAPID_RESTARTS = 5
+
+
+class ClusterError(ReproError):
+    """A cluster-tier operation failed."""
+
+
+def _drain(stream: IO[str] | None, sink: list[str] | None = None) -> None:
+    """Read a child's pipe to EOF so it never blocks on a full buffer."""
+    if stream is None:
+        return
+    try:
+        for line in stream:
+            if sink is not None:
+                sink.append(line)
+                del sink[:-50]  # keep the tail for error reports
+    except (OSError, ValueError):
+        pass
+
+
+@dataclass
+class _Child:
+    """One spawned process plus its parsed announce address."""
+
+    process: subprocess.Popen
+    port: int
+    stderr_tail: list[str]
+
+
+def _spawn_announced(
+    argv: list[str],
+    announce_timeout: float,
+    env: dict[str, str] | None = None,
+) -> _Child:
+    """Start ``argv`` and wait for its ``… serving on host:port`` line."""
+    process = subprocess.Popen(
+        argv,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    stderr_tail: list[str] = []
+    threading.Thread(
+        target=_drain, args=(process.stderr, stderr_tail), daemon=True
+    ).start()
+    deadline = time.monotonic() + announce_timeout
+    while time.monotonic() < deadline:
+        assert process.stdout is not None
+        line = process.stdout.readline()
+        if line:
+            match = _ANNOUNCE.search(line)
+            if match:
+                port = int(match.group(2))
+                threading.Thread(
+                    target=_drain, args=(process.stdout,), daemon=True
+                ).start()
+                return _Child(process, port, stderr_tail)
+        elif process.poll() is not None:
+            break
+        else:
+            time.sleep(0.01)
+    tail = "".join(stderr_tail[-10:])
+    if process.poll() is None:
+        process.kill()
+        process.wait(timeout=10)
+    raise ClusterError(
+        f"process {argv[:4]}… never announced a port within "
+        f"{announce_timeout:.0f}s\n{tail}"
+    )
+
+
+def _terminate(
+    process: subprocess.Popen, timeout: float, label: str
+) -> int | None:
+    """SIGTERM then (after ``timeout``) SIGKILL; returns the exit code."""
+    if process.poll() is not None:
+        return process.returncode
+    try:
+        process.send_signal(signal.SIGTERM)
+    except (ProcessLookupError, OSError):
+        return process.poll()
+    try:
+        return process.wait(timeout=timeout)
+    except subprocess.TimeoutExpired:
+        logger.warning("%s ignored SIGTERM for %.1fs; killing", label, timeout)
+        process.kill()
+        return process.wait(timeout=10)
+
+
+class ShardHandle:
+    """Mutable supervision state for one shard (guarded by the manager)."""
+
+    def __init__(self, shard_id: int) -> None:
+        self.shard_id = shard_id
+        self.state = STARTING
+        self.worker: _Child | None = None
+        self.follower: _Child | None = None
+        self.restarts = 0
+        self.rapid_deaths = 0
+        self.became_ready: float | None = None
+        self.last_error: str | None = None
+
+    def status(self) -> dict[str, Any]:
+        """JSON shape for ``/cluster/stats`` and ``/cluster/ring``."""
+        payload: dict[str, Any] = {
+            "shard_id": self.shard_id,
+            "state": self.state,
+            "restarts": self.restarts,
+        }
+        if self.worker is not None:
+            payload["port"] = self.worker.port
+            payload["pid"] = self.worker.process.pid
+        if self.follower is not None:
+            payload["follower_port"] = self.follower.port
+            payload["follower_pid"] = self.follower.process.pid
+        if self.last_error:
+            payload["last_error"] = self.last_error
+        return payload
+
+
+class ShardManager:
+    """Spawns and supervises the worker (and follower) processes.
+
+    Parameters
+    ----------
+    worker_argv:
+        ``(shard_id, ship_to)`` → the worker's command line.  ``ship_to``
+        is ``"host:port"`` of the shard's follower, or ``None``.
+    follower_argv:
+        ``shard_id`` → the follower's command line, or ``None`` to run
+        without replication.
+    host:
+        Address the workers bind (they announce their ephemeral port).
+    ready_timeout / announce_timeout:
+        Bounds on worker boot: announce covers process start + WAL
+        replay, ready covers the ``/readyz`` probe after that.
+    restart_backoff_seconds:
+        Delay before respawning a dead worker.
+    """
+
+    def __init__(
+        self,
+        worker_argv: Callable[[int, str | None], list[str]],
+        follower_argv: Callable[[int], list[str]] | None = None,
+        host: str = "127.0.0.1",
+        ready_timeout: float = 60.0,
+        announce_timeout: float = 120.0,
+        restart_backoff_seconds: float = 0.2,
+        poll_interval_seconds: float = 0.1,
+    ) -> None:
+        self._worker_argv = worker_argv
+        self._follower_argv = follower_argv
+        self.host = host
+        self.ready_timeout = ready_timeout
+        self.announce_timeout = announce_timeout
+        self.restart_backoff_seconds = restart_backoff_seconds
+        self.poll_interval_seconds = poll_interval_seconds
+        self._lock = threading.RLock()
+        self._handles: dict[int, ShardHandle] = {}
+        self._version = 0
+        self._stopping = threading.Event()
+        self._monitor: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    # Fleet lifecycle
+    # ------------------------------------------------------------------
+    def start(self, shards: int) -> None:
+        """Boot ``shards`` workers (and followers) and start supervising."""
+        if shards < 1:
+            raise ClusterError("a cluster needs at least one shard")
+        with self._lock:
+            if self._handles:
+                raise ClusterError("cluster already started")
+            for shard_id in range(shards):
+                self._handles[shard_id] = ShardHandle(shard_id)
+        for shard_id in range(shards):
+            self._boot_shard(shard_id)
+        self._version += 1
+        self._monitor = threading.Thread(
+            target=self._monitor_loop, name="cluster-monitor", daemon=True
+        )
+        self._monitor.start()
+
+    def _boot_shard(self, shard_id: int) -> None:
+        """Start follower (if any) then worker, then wait for readiness."""
+        handle = self._handles[shard_id]
+        try:
+            ship_to = None
+            if self._follower_argv is not None and handle.follower is None:
+                follower = _spawn_announced(
+                    self._follower_argv(shard_id), self.announce_timeout
+                )
+                handle.follower = follower
+            if handle.follower is not None:
+                ship_to = f"{self.host}:{handle.follower.port}"
+            child = _spawn_announced(
+                self._worker_argv(shard_id, ship_to), self.announce_timeout
+            )
+            with self._lock:
+                handle.worker = child
+            client = CaladriusClient(
+                self.host, child.port, timeout=5.0, retries=0
+            )
+            client.wait_ready(timeout=self.ready_timeout)
+            client.close()
+            with self._lock:
+                handle.state = READY
+                handle.became_ready = time.monotonic()
+                handle.last_error = None
+        except ReproError as exc:
+            with self._lock:
+                handle.state = FAILED
+                handle.last_error = str(exc)
+            raise
+
+    def resize(self, shards: int) -> dict[str, Any]:
+        """Grow or shrink the fleet; returns what changed.
+
+        Surviving shard ids keep their processes, data directories and
+        ring points, so consistent hashing moves only the topologies
+        that must move.  No data migration happens here: a topology
+        whose owner changes starts with an empty metrics window on the
+        new owner (the old owner's data directory keeps the history).
+        """
+        if shards < 1:
+            raise ClusterError("a cluster needs at least one shard")
+        with self._lock:
+            current = sorted(self._handles)
+            added = [i for i in range(shards) if i not in self._handles]
+            removed = [i for i in current if i >= shards]
+            for shard_id in added:
+                self._handles[shard_id] = ShardHandle(shard_id)
+        for shard_id in added:
+            self._boot_shard(shard_id)
+        for shard_id in removed:
+            with self._lock:
+                handle = self._handles.pop(shard_id)
+                handle.state = STOPPED
+            self._stop_handle(handle, timeout=30.0)
+        with self._lock:
+            self._version += 1
+        return {"added": added, "removed": removed, "shards": self.shard_ids()}
+
+    def stop_all(self, timeout: float = 30.0) -> None:
+        """SIGTERM the whole fleet (workers drain + checkpoint), then kill."""
+        self._stopping.set()
+        if self._monitor is not None:
+            self._monitor.join(timeout=5)
+            self._monitor = None
+        with self._lock:
+            handles = list(self._handles.values())
+            for handle in handles:
+                handle.state = STOPPED
+        for handle in handles:
+            self._stop_handle(handle, timeout)
+
+    def _stop_handle(self, handle: ShardHandle, timeout: float) -> None:
+        if handle.worker is not None:
+            _terminate(
+                handle.worker.process, timeout, f"shard-{handle.shard_id}"
+            )
+        if handle.follower is not None:
+            _terminate(
+                handle.follower.process,
+                timeout,
+                f"follower-{handle.shard_id}",
+            )
+
+    # ------------------------------------------------------------------
+    # Supervision
+    # ------------------------------------------------------------------
+    def _monitor_loop(self) -> None:
+        while not self._stopping.wait(self.poll_interval_seconds):
+            with self._lock:
+                dead = [
+                    handle
+                    for handle in self._handles.values()
+                    if handle.state == READY
+                    and handle.worker is not None
+                    and handle.worker.process.poll() is not None
+                ]
+                for handle in dead:
+                    uptime = (
+                        time.monotonic() - handle.became_ready
+                        if handle.became_ready is not None
+                        else 0.0
+                    )
+                    handle.rapid_deaths = (
+                        handle.rapid_deaths + 1
+                        if uptime < _MIN_HEALTHY_UPTIME
+                        else 0
+                    )
+                    handle.state = RESTARTING
+                    handle.restarts += 1
+                    handle.last_error = (
+                        f"worker exited with {handle.worker.process.returncode}"
+                    )
+            for handle in dead:
+                if self._stopping.is_set():
+                    return
+                if handle.rapid_deaths > _MAX_RAPID_RESTARTS:
+                    with self._lock:
+                        handle.state = FAILED
+                        handle.last_error = (
+                            "crash loop: worker died "
+                            f"{handle.rapid_deaths} times within "
+                            f"{_MIN_HEALTHY_UPTIME:.0f}s of becoming ready"
+                        )
+                    logger.error(
+                        "shard %d is crash-looping; giving up",
+                        handle.shard_id,
+                    )
+                    continue
+                logger.warning(
+                    "shard %d died (%s); respawning on its data dir",
+                    handle.shard_id,
+                    handle.last_error,
+                )
+                time.sleep(self.restart_backoff_seconds)
+                try:
+                    self._boot_shard(handle.shard_id)
+                    with self._lock:
+                        self._version += 1
+                except ReproError:
+                    logger.exception(
+                        "shard %d failed to restart", handle.shard_id
+                    )
+
+    # ------------------------------------------------------------------
+    # Introspection (the router reads these)
+    # ------------------------------------------------------------------
+    def shard_ids(self) -> list[int]:
+        """Current member ids (the ring is built from these)."""
+        with self._lock:
+            return sorted(self._handles)
+
+    @property
+    def version(self) -> int:
+        """Bumped on membership, address or recovery changes."""
+        with self._lock:
+            return self._version
+
+    def handle(self, shard_id: int) -> ShardHandle | None:
+        with self._lock:
+            return self._handles.get(shard_id)
+
+    def address_of(self, shard_id: int) -> tuple[str, int] | None:
+        """``(host, port)`` when the shard is ready, else ``None``."""
+        with self._lock:
+            handle = self._handles.get(shard_id)
+            if (
+                handle is None
+                or handle.state != READY
+                or handle.worker is None
+            ):
+                return None
+            return self.host, handle.worker.port
+
+    def state_of(self, shard_id: int) -> str | None:
+        with self._lock:
+            handle = self._handles.get(shard_id)
+            return None if handle is None else handle.state
+
+    def all_ready(self) -> bool:
+        with self._lock:
+            return bool(self._handles) and all(
+                h.state == READY for h in self._handles.values()
+            )
+
+    def statuses(self) -> list[dict[str, Any]]:
+        with self._lock:
+            return [
+                self._handles[shard_id].status()
+                for shard_id in sorted(self._handles)
+            ]

@@ -1,0 +1,235 @@
+"""WAL-segment shipping: stream a shard's log to its follower.
+
+The shipper runs inside a worker process next to its
+:class:`~repro.durability.store.DurableMetricsStore`.  On every pass it
+
+1. flushes the WAL so buffered group-commit bytes reach the segment
+   files,
+2. ships ``checkpoint.json`` whenever it changed (the follower resets
+   its replica store from it), and
+3. appends each segment's new bytes — from the last offset the follower
+   acknowledged to the current end of file — via
+   ``POST /replica/segment?name=…&offset=…``.
+
+Bytes are shipped verbatim: the follower receives the same CRC-framed
+stream the shard fsyncs, so the replica's ``wal/`` directory is
+byte-identical to the shard's (up to the shipped offset) and remains a
+valid data directory for :func:`repro.durability.recovery.open_data_dir`
+— that is what makes rescuing a lost shard from its follower possible.
+
+Offsets are the consistency protocol: the follower answers 409 with the
+offset it actually holds when the shipper's bookkeeping disagrees (a
+follower restart, a truncated transfer), and the shipper rewinds.  A
+shipped chunk may end mid-frame; the follower only *applies* whole
+frames, so torn tails are invisible to replica reads.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import logging
+import threading
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.durability.checkpoint import CHECKPOINT_FILENAME
+from repro.durability.store import DurableMetricsStore
+
+__all__ = ["SegmentShipper"]
+
+logger = logging.getLogger("repro.cluster.shipping")
+
+_CHUNK_BYTES = 1024 * 1024
+
+
+class SegmentShipper:
+    """Streams sealed and active WAL segments to a follower process.
+
+    Parameters
+    ----------
+    store:
+        The shard's durable store (owns the WAL being shipped).
+    target:
+        ``"host:port"`` of the follower's replica endpoint.
+    interval_seconds:
+        Ship cadence of the background thread; :meth:`ship_now` can be
+        called at any time for a synchronous pass (tests, drain).
+    """
+
+    def __init__(
+        self,
+        store: DurableMetricsStore,
+        target: str,
+        interval_seconds: float = 0.5,
+        timeout: float = 10.0,
+    ) -> None:
+        host, _, port = target.rpartition(":")
+        self.store = store
+        self.host = host or "127.0.0.1"
+        self.port = int(port)
+        self.interval_seconds = interval_seconds
+        self.timeout = timeout
+        self._offsets: dict[str, int] = {}
+        self._checkpoint_sig: tuple[int, int] | None = None
+        self._conn: http.client.HTTPConnection | None = None
+        self._mutex = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._shipped_bytes = 0
+        self._failures = 0
+        self._passes = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._loop, name="wal-shipper", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, final_ship: bool = True) -> None:
+        """Stop the loop; by default ship once more so drain loses nothing."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=self.timeout + 5)
+            self._thread = None
+        if final_ship:
+            try:
+                self.ship_now()
+            except OSError:
+                logger.warning("final ship to %s:%d failed", self.host, self.port)
+        with self._mutex:
+            if self._conn is not None:
+                self._conn.close()
+                self._conn = None
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval_seconds):
+            try:
+                self.ship_now()
+            except OSError as exc:
+                self._failures += 1
+                logger.debug("ship pass failed: %s", exc)
+
+    # ------------------------------------------------------------------
+    # One shipping pass
+    # ------------------------------------------------------------------
+    def ship_now(self) -> dict[str, Any]:
+        """Flush the WAL and push every outstanding byte to the follower."""
+        with self._mutex:
+            self.store.flush()
+            shipped = 0
+            shipped += self._ship_checkpoint()
+            live = set()
+            for path in self.store.wal.segments():
+                live.add(path.name)
+                shipped += self._ship_segment(path)
+            # Segments reclaimed by a checkpoint vanish from the shard;
+            # forget their offsets so a reused name starts clean.
+            for name in list(self._offsets):
+                if name not in live:
+                    del self._offsets[name]
+            self._passes += 1
+            self._shipped_bytes += shipped
+            return {
+                "shipped_bytes": shipped,
+                "segments": sorted(live),
+                "offsets": dict(self._offsets),
+            }
+
+    def _ship_checkpoint(self) -> int:
+        path = self.store.data_dir / CHECKPOINT_FILENAME
+        try:
+            stat = path.stat()
+        except FileNotFoundError:
+            return 0
+        signature = (stat.st_mtime_ns, stat.st_size)
+        if signature == self._checkpoint_sig:
+            return 0
+        payload = path.read_bytes()
+        self._post(f"/replica/{CHECKPOINT_FILENAME}", payload)
+        self._checkpoint_sig = signature
+        return len(payload)
+
+    def _ship_segment(self, path: Path) -> int:
+        name = path.name
+        offset = self._offsets.get(name, 0)
+        try:
+            size = path.stat().st_size
+        except FileNotFoundError:
+            return 0  # pruned between listing and shipping
+        shipped = 0
+        while offset < size:
+            with open(path, "rb") as handle:
+                handle.seek(offset)
+                chunk = handle.read(min(_CHUNK_BYTES, size - offset))
+            if not chunk:
+                break
+            status, body = self._post(
+                f"/replica/segment?name={name}&offset={offset}", chunk
+            )
+            if status == 409:
+                # The follower holds a different prefix (it restarted or
+                # a transfer tore); trust its offset and rewind/advance.
+                offset = int(body.get("offset", 0))
+                self._offsets[name] = offset
+                continue
+            offset += len(chunk)
+            shipped += len(chunk)
+            self._offsets[name] = offset
+        return shipped
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _post(self, path: str, body: bytes) -> tuple[int, dict[str, Any]]:
+        for attempt in (0, 1):
+            if self._conn is None:
+                self._conn = http.client.HTTPConnection(
+                    self.host, self.port, timeout=self.timeout
+                )
+            try:
+                self._conn.request(
+                    "POST",
+                    path,
+                    body=body,
+                    headers={"Content-Type": "application/octet-stream"},
+                )
+                response = self._conn.getresponse()
+                raw = response.read()
+            except (OSError, http.client.HTTPException):
+                self._conn.close()
+                self._conn = None
+                if attempt:
+                    raise
+                continue  # stale keep-alive connection; retry once fresh
+            try:
+                payload = json.loads(raw.decode("utf8")) if raw else {}
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                payload = {}
+            if response.status >= 500:
+                raise OSError(
+                    f"follower {self.host}:{self.port} answered "
+                    f"{response.status} for {path}"
+                )
+            return response.status, payload
+        raise OSError("unreachable")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, Any]:
+        """Shipping counters for ``/healthz`` and ``/cluster/stats``."""
+        with self._mutex:
+            return {
+                "target": f"{self.host}:{self.port}",
+                "passes": self._passes,
+                "shipped_bytes": self._shipped_bytes,
+                "failures": self._failures,
+                "offsets": dict(self._offsets),
+            }

@@ -10,6 +10,7 @@ registry.
 
 from repro.config.loader import (
     CaladriusConfig,
+    ClusterConfig,
     DurabilityConfig,
     ServingConfig,
     load_config,
@@ -18,6 +19,7 @@ from repro.config.registry import ModelRegistry, build_registry
 
 __all__ = [
     "CaladriusConfig",
+    "ClusterConfig",
     "DurabilityConfig",
     "ModelRegistry",
     "ServingConfig",

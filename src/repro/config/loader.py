@@ -13,6 +13,7 @@ from repro.errors import ConfigError
 
 __all__ = [
     "CaladriusConfig",
+    "ClusterConfig",
     "DurabilityConfig",
     "ServingConfig",
     "load_config",
@@ -84,6 +85,28 @@ class DurabilityConfig:
 
 
 @dataclass(frozen=True)
+class ClusterConfig:
+    """Cluster-tier settings (``caladrius serve --shards N``).
+
+    ``shards`` is the fleet size (1 = single process, no cluster tier).
+    ``virtual_nodes`` controls consistent-hash smoothness; it must match
+    between router and shard-aware clients, which it does because both
+    read it from ``GET /cluster/ring``.  ``replicate`` pairs every shard
+    with a follower replica fed by WAL-segment shipping every
+    ``ship_interval_seconds``.  ``restart_backoff_seconds`` is the pause
+    before a crashed shard is respawned; ``proxy_timeout_seconds``
+    bounds one router→shard proxy hop.
+    """
+
+    shards: int = 1
+    virtual_nodes: int = 64
+    replicate: bool = False
+    ship_interval_seconds: float = 0.5
+    restart_backoff_seconds: float = 0.2
+    proxy_timeout_seconds: float = 30.0
+
+
+@dataclass(frozen=True)
 class CaladriusConfig:
     """Validated service configuration.
 
@@ -106,6 +129,7 @@ class CaladriusConfig:
     degraded_threshold: float = 0.25
     serving: ServingConfig = field(default_factory=ServingConfig)
     durability: DurabilityConfig = field(default_factory=DurabilityConfig)
+    cluster: ClusterConfig = field(default_factory=ClusterConfig)
 
     def options_for(self, model: str) -> dict[str, Any]:
         """Keyword options configured for one model (may be empty)."""
@@ -145,6 +169,13 @@ def load_config(source: str | Path | Mapping[str, Any]) -> CaladriusConfig:
             breaker_window: 20
             breaker_min_calls: 5
             breaker_open_seconds: 5
+          cluster:
+            shards: 4
+            virtual_nodes: 64
+            replicate: true
+            ship_interval_seconds: 0.5
+            restart_backoff_seconds: 0.2
+            proxy_timeout_seconds: 30
 
     Unknown model names and malformed sections raise
     :class:`~repro.errors.ConfigError` with a precise message.
@@ -205,6 +236,7 @@ def load_config(source: str | Path | Mapping[str, Any]) -> CaladriusConfig:
         )
     serving = _parse_serving(section.get("serving", {}))
     durability = _parse_durability(section.get("durability", {}))
+    cluster = _parse_cluster(section.get("cluster", {}))
     return CaladriusConfig(
         traffic_models=traffic,
         performance_models=performance,
@@ -215,6 +247,7 @@ def load_config(source: str | Path | Mapping[str, Any]) -> CaladriusConfig:
         degraded_threshold=float(threshold),
         serving=serving,
         durability=durability,
+        cluster=cluster,
     )
 
 
@@ -349,6 +382,55 @@ def _parse_durability(section: Any) -> DurabilityConfig:
         breaker_window=window,
         breaker_min_calls=min_calls,
         breaker_open_seconds=float(open_seconds),
+    )
+
+
+def _parse_cluster(section: Any) -> ClusterConfig:
+    if not isinstance(section, dict):
+        raise ConfigError("'cluster' section must be a mapping")
+    defaults = ClusterConfig()
+    known = {
+        "shards", "virtual_nodes", "replicate", "ship_interval_seconds",
+        "restart_backoff_seconds", "proxy_timeout_seconds",
+    }
+    unknown = sorted(set(section) - known)
+    if unknown:
+        raise ConfigError(
+            f"unknown cluster keys {unknown}; known: {sorted(known)}"
+        )
+    shards = _positive_int(
+        section.get("shards", defaults.shards), "cluster.shards"
+    )
+    virtual_nodes = _positive_int(
+        section.get("virtual_nodes", defaults.virtual_nodes),
+        "cluster.virtual_nodes",
+    )
+    replicate = section.get("replicate", defaults.replicate)
+    if not isinstance(replicate, bool):
+        raise ConfigError("cluster.replicate must be a boolean")
+    ship_interval = _positive_number(
+        section.get("ship_interval_seconds", defaults.ship_interval_seconds),
+        "cluster.ship_interval_seconds",
+    )
+    backoff = _positive_number(
+        section.get(
+            "restart_backoff_seconds", defaults.restart_backoff_seconds
+        ),
+        "cluster.restart_backoff_seconds",
+    )
+    proxy_timeout = _positive_number(
+        section.get(
+            "proxy_timeout_seconds", defaults.proxy_timeout_seconds
+        ),
+        "cluster.proxy_timeout_seconds",
+    )
+    return ClusterConfig(
+        shards=shards,
+        virtual_nodes=virtual_nodes,
+        replicate=replicate,
+        ship_interval_seconds=float(ship_interval),
+        restart_backoff_seconds=float(backoff),
+        proxy_timeout_seconds=float(proxy_timeout),
     )
 
 

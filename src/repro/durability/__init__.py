@@ -41,14 +41,20 @@ from repro.durability.lifecycle import (
     STOPPED,
     LifecycleController,
 )
+from repro.durability.codec import store_content_hash
 from repro.durability.recovery import open_data_dir
-from repro.durability.store import DurableMetricsStore, RecoveryReport
+from repro.durability.store import (
+    DurableMetricsStore,
+    RecoveryReport,
+    apply_wal_record,
+)
 from repro.durability.wal import (
     FSYNC_ALWAYS,
     FSYNC_INTERVAL,
     FSYNC_NEVER,
     FSYNC_POLICIES,
     WriteAheadLog,
+    read_segment_records,
 )
 
 __all__ = [
@@ -72,8 +78,11 @@ __all__ = [
     "LifecycleController",
     "RecoveryReport",
     "WriteAheadLog",
+    "apply_wal_record",
     "atomic_write_json",
     "check_deadline",
+    "read_segment_records",
+    "store_content_hash",
     "current_deadline",
     "deadline_scope",
     "open_data_dir",

@@ -12,6 +12,8 @@ transformation; atomic file handling lives in
 
 from __future__ import annotations
 
+import hashlib
+import json
 from typing import Any
 
 from repro.errors import DurabilityError
@@ -38,6 +40,7 @@ __all__ = [
     "restore_store_state",
     "encode_tracker_state",
     "restore_tracker_state",
+    "store_content_hash",
 ]
 
 
@@ -86,6 +89,31 @@ def restore_store_state(store: MetricsStore, state: dict[str, Any]) -> int:
         )
         samples += len(record["timestamps"])
     return samples
+
+
+def store_content_hash(store: MetricsStore) -> str:
+    """SHA-256 over the store's *series content*, in canonical form.
+
+    The hash covers every series (name, tags, timestamps, values) but
+    deliberately excludes the data-version counters: recovery replays
+    snapshot samples through the normal write path, which over-bumps
+    versions (by design — cache keys must never go backwards), so two
+    stores holding identical samples can disagree on counters.  The
+    cluster tier compares a shard against its follower replica with this
+    hash: equal hashes mean byte-identical series data.
+    """
+    with store._lock:
+        series = sorted(
+            (
+                key.name,
+                sorted(key.tag_dict().items()),
+                list(buffer.timestamps),
+                list(buffer.values),
+            )
+            for key, buffer in store._series.items()
+        )
+    canonical = json.dumps(series, separators=(",", ":"), sort_keys=True)
+    return hashlib.sha256(canonical.encode("utf8")).hexdigest()
 
 
 # ----------------------------------------------------------------------

@@ -35,9 +35,32 @@ from repro.durability.wal import FSYNC_INTERVAL, WriteAheadLog
 from repro.errors import MetricsError
 from repro.timeseries.store import MetricKey, MetricsStore
 
-__all__ = ["DurableMetricsStore", "RecoveryReport"]
+__all__ = ["DurableMetricsStore", "RecoveryReport", "apply_wal_record"]
 
 _WAL_SUBDIR = "wal"
+
+
+def apply_wal_record(store: MetricsStore, record: Mapping[str, Any]) -> None:
+    """Apply one WAL record to a store through the plain (unjournaled)
+    write path.
+
+    Shared by :class:`DurableMetricsStore` recovery and the cluster
+    tier's follower replay, so a replica replays shipped segments with
+    exactly the semantics recovery uses.
+    """
+    op = record.get("op")
+    if op == "write":
+        MetricsStore.write(
+            store,
+            record["name"],
+            int(record["ts"]),
+            float(record["v"]),
+            record.get("tags") or None,
+        )
+    elif op == "clear":
+        MetricsStore.clear(store)
+    else:
+        raise MetricsError(f"unknown WAL op {op!r}")
 
 
 @dataclass(frozen=True)
@@ -158,19 +181,7 @@ class DurableMetricsStore(MetricsStore):
         )
 
     def _apply(self, record: Mapping[str, Any]) -> None:
-        op = record.get("op")
-        if op == "write":
-            MetricsStore.write(
-                self,
-                record["name"],
-                int(record["ts"]),
-                float(record["v"]),
-                record.get("tags") or None,
-            )
-        elif op == "clear":
-            MetricsStore.clear(self)
-        else:
-            raise MetricsError(f"unknown WAL op {op!r}")
+        apply_wal_record(self, record)
 
     # ------------------------------------------------------------------
     # Journaled mutations

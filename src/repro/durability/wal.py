@@ -58,6 +58,7 @@ __all__ = [
     "FSYNC_POLICIES",
     "WalScan",
     "WriteAheadLog",
+    "read_segment_records",
 ]
 
 FSYNC_ALWAYS = "always"
@@ -137,6 +138,42 @@ def _segment_first_lsn(path: Path) -> int:
         return int(stem)
     except ValueError:
         raise DurabilityError(f"not a WAL segment name: {path}") from None
+
+
+def read_segment_records(
+    source: "str | Path | io.BufferedReader",
+    start_offset: int = 0,
+) -> Iterator[tuple[dict[str, Any], int]]:
+    """Yield ``(record, end_offset)`` for each whole frame in a segment.
+
+    This is the one CRC-framed decoder: the WAL's own replay, the
+    cluster tier's segment shipping and the follower's incremental
+    replay all parse segment bytes through it.  Parsing stops silently
+    at the first incomplete or CRC-broken frame (a torn tail, or bytes
+    that simply have not arrived yet); ``end_offset`` is where the next
+    parse attempt should resume.
+    """
+    if isinstance(source, (str, Path)):
+        with open(source, "rb") as handle:
+            yield from read_segment_records(handle, start_offset)
+            return
+    handle = source
+    handle.seek(start_offset)
+    while True:
+        header = handle.read(_HEADER.size)
+        if len(header) < _HEADER.size:
+            return
+        length, crc = _HEADER.unpack(header)
+        if length > _MAX_RECORD_BYTES:
+            return
+        payload = handle.read(length)
+        if len(payload) < length or zlib.crc32(payload) != crc:
+            return
+        try:
+            record = json.loads(payload.decode("utf8"))
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            return
+        yield record, handle.tell()
 
 
 def _fsync_directory(directory: Path) -> None:
@@ -328,25 +365,25 @@ class WriteAheadLog:
             if self._handle is not None:
                 self._handle.flush()
         for path in self._segment_paths():
-            with open(path, "rb") as handle:
-                while True:
-                    header = handle.read(_HEADER.size)
-                    if len(header) < _HEADER.size:
-                        break
-                    length, crc = _HEADER.unpack(header)
-                    if length > _MAX_RECORD_BYTES:
-                        break
-                    payload = handle.read(length)
-                    if len(payload) < length or zlib.crc32(payload) != crc:
-                        break
-                    record = json.loads(payload.decode("utf8"))
-                    if int(record.get("lsn", 0)) > after_lsn:
-                        yield record
+            for record, _ in read_segment_records(path):
+                if int(record.get("lsn", 0)) > after_lsn:
+                    yield record
 
     @property
     def scan(self) -> WalScan:
         """What the opening scan found (torn records, extent)."""
         return self._scan
+
+    def segments(self) -> list[Path]:
+        """Every segment file in LSN order (the last one is active)."""
+        with self._mutex:
+            return self._segment_paths()
+
+    @property
+    def active_path(self) -> Path | None:
+        """The segment currently being appended to, if one is open."""
+        with self._mutex:
+            return self._active_path
 
     @property
     def last_lsn(self) -> int:

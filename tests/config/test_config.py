@@ -224,3 +224,67 @@ class TestServingConfig:
             load_config({"serving": {key: 0}})
         with pytest.raises(ConfigError, match=key):
             load_config({"serving": {key: 2.5}})
+
+
+class TestClusterConfig:
+    def test_defaults(self):
+        cluster = load_config({}).cluster
+        assert cluster.shards == 1
+        assert cluster.virtual_nodes == 64
+        assert cluster.replicate is False
+        assert cluster.ship_interval_seconds == 0.5
+        assert cluster.restart_backoff_seconds == 0.2
+        assert cluster.proxy_timeout_seconds == 30.0
+
+    def test_overrides(self):
+        cluster = load_config(
+            {
+                "cluster": {
+                    "shards": 4,
+                    "virtual_nodes": 128,
+                    "replicate": True,
+                    "ship_interval_seconds": 0.1,
+                    "restart_backoff_seconds": 1,
+                    "proxy_timeout_seconds": 5,
+                }
+            }
+        ).cluster
+        assert cluster.shards == 4
+        assert cluster.virtual_nodes == 128
+        assert cluster.replicate is True
+        assert cluster.ship_interval_seconds == 0.1
+        assert cluster.restart_backoff_seconds == 1.0
+        assert cluster.proxy_timeout_seconds == 5.0
+
+    def test_section_must_be_a_mapping(self):
+        with pytest.raises(ConfigError, match="mapping"):
+            load_config({"cluster": [4]})
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ConfigError, match="unknown cluster keys"):
+            load_config({"cluster": {"shard_count": 4}})
+
+    def test_replicate_must_be_boolean(self):
+        with pytest.raises(ConfigError, match="replicate"):
+            load_config({"cluster": {"replicate": "yes"}})
+
+    @pytest.mark.parametrize("key", ["shards", "virtual_nodes"])
+    def test_counts_must_be_positive_integers(self, key):
+        with pytest.raises(ConfigError, match=key):
+            load_config({"cluster": {key: 0}})
+        with pytest.raises(ConfigError, match=key):
+            load_config({"cluster": {key: 2.5}})
+
+    @pytest.mark.parametrize(
+        "key",
+        [
+            "ship_interval_seconds",
+            "restart_backoff_seconds",
+            "proxy_timeout_seconds",
+        ],
+    )
+    def test_numbers_must_be_positive(self, key):
+        with pytest.raises(ConfigError, match=key):
+            load_config({"cluster": {key: 0}})
+        with pytest.raises(ConfigError, match=key):
+            load_config({"cluster": {key: "fast"}})
