@@ -20,7 +20,10 @@ correctness gates below always run:
   acknowledged writes once the supervisor respawns it;
 * the router resumes routing to the recovered shard;
 * after a forced shipping pass the follower replica's content hash is
-  byte-identical to the shard store's.
+  byte-identical to the shard store's;
+* wiping a shard's data directory outright promotes its follower (the
+  mean-time-to-recovery of that promotion is measured and gated) and
+  every shipped write is served by the promoted mirror.
 
 Run standalone (``python benchmarks/bench_scaleout.py --smoke``) or via
 pytest (``pytest benchmarks/bench_scaleout.py``).
@@ -187,6 +190,7 @@ def _throughput_phase(
         )
         metrics["speedup"] = metrics["cluster_rps"] / metrics["single_rps"]
         metrics.update(_kill_recover_phase(cluster))
+        metrics.update(_promotion_mttr_phase(cluster, data_root))
         cluster.close()
     finally:
         _stop(process)
@@ -276,6 +280,96 @@ def _kill_recover_phase(cluster) -> dict[str, float]:
     }
 
 
+#: Promotion must complete (follower mirror live, worker ready) within
+#: this long of the disk loss; generous because a promoted worker
+#: replays the mirror's WAL and re-warms the demo registry on boot.
+MTTR_BOUND_SECONDS = 180.0
+
+
+def _promotion_mttr_phase(cluster, data_root: Path) -> dict[str, float]:
+    """Destroy one shard's data directory; time the follower promotion.
+
+    The shard is SIGSTOPped first so it cannot acknowledge writes into
+    already-unlinked files, then its directory is removed and the
+    process SIGKILLed.  The supervisor's recovery validation finds a
+    data directory that would recover less than the follower holds and
+    promotes the mirror instead of respawning onto lost state.  MTTR is
+    measured from the SIGKILL to the shard answering reads again.
+    """
+    from repro.api.client import CaladriusClient
+    from repro.cluster.ring import HashRing
+    from repro.errors import ApiError
+
+    topology = "scaleout-mttr"
+    ring = cluster.refresh_ring()
+    hash_ring = HashRing(ring["shards"], ring["virtual_nodes"])
+    owner = hash_ring.shard_for(topology)
+    health = cluster.healthz()
+    (shard,) = [s for s in health["shards"] if s["shard_id"] == owner]
+    pid = shard["pid"]
+    promotions_before = shard.get("promotions", 0)
+    epoch_before = shard.get("epoch", 0)
+
+    acked = cluster.write_metrics(
+        "mttr",
+        [(60 * (i + 1), float(i)) for i in range(20)],
+        {"topology": topology},
+    )
+    # Ship synchronously so the mirror provably holds every acked
+    # sample before the disk disappears.
+    host, _, port = ring["addresses"][str(owner)].rpartition(":")
+    direct = CaladriusClient(host, int(port), retries=0)
+    try:
+        direct.ship_now()
+    finally:
+        direct.close()
+
+    os.kill(pid, signal.SIGSTOP)
+    try:
+        import shutil
+
+        shutil.rmtree(data_root / f"shard-{owner}", ignore_errors=True)
+    finally:
+        os.kill(pid, signal.SIGKILL)
+    killed_at = time.monotonic()
+
+    mttr = None
+    deadline = killed_at + MTTR_BOUND_SECONDS * 2
+    while time.monotonic() < deadline:
+        try:
+            ring = cluster.refresh_ring()
+            if (
+                ring["states"].get(str(owner)) == "ready"
+                and ring["addresses"].get(str(owner))
+            ):
+                cluster.read_metrics("mttr", {"topology": topology})
+                mttr = time.monotonic() - killed_at
+                break
+        except (ApiError, OSError):
+            pass
+        time.sleep(0.1)
+    if mttr is None:
+        raise RuntimeError(f"shard {owner} never recovered from the wipe")
+
+    stats = cluster.cluster_stats()
+    (status,) = [
+        s for s in stats["shards"] if s["shard_id"] == owner
+    ]
+    series = cluster.read_metrics("mttr", {"topology": topology})
+    recovered = sum(len(s["values"]) for s in series)
+    return {
+        "mttr_seconds": mttr,
+        "mttr_promoted": (
+            1.0 if status.get("promotions", 0) > promotions_before else 0.0
+        ),
+        "mttr_epoch_bumped": (
+            1.0 if status.get("epoch", 0) > epoch_before else 0.0
+        ),
+        "mttr_acked_samples": float(acked),
+        "mttr_recovered_samples": float(recovered),
+    }
+
+
 def run_benchmark(smoke: bool, data_root: Path) -> tuple[list[str], dict]:
     demo_count = 4 if smoke else 8
     requests = 200 if smoke else 1200
@@ -304,6 +398,17 @@ def run_benchmark(smoke: bool, data_root: Path) -> tuple[list[str], dict]:
         f"  lost after recovery:          {int(metrics['lost_batches'])}",
         f"  follower replica identical:   "
         f"{'yes' if metrics['replica_identical'] else 'NO'}",
+        "",
+        "data-dir wipe / promotion:",
+        f"  follower promoted:            "
+        f"{'yes' if metrics['mttr_promoted'] else 'NO'}",
+        f"  epoch bumped:                 "
+        f"{'yes' if metrics['mttr_epoch_bumped'] else 'NO'}",
+        f"  promotion MTTR:               {metrics['mttr_seconds']:.1f}s "
+        f"(gate: <= {MTTR_BOUND_SECONDS:.0f}s)",
+        f"  shipped samples recovered:    "
+        f"{int(metrics['mttr_recovered_samples'])}"
+        f"/{int(metrics['mttr_acked_samples'])}",
     ]
     return lines, metrics
 
@@ -324,6 +429,21 @@ def check_gates(metrics: dict) -> list[str]:
     if not metrics["replica_identical"]:
         problems.append(
             "follower replica content hash differs from shard store"
+        )
+    if not metrics["mttr_promoted"]:
+        problems.append("data-dir wipe did not promote the follower")
+    if not metrics["mttr_epoch_bumped"]:
+        problems.append("promotion did not bump the shard's epoch")
+    if metrics["mttr_seconds"] > MTTR_BOUND_SECONDS:
+        problems.append(
+            f"promotion MTTR {metrics['mttr_seconds']:.1f}s "
+            f"> {MTTR_BOUND_SECONDS:.0f}s"
+        )
+    if metrics["mttr_recovered_samples"] < metrics["mttr_acked_samples"]:
+        problems.append(
+            f"promoted mirror serves "
+            f"{int(metrics['mttr_recovered_samples'])} of "
+            f"{int(metrics['mttr_acked_samples'])} shipped samples"
         )
     return problems
 

@@ -94,18 +94,27 @@ class CaladriusApp:
         clock: Callable[[], float] = time.monotonic,
         shard_id: int | None = None,
         read_only: bool = False,
+        epoch: int | None = None,
     ) -> None:
         self.config = config
         self.tracker = tracker
         self.store = store
         # Cluster identity: a worker knows which shard it is (stamped
         # into /healthz and async request ids); a follower replica is
-        # read-only and refuses mutations with 403.
+        # read-only and refuses mutations with 403.  The epoch names
+        # this worker's writer generation — writes stamped with any
+        # *other* epoch are fenced off with a structured 409 so a
+        # zombie primary's clients cannot diverge state after failover.
         self.shard_id = shard_id
         self.read_only = read_only
+        self.epoch = epoch
         # Set by the CLI when WAL shipping is on; POST /cluster/ship
-        # forces a synchronous pass (tests, pre-drain flush).
+        # forces a synchronous pass (tests, pre-drain flush).  With
+        # sync_ship each acknowledged write also triggers a shipping
+        # pass before the ack leaves (availability-first: a shipping
+        # failure is logged via counters, never turned into a 5xx).
         self.shipper: Any | None = None
+        self.sync_ship = False
         self.registry: ModelRegistry = build_registry(config, tracker, store)
         self._clock = clock
         self._pool = ThreadPoolExecutor(
@@ -160,7 +169,9 @@ class CaladriusApp:
         try:
             deadline = parse_deadline_header(lowered.get(DEADLINE_HEADER.lower()))
             with deadline_scope(deadline):
-                return 200, self._route(method.upper(), parts, query, body)
+                return 200, self._route(
+                    method.upper(), parts, query, body, lowered
+                )
         except ApiError as exc:
             return exc.status, {"error": str(exc), **exc.payload}
         except ReproError as exc:
@@ -172,6 +183,7 @@ class CaladriusApp:
         parts: list[str],
         query: Mapping[str, str],
         body: Mapping[str, Any],
+        headers: Mapping[str, str] | None = None,
     ) -> dict[str, Any]:
         if method == "GET" and parts == ["healthz"]:
             return self._healthz()
@@ -180,6 +192,7 @@ class CaladriusApp:
         if method == "POST" and parts == ["metrics", "write"]:
             self._refuse_if_draining()
             self._refuse_if_read_only()
+            self._check_epoch(headers or {})
             return self._metrics_write(body)
         if method == "GET" and parts == ["metrics", "read"]:
             return self._metrics_read(query)
@@ -277,6 +290,8 @@ class CaladriusApp:
             payload["shard_id"] = self.shard_id
         if self.read_only:
             payload["read_only"] = True
+        if self.epoch is not None:
+            payload["epoch"] = self.epoch
         if self.shipper is not None:
             payload["shipping"] = self.shipper.stats()
         if self.breaker is not None:
@@ -323,6 +338,36 @@ class CaladriusApp:
                 403,
             )
 
+    def _check_epoch(self, headers: Mapping[str, str]) -> None:
+        """Fence writes stamped with a foreign writer generation.
+
+        A mismatched ``X-Shard-Epoch`` means *somebody's* routing state
+        is stale — either the caller holds a pre-failover ring and is
+        talking to the wrong generation, or this worker is a superseded
+        zombie still answering on its old port.  Both cases get the
+        same structured 409; an unstamped write is accepted (the epoch
+        protocol is opt-in for single-process deployments).
+        """
+        if self.epoch is None:
+            return
+        from repro.cluster.epoch import EPOCH_HEADER, fencing_rejection
+
+        raw = headers.get(EPOCH_HEADER.lower())
+        if raw is None:
+            return
+        try:
+            request_epoch = int(raw)
+        except ValueError:
+            raise ApiError(
+                f"{EPOCH_HEADER} must be an integer, got {raw!r}"
+            ) from None
+        if request_epoch != self.epoch:
+            raise ApiError(
+                f"write fenced: epoch {request_epoch} != {self.epoch}",
+                409,
+                fencing_rejection(self.epoch, request_epoch),
+            )
+
     def _metrics_read(self, query: Mapping[str, str]) -> dict[str, Any]:
         """Read back stored series: ``?name=…`` plus tag filters.
 
@@ -361,6 +406,8 @@ class CaladriusApp:
         }
         if self.shard_id is not None:
             payload["shard_id"] = self.shard_id
+        if self.epoch is not None:
+            payload["epoch"] = self.epoch
         wal = getattr(self.store, "wal", None)
         if wal is not None:
             payload["last_lsn"] = wal.last_lsn
@@ -408,6 +455,14 @@ class CaladriusApp:
                 )
             self.store.write(name, int(sample[0]), float(sample[1]), tags)
             written += 1
+        if self.sync_ship and self.shipper is not None:
+            # Ship-before-ack narrows the replica lag window to zero for
+            # acknowledged writes; a dead shipping link must not turn a
+            # durable local write into a client-visible failure.
+            try:
+                self.shipper.ship_now()
+            except OSError:
+                pass
         return {"written": written}
 
     def _topology_info(self, name: str, kind: str) -> dict[str, Any]:

@@ -197,6 +197,7 @@ class CaladriusClient:
         query: dict[str, Any] | None = None,
         body: dict[str, Any] | None = None,
         deadline_seconds: float | None = None,
+        headers: dict[str, str] | None = None,
     ) -> dict[str, Any]:
         if query:
             path = f"{path}?{urlencode(query)}"
@@ -204,6 +205,8 @@ class CaladriusClient:
         extra_headers: dict[str, str] | None = None
         if deadline_seconds is not None:
             extra_headers = {DEADLINE_HEADER: str(deadline_seconds)}
+        if headers:
+            extra_headers = {**(extra_headers or {}), **headers}
         last_error: Exception | None = None
         server_delay: float | None = None
         for attempt in range(self.retries + 1):
@@ -287,24 +290,48 @@ class CaladriusClient:
         name: str,
         samples: list[tuple[int, float]] | list[list[float]],
         tags: dict[str, str] | None = None,
+        epoch: int | None = None,
     ) -> int:
-        """Durably append samples; returns the count acknowledged."""
+        """Durably append samples; returns the count acknowledged.
+
+        ``epoch`` stamps ``X-Shard-Epoch`` for epoch-fenced cluster
+        writes: a worker from a different writer generation answers
+        with a structured 409 instead of accepting the write.
+        """
         body: dict[str, Any] = {
             "name": name,
             "samples": [list(s) for s in samples],
         }
         if tags:
             body["tags"] = tags
-        return self._request("POST", "/metrics/write", body=body)["written"]
+        headers: dict[str, str] | None = None
+        if epoch is not None:
+            headers = {"X-Shard-Epoch": str(epoch)}
+        return self._request(
+            "POST", "/metrics/write", body=body, headers=headers
+        )["written"]
 
     def read_metrics(
-        self, name: str, tags: dict[str, str] | None = None
+        self,
+        name: str,
+        tags: dict[str, str] | None = None,
+        allow_stale: bool = False,
     ) -> list[dict[str, Any]]:
-        """Read stored series back (name plus exact tag filters)."""
+        """Read stored series back (name plus exact tag filters).
+
+        ``allow_stale`` opts into follower reads during a promotion
+        window (router only): the payload may trail the primary by the
+        replication lag, but answers instead of 503ing.
+        """
         query: dict[str, Any] = {"name": name}
         if tags:
             query.update(tags)
-        return self._request("GET", "/metrics/read", query)["series"]
+        headers: dict[str, str] | None = None
+        if allow_stale:
+            headers = {"X-Allow-Stale-Read": "1"}
+        return self._request("GET", "/metrics/read", query, headers=headers)[
+            "series"
+        ]
 
     def state_hash(self) -> dict[str, Any]:
         """The server's store content hash (replica convergence checks)."""

@@ -14,6 +14,11 @@ Four subcommands cover the operational surface:
 ``cluster-stats``
     Query a running cluster router for ring layout, per-shard state and
     proxy counters.
+``chaos``
+    Stand up a replicated cluster and subject it to a seeded schedule
+    of kill -9s, pauses, shipping partitions, data-dir wipes and disk
+    faults, checking failover invariants (no acked write lost, a single
+    writer per epoch, replica convergence, bounded unavailability).
 ``simulate``
     Run the Word Count topology at a source rate and print its
     per-minute metrics, useful for exploring the simulator.
@@ -106,6 +111,19 @@ def build_parser() -> argparse.ArgumentParser:
         help=argparse.SUPPRESS,  # internal: ship WAL segments here
     )
     serve.add_argument(
+        "--epoch", type=int, default=None,
+        help=argparse.SUPPRESS,  # internal: writer-generation epoch
+    )
+    serve.add_argument(
+        "--sync-ship", action="store_true",
+        help="ship WAL segments to the follower before acknowledging "
+             "writes (stronger durability, higher write latency)",
+    )
+    serve.add_argument(
+        "--service-faults", default=None, metavar="SPEC",
+        help=argparse.SUPPRESS,  # internal: chaos storage-fault schedule
+    )
+    serve.add_argument(
         "--cache-mb", type=float, default=None, metavar="MB",
         help="serving-layer result cache budget (overrides config)",
     )
@@ -156,6 +174,25 @@ def build_parser() -> argparse.ArgumentParser:
     cluster_stats.add_argument(
         "--json", action="store_true", dest="as_json"
     )
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run the cluster chaos harness: seeded fault injection "
+             "against a live replicated cluster, with invariant checks",
+    )
+    chaos.add_argument("--shards", type=int, default=2)
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="event schedule seed (deterministic)")
+    chaos.add_argument("--duration", type=float, default=25.0,
+                       metavar="SECONDS",
+                       help="how long the chaos run lasts")
+    chaos.add_argument("--events", type=int, default=6,
+                       help="how many chaos events to schedule")
+    chaos.add_argument("--data-dir", default=None, metavar="DIR",
+                       help="scratch data root (default: a fresh temp dir)")
+    chaos.add_argument("--report", default=None, metavar="PATH",
+                       help="write the chaos report JSON here")
+    chaos.add_argument("--json", action="store_true", dest="as_json")
 
     recover = sub.add_parser(
         "recover",
@@ -262,6 +299,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "serve": _cmd_serve,
         "follow": _cmd_follow,
         "cluster-stats": _cmd_cluster_stats,
+        "chaos": _cmd_chaos,
         "recover": _cmd_recover,
         "simulate": _cmd_simulate,
         "predict": _cmd_predict,
@@ -394,6 +432,91 @@ def _parse_proposal(text: str | None) -> dict[str, int] | None:
     return proposal
 
 
+def _arm_service_faults(data_dir: str, spec: str | None):
+    """Build the storage-fault injector for ``--service-faults``.
+
+    Faults arm exactly once per data directory: a ``.service-faults-armed``
+    marker is dropped beside the WAL, so a supervisor respawn of the same
+    worker recovers cleanly instead of re-firing the schedule (the chaos
+    harness injects one storage failure, not a permanently broken disk).
+    """
+    if not spec:
+        return None
+    from pathlib import Path
+
+    from repro.faults import ServiceFaultInjector, parse_service_fault_spec
+
+    faults = parse_service_fault_spec(spec)
+    root = Path(data_dir)
+    marker = root / ".service-faults-armed"
+    if marker.exists():
+        return None
+    root.mkdir(parents=True, exist_ok=True)
+    marker.write_text(spec, encoding="utf8")
+    return ServiceFaultInjector(faults)
+
+
+def _parse_shard_fault_specs(spec: str | None) -> dict[int, str]:
+    """Split ``"0:torn_write@7;2:disk_full@3"`` into per-shard specs.
+
+    The cluster front door hands each worker only its own fragment (as
+    a plain ``kind@append`` list); fragments are validated here so a
+    typo fails the whole ``serve`` instead of one worker's boot loop.
+    """
+    if not spec:
+        return {}
+    from repro.faults import parse_service_fault_spec
+
+    specs: dict[int, str] = {}
+    for fragment in spec.split(";"):
+        fragment = fragment.strip()
+        if not fragment:
+            continue
+        shard_text, separator, faults = fragment.partition(":")
+        if not separator:
+            raise SystemExit(
+                f"--service-faults fragment {fragment!r} must look like "
+                f"SHARD:kind@append"
+            )
+        try:
+            shard_id = int(shard_text)
+        except ValueError:
+            raise SystemExit(
+                f"--service-faults shard {shard_text!r} is not an integer"
+            ) from None
+        parse_service_fault_spec(faults)  # fail fast on bad fragments
+        specs[shard_id] = faults
+    return specs
+
+
+def _start_wal_watchdog(store, poll_seconds: float = 0.2) -> None:
+    """Exit the worker hard (code 70) once its WAL has failed.
+
+    A shard whose WAL hit an injected (or real) disk fault can still
+    answer reads, but every write will fail forever; dying loudly hands
+    the decision to the shard manager, which validates the data dir and
+    promotes the follower when the replica holds more than the disk.
+    """
+    import os
+    import threading
+
+    def _watch() -> None:
+        while True:
+            time.sleep(poll_seconds)
+            reason = store.wal.failed
+            if reason:
+                print(
+                    f"wal failed ({reason}); exiting for the supervisor",
+                    file=sys.stderr,
+                    flush=True,
+                )
+                os._exit(70)
+
+    threading.Thread(
+        target=_watch, name="wal-watchdog", daemon=True
+    ).start()
+
+
 # ----------------------------------------------------------------------
 # Subcommands
 # ----------------------------------------------------------------------
@@ -427,6 +550,8 @@ def _cmd_serve(args) -> int:
         cluster_overrides["shards"] = args.shards
     if args.replicate:
         cluster_overrides["replicate"] = True
+    if args.sync_ship:
+        cluster_overrides["sync_ship"] = True
     if cluster_overrides:
         config = replace(
             config, cluster=replace(config.cluster, **cluster_overrides)
@@ -444,6 +569,9 @@ def _cmd_serve(args) -> int:
             fsync=config.durability.fsync,
             fsync_interval_seconds=config.durability.fsync_interval_seconds,
             segment_max_bytes=config.durability.segment_max_bytes,
+            faults=_arm_service_faults(
+                config.durability.data_dir, args.service_faults
+            ),
         )
         durable_store = store
         checkpointer = CheckpointManager(store, tracker)
@@ -452,6 +580,8 @@ def _cmd_serve(args) -> int:
             f"{json.dumps(store.recovery.as_dict())}",
             file=sys.stderr,
         )
+        if args.shard_id is not None:
+            _start_wal_watchdog(durable_store)
     else:
         tracker, store = TopologyTracker(), MetricsStore()
     if args.demo:
@@ -480,7 +610,9 @@ def _cmd_serve(args) -> int:
                 file=sys.stderr,
             )
 
-    app = CaladriusApp(config, tracker, store, shard_id=args.shard_id)
+    app = CaladriusApp(
+        config, tracker, store, shard_id=args.shard_id, epoch=args.epoch
+    )
     shipper = None
     if args.ship_to:
         if durable_store is None:
@@ -496,8 +628,10 @@ def _cmd_serve(args) -> int:
             durable_store,
             args.ship_to,
             interval_seconds=config.cluster.ship_interval_seconds,
+            epoch=args.epoch,
         )
         app.shipper = shipper
+        app.sync_ship = config.cluster.sync_ship
         shipper.start()
     if app.serving is not None:
         app.serving.start()  # warm-cache precompute loop
@@ -560,12 +694,16 @@ def _serve_cluster(args, config) -> int:
         if config.durability.data_dir
         else None
     )
+    shard_faults = _parse_shard_fault_specs(args.service_faults)
 
-    def worker_argv(shard_id: int, ship_to: str | None) -> list[str]:
+    def worker_argv(
+        shard_id: int, ship_to: str | None, epoch: int
+    ) -> list[str]:
         argv = [
             sys.executable, "-m", "repro.cli", "serve",
             "--host", args.host, "--port", "0",
             "--shard-id", str(shard_id), "--shards", str(shards),
+            "--epoch", str(epoch),
         ]
         if args.config:
             argv += ["--config", args.config]
@@ -585,6 +723,10 @@ def _serve_cluster(args, config) -> int:
             argv += ["--drain-timeout", str(args.drain_timeout)]
         if ship_to:
             argv += ["--ship-to", ship_to]
+        if config.cluster.sync_ship and ship_to:
+            argv += ["--sync-ship"]
+        if shard_id in shard_faults:
+            argv += ["--service-faults", shard_faults[shard_id]]
         return argv
 
     follower_argv = None
@@ -596,11 +738,24 @@ def _serve_cluster(args, config) -> int:
                 "--host", args.host, "--port", "0",
             ]
 
+    shard_dirs = None
+    if replicate and data_root is not None:
+        def shard_dirs(shard_id: int) -> tuple[Path, Path]:
+            return (
+                data_root / f"shard-{shard_id}",
+                data_root / f"replica-{shard_id}",
+            )
+
     manager = ShardManager(
         worker_argv,
         follower_argv,
         host=args.host,
         restart_backoff_seconds=config.cluster.restart_backoff_seconds,
+        shard_dirs=shard_dirs,
+        epoch_path=(data_root / "epochs.json") if data_root else None,
+        unresponsive_timeout_seconds=(
+            config.cluster.unresponsive_timeout_seconds
+        ),
     )
     try:
         manager.start(shards)
@@ -696,7 +851,10 @@ def _cmd_cluster_stats(args) -> int:
         line = (
             f"  shard {shard['shard_id']}: {shard['state']:<10} "
             f"{address or '-':<21} restarts={shard['restarts']}"
+            f" epoch={shard.get('epoch', 0)}"
         )
+        if shard.get("promotions"):
+            line += f" promotions={shard['promotions']}"
         if "follower_port" in shard:
             line += f" follower=:{shard['follower_port']}"
         print(line)
@@ -707,6 +865,60 @@ def _cmd_cluster_stats(args) -> int:
         f"up {router['uptime_seconds']:.0f}s"
     )
     return 0
+
+
+def _cmd_chaos(args) -> int:
+    import tempfile
+    from pathlib import Path
+
+    from repro.cluster.chaos import ChaosController
+
+    scratch = None
+    if args.data_dir:
+        data_root = Path(args.data_dir)
+    else:
+        scratch = tempfile.TemporaryDirectory(prefix="caladrius-chaos-")
+        data_root = Path(scratch.name)
+    try:
+        controller = ChaosController(
+            shards=args.shards,
+            seed=args.seed,
+            duration_seconds=args.duration,
+            data_root=data_root,
+            events=args.events,
+        )
+        report = controller.run()
+    finally:
+        if scratch is not None:
+            scratch.cleanup()
+    if args.report:
+        Path(args.report).write_text(
+            json.dumps(report, indent=2), encoding="utf8"
+        )
+    if args.as_json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(f"seed       : {report['seed']}")
+        print(f"duration   : {report['duration_seconds']:.1f}s "
+              f"({report['shards']} shard(s), {len(report['events'])} "
+              f"event(s))")
+        for event in report["events"]:
+            print(f"  t={event['at_seconds']:>5.1f}s {event['kind']:<10} "
+                  f"shard {event['shard_id']}")
+        counters = report["counters"]
+        print(f"writes     : {counters['acked_writes']} acked, "
+              f"{counters['failed_writes']} failed, "
+              f"{counters['fenced_writes']} fenced")
+        print(f"probes     : {counters['probes']} "
+              f"({counters['stale_reads']} stale reads, "
+              f"{counters['fence_rejections']} fence rejections)")
+        for name, verdict in report["invariants"].items():
+            status = "pass" if verdict["ok"] else "FAIL"
+            detail = verdict.get("detail", "")
+            print(f"  {status:<4} {name}" + (f" — {detail}" if detail else ""))
+        if args.report:
+            print(f"report     : {args.report}")
+    return 0 if report["ok"] else 1
 
 
 def _cmd_recover(args) -> int:

@@ -14,18 +14,27 @@ the service across processes while keeping the durability story intact:
   segment shipping from each shard to a read-only follower replica,
   replayed with the same CRC-framed codec crash recovery uses;
 * :mod:`repro.cluster.client` — shard-aware client that routes
-  data-plane calls directly to shard owners.
+  data-plane calls directly to shard owners;
+* :mod:`repro.cluster.epoch` — persistent per-shard writer generations
+  backing the epoch-fencing protocol (no split-brain after failover);
+* :mod:`repro.cluster.chaos` — seeded fault-injection campaigns against
+  a live cluster with invariant checking (``caladrius chaos``).
 
 ``caladrius serve --shards N`` boots the whole tier; see
-``docs/architecture.md`` ("Cluster tier") for the consistency model.
+``docs/architecture.md`` ("Cluster tier" and "Failover & fencing") for
+the consistency model.
 """
 
+from repro.cluster.chaos import ChaosController, ChaosEvent, build_schedule
 from repro.cluster.client import ClusterClient
+from repro.cluster.epoch import EPOCH_HEADER, EpochStore, fencing_rejection
 from repro.cluster.follower import FollowerApp, FollowerReplica
 from repro.cluster.ring import DEFAULT_VIRTUAL_NODES, HashRing
 from repro.cluster.router import RouterApp
 from repro.cluster.shard import (
     FAILED,
+    GAVE_UP,
+    PROMOTING,
     READY,
     RESTARTING,
     STARTING,
@@ -37,13 +46,19 @@ from repro.cluster.shard import (
 from repro.cluster.shipping import SegmentShipper
 
 __all__ = [
+    "ChaosController",
+    "ChaosEvent",
     "ClusterClient",
     "ClusterError",
     "DEFAULT_VIRTUAL_NODES",
+    "EPOCH_HEADER",
+    "EpochStore",
     "FAILED",
     "FollowerApp",
     "FollowerReplica",
+    "GAVE_UP",
     "HashRing",
+    "PROMOTING",
     "READY",
     "RESTARTING",
     "RouterApp",
@@ -52,4 +67,6 @@ __all__ = [
     "SegmentShipper",
     "ShardHandle",
     "ShardManager",
+    "build_schedule",
+    "fencing_rejection",
 ]

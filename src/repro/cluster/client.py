@@ -8,12 +8,21 @@ builds the same :class:`~repro.cluster.ring.HashRing` the router uses
 talks to the owning shard directly over a per-shard keep-alive
 :class:`~repro.api.client.CaladriusClient`.
 
-When a direct call fails — the shard crashed, or the ring changed under
-us — the client refreshes the ring and falls back to the router proxy
-for that one call, which either reaches the recovered shard or answers
-503 + ``Retry-After`` while its WAL replays.  Control-plane reads
-(``healthz``, ``serving/stats``, ``topologies``) always go to the
-router, whose fan-out aggregation is the point.
+When a direct call fails — the shard crashed, the ring changed under
+us, or the write was fenced off by a newer epoch — the client refreshes
+the ring and falls back to the router proxy for that one call.  When
+the router itself answers 503 + ``Retry-After`` (owner down or
+replaying its WAL), the client honors the server's delay — capped at
+the base client's ``backoff_max_seconds``, exactly like the base client
+does for 429 — and retries the router a bounded number of times before
+surfacing the error.  Control-plane reads (``healthz``,
+``serving/stats``, ``topologies``) always go to the router, whose
+fan-out aggregation is the point.
+
+Direct writes are epoch-stamped from the ring payload's ``epochs`` map,
+so a write racing a promotion gets a structured 409 from the superseded
+worker instead of silently landing on fenced state; the client then
+refreshes and retries through the router.
 """
 
 from __future__ import annotations
@@ -41,6 +50,11 @@ class ClusterClient:
         The cluster router's address.
     ring_ttl_seconds:
         How long a fetched ring is trusted before it is re-fetched.
+    failover_retries:
+        Extra router attempts when the router answers a retryable 503
+        carrying ``Retry-After`` (shard down, restarting, promoting).
+        Each wait honors the server's hint, capped at the base client's
+        ``backoff_max_seconds``.
     **client_options:
         Forwarded to every underlying :class:`CaladriusClient`
         (timeouts, retry schedule, injectable sleep).
@@ -51,19 +65,24 @@ class ClusterClient:
         host: str,
         port: int,
         ring_ttl_seconds: float = 5.0,
+        failover_retries: int = 2,
         **client_options: Any,
     ) -> None:
         self.router = CaladriusClient(host, port, **client_options)
         self.ring_ttl_seconds = ring_ttl_seconds
+        self.failover_retries = failover_retries
         self._client_options = client_options
         self._lock = threading.Lock()
         self._ring: HashRing | None = None
         self._addresses: dict[int, tuple[str, int] | None] = {}
+        self._epochs: dict[int, int] = {}
         self._version = -1
         self._fetched_at = 0.0
         self._shard_clients: dict[tuple[str, int], CaladriusClient] = {}
         self.direct_calls = 0
         self.router_fallbacks = 0
+        self.fenced_writes = 0
+        self.retry_after_waits = 0
 
     # ------------------------------------------------------------------
     # Ring management
@@ -84,21 +103,31 @@ class ClusterClient:
                     self._addresses[int(shard_str)] = (host, int(port))
                 else:
                     self._addresses[int(shard_str)] = None
+            self._epochs = {
+                int(shard_str): int(epoch)
+                for shard_str, epoch in (payload.get("epochs") or {}).items()
+            }
             self._fetched_at = time.monotonic()
         return payload
 
-    def _routing(self) -> tuple[HashRing, dict[int, tuple[str, int] | None]]:
+    def _routing(
+        self,
+    ) -> tuple[HashRing, dict[int, tuple[str, int] | None], dict[int, int]]:
         with self._lock:
             fresh = (
                 self._ring is not None
                 and time.monotonic() - self._fetched_at < self.ring_ttl_seconds
             )
             if fresh:
-                return self._ring, dict(self._addresses)  # type: ignore[return-value]
+                return (  # type: ignore[return-value]
+                    self._ring,
+                    dict(self._addresses),
+                    dict(self._epochs),
+                )
         self.refresh_ring()
         with self._lock:
             assert self._ring is not None
-            return self._ring, dict(self._addresses)
+            return self._ring, dict(self._addresses), dict(self._epochs)
 
     def _shard_client(self, address: tuple[str, int]) -> CaladriusClient:
         with self._lock:
@@ -116,28 +145,76 @@ class ClusterClient:
     # ------------------------------------------------------------------
     # Topology-keyed dispatch
     # ------------------------------------------------------------------
-    def _call(self, topology: str, operation, *args: Any, **kwargs: Any):
-        """Try the owning shard directly; fall back to the router once."""
-        ring, addresses = self._routing()
+    def _call(
+        self,
+        topology: str,
+        operation,
+        *args: Any,
+        stamp_epoch: bool = False,
+        **kwargs: Any,
+    ):
+        """Try the owning shard directly; fall back to the router once.
+
+        With ``stamp_epoch`` the direct attempt carries the owner's
+        epoch from the ring, so a superseded worker answers a fencing
+        409 — treated like any other routing failure: refresh and let
+        the router (which stamps the *current* epoch) arbitrate.
+        """
+        ring, addresses, epochs = self._routing()
         shard_id = ring.shard_for(topology)
         address = addresses.get(shard_id)
         if address is not None:
             client = self._shard_client(address)
+            direct_kwargs = dict(kwargs)
+            if stamp_epoch and epochs.get(shard_id):
+                direct_kwargs["epoch"] = epochs[shard_id]
             try:
-                result = operation(client)(*args, **kwargs)
+                result = operation(client)(*args, **direct_kwargs)
                 self.direct_calls += 1
                 return result
             except ApiError as exc:
-                if exc.status not in (502, 503, 504):
+                fenced = exc.status == 409 and bool(
+                    (exc.payload or {}).get("fenced")
+                )
+                if fenced:
+                    self.fenced_writes += 1
+                elif exc.status not in (502, 503, 504):
                     raise  # a real answer (400/403/404/429): not routing
             except OSError:
                 pass
-        # The shard is down, restarting, or the ring moved: let the
-        # router arbitrate, and refetch the ring for the next call.
+        # The shard is down, restarting, fenced, or the ring moved: let
+        # the router arbitrate, and refetch the ring for the next call.
         self.router_fallbacks += 1
         with self._lock:
             self._fetched_at = 0.0
-        return operation(self.router)(*args, **kwargs)
+        return self._router_call(operation, *args, **kwargs)
+
+    def _router_call(self, operation, *args: Any, **kwargs: Any):
+        """Run an operation against the router, honoring Retry-After.
+
+        A router 503 during a failover window carries ``retry_after``
+        (the owner is restarting or promoting); instead of treating it
+        as a generic failure, wait the server's hint — capped at the
+        base client's ``backoff_max_seconds`` — and try again, up to
+        ``failover_retries`` extra attempts.
+        """
+        attempts = max(0, self.failover_retries) + 1
+        for attempt in range(attempts):
+            try:
+                return operation(self.router)(*args, **kwargs)
+            except ApiError as exc:
+                if exc.status != 503 or attempt == attempts - 1:
+                    raise
+                hint = (exc.payload or {}).get("retry_after")
+                if not isinstance(hint, (int, float)) or isinstance(
+                    hint, bool
+                ):
+                    raise
+                self.retry_after_waits += 1
+                self.router._sleep(
+                    min(float(hint), self.router.backoff_max_seconds)
+                )
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def write_metrics(
         self,
@@ -147,7 +224,8 @@ class ClusterClient:
     ) -> int:
         key = (tags or {}).get("topology") or name
         return self._call(
-            key, lambda c: c.write_metrics, name, samples, tags
+            key, lambda c: c.write_metrics, name, samples, tags,
+            stamp_epoch=True,
         )
 
     def read_metrics(

@@ -24,6 +24,13 @@ Replication is asynchronous: a follower read may trail the shard by up
 to one ship interval.  ``GET /replica/status`` reports the applied LSN
 and a content hash so callers (and the scale-out benchmark) can verify
 convergence.
+
+The follower also enforces epoch fencing: it records the highest
+writer-generation epoch ever stamped onto a ``/replica/…`` post
+(persisted to ``shipper.epoch`` so a follower restart cannot forget a
+fence) and answers 409 ``"fenced": true`` to any *older* epoch.  A
+superseded zombie primary — fenced off by a promotion — can therefore
+never mutate replica state, no matter how late its shipper wakes up.
 """
 
 from __future__ import annotations
@@ -36,6 +43,7 @@ import threading
 from pathlib import Path
 from typing import Any
 
+from repro.cluster.epoch import fencing_rejection
 from repro.durability.checkpoint import (
     CHECKPOINT_FILENAME,
     CHECKPOINT_FORMAT,
@@ -57,6 +65,8 @@ logger = logging.getLogger("repro.cluster.follower")
 
 _SEGMENT_NAME = re.compile(r"^wal-\d{16}\.log$")
 _WAL_SUBDIR = "wal"
+#: Where the highest fenced epoch persists inside the replica dir.
+_EPOCH_FILENAME = "shipper.epoch"
 
 
 class FollowerReplica:
@@ -74,7 +84,10 @@ class FollowerReplica:
         self.applied_records = 0
         self.skipped_records = 0
         self.checkpoints_received = 0
+        self.highest_epoch = 0
+        self.fencing_409s = 0
         self._parse_offsets: dict[str, int] = {}
+        self._load_epoch()
         self._bootstrap()
 
     # ------------------------------------------------------------------
@@ -120,12 +133,47 @@ class FollowerReplica:
                 "applied_lsn": self.applied_lsn,
             }
 
+    def fence(self, epoch: int | None) -> dict[str, Any] | None:
+        """Check a post's epoch; the 409 body when it is superseded.
+
+        Accepting an epoch records it (persistently) as the new high
+        water mark; anything *below* the mark is refused.  ``None``
+        (an unstamped post) passes — the protocol is opt-in for
+        single-process and test deployments.
+        """
+        if epoch is None:
+            return None
+        with self._mutex:
+            if epoch < self.highest_epoch:
+                self.fencing_409s += 1
+                rejection = fencing_rejection(self.highest_epoch, epoch)
+                rejection["follower_epoch"] = self.highest_epoch
+                return rejection
+            if epoch > self.highest_epoch:
+                self.highest_epoch = epoch
+                self._write_atomic(
+                    self.replica_dir / _EPOCH_FILENAME,
+                    str(epoch).encode("utf8"),
+                )
+            return None
+
+    def _load_epoch(self) -> None:
+        path = self.replica_dir / _EPOCH_FILENAME
+        try:
+            self.highest_epoch = int(path.read_text("utf8").strip())
+        except FileNotFoundError:
+            pass
+        except (ValueError, OSError):
+            logger.warning("replica epoch file is unreadable; resetting to 0")
+
     def status(self) -> dict[str, Any]:
         """Replication position + content hash, for convergence checks."""
         with self._mutex:
             return {
                 "role": "follower",
                 "replica_dir": str(self.replica_dir),
+                "highest_epoch": self.highest_epoch,
+                "fencing_409s": self.fencing_409s,
                 "applied_lsn": self.applied_lsn,
                 "checkpoint_lsn": self.checkpoint_lsn,
                 "applied_records": self.applied_records,
@@ -253,6 +301,16 @@ class FollowerApp:
         raw = body if isinstance(body, bytes) else b""
         if method == "GET" and path == "/replica/status":
             return 200, self.replica.status()
+        if method == "POST":
+            raw_epoch = query.get("epoch")
+            if raw_epoch is not None:
+                try:
+                    epoch = int(raw_epoch)
+                except ValueError:
+                    return 400, {"error": "epoch must be an integer"}
+                rejection = self.replica.fence(epoch)
+                if rejection is not None:
+                    return 409, rejection
         if method == "POST" and path == f"/replica/{CHECKPOINT_FILENAME}":
             try:
                 return 200, self.replica.receive_checkpoint(raw)

@@ -21,7 +21,18 @@ writes — to the shard that owns the topology id on the
 While a shard is down or replaying its WAL after a crash, requests for
 its topologies are answered 503 + ``Retry-After`` — the router never
 silently reroutes a topology to a shard that doesn't own it, because
-per-shard data directories mean only the owner has the data.
+per-shard data directories mean only the owner has the data.  Two
+exceptions soften that during failover windows:
+
+* **stale reads** — a GET carrying ``X-Allow-Stale-Read`` is served
+  from the shard's live follower replica while the primary is
+  restarting or promoting; the response is annotated with
+  ``"stale_read": true`` plus the shard's state so the caller knows
+  what it got;
+* **epoch stamping** — every proxied request carries ``X-Shard-Epoch``
+  (the owner's current writer generation), so a write that races a
+  promotion and lands on the superseded zombie is refused with a
+  structured 409 instead of diverging state.
 
 The router is the *control* plane and slow-path proxy.  Throughput-
 critical callers use :class:`~repro.cluster.client.ClusterClient`,
@@ -39,6 +50,7 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any
 
+from repro.cluster.epoch import EPOCH_HEADER
 from repro.cluster.ring import DEFAULT_VIRTUAL_NODES, HashRing
 from repro.cluster.shard import READY, ShardManager
 from repro.config.loader import CaladriusConfig
@@ -219,6 +231,18 @@ class RouterApp:
     # ------------------------------------------------------------------
     # Proxy plumbing
     # ------------------------------------------------------------------
+    @staticmethod
+    def _wants_stale(headers: dict[str, str]) -> bool:
+        value = next(
+            (
+                v
+                for k, v in headers.items()
+                if k.lower() == "x-allow-stale-read"
+            ),
+            "",
+        )
+        return value.strip().lower() in ("1", "true", "yes")
+
     def _proxy(
         self,
         shard_id: int,
@@ -230,8 +254,21 @@ class RouterApp:
     ) -> tuple[int, dict[str, Any]]:
         address = self.manager.address_of(shard_id)
         if address is None:
-            self._unavailable += 1
             state = self.manager.state_of(shard_id)
+            if method == "GET" and self._wants_stale(headers):
+                follower = self.manager.follower_address_of(shard_id)
+                if follower is not None:
+                    # Promotion-window read: the follower's mirror may
+                    # trail the primary by the replication lag, but the
+                    # caller opted in explicitly.
+                    status, payload = self._proxy_to(
+                        shard_id, follower, method, parts, query, body, {}
+                    )
+                    if status < 500:
+                        payload["stale_read"] = True
+                        payload["shard_state"] = state
+                    return status, payload
+            self._unavailable += 1
             return 503, {
                 "error": (
                     f"shard {shard_id} is {state or 'unknown'} "
@@ -241,18 +278,36 @@ class RouterApp:
                 "shard_id": shard_id,
                 "shard_state": state,
             }
-        host, port = address
-        path = "/" + "/".join(parts)
-        if query:
-            path += "?" + "&".join(f"{k}={v}" for k, v in query.items())
-        payload = json.dumps(body).encode("utf8") if body else None
         forward = {
             k: v
             for k, v in headers.items()
             if k.lower() in ("x-request-deadline", "x-request-priority")
         }
+        # Stamp the owner's writer generation: a zombie primary that
+        # was fenced off by a promotion answers 409 instead of silently
+        # accepting a write for a shard it no longer owns.
+        forward[EPOCH_HEADER] = str(self.manager.epoch_of(shard_id))
+        return self._proxy_to(
+            shard_id, address, method, parts, query, body, forward
+        )
+
+    def _proxy_to(
+        self,
+        shard_id: int,
+        address: tuple[str, int],
+        method: str,
+        parts: list[str],
+        query: dict[str, str],
+        body: dict[str, Any],
+        forward: dict[str, str],
+    ) -> tuple[int, dict[str, Any]]:
+        host, port = address
+        path = "/" + "/".join(parts)
+        if query:
+            path += "?" + "&".join(f"{k}={v}" for k, v in query.items())
+        payload = json.dumps(body).encode("utf8") if body else None
         if payload:
-            forward["Content-Type"] = "application/json"
+            forward = {**forward, "Content-Type": "application/json"}
         conn = http.client.HTTPConnection(
             host, port, timeout=self.proxy_timeout
         )
@@ -391,18 +446,21 @@ class RouterApp:
         ring = self.ring()
         addresses = {}
         states = {}
+        epochs = {}
         for shard_id in ring.shard_ids:
             address = self.manager.address_of(shard_id)
             addresses[str(shard_id)] = (
                 f"{address[0]}:{address[1]}" if address else None
             )
             states[str(shard_id)] = self.manager.state_of(shard_id)
+            epochs[str(shard_id)] = self.manager.epoch_of(shard_id)
         return {
             "shards": list(ring.shard_ids),
             "virtual_nodes": ring.virtual_nodes,
             "version": self.manager.version,
             "addresses": addresses,
             "states": states,
+            "epochs": epochs,
         }
 
     def _cluster_stats(self) -> tuple[int, dict[str, Any]]:

@@ -1,4 +1,4 @@
-"""Shard process lifecycle: spawn, watch, restart, stop.
+"""Shard process lifecycle: spawn, watch, restart, promote, stop.
 
 A shard is one ``caladrius serve`` worker process bound to a private
 data directory (and, when replication is on, one follower process its
@@ -6,17 +6,33 @@ WAL segments ship to).  :class:`ShardManager` owns the whole fleet:
 
 * **spawn** — start follower (first, so the worker has somewhere to
   ship) then worker, parse the announce line for the ephemeral port,
-  then probe ``/readyz`` until the worker admits traffic;
+  then probe ``/readyz`` until the worker admits traffic.  Every worker
+  spawn bumps the shard's persistent epoch (see
+  :mod:`repro.cluster.epoch`) so writes from superseded generations are
+  fenced off;
 * **supervise** — a monitor thread polls the processes; a worker that
   dies (``kill -9``, OOM, crash) is respawned on the *same* data
   directory, so WAL replay recovers every acknowledged write.  While it
   replays, the shard reports ``restarting`` and the router answers 503
-  + ``Retry-After`` for its topologies;
+  + ``Retry-After`` for its topologies.  Ready workers are also probed
+  over HTTP — a live-but-wedged process (SIGSTOP, deadlock) is killed
+  after ``unresponsive_timeout_seconds`` and takes the normal death
+  path;
+* **promote** — before respawning, the data directory is validated
+  against the follower's applied LSN.  A directory that would recover
+  *less* than its replica holds (wiped, truncated, corrupt checkpoint)
+  triggers automatic promotion: the worker is fenced off, the
+  follower's byte-mirror directory becomes the new primary, a fresh
+  follower is spawned, and the epoch + ring version advance.  A
+  crash-looping shard gets one promotion attempt too before the
+  manager gives up (``gave_up``);
 * **resize** — growing the fleet spawns new shard ids, shrinking drains
   and stops the highest ids; surviving ids keep their data directories
   and ring points;
 * **stop** — SIGTERM every process (workers drain and checkpoint),
-  escalating to SIGKILL after a bound.
+  escalating to SIGKILL after a bound.  A shutdown flag is checked
+  before every respawn so a shard killed during shutdown is never
+  respawned into a half-torn-down cluster.
 
 Everything here is transport-free; the HTTP front door lives in
 :mod:`repro.cluster.router`.
@@ -24,6 +40,8 @@ Everything here is transport-free; the HTTP front door lives in
 
 from __future__ import annotations
 
+import http.client
+import json
 import logging
 import re
 import signal
@@ -32,10 +50,13 @@ import threading
 import time
 from collections.abc import Callable
 from dataclasses import dataclass
+from pathlib import Path
 from typing import IO, Any
 
 from repro.api.client import CaladriusClient
-from repro.errors import ReproError
+from repro.cluster.epoch import EpochStore
+from repro.durability.recovery import peek_recoverable_lsn
+from repro.errors import DurabilityError, ReproError
 
 __all__ = [
     "ShardManager",
@@ -44,7 +65,9 @@ __all__ = [
     "STARTING",
     "READY",
     "RESTARTING",
+    "PROMOTING",
     "FAILED",
+    "GAVE_UP",
     "STOPPED",
 ]
 
@@ -53,7 +76,9 @@ logger = logging.getLogger("repro.cluster.shard")
 STARTING = "starting"
 READY = "ready"
 RESTARTING = "restarting"
+PROMOTING = "promoting"
 FAILED = "failed"
+GAVE_UP = "gave_up"
 STOPPED = "stopped"
 
 _ANNOUNCE = re.compile(r"serving on ([\d.]+):(\d+)")
@@ -61,6 +86,10 @@ _ANNOUNCE = re.compile(r"serving on ([\d.]+):(\d+)")
 _MIN_HEALTHY_UPTIME = 2.0
 #: Consecutive rapid deaths before the manager gives up on a shard.
 _MAX_RAPID_RESTARTS = 5
+#: Cadence of the liveness probe against ready workers.
+_PROBE_INTERVAL = 1.0
+#: Socket timeout of one liveness probe.
+_PROBE_TIMEOUT = 1.0
 
 
 class ClusterError(ReproError):
@@ -150,6 +179,18 @@ def _terminate(
         return process.wait(timeout=10)
 
 
+def _kill(process: subprocess.Popen) -> None:
+    """SIGKILL and reap; lands on SIGSTOPped processes too."""
+    try:
+        process.kill()
+    except (ProcessLookupError, OSError):
+        return
+    try:
+        process.wait(timeout=10)
+    except subprocess.TimeoutExpired:  # pragma: no cover - kernel oddity
+        pass
+
+
 class ShardHandle:
     """Mutable supervision state for one shard (guarded by the manager)."""
 
@@ -160,7 +201,12 @@ class ShardHandle:
         self.follower: _Child | None = None
         self.restarts = 0
         self.rapid_deaths = 0
+        self.promotions = 0
+        self.crash_loop_promotions = 0
+        self.epoch = 0
         self.became_ready: float | None = None
+        self.last_probe_at = 0.0
+        self.last_probe_ok: float | None = None
         self.last_error: str | None = None
 
     def status(self) -> dict[str, Any]:
@@ -169,7 +215,11 @@ class ShardHandle:
             "shard_id": self.shard_id,
             "state": self.state,
             "restarts": self.restarts,
+            "epoch": self.epoch,
+            "promotions": self.promotions,
         }
+        if self.rapid_deaths:
+            payload["rapid_deaths"] = self.rapid_deaths
         if self.worker is not None:
             payload["port"] = self.worker.port
             payload["pid"] = self.worker.process.pid
@@ -187,8 +237,10 @@ class ShardManager:
     Parameters
     ----------
     worker_argv:
-        ``(shard_id, ship_to)`` → the worker's command line.  ``ship_to``
-        is ``"host:port"`` of the shard's follower, or ``None``.
+        ``(shard_id, ship_to, epoch)`` → the worker's command line.
+        ``ship_to`` is ``"host:port"`` of the shard's follower (or
+        ``None``); ``epoch`` is the writer generation the worker must
+        stamp and enforce.
     follower_argv:
         ``shard_id`` → the follower's command line, or ``None`` to run
         without replication.
@@ -199,17 +251,33 @@ class ShardManager:
         replay, ready covers the ``/readyz`` probe after that.
     restart_backoff_seconds:
         Delay before respawning a dead worker.
+    shard_dirs:
+        ``shard_id`` → ``(worker_dir, replica_dir)``.  Required for
+        automatic promotion: the manager validates the worker dir
+        against the follower before respawning and swaps the
+        directories when promoting.  ``None`` disables promotion (and
+        validation) entirely.
+    epoch_path:
+        Where per-shard epochs persist (``None`` keeps them in memory,
+        which forfeits fencing across full-cluster restarts).
+    unresponsive_timeout_seconds:
+        A ready worker whose ``/healthz`` has not answered for this
+        long is SIGKILLed (and then recovered normally).  ``0`` turns
+        the liveness probe off.
     """
 
     def __init__(
         self,
-        worker_argv: Callable[[int, str | None], list[str]],
+        worker_argv: Callable[[int, str | None, int], list[str]],
         follower_argv: Callable[[int], list[str]] | None = None,
         host: str = "127.0.0.1",
         ready_timeout: float = 60.0,
         announce_timeout: float = 120.0,
         restart_backoff_seconds: float = 0.2,
         poll_interval_seconds: float = 0.1,
+        shard_dirs: Callable[[int], tuple[Path, Path]] | None = None,
+        epoch_path: str | Path | None = None,
+        unresponsive_timeout_seconds: float = 10.0,
     ) -> None:
         self._worker_argv = worker_argv
         self._follower_argv = follower_argv
@@ -218,6 +286,9 @@ class ShardManager:
         self.announce_timeout = announce_timeout
         self.restart_backoff_seconds = restart_backoff_seconds
         self.poll_interval_seconds = poll_interval_seconds
+        self.unresponsive_timeout_seconds = unresponsive_timeout_seconds
+        self._shard_dirs = shard_dirs
+        self._epochs = EpochStore(epoch_path)
         self._lock = threading.RLock()
         self._handles: dict[int, ShardHandle] = {}
         self._version = 0
@@ -238,17 +309,34 @@ class ShardManager:
                 self._handles[shard_id] = ShardHandle(shard_id)
         for shard_id in range(shards):
             self._boot_shard(shard_id)
-        self._version += 1
+        with self._lock:
+            self._version += 1
         self._monitor = threading.Thread(
             target=self._monitor_loop, name="cluster-monitor", daemon=True
         )
         self._monitor.start()
 
     def _boot_shard(self, shard_id: int) -> None:
-        """Start follower (if any) then worker, then wait for readiness."""
+        """Start follower (if any) then worker, then wait for readiness.
+
+        Bumps the shard's epoch before the worker spawns, so every
+        generation — first boot, crash respawn, promotion — is uniquely
+        fenced.  A no-op while the manager is stopping: a shard must
+        never be (re)spawned into a half-torn-down cluster.
+        """
+        if self._stopping.is_set():
+            return
         handle = self._handles[shard_id]
         try:
             ship_to = None
+            if (
+                handle.follower is not None
+                and handle.follower.process.poll() is not None
+            ):
+                # A dead follower gets a fresh process on the same
+                # replica dir; the 409 offset handshake resynchronises
+                # the shipper onto whatever the dir already holds.
+                handle.follower = None
             if self._follower_argv is not None and handle.follower is None:
                 follower = _spawn_announced(
                     self._follower_argv(shard_id), self.announce_timeout
@@ -256,11 +344,18 @@ class ShardManager:
                 handle.follower = follower
             if handle.follower is not None:
                 ship_to = f"{self.host}:{handle.follower.port}"
+            epoch = self._epochs.bump(shard_id)
+            with self._lock:
+                handle.epoch = epoch
             child = _spawn_announced(
-                self._worker_argv(shard_id, ship_to), self.announce_timeout
+                self._worker_argv(shard_id, ship_to, epoch),
+                self.announce_timeout,
             )
             with self._lock:
                 handle.worker = child
+            if self._stopping.is_set():
+                self._stop_handle(handle, timeout=10.0)
+                return
             client = CaladriusClient(
                 self.host, child.port, timeout=5.0, retries=0
             )
@@ -269,6 +364,8 @@ class ShardManager:
             with self._lock:
                 handle.state = READY
                 handle.became_ready = time.monotonic()
+                handle.last_probe_at = 0.0
+                handle.last_probe_ok = handle.became_ready
                 handle.last_error = None
         except ReproError as exc:
             with self._lock:
@@ -334,7 +431,18 @@ class ShardManager:
     # ------------------------------------------------------------------
     def _monitor_loop(self) -> None:
         while not self._stopping.wait(self.poll_interval_seconds):
+            self._probe_health()
             with self._lock:
+                now = time.monotonic()
+                for handle in self._handles.values():
+                    if (
+                        handle.state == READY
+                        and handle.became_ready is not None
+                        and now - handle.became_ready > _MIN_HEALTHY_UPTIME
+                    ):
+                        # The shard survived its post-promotion boot;
+                        # a future crash loop earns a fresh attempt.
+                        handle.crash_loop_promotions = 0
                 dead = [
                     handle
                     for handle in self._handles.values()
@@ -344,7 +452,7 @@ class ShardManager:
                 ]
                 for handle in dead:
                     uptime = (
-                        time.monotonic() - handle.became_ready
+                        now - handle.became_ready
                         if handle.became_ready is not None
                         else 0.0
                     )
@@ -362,32 +470,232 @@ class ShardManager:
                 if self._stopping.is_set():
                     return
                 if handle.rapid_deaths > _MAX_RAPID_RESTARTS:
-                    with self._lock:
-                        handle.state = FAILED
-                        handle.last_error = (
-                            "crash loop: worker died "
-                            f"{handle.rapid_deaths} times within "
-                            f"{_MIN_HEALTHY_UPTIME:.0f}s of becoming ready"
-                        )
-                    logger.error(
-                        "shard %d is crash-looping; giving up",
-                        handle.shard_id,
-                    )
+                    self._give_up(handle)
                     continue
                 logger.warning(
-                    "shard %d died (%s); respawning on its data dir",
+                    "shard %d died (%s); recovering",
                     handle.shard_id,
                     handle.last_error,
                 )
                 time.sleep(self.restart_backoff_seconds)
+                if self._stopping.is_set():
+                    return
                 try:
-                    self._boot_shard(handle.shard_id)
-                    with self._lock:
-                        self._version += 1
+                    self._recover_shard(handle)
                 except ReproError:
                     logger.exception(
                         "shard %d failed to restart", handle.shard_id
                     )
+
+    def _probe_health(self) -> None:
+        """HTTP-probe ready workers; kill the ones wedged past the bound.
+
+        ``kill -9`` handles processes that *die*; this handles the ones
+        that merely stop answering (SIGSTOP, deadlock, runaway GC).
+        SIGKILL lands on stopped processes too, after which the normal
+        dead-worker path — validation, respawn or promotion — takes
+        over.  A pause shorter than the bound resumes unharmed.
+        """
+        if self.unresponsive_timeout_seconds <= 0:
+            return
+        now = time.monotonic()
+        with self._lock:
+            targets = [
+                handle
+                for handle in self._handles.values()
+                if handle.state == READY
+                and handle.worker is not None
+                and handle.worker.process.poll() is None
+                and now - handle.last_probe_at >= _PROBE_INTERVAL
+            ]
+        for handle in targets:
+            if self._stopping.is_set():
+                return
+            worker = handle.worker
+            if worker is None:
+                continue
+            handle.last_probe_at = time.monotonic()
+            if self._probe_once(worker.port):
+                handle.last_probe_ok = time.monotonic()
+                continue
+            silent_for = (
+                time.monotonic() - handle.last_probe_ok
+                if handle.last_probe_ok is not None
+                else 0.0
+            )
+            if silent_for > self.unresponsive_timeout_seconds:
+                logger.warning(
+                    "shard %d unresponsive for %.1fs; killing the worker",
+                    handle.shard_id,
+                    silent_for,
+                )
+                _kill(worker.process)
+
+    def _probe_once(self, port: int) -> bool:
+        try:
+            connection = http.client.HTTPConnection(
+                self.host, port, timeout=_PROBE_TIMEOUT
+            )
+            try:
+                connection.request("GET", "/healthz")
+                response = connection.getresponse()
+                response.read()
+                return response.status == 200
+            finally:
+                connection.close()
+        except (OSError, http.client.HTTPException):
+            return False
+
+    # ------------------------------------------------------------------
+    # Recovery and promotion
+    # ------------------------------------------------------------------
+    def _recover_shard(self, handle: ShardHandle) -> None:
+        """Respawn a dead worker — or promote its follower instead.
+
+        The data directory is validated first: when it would recover
+        less than the follower holds (or its checkpoint is corrupt),
+        respawning would silently resurrect the shard on lost state, so
+        the follower's mirror is promoted instead.
+        """
+        reason = self._promotion_reason(handle)
+        if reason is not None:
+            logger.warning(
+                "shard %d: %s; promoting its follower",
+                handle.shard_id,
+                reason,
+            )
+            self._promote(handle)
+            return
+        self._boot_shard(handle.shard_id)
+        with self._lock:
+            self._version += 1
+
+    def _promotion_reason(self, handle: ShardHandle) -> str | None:
+        """Why the shard must be promoted rather than respawned, if so."""
+        if self._shard_dirs is None:
+            return None
+        applied = self._follower_applied_lsn(handle)
+        if applied is None:
+            return None  # no live follower to compare against (or promote)
+        worker_dir, _ = self._shard_dirs(handle.shard_id)
+        try:
+            recoverable = peek_recoverable_lsn(worker_dir)
+        except DurabilityError as exc:
+            return f"data dir failed recovery validation ({exc})"
+        if recoverable < applied:
+            return (
+                f"data dir would recover lsn {recoverable} but the "
+                f"follower holds lsn {applied}"
+            )
+        return None
+
+    def _follower_applied_lsn(self, handle: ShardHandle) -> int | None:
+        """The live follower's applied LSN, or ``None`` when unreachable."""
+        follower = handle.follower
+        if follower is None or follower.process.poll() is not None:
+            return None
+        try:
+            connection = http.client.HTTPConnection(
+                self.host, follower.port, timeout=2.0
+            )
+            try:
+                connection.request("GET", "/replica/status")
+                response = connection.getresponse()
+                raw = response.read()
+            finally:
+                connection.close()
+            if response.status != 200:
+                return None
+            return int(json.loads(raw.decode("utf8")).get("applied_lsn", 0))
+        except (OSError, ValueError, http.client.HTTPException):
+            return None
+
+    def _promotable(self, handle: ShardHandle) -> bool:
+        return (
+            self._shard_dirs is not None
+            and handle.follower is not None
+            and handle.follower.process.poll() is None
+        )
+
+    def _give_up(self, handle: ShardHandle) -> None:
+        """Crash loop: promote the follower once, else mark ``gave_up``."""
+        if self._promotable(handle) and handle.crash_loop_promotions < 1:
+            logger.error(
+                "shard %d is crash-looping; promoting its follower",
+                handle.shard_id,
+            )
+            with self._lock:
+                handle.crash_loop_promotions += 1
+            self._promote(handle)
+            return
+        with self._lock:
+            handle.state = GAVE_UP
+            handle.last_error = (
+                "crash loop: worker died "
+                f"{handle.rapid_deaths} times within "
+                f"{_MIN_HEALTHY_UPTIME:.0f}s of becoming ready"
+            )
+            self._version += 1
+        logger.error(
+            "shard %d is crash-looping; giving up", handle.shard_id
+        )
+
+    def _promote(self, handle: ShardHandle) -> None:
+        """Swap the follower's mirror in as the shard's primary.
+
+        The dead (or wedged) worker is SIGKILLed and its directory
+        renamed aside as ``…-fenced-e{epoch}`` — preserved for
+        forensics, and the bumped epoch guarantees any zombie still
+        holding it can never be mistaken for the owner.  The follower
+        is drained, its byte-mirror becomes the worker directory, and
+        the shard boots a new generation with a fresh, empty follower.
+        """
+        assert self._shard_dirs is not None
+        shard_id = handle.shard_id
+        old_epoch = self._epochs.current(shard_id)
+        with self._lock:
+            handle.state = PROMOTING
+            handle.last_error = None
+        try:
+            if handle.worker is not None:
+                _kill(handle.worker.process)
+                handle.worker = None
+            if handle.follower is not None:
+                # SIGTERM lets the follower fsync + checkpoint its
+                # replica dir before we take it over.
+                _terminate(
+                    handle.follower.process, 10.0, f"follower-{shard_id}"
+                )
+                handle.follower = None
+            worker_dir, replica_dir = (
+                Path(p) for p in self._shard_dirs(shard_id)
+            )
+            if worker_dir.exists():
+                worker_dir.rename(
+                    worker_dir.with_name(
+                        f"{worker_dir.name}-fenced-e{old_epoch}"
+                    )
+                )
+            replica_dir.rename(worker_dir)
+            replica_dir.mkdir(parents=True, exist_ok=True)
+            with self._lock:
+                handle.rapid_deaths = 0
+                handle.promotions += 1
+            self._boot_shard(shard_id)
+            with self._lock:
+                self._version += 1
+            logger.warning(
+                "shard %d: follower promoted (epoch %d -> %d)",
+                shard_id,
+                old_epoch,
+                self._epochs.current(shard_id),
+            )
+        except (OSError, ReproError) as exc:
+            with self._lock:
+                handle.state = FAILED
+                handle.last_error = f"promotion failed: {exc}"
+                self._version += 1
+            logger.exception("shard %d promotion failed", shard_id)
 
     # ------------------------------------------------------------------
     # Introspection (the router reads these)
@@ -418,6 +726,30 @@ class ShardManager:
             ):
                 return None
             return self.host, handle.worker.port
+
+    def follower_address_of(self, shard_id: int) -> tuple[str, int] | None:
+        """``(host, port)`` of the shard's *live* follower, else ``None``.
+
+        The router serves opted-in stale reads from here while the
+        primary is restarting or promoting.
+        """
+        with self._lock:
+            handle = self._handles.get(shard_id)
+            if handle is None or handle.follower is None:
+                return None
+            if handle.follower.process.poll() is not None:
+                return None
+            return self.host, handle.follower.port
+
+    def epoch_of(self, shard_id: int) -> int:
+        """The shard's current writer-generation epoch."""
+        return self._epochs.current(shard_id)
+
+    def epochs(self) -> dict[int, int]:
+        """Epochs of all current members (published in the ring)."""
+        with self._lock:
+            ids = list(self._handles)
+        return {shard_id: self._epochs.current(shard_id) for shard_id in ids}
 
     def state_of(self, shard_id: int) -> str | None:
         with self._lock:

@@ -22,6 +22,13 @@ offset it actually holds when the shipper's bookkeeping disagrees (a
 follower restart, a truncated transfer), and the shipper rewinds.  A
 shipped chunk may end mid-frame; the follower only *applies* whole
 frames, so torn tails are invisible to replica reads.
+
+Epoch fencing rides the same transport: every post carries
+``epoch=<writer generation>`` and a follower that has seen a newer
+generation answers 409 with ``"fenced": true`` — *not* an offset
+rewind.  A fenced shipper stops shipping permanently (``_fenced``); its
+process belongs to a superseded primary and must never mutate replica
+state again.
 """
 
 from __future__ import annotations
@@ -36,6 +43,7 @@ from typing import Any
 
 from repro.durability.checkpoint import CHECKPOINT_FILENAME
 from repro.durability.store import DurableMetricsStore
+from repro.errors import DurabilityError
 
 __all__ = ["SegmentShipper"]
 
@@ -56,6 +64,10 @@ class SegmentShipper:
     interval_seconds:
         Ship cadence of the background thread; :meth:`ship_now` can be
         called at any time for a synchronous pass (tests, drain).
+    epoch:
+        The worker's writer generation, stamped onto every post so the
+        follower can fence off superseded shippers.  ``None`` ships
+        unstamped (single-process and test deployments).
     """
 
     def __init__(
@@ -64,6 +76,7 @@ class SegmentShipper:
         target: str,
         interval_seconds: float = 0.5,
         timeout: float = 10.0,
+        epoch: int | None = None,
     ) -> None:
         host, _, port = target.rpartition(":")
         self.store = store
@@ -71,6 +84,9 @@ class SegmentShipper:
         self.port = int(port)
         self.interval_seconds = interval_seconds
         self.timeout = timeout
+        self.epoch = epoch
+        self._fenced = False
+        self._fencing_409s = 0
         self._offsets: dict[str, int] = {}
         self._checkpoint_sig: tuple[int, int] | None = None
         self._conn: http.client.HTTPConnection | None = None
@@ -115,6 +131,8 @@ class SegmentShipper:
             except OSError as exc:
                 self._failures += 1
                 logger.debug("ship pass failed: %s", exc)
+                if self._fenced:
+                    return  # permanently superseded; stop burning passes
 
     # ------------------------------------------------------------------
     # One shipping pass
@@ -122,7 +140,27 @@ class SegmentShipper:
     def ship_now(self) -> dict[str, Any]:
         """Flush the WAL and push every outstanding byte to the follower."""
         with self._mutex:
-            self.store.flush()
+            if self._fenced:
+                # A newer writer generation owns the replica now; this
+                # process's bytes must never land there again.
+                raise OSError(
+                    f"shipper fenced off by follower {self.host}:{self.port} "
+                    f"(our epoch {self.epoch} is superseded)"
+                )
+            failed = getattr(self.store.wal, "failed", None)
+            if failed:
+                # A failed WAL may have a torn frame on disk (injected
+                # or real).  Shipping it would poison the follower's
+                # byte mirror at an offset the primary will truncate on
+                # reopen, desynchronising the two forever.
+                raise OSError(
+                    f"WAL is failed ({failed}); refusing to ship a "
+                    "possibly-torn tail"
+                )
+            try:
+                self.store.flush()
+            except DurabilityError as exc:
+                raise OSError(f"WAL flush failed: {exc}") from exc
             shipped = 0
             shipped += self._ship_checkpoint()
             live = set()
@@ -174,8 +212,10 @@ class SegmentShipper:
                 f"/replica/segment?name={name}&offset={offset}", chunk
             )
             if status == 409:
-                # The follower holds a different prefix (it restarted or
-                # a transfer tore); trust its offset and rewind/advance.
+                # A non-fenced 409 (``_post`` raised on the fenced kind)
+                # means the follower holds a different prefix (it
+                # restarted or a transfer tore); trust its offset and
+                # rewind/advance.
                 offset = int(body.get("offset", 0))
                 self._offsets[name] = offset
                 continue
@@ -188,6 +228,9 @@ class SegmentShipper:
     # Transport
     # ------------------------------------------------------------------
     def _post(self, path: str, body: bytes) -> tuple[int, dict[str, Any]]:
+        if self.epoch is not None:
+            separator = "&" if "?" in path else "?"
+            path = f"{path}{separator}epoch={self.epoch}"
         for attempt in (0, 1):
             if self._conn is None:
                 self._conn = http.client.HTTPConnection(
@@ -217,6 +260,17 @@ class SegmentShipper:
                     f"follower {self.host}:{self.port} answered "
                     f"{response.status} for {path}"
                 )
+            if response.status == 409 and payload.get("fenced"):
+                # Not an offset disagreement: the follower belongs to a
+                # newer writer generation.  Stop shipping for good —
+                # rewinding would loop forever against a fence.
+                self._fenced = True
+                self._fencing_409s += 1
+                raise OSError(
+                    f"follower {self.host}:{self.port} fenced off epoch "
+                    f"{self.epoch} (follower epoch "
+                    f"{payload.get('follower_epoch')})"
+                )
             return response.status, payload
         raise OSError("unreachable")  # pragma: no cover
 
@@ -232,4 +286,7 @@ class SegmentShipper:
                 "shipped_bytes": self._shipped_bytes,
                 "failures": self._failures,
                 "offsets": dict(self._offsets),
+                "epoch": self.epoch,
+                "fenced": self._fenced,
+                "fencing_409s": self._fencing_409s,
             }

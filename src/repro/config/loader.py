@@ -95,7 +95,12 @@ class ClusterConfig:
     with a follower replica fed by WAL-segment shipping every
     ``ship_interval_seconds``.  ``restart_backoff_seconds`` is the pause
     before a crashed shard is respawned; ``proxy_timeout_seconds``
-    bounds one router→shard proxy hop.
+    bounds one router→shard proxy hop.  ``sync_ship`` makes each
+    acknowledged write trigger a shipping pass before the ack leaves
+    (zero replica lag for acked writes, at a latency cost).
+    ``unresponsive_timeout_seconds`` is how long a ready worker may
+    fail its liveness probe before the manager kills and recovers it
+    (0 disables the probe).
     """
 
     shards: int = 1
@@ -104,6 +109,8 @@ class ClusterConfig:
     ship_interval_seconds: float = 0.5
     restart_backoff_seconds: float = 0.2
     proxy_timeout_seconds: float = 30.0
+    sync_ship: bool = False
+    unresponsive_timeout_seconds: float = 10.0
 
 
 @dataclass(frozen=True)
@@ -176,6 +183,8 @@ def load_config(source: str | Path | Mapping[str, Any]) -> CaladriusConfig:
             ship_interval_seconds: 0.5
             restart_backoff_seconds: 0.2
             proxy_timeout_seconds: 30
+            sync_ship: false
+            unresponsive_timeout_seconds: 10
 
     Unknown model names and malformed sections raise
     :class:`~repro.errors.ConfigError` with a precise message.
@@ -391,7 +400,8 @@ def _parse_cluster(section: Any) -> ClusterConfig:
     defaults = ClusterConfig()
     known = {
         "shards", "virtual_nodes", "replicate", "ship_interval_seconds",
-        "restart_backoff_seconds", "proxy_timeout_seconds",
+        "restart_backoff_seconds", "proxy_timeout_seconds", "sync_ship",
+        "unresponsive_timeout_seconds",
     }
     unknown = sorted(set(section) - known)
     if unknown:
@@ -424,6 +434,20 @@ def _parse_cluster(section: Any) -> ClusterConfig:
         ),
         "cluster.proxy_timeout_seconds",
     )
+    sync_ship = section.get("sync_ship", defaults.sync_ship)
+    if not isinstance(sync_ship, bool):
+        raise ConfigError("cluster.sync_ship must be a boolean")
+    unresponsive = section.get(
+        "unresponsive_timeout_seconds",
+        defaults.unresponsive_timeout_seconds,
+    )
+    if isinstance(unresponsive, bool) or not isinstance(
+        unresponsive, (int, float)
+    ) or unresponsive < 0:
+        raise ConfigError(
+            "cluster.unresponsive_timeout_seconds must be a non-negative "
+            f"number (0 disables the probe), got {unresponsive!r}"
+        )
     return ClusterConfig(
         shards=shards,
         virtual_nodes=virtual_nodes,
@@ -431,6 +455,8 @@ def _parse_cluster(section: Any) -> ClusterConfig:
         ship_interval_seconds=float(ship_interval),
         restart_backoff_seconds=float(backoff),
         proxy_timeout_seconds=float(proxy_timeout),
+        sync_ship=sync_ship,
+        unresponsive_timeout_seconds=float(unresponsive),
     )
 
 

@@ -42,7 +42,7 @@ from repro.durability.lifecycle import (
     LifecycleController,
 )
 from repro.durability.codec import store_content_hash
-from repro.durability.recovery import open_data_dir
+from repro.durability.recovery import open_data_dir, peek_recoverable_lsn
 from repro.durability.store import (
     DurableMetricsStore,
     RecoveryReport,
@@ -87,4 +87,5 @@ __all__ = [
     "deadline_scope",
     "open_data_dir",
     "parse_deadline_header",
+    "peek_recoverable_lsn",
 ]

@@ -7,12 +7,13 @@ from collections.abc import Callable
 from pathlib import Path
 from typing import Any
 
+from repro.durability.checkpoint import read_checkpoint
 from repro.durability.codec import restore_tracker_state
 from repro.durability.store import DurableMetricsStore
-from repro.durability.wal import FSYNC_INTERVAL
+from repro.durability.wal import FSYNC_INTERVAL, read_segment_records
 from repro.heron.tracker import TopologyTracker
 
-__all__ = ["open_data_dir"]
+__all__ = ["open_data_dir", "peek_recoverable_lsn"]
 
 
 def open_data_dir(
@@ -44,3 +45,30 @@ def open_data_dir(
     if store.tracker_snapshot is not None:
         restore_tracker_state(tracker, store.tracker_snapshot)
     return store, tracker
+
+
+def peek_recoverable_lsn(data_dir: str | Path) -> int:
+    """The highest LSN a recovery of ``data_dir`` would restore.
+
+    An offline, read-only scan: the checkpoint's ``last_lsn`` plus
+    every whole CRC-framed record in the WAL segments (torn tails stop
+    the scan of a segment, exactly as replay would).  A missing or
+    empty directory peeks as 0.  The shard manager compares this
+    against a follower's applied LSN before respawning a crashed worker
+    — a data directory that would recover *less* than its replica holds
+    (wiped, truncated) triggers promotion instead of a silent respawn
+    onto lost state.  Raises :class:`~repro.errors.DurabilityError`
+    when the checkpoint exists but cannot be decoded (corruption is a
+    promotion trigger too, and the caller decides).
+    """
+    data_dir = Path(data_dir)
+    checkpoint = read_checkpoint(data_dir)
+    last = int(checkpoint.get("last_lsn", 0)) if checkpoint else 0
+    wal_dir = data_dir / "wal"
+    if wal_dir.is_dir():
+        for path in sorted(wal_dir.glob("wal-*.log")):
+            for record, _ in read_segment_records(path):
+                lsn = int(record.get("lsn", 0))
+                if lsn > last:
+                    last = lsn
+    return last

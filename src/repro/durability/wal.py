@@ -390,6 +390,16 @@ class WriteAheadLog:
         """The LSN of the most recently appended (or recovered) record."""
         return self._next_lsn - 1
 
+    @property
+    def failed(self) -> str | None:
+        """Why the log is permanently failed, or ``None`` while healthy.
+
+        A failed log refuses every further append until the data
+        directory is reopened; supervised shard workers watch this and
+        exit so their manager can respawn (or promote) them.
+        """
+        return self._failed
+
     def advance_to(self, lsn: int) -> None:
         """Never issue an LSN at or below ``lsn``.
 

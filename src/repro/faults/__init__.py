@@ -23,7 +23,11 @@ from repro.faults.plan import (
     load_fault_plan,
     single_event_plan,
 )
-from repro.faults.service import ServiceFault, ServiceFaultInjector
+from repro.faults.service import (
+    ServiceFault,
+    ServiceFaultInjector,
+    parse_service_fault_spec,
+)
 
 __all__ = [
     "FaultEvent",
@@ -34,5 +38,6 @@ __all__ = [
     "ServiceFaultInjector",
     "assess_topology_metrics",
     "load_fault_plan",
+    "parse_service_fault_spec",
     "single_event_plan",
 ]

@@ -36,6 +36,7 @@ __all__ = [
     "SERVICE_KINDS",
     "ServiceFault",
     "ServiceFaultInjector",
+    "parse_service_fault_spec",
 ]
 
 KIND_TORN_WRITE = "torn_write"
@@ -131,3 +132,34 @@ class ServiceFaultInjector:
         with self._lock:
             if self._take(KIND_FSYNC_ERROR) is not None:
                 raise OSError(errno.EIO, "injected fsync fault")
+
+
+def parse_service_fault_spec(spec: str) -> list[ServiceFault]:
+    """Parse ``"kind@append[,kind@append...]"`` into fault objects.
+
+    The textual form lets fault schedules cross a process boundary —
+    the chaos harness hands ``--service-faults torn_write@7`` to a
+    spawned shard worker.  Malformed entries (and an empty spec) raise
+    :class:`~repro.errors.FaultError` with the offending fragment.
+    """
+    faults: list[ServiceFault] = []
+    for fragment in spec.split(","):
+        fragment = fragment.strip()
+        if not fragment:
+            continue
+        kind, separator, raw_append = fragment.partition("@")
+        if not separator:
+            raise FaultError(
+                f"service fault {fragment!r} must look like kind@append"
+            )
+        try:
+            at_append = int(raw_append)
+        except ValueError:
+            raise FaultError(
+                f"service fault {fragment!r} has a non-integer append "
+                f"index {raw_append!r}"
+            ) from None
+        faults.append(ServiceFault(kind=kind.strip(), at_append=at_append))
+    if not faults:
+        raise FaultError(f"service fault spec {spec!r} names no faults")
+    return faults
