@@ -241,6 +241,16 @@ class MetricsManager:
             or (component, instance) in self._blackouts
         )
 
+    @property
+    def has_blackouts(self) -> bool:
+        """True while any blackout scope is active.
+
+        Batched flushers must fall back to the keyed path whenever this
+        is set: blackouts produce *missing* samples, which a fixed-batch
+        append cannot express.
+        """
+        return bool(self._blackouts)
+
     # ------------------------------------------------------------------
     # Time keeping / flushing
     # ------------------------------------------------------------------
@@ -256,6 +266,31 @@ class MetricsManager:
         self._elapsed_in_minute += dt
         if self._elapsed_in_minute >= MINUTE_SECONDS - 1e-9:
             self._flush_minute()
+
+    def advance_batched(self, dt: float) -> None:
+        """Advance the clock across a minute the caller already flushed.
+
+        The simulator's batched flush path writes the closing minute's
+        samples straight into the store (see
+        :meth:`~repro.timeseries.store.MetricsStore.append_minute_batch`)
+        without ever touching the per-instance buffers, so crossing the
+        boundary must *not* run :meth:`_flush_minute` — the buffers are
+        empty and flushing them would emit spurious zero-valued
+        ``backpressure-time-ms`` samples.  This variant only resets the
+        minute state: topology backpressure, elapsed time, minute start.
+        """
+        if dt <= 0:
+            raise MetricsError("tick length must be positive")
+        self._elapsed_in_minute += dt
+        if self._elapsed_in_minute >= MINUTE_SECONDS - 1e-9:
+            self._topology_backpressure_ms = 0.0
+            self._elapsed_in_minute = 0.0
+            self._minute_start += int(MINUTE_SECONDS)
+
+    @property
+    def topology_backpressure_ms(self) -> float:
+        """Topology-wide backpressure accumulated in the open minute."""
+        return self._topology_backpressure_ms
 
     def minute_closing(self, dt: float) -> bool:
         """True when the next :meth:`advance` call of ``dt`` will flush.

@@ -32,6 +32,20 @@ The simulator is fluid: tuple counts are real numbers (rates), not
 individual tuples.  Every quantity the paper's models consume — counters,
 saturation behaviour, grouping shares, CPU — is faithfully produced; tuple
 contents are not materialised.
+
+Engine internals (the struct-of-arrays core)
+--------------------------------------------
+State lives in flat numpy arenas indexed by a global instance id — one
+arena set for spouts, one for bolts — instead of per-component objects.
+Topology routing is compiled once at construction into flat edge tables
+(destination-index, share, source-slot gathers), bolts are arena-ordered
+by topological *level* so the in-tick delivery of transparent stream
+managers becomes one whole-array pass per level, and all per-tick RNG is
+pre-drawn in minute-sized batches with a static draw layout.  Every
+floating-point operation sequence — including numpy's pairwise summation
+trees and the RNG draw order — is arranged to be bit-identical to the
+pre-vectorization engine (kept as ``repro.heron.simulation_legacy``);
+the golden trace fixtures under ``tests/data`` pin that contract.
 """
 
 from __future__ import annotations
@@ -41,17 +55,18 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.errors import SimulationError
+from repro.errors import MetricsError, SimulationError
 from repro.heron.metrics import MetricNames, MetricsManager
 from repro.heron.packing import PackingPlan
 from repro.heron.topology import LogicalTopology, Stream
-from repro.timeseries.store import MetricsStore
+from repro.timeseries.store import MetricKey, MetricsStore
 
 __all__ = [
     "SimulationConfig",
     "ComponentLogic",
     "SpoutLogic",
     "HeronSimulation",
+    "warm_shares_memo",
 ]
 
 _MINUTE = 60.0
@@ -200,97 +215,77 @@ class SpoutLogic:
             raise SimulationError("rate_noise must be non-negative")
 
 
-class _SpoutState:
-    """Runtime arrays for one spout component."""
+# ----------------------------------------------------------------------
+# Cross-simulation shares memo
+# ----------------------------------------------------------------------
+# Grouping objects are immutable and shared across the topologies a plan
+# sweep derives via ``with_parallelism``, so their per-destination share
+# vectors can be computed once per (grouping identity, parallelism) and
+# reused by every simulation in the process — the pool workers warm this
+# from their pickled-once spec.  Entries hold a strong reference to the
+# grouping so a recycled ``id`` can never alias a dead object; the
+# identity check guards the pathological case regardless.
+_SHARES_MEMO: dict[tuple[int, int], tuple[object, np.ndarray]] = {}
+_SHARES_MEMO_CAP = 4096
+
+
+def _grouping_shares(grouping, dest_parallelism: int) -> np.ndarray:
+    key = (id(grouping), dest_parallelism)
+    hit = _SHARES_MEMO.get(key)
+    if hit is not None and hit[0] is grouping:
+        return hit[1]
+    shares = grouping.shares(dest_parallelism)
+    # The memoized array is shared across every simulation in the
+    # process; freeze it so no consumer can mutate routing under
+    # another's feet.
+    shares.flags.writeable = False
+    if len(_SHARES_MEMO) >= _SHARES_MEMO_CAP:
+        _SHARES_MEMO.clear()
+    _SHARES_MEMO[key] = (grouping, shares)
+    return shares
+
+
+def warm_shares_memo(topology: LogicalTopology) -> int:
+    """Precompute every stream's share vector into the process memo.
+
+    Returns the number of streams warmed.  Used by pool workers so each
+    per-plan simulation starts with its routing shares already resolved.
+    """
+    count = 0
+    for component in topology.components:
+        for stream in topology.outputs(component):
+            _grouping_shares(
+                stream.grouping, topology.parallelism(stream.destination)
+            )
+            count += 1
+    return count
+
+
+class _SpoutView:
+    """Per-component handle over the spout arenas (one arena slice)."""
+
+    __slots__ = ("name", "logic", "parallelism", "start", "stop", "rate_tps")
 
     def __init__(self, name: str, parallelism: int, logic: SpoutLogic) -> None:
         self.name = name
         self.logic = logic
         self.parallelism = parallelism
+        self.start = 0
+        self.stop = 0
         self.rate_tps = 0.0  # configured source rate, per instance
-        self.down = np.zeros(parallelism, dtype=bool)
-        self.backlog = np.zeros(parallelism)
-        self.tick_emitted = np.zeros(parallelism)
-        self.tick_fetched = np.zeros(parallelism)
-        self.tick_source = np.zeros(parallelism)
-        self.tick_stream_emitted: dict[str, np.ndarray] = {}
 
 
-class _BoltState:
-    """Runtime arrays for one bolt component."""
+class _BoltView:
+    """Per-component handle over the bolt arenas (one arena slice)."""
+
+    __slots__ = ("name", "logic", "parallelism", "start", "stop")
 
     def __init__(self, name: str, parallelism: int, logic: ComponentLogic) -> None:
         self.name = name
         self.logic = logic
         self.parallelism = parallelism
-        self.queue_tuples = np.zeros(parallelism)
-        self.bp_flag = np.zeros(parallelism, dtype=bool)
-        self.capacity_factor = np.ones(parallelism)
-        self.down = np.zeros(parallelism, dtype=bool)
-        self.state_bytes = np.zeros(parallelism)
-        self.tick_arrivals = np.zeros(parallelism)
-        self.tick_processed = np.zeros(parallelism)
-        self.tick_failed = np.zeros(parallelism)
-        self.tick_emitted = np.zeros(parallelism)
-        self.tick_stream_emitted: dict[str, np.ndarray] = {}
-
-    @property
-    def pending_bytes(self) -> np.ndarray:
-        """Queued bytes per instance (drives the watermark rule)."""
-        return self.queue_tuples * self.logic.input_tuple_bytes
-
-
-class _SpoutMinuteAcc:
-    """One simulated minute of spout metrics, accumulated in numpy.
-
-    The tick loop adds whole per-instance arrays here instead of making
-    half a dozen dict updates (plus float casts and f-string instance
-    names) per instance per tick; the totals flow into the
-    :class:`~repro.heron.metrics.MetricsManager` once per minute.  Each
-    array element sees the same addition sequence a per-tick
-    ``add_counter``/``add_gauge`` call chain would produce, so the
-    flushed values are bit-identical.
-    """
-
-    __slots__ = ("source", "fetched", "emitted", "streams", "backlog", "cpu")
-
-    def __init__(self, parallelism: int, stream_names: list[str]) -> None:
-        self.source = np.zeros(parallelism)
-        self.fetched = np.zeros(parallelism)
-        self.emitted = np.zeros(parallelism)
-        self.streams = {name: np.zeros(parallelism) for name in stream_names}
-        self.backlog = np.zeros(parallelism)
-        self.cpu = np.zeros(parallelism)
-
-    def reset(self) -> None:
-        for arr in (self.source, self.fetched, self.emitted,
-                    self.backlog, self.cpu, *self.streams.values()):
-            arr.fill(0.0)
-
-
-class _BoltMinuteAcc:
-    """One simulated minute of bolt metrics (see :class:`_SpoutMinuteAcc`)."""
-
-    __slots__ = ("arrivals", "processed", "emitted", "failed", "memory",
-                 "latency", "streams", "pending", "cpu", "bp_ms")
-
-    def __init__(self, parallelism: int, stream_names: list[str]) -> None:
-        self.arrivals = np.zeros(parallelism)
-        self.processed = np.zeros(parallelism)
-        self.emitted = np.zeros(parallelism)
-        self.failed = np.zeros(parallelism)
-        self.memory = np.zeros(parallelism)
-        self.latency = np.zeros(parallelism)
-        self.streams = {name: np.zeros(parallelism) for name in stream_names}
-        self.pending = np.zeros(parallelism)
-        self.cpu = np.zeros(parallelism)
-        self.bp_ms = np.zeros(parallelism)
-
-    def reset(self) -> None:
-        for arr in (self.arrivals, self.processed, self.emitted, self.failed,
-                    self.memory, self.latency, self.pending, self.cpu,
-                    self.bp_ms, *self.streams.values()):
-            arr.fill(0.0)
+        self.start = 0
+        self.stop = 0
 
 
 class _StmgrState:
@@ -310,6 +305,102 @@ class _StmgrState:
     def queued_tuples(self) -> float:
         """Total tuples waiting inside this stream manager."""
         return float(sum(p.sum() for p in self.pending.values()))
+
+
+class _EdgeGroup:
+    """One compiled batch of routing edges sharing an application point.
+
+    ``dest_idx[i]`` is the bolt-arena index receiving
+    ``slot_sums[slot_idx[i]] * shares[i]``; elements are laid out in
+    global edge order so per-destination addition order matches the
+    per-stream ``+=`` sequence of the scalar engine.  When every
+    destination element receives exactly one contribution in the whole
+    tick (``injective``), scatter-assign replaces ``np.add.at``.
+    """
+
+    __slots__ = ("dest_idx", "slot_idx", "shares", "buf", "injective")
+
+    def __init__(
+        self,
+        dest_idx: np.ndarray,
+        slot_idx: np.ndarray,
+        shares: np.ndarray,
+    ) -> None:
+        self.dest_idx = dest_idx
+        self.slot_idx = slot_idx
+        self.shares = shares
+        self.buf = np.empty(dest_idx.shape[0])
+        self.injective = False
+
+
+class _ClipEdge:
+    """Precomputed operands for one spout output stream's headroom clip."""
+
+    __slots__ = (
+        "alpha", "shares", "mask", "dest_q", "itb", "cap_dt",
+        "buf", "denom", "per",
+    )
+
+    def __init__(
+        self,
+        alpha: float,
+        shares: np.ndarray,
+        dest_q: np.ndarray,
+        itb: float,
+        cap_dt: float,
+    ) -> None:
+        self.alpha = alpha
+        self.shares = shares
+        self.mask = shares > 0
+        self.dest_q = dest_q  # live view of the destination queue slice
+        self.itb = itb
+        self.cap_dt = cap_dt
+        self.buf = np.empty(shares.shape[0])
+        self.denom = np.empty(shares.shape[0])
+        self.per = np.empty(shares.shape[0])
+
+
+def _contiguous_span(
+    idx: np.ndarray, cols: np.ndarray
+) -> tuple[int, int, int, int] | None:
+    """Slice bounds when a scatter's indices form one contiguous run.
+
+    Returns ``(i0, i1, c0, c1)`` such that ``dest[i0:i1] = row[c0:c1]``
+    reproduces ``dest[idx] = row[cols]`` exactly, or ``None`` when the
+    index sets are empty or non-contiguous.
+    """
+    n = idx.shape[0]
+    if n == 0:
+        return None
+    i0, c0 = int(idx[0]), int(cols[0])
+    if not np.array_equal(idx, np.arange(i0, i0 + n, dtype=np.intp)):
+        return None
+    if not np.array_equal(cols, np.arange(c0, c0 + n, dtype=np.intp)):
+        return None
+    return (i0, i0 + n, c0, c0 + n)
+
+
+def _sum_groups(
+    slot_ranges: list[tuple[int, int, int]]
+) -> list[tuple[np.ndarray, np.ndarray, int, int]]:
+    """Group (slot_id, flat_start, flat_stop) slots by segment length.
+
+    Equal-length segments gathered into an ``(n, L)`` matrix and summed
+    along axis 1 reproduce numpy's pairwise-summation tree of each
+    contiguous segment exactly — the bit-identity requirement for the
+    per-stream totals that feed the routing edges.
+    """
+    by_len: dict[int, list[tuple[int, int]]] = {}
+    for sid, f0, f1 in slot_ranges:
+        by_len.setdefault(f1 - f0, []).append((sid, f0))
+    groups = []
+    for length, items in by_len.items():
+        out_idx = np.array([sid for sid, _ in items], dtype=np.intp)
+        flat_idx = np.concatenate(
+            [np.arange(f0, f0 + length, dtype=np.intp) for _, f0 in items]
+        )
+        groups.append((out_idx, flat_idx, len(items), length))
+    return groups
 
 
 class HeronSimulation:
@@ -358,16 +449,17 @@ class HeronSimulation:
         self._rng = np.random.default_rng(self.config.seed)
         self.metrics = MetricsManager(store, topology.name, start_at_seconds)
         self._now = float(start_at_seconds)
-        self._spouts: dict[str, _SpoutState] = {}
-        self._bolts: dict[str, _BoltState] = {}
+        self._spouts: dict[str, _SpoutView] = {}
+        self._bolts: dict[str, _BoltView] = {}
         self._containers: dict[str, np.ndarray] = {}
         self._validate_and_build(logic)
         self._order = [c.name for c in topology.topological_order()]
-        self._shares_cache: dict[tuple[str, str, str, int], np.ndarray] = {}
+        self._compile_arenas()
         self._stmgrs: dict[int, _StmgrState] = {
             c.container_id: _StmgrState(c.container_id)
             for c in packing.containers
         }
+        self._compile_stmgr_index()
         self._stalled_containers: set[int] = set()
         self._injector = None
         if faults is not None:
@@ -394,18 +486,8 @@ class HeronSimulation:
                 self.metrics.register_instance(component, instance, container)
                 labels.append((instance, container))
             self._minute_labels[component] = labels
-        self._spout_acc = {
-            name: _SpoutMinuteAcc(
-                state.parallelism, self._output_stream_names(name)
-            )
-            for name, state in self._spouts.items()
-        }
-        self._bolt_acc = {
-            name: _BoltMinuteAcc(
-                bolt.parallelism, self._output_stream_names(name)
-            )
-            for name, bolt in self._bolts.items()
-        }
+        self._flush_plan = None
+        self._store_token = -1
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -435,9 +517,9 @@ class HeronSimulation:
                     "without alphas"
                 )
             if spec.is_spout:
-                self._spouts[name] = _SpoutState(name, spec.parallelism, entry)
+                self._spouts[name] = _SpoutView(name, spec.parallelism, entry)
             else:
-                self._bolts[name] = _BoltState(name, spec.parallelism, entry)
+                self._bolts[name] = _BoltView(name, spec.parallelism, entry)
         for name in self.topology.components:
             containers = np.array(
                 [
@@ -449,19 +531,458 @@ class HeronSimulation:
 
     def _output_stream_names(self, component: str) -> list[str]:
         """Declared output stream names, deduplicated in outputs order
-        (the order ``tick_stream_emitted`` fills in every tick)."""
+        (the per-tick emission-slot order)."""
         return list(
             dict.fromkeys(s.name for s in self.topology.outputs(component))
         )
 
     def _shares(self, stream: Stream) -> np.ndarray:
-        dest_p = self.topology.parallelism(stream.destination)
-        key = (stream.source, stream.destination, stream.name, dest_p)
-        cached = self._shares_cache.get(key)
-        if cached is None:
-            cached = stream.grouping.shares(dest_p)
-            self._shares_cache[key] = cached
-        return cached
+        return _grouping_shares(
+            stream.grouping, self.topology.parallelism(stream.destination)
+        )
+
+    def _compile_arenas(self) -> None:
+        """Build the struct-of-arrays state and the compiled routing.
+
+        Bolts are arena-ordered by topological level (stable within a
+        level by scalar-engine processing order) so transparent-mode
+        in-tick delivery advances level by level with whole-array ops.
+        """
+        topology = self.topology
+        dt = self.config.tick_seconds
+        self._use_stmgr = self.config.stmgr_capacity_tps is not None
+        self._hwm = self.config.high_watermark_bytes
+        self._high_trigger = self.config.high_watermark_bytes * (1.0 - 1e-9)
+        self._low = self.config.low_watermark_bytes
+
+        # --- spout arena (component insertion order) -------------------
+        self._spout_names = list(self._spouts)
+        n_sp = 0
+        for view in self._spouts.values():
+            view.start = n_sp
+            view.stop = n_sp + view.parallelism
+            n_sp = view.stop
+        self._n_sp = n_sp
+        self._sp_backlog = np.zeros(n_sp)
+        self._sp_down = np.zeros(n_sp, dtype=bool)
+        self._sp_noise = np.ones(n_sp)
+        self._sp_rate_dt = np.zeros(n_sp)
+        self._sp_fetch_cap = np.zeros(n_sp)
+        self._sp_util_denom = np.ones(n_sp)
+        # Per-tick quantities live as rows of one 2D block so the minute
+        # accumulation is a single 2D += instead of one add per metric
+        # (bit-identical: the add is elementwise either way).
+        self._sp_tick2d = np.zeros((5, n_sp))
+        self._sp_source = self._sp_tick2d[0]
+        self._sp_fetched = self._sp_tick2d[1]
+        self._sp_emitted = self._sp_tick2d[2]
+        self._sp_backlog_dt = self._sp_tick2d[3]
+        self._sp_cpu_dt = self._sp_tick2d[4]
+        self._sp_worker = np.zeros(n_sp)
+        self._sp_gcpt = np.zeros(n_sp)
+        self._sp_containers = np.zeros(n_sp, dtype=np.int64)
+        self._sp_t1 = np.empty(n_sp)
+        self._sp_t2 = np.empty(n_sp)
+        for name, view in self._spouts.items():
+            sl = slice(view.start, view.stop)
+            self._sp_worker[sl] = view.logic.worker_cores
+            self._sp_gcpt[sl] = view.logic.gateway_cores_per_tuple
+            self._sp_containers[sl] = self._containers[name]
+
+        # --- bolt arena (level-major, stable by processing order) ------
+        self._bolt_names = list(self._bolts)  # component insertion order
+        order_bolts = [n for n in self._order if n in self._bolts]
+        self._bolt_order_names = order_bolts  # scalar-engine tick order
+        incoming: dict[str, list[str]] = {}
+        for comp in topology.components:
+            for s in topology.outputs(comp):
+                incoming.setdefault(s.destination, []).append(comp)
+        level: dict[str, int] = {}
+        for name in self._order:
+            if name in self._spouts:
+                level[name] = 0
+            else:
+                level[name] = 1 + max(level[src] for src in incoming[name])
+        self._n_levels = max((level[n] for n in order_bolts), default=0)
+        arena_names = sorted(order_bolts, key=lambda n: level[n])  # stable
+        self._bolt_arena_names = arena_names
+        n_b = 0
+        for name in arena_names:
+            view = self._bolts[name]
+            view.start = n_b
+            view.stop = n_b + view.parallelism
+            n_b = view.stop
+        self._n_b = n_b
+        # Levels have no gaps: every bolt's level is 1 + the max level of
+        # its sources, and the chain below any bolt bottoms out at a
+        # level-1 bolt, so each k in [1, n_levels] has members.
+        self._level_bounds: list[tuple[int, int]] = []
+        for k in range(1, self._n_levels + 1):
+            members = [self._bolts[n] for n in arena_names if level[n] == k]
+            self._level_bounds.append((members[0].start, members[-1].stop))
+
+        self._b_queue = np.zeros(n_b)
+        self._b_bp = np.zeros(n_b, dtype=bool)
+        self._b_factor = np.ones(n_b)
+        self._b_down = np.zeros(n_b, dtype=bool)
+        self._b_state = np.zeros(n_b)
+        self._b_noise = np.ones(n_b)
+        self._b_tick2d = np.zeros((9, n_b))
+        self._b_arrivals = self._b_tick2d[0]
+        self._b_processed = self._b_tick2d[1]
+        self._b_emitted = self._b_tick2d[2]
+        self._b_failed = self._b_tick2d[3]
+        self._b_memory_dt = self._b_tick2d[4]
+        self._b_latency_dt = self._b_tick2d[5]
+        self._b_pending_dt = self._b_tick2d[6]
+        self._b_cpu_dt = self._b_tick2d[7]
+        self._b_bpms = self._b_tick2d[8]
+        self._b_capacity = np.zeros(n_b)
+        self._b_successful = np.zeros(n_b)
+        self._b_pending = np.zeros(n_b)
+        self._b_outbox = np.zeros(n_b) if self._use_stmgr else None
+        self._b_containers = np.zeros(n_b, dtype=np.int64)
+        self._b_cap_dt = np.zeros(n_b)
+        self._b_captps = np.zeros(n_b)
+        self._b_itb = np.zeros(n_b)
+        self._b_failrate = np.zeros(n_b)
+        self._b_sbpp = np.zeros(n_b)
+        self._b_scap = np.zeros(n_b)
+        self._b_base_mem = np.zeros(n_b)
+        self._b_worker = np.zeros(n_b)
+        self._b_gcpt = np.zeros(n_b)
+        self._b_t1 = np.empty(n_b)
+        self._b_t2 = np.empty(n_b)
+        self._b_t3 = np.empty(n_b)
+        self._b_t4 = np.empty(n_b)
+        self._any_state = False
+        for name in arena_names:
+            view = self._bolts[name]
+            lg = view.logic
+            sl = slice(view.start, view.stop)
+            self._b_containers[sl] = self._containers[name]
+            self._b_cap_dt[sl] = lg.capacity_tps * dt
+            self._b_captps[sl] = lg.capacity_tps
+            self._b_itb[sl] = lg.input_tuple_bytes
+            self._b_failrate[sl] = lg.failure_rate
+            self._b_sbpp[sl] = lg.state_bytes_per_processed
+            self._b_scap[sl] = lg.state_memory_cap_bytes
+            self._b_base_mem[sl] = lg.base_memory_bytes
+            self._b_worker[sl] = lg.worker_cores
+            self._b_gcpt[sl] = lg.gateway_cores_per_tuple
+            if lg.state_bytes_per_processed > 0:
+                self._any_state = True
+
+        # --- emission slots (one per unique output stream) -------------
+        # Spout slots in spout insertion order; bolt slots in ARENA order
+        # so each level's slots form one contiguous flat range.
+        self._sp_slot_records: list[tuple[str, str, int, int]] = []
+        self._sp_stream_slots: dict[str, list[tuple[str, int]]] = {}
+        sp_gather: list[np.ndarray] = []
+        sp_alpha_flat: list[np.ndarray] = []
+        flat = 0
+        for name in self._spout_names:
+            view = self._spouts[name]
+            entries = []
+            for stream_name in self._output_stream_names(name):
+                sid = len(self._sp_slot_records)
+                self._sp_slot_records.append(
+                    (name, stream_name, flat, flat + view.parallelism)
+                )
+                entries.append((stream_name, flat))
+                sp_gather.append(
+                    np.arange(view.start, view.stop, dtype=np.intp)
+                )
+                sp_alpha_flat.append(
+                    np.full(view.parallelism, view.logic.alphas[stream_name])
+                )
+                flat += view.parallelism
+            self._sp_stream_slots[name] = entries
+        self._sp_flat = flat
+        self._sp_slot_gather = (
+            np.concatenate(sp_gather)
+            if sp_gather else np.empty(0, dtype=np.intp)
+        )
+        self._sp_slot_alpha_flat = (
+            np.concatenate(sp_alpha_flat) if sp_alpha_flat else np.empty(0)
+        )
+        self._sp_slot_vals = np.zeros(self._sp_flat)
+        self._sp_slot_sums = np.zeros(len(self._sp_slot_records))
+        self._sp_sum_groups = _sum_groups(
+            [(i, r[2], r[3]) for i, r in enumerate(self._sp_slot_records)]
+        )
+        uniq = np.unique(self._sp_slot_gather)
+        self._sp_emit_injective = uniq.shape[0] == self._sp_slot_gather.shape[0]
+
+        self._b_slot_records: list[tuple[str, str, int, int]] = []
+        self._b_stream_slots: dict[str, list[tuple[str, int]]] = {}
+        self._b_slot_key: dict[tuple[str, str], int] = {}
+        b_gather: list[np.ndarray] = []
+        b_alpha_base: list[float] = []
+        b_slot_of_flat: list[np.ndarray] = []
+        flat = 0
+        level_slot_flat: list[tuple[int, int]] = []
+        level_slot_ranges: list[list[tuple[int, int, int]]] = [
+            [] for _ in range(self._n_levels)
+        ]
+        cur_level = 1
+        level_flat_start = 0
+        for name in arena_names:
+            view = self._bolts[name]
+            if level[name] != cur_level:
+                level_slot_flat.append((level_flat_start, flat))
+                for _ in range(level[name] - cur_level - 1):
+                    level_slot_flat.append((flat, flat))
+                cur_level = level[name]
+                level_flat_start = flat
+            entries = []
+            for stream_name in self._output_stream_names(name):
+                sid = len(self._b_slot_records)
+                self._b_slot_records.append(
+                    (name, stream_name, flat, flat + view.parallelism)
+                )
+                self._b_slot_key[(name, stream_name)] = sid
+                entries.append((stream_name, flat))
+                b_gather.append(
+                    np.arange(view.start, view.stop, dtype=np.intp)
+                )
+                b_alpha_base.append(view.logic.alphas[stream_name])
+                b_slot_of_flat.append(
+                    np.full(view.parallelism, sid, dtype=np.intp)
+                )
+                level_slot_ranges[cur_level - 1].append(
+                    (sid, flat, flat + view.parallelism)
+                )
+                flat += view.parallelism
+            self._b_stream_slots[name] = entries
+        if self._n_levels:
+            level_slot_flat.append((level_flat_start, flat))
+            while len(level_slot_flat) < self._n_levels:
+                level_slot_flat.append((flat, flat))
+        self._b_flat = flat
+        self._level_slot_flat = level_slot_flat
+        self._b_slot_gather = (
+            np.concatenate(b_gather)
+            if b_gather else np.empty(0, dtype=np.intp)
+        )
+        self._b_slot_alpha_base = np.array(b_alpha_base)
+        self._b_slot_of_flat = (
+            np.concatenate(b_slot_of_flat)
+            if b_slot_of_flat else np.empty(0, dtype=np.intp)
+        )
+        self._b_slot_vals = np.zeros(self._b_flat)
+        self._b_slot_sums = np.zeros(len(self._b_slot_records))
+        self._b_slot_alpha_eff = np.empty(len(self._b_slot_records))
+        self._b_alpha_flat_buf = np.empty(self._b_flat)
+        self._b_alpha_flat_const = (
+            self._b_slot_alpha_base[self._b_slot_of_flat]
+            if self._b_flat else np.empty(0)
+        )
+        self._level_sum_groups = [
+            _sum_groups(ranges) for ranges in level_slot_ranges
+        ]
+        self._all_sum_groups = _sum_groups(
+            [(i, r[2], r[3]) for i, r in enumerate(self._b_slot_records)]
+        )
+        self._all_emit_injective = (
+            np.unique(self._b_slot_gather).shape[0]
+            == self._b_slot_gather.shape[0]
+        )
+
+        # --- routing edges, compiled flat ------------------------------
+        # Global edge order = [spout edges in spout×outputs order] then
+        # [bolt edges in processing-order×outputs order]; contributions
+        # into any one destination element must land in exactly this
+        # order.  Spout edges apply as one group before any bolt level;
+        # bolt edges group by destination level, applied just before that
+        # level drains (transparent) or after the single pass (finite).
+        sp_dest: list[np.ndarray] = []
+        sp_slot: list[np.ndarray] = []
+        sp_shares: list[np.ndarray] = []
+        for name in self._spout_names:
+            for stream in topology.outputs(name):
+                sid = None
+                for i, rec in enumerate(self._sp_slot_records):
+                    if rec[0] == name and rec[1] == stream.name:
+                        sid = i
+                        break
+                dest = self._bolts[stream.destination]
+                shares = self._shares(stream)
+                sp_dest.append(np.arange(dest.start, dest.stop, dtype=np.intp))
+                sp_slot.append(
+                    np.full(dest.parallelism, sid, dtype=np.intp)
+                )
+                sp_shares.append(np.asarray(shares, dtype=np.float64))
+        bolt_edges: list[list[tuple[np.ndarray, np.ndarray, np.ndarray]]] = [
+            [] for _ in range(self._n_levels)
+        ]
+        for name in self._bolt_order_names:
+            for stream in topology.outputs(name):
+                sid = self._b_slot_key[(name, stream.name)]
+                dest = self._bolts[stream.destination]
+                shares = self._shares(stream)
+                bolt_edges[level[stream.destination] - 1].append(
+                    (
+                        np.arange(dest.start, dest.stop, dtype=np.intp),
+                        np.full(dest.parallelism, sid, dtype=np.intp),
+                        np.asarray(shares, dtype=np.float64),
+                    )
+                )
+        all_dest = sp_dest + [e[0] for grp in bolt_edges for e in grp]
+        counts = (
+            np.bincount(np.concatenate(all_dest), minlength=max(n_b, 1))
+            if all_dest else np.zeros(max(n_b, 1), dtype=np.intp)
+        )
+
+        def build_group(parts):
+            if not parts:
+                return None
+            dest_idx = np.concatenate([p[0] for p in parts])
+            slot_idx = np.concatenate([p[1] for p in parts])
+            shares = np.concatenate([p[2] for p in parts])
+            group = _EdgeGroup(dest_idx, slot_idx, shares)
+            group.injective = bool((counts[dest_idx] == 1).all())
+            return group
+
+        self._sp_edge_group = build_group(
+            list(zip(sp_dest, sp_slot, sp_shares))
+        )
+        self._edge_groups = [build_group(grp) for grp in bolt_edges]
+
+        # --- headroom-clip operands per spout --------------------------
+        self._clip_edges: dict[str, list[_ClipEdge]] = {}
+        for name in self._spout_names:
+            view = self._spouts[name]
+            records = []
+            for stream in topology.outputs(name):
+                dest = self._bolts.get(stream.destination)
+                if dest is None:
+                    continue
+                records.append(
+                    _ClipEdge(
+                        view.logic.alphas[stream.name],
+                        np.asarray(self._shares(stream), dtype=np.float64),
+                        self._b_queue[dest.start:dest.stop],
+                        dest.logic.input_tuple_bytes,
+                        dest.logic.capacity_tps * dt,
+                    )
+                )
+            self._clip_edges[name] = records
+
+        # --- static RNG draw layout ------------------------------------
+        # Per tick, in scalar-engine order: each spout's rate noise (one
+        # per instance), then per bolt in processing order its capacity
+        # noise (one per instance) followed by one alpha draw per unique
+        # output stream.  One batched ``normal(loc, scale)`` call over
+        # the concatenated layout, tiled across a minute of ticks,
+        # reproduces the draw stream of the per-call engine exactly.
+        loc: list[np.ndarray] = []
+        scale: list[np.ndarray] = []
+        sp_idx: list[np.ndarray] = []
+        sp_cols: list[np.ndarray] = []
+        b_idx: list[np.ndarray] = []
+        b_cols: list[np.ndarray] = []
+        alpha_slots: list[int] = []
+        alpha_cols: list[int] = []
+        col = 0
+        for name in self._spout_names:
+            view = self._spouts[name]
+            if view.logic.rate_noise > 0:
+                p = view.parallelism
+                loc.append(np.full(p, 1.0))
+                scale.append(np.full(p, view.logic.rate_noise))
+                sp_idx.append(np.arange(view.start, view.stop, dtype=np.intp))
+                sp_cols.append(np.arange(col, col + p, dtype=np.intp))
+                col += p
+        for name in self._bolt_order_names:
+            view = self._bolts[name]
+            lg = view.logic
+            if lg.capacity_noise > 0:
+                p = view.parallelism
+                loc.append(np.full(p, 1.0))
+                scale.append(np.full(p, lg.capacity_noise))
+                b_idx.append(np.arange(view.start, view.stop, dtype=np.intp))
+                b_cols.append(np.arange(col, col + p, dtype=np.intp))
+                col += p
+            if lg.alpha_noise > 0:
+                for stream_name in self._output_stream_names(name):
+                    loc.append(np.zeros(1))
+                    scale.append(np.full(1, lg.alpha_noise))
+                    alpha_slots.append(self._b_slot_key[(name, stream_name)])
+                    alpha_cols.append(col)
+                    col += 1
+        self._noise_k = col
+        self._noise_chunk = int(round(_MINUTE / dt))
+        if col:
+            loc_tick = np.concatenate(loc)
+            scale_tick = np.concatenate(scale)
+            self._noise_loc_tile = np.tile(loc_tick, self._noise_chunk)
+            self._noise_scale_tile = np.tile(scale_tick, self._noise_chunk)
+        else:
+            self._noise_loc_tile = np.empty(0)
+            self._noise_scale_tile = np.empty(0)
+        self._noise_buf = np.empty((0, col))
+        self._noise_cursor = 0
+        self._sp_noise_idx = (
+            np.concatenate(sp_idx) if sp_idx else np.empty(0, dtype=np.intp)
+        )
+        self._sp_noise_cols = (
+            np.concatenate(sp_cols) if sp_cols else np.empty(0, dtype=np.intp)
+        )
+        self._b_noise_idx = (
+            np.concatenate(b_idx) if b_idx else np.empty(0, dtype=np.intp)
+        )
+        self._b_noise_cols = (
+            np.concatenate(b_cols) if b_cols else np.empty(0, dtype=np.intp)
+        )
+        self._b_alpha_noise_slots = np.array(alpha_slots, dtype=np.intp)
+        self._b_alpha_cols = np.array(alpha_cols, dtype=np.intp)
+        # When every noisy instance sits in one contiguous run (the
+        # common case: all spouts noisy, or all bolts noisy with no
+        # alpha columns interleaved), the fancy scatter degenerates to a
+        # slice copy — same values, no index gather per tick.
+        self._sp_noise_span = _contiguous_span(
+            self._sp_noise_idx, self._sp_noise_cols
+        )
+        self._b_noise_span = _contiguous_span(
+            self._b_noise_idx, self._b_noise_cols
+        )
+
+        # --- per-minute metric accumulators (row views of 2D blocks,
+        # mirroring the tick blocks so accumulation is one 2D add) ------
+        self._acc_sp2d = np.zeros((5, n_sp))
+        self._acc_sp_source = self._acc_sp2d[0]
+        self._acc_sp_fetched = self._acc_sp2d[1]
+        self._acc_sp_emitted = self._acc_sp2d[2]
+        self._acc_sp_backlog = self._acc_sp2d[3]
+        self._acc_sp_cpu = self._acc_sp2d[4]
+        self._acc_sp_streams = np.zeros(self._sp_flat)
+        self._acc_b2d = np.zeros((9, n_b))
+        self._acc_b_arrivals = self._acc_b2d[0]
+        self._acc_b_processed = self._acc_b2d[1]
+        self._acc_b_emitted = self._acc_b2d[2]
+        self._acc_b_failed = self._acc_b2d[3]
+        self._acc_b_memory = self._acc_b2d[4]
+        self._acc_b_latency = self._acc_b2d[5]
+        self._acc_b_pending = self._acc_b2d[6]
+        self._acc_b_cpu = self._acc_b2d[7]
+        self._acc_b_bpms = self._acc_b2d[8]
+        self._acc_b_streams = np.zeros(self._b_flat)
+
+    def _compile_stmgr_index(self) -> None:
+        """Per-(stream manager, component) local instance indices.
+
+        Replaces the per-tick ``containers == cid`` mask rebuild in the
+        enqueue path with construction-time index arrays; an ascending
+        fancy-index add is bit-identical to the boolean-mask add.
+        """
+        self._stmgr_local_idx: dict[tuple[int, str], np.ndarray] = {}
+        for name in self._bolt_names:
+            containers = self._containers[name]
+            for cid in self._stmgrs:
+                idx = np.nonzero(containers == cid)[0]
+                if idx.shape[0]:
+                    self._stmgr_local_idx[(cid, name)] = idx.astype(np.intp)
 
     # ------------------------------------------------------------------
     # Control
@@ -476,8 +997,15 @@ class HeronSimulation:
             raise SimulationError(f"{spout!r} is not a spout in this topology")
         if tuples_per_minute < 0:
             raise SimulationError("source rate must be non-negative")
-        state = self._spouts[spout]
-        state.rate_tps = tuples_per_minute / _MINUTE / state.parallelism
+        view = self._spouts[spout]
+        view.rate_tps = tuples_per_minute / _MINUTE / view.parallelism
+        dt = self.config.tick_seconds
+        sl = slice(view.start, view.stop)
+        rate_dt = view.rate_tps * dt
+        fetch_cap = view.logic.fetch_multiplier * view.rate_tps * dt
+        self._sp_rate_dt[sl] = rate_dt
+        self._sp_fetch_cap[sl] = fetch_cap
+        self._sp_util_denom[sl] = fetch_cap if view.rate_tps > 0 else 1.0
 
     @property
     def now(self) -> float:
@@ -486,21 +1014,27 @@ class HeronSimulation:
 
     def backpressure_active(self) -> bool:
         """True when any instance or stream manager is suppressing spouts."""
-        if any(state.bp_flag.any() for state in self._bolts.values()):
+        if self._b_bp.any():
             return True
+        if not self._use_stmgr:
+            # Transparent stream managers never raise their own flag
+            # (only _stmgr_enqueue sets it, on the finite path).
+            return False
         return any(s.bp_flag for s in self._stmgrs.values())
 
     def backpressure_components(self) -> list[str]:
         """Names of bolt components with at least one raised flag."""
         return [
-            name for name, state in self._bolts.items() if state.bp_flag.any()
+            name for name in self._bolt_names
+            if self._b_bp[self._bolts[name].start:self._bolts[name].stop].any()
         ]
 
     def queue_tuples(self, component: str) -> np.ndarray:
         """Current per-instance queue lengths for one bolt (copy)."""
         if component not in self._bolts:
             raise SimulationError(f"{component!r} is not a bolt")
-        return self._bolts[component].queue_tuples.copy()
+        view = self._bolts[component]
+        return self._b_queue[view.start:view.stop].copy()
 
     def set_instance_capacity_factor(
         self, component: str, index: int, factor: float
@@ -516,18 +1050,19 @@ class HeronSimulation:
             raise SimulationError(f"{component!r} is not a bolt")
         if factor < 0:
             raise SimulationError("capacity factor must be non-negative")
-        bolt = self._bolts[component]
-        if not 0 <= index < bolt.parallelism:
+        view = self._bolts[component]
+        if not 0 <= index < view.parallelism:
             raise SimulationError(
                 f"{component!r} has no instance index {index}"
             )
-        bolt.capacity_factor[index] = factor
+        self._b_factor[view.start + index] = factor
 
     def instance_capacity_factors(self, component: str) -> np.ndarray:
         """Current per-instance capacity factors for one bolt (copy)."""
         if component not in self._bolts:
             raise SimulationError(f"{component!r} is not a bolt")
-        return self._bolts[component].capacity_factor.copy()
+        view = self._bolts[component]
+        return self._b_factor[view.start:view.stop].copy()
 
     # ------------------------------------------------------------------
     # Fault control surface (used directly or via a FaultInjector)
@@ -544,36 +1079,51 @@ class HeronSimulation:
         From the crash tick until :meth:`restore_instance`, the
         instance's per-minute metrics are not written (missing minutes).
         """
-        state = self._instance_state(component, index)
-        if isinstance(state, _BoltState):
-            state.queue_tuples[index] = 0.0
-            state.bp_flag[index] = False
-        state.down[index] = True
+        kind, view = self._component_view(component, index)
+        g = view.start + index
+        if kind == "bolt":
+            self._b_queue[g] = 0.0
+            self._b_bp[g] = False
+            self._b_down[g] = True
+        else:
+            self._sp_down[g] = True
         self.metrics.set_blackout(component, f"{component}_{index}", True)
 
     def restore_instance(self, component: str, index: int) -> None:
         """Restart a crashed instance; it resumes with whatever queued."""
-        state = self._instance_state(component, index)
-        state.down[index] = False
+        kind, view = self._component_view(component, index)
+        g = view.start + index
+        if kind == "bolt":
+            self._b_down[g] = False
+        else:
+            self._sp_down[g] = False
         self.metrics.set_blackout(component, f"{component}_{index}", False)
 
     def instance_down(self, component: str, index: int) -> bool:
         """True while an instance is crashed."""
-        return bool(self._instance_state(component, index).down[index])
+        kind, view = self._component_view(component, index)
+        g = view.start + index
+        if kind == "bolt":
+            return bool(self._b_down[g])
+        return bool(self._sp_down[g])
 
-    def _instance_state(
+    def _component_view(
         self, component: str, index: int
-    ) -> "_SpoutState | _BoltState":
-        state = self._bolts.get(component) or self._spouts.get(component)
-        if state is None:
+    ) -> tuple[str, "_SpoutView | _BoltView"]:
+        view = self._bolts.get(component)
+        kind = "bolt"
+        if view is None:
+            view = self._spouts.get(component)
+            kind = "spout"
+        if view is None:
             raise SimulationError(
                 f"{component!r} is not a component of this topology"
             )
-        if not 0 <= index < state.parallelism:
+        if not 0 <= index < view.parallelism:
             raise SimulationError(
                 f"{component!r} has no instance index {index}"
             )
-        return state
+        return kind, view
 
     def stall_stream_manager(self, container_id: int) -> None:
         """Stall one container's stream manager.
@@ -639,21 +1189,6 @@ class HeronSimulation:
             return []
         return self._injector.log
 
-    def _blocked_mask(
-        self, component: str, down: np.ndarray
-    ) -> np.ndarray | None:
-        """Instances unable to move tuples: crashed or on a stalled
-        container.  ``None`` when nothing is blocked (the fast path)."""
-        if not down.any() and not self._stalled_containers:
-            return None
-        blocked = down
-        if self._stalled_containers:
-            blocked = blocked | np.isin(
-                self._containers[component],
-                np.fromiter(self._stalled_containers, dtype=np.int64),
-            )
-        return blocked if blocked.any() else None
-
     def stmgr_queued_tuples(self, container_id: int) -> float:
         """Tuples waiting inside one container's stream manager.
 
@@ -668,7 +1203,8 @@ class HeronSimulation:
         """Current per-instance external backlog for one spout (copy)."""
         if spout not in self._spouts:
             raise SimulationError(f"{spout!r} is not a spout")
-        return self._spouts[spout].backlog.copy()
+        view = self._spouts[spout]
+        return self._sp_backlog[view.start:view.stop].copy()
 
     # ------------------------------------------------------------------
     # Running
@@ -697,80 +1233,177 @@ class HeronSimulation:
         if self._injector is not None:
             self._injector.on_tick(self)
         bp_at_start = self.backpressure_active()
-        use_stmgr = self.config.stmgr_capacity_tps is not None
-        if use_stmgr:
+        row = self._scatter_noise()
+        sp_blocked, b_blocked = self._blocked_masks()
+
+        # Per-tick bolt capacity, whole arena: nominal × noise × factor,
+        # clamped at zero, zeroed where crashed or stalled.
+        cap = self._b_capacity
+        np.multiply(self._b_cap_dt, self._b_noise, out=cap)
+        cap *= self._b_factor
+        np.maximum(0.0, cap, out=cap)
+        if b_blocked is not None:
+            np.copyto(cap, 0.0, where=b_blocked)
+
+        alpha_flat = self._alpha_flat(row)
+        if self._use_stmgr:
             # Finite stream managers: this tick's arrivals are whatever
             # the stream managers release from their queues; emissions
             # enqueue for later release (one-tick routing latency).
-            inbox = self._stmgr_release(dt)
-            outbox: dict[str, np.ndarray] = {
-                name: np.zeros(state.parallelism)
-                for name, state in self._bolts.items()
-            }
+            self._stmgr_release(dt)
+            outbox = self._b_outbox
+            outbox.fill(0.0)
+            self._spout_pass(bp_at_start, sp_blocked, dt)
+            self._bolt_pass(0, self._n_b, 0, self._b_flat,
+                            self._all_sum_groups, alpha_flat)
+            if self._sp_edge_group is not None:
+                self._apply_edges(
+                    self._sp_edge_group, self._sp_slot_sums, outbox
+                )
+            for group in self._edge_groups:
+                if group is not None:
+                    self._apply_edges(group, self._b_slot_sums, outbox)
+            self._stmgr_enqueue()
         else:
             # Transparent stream managers (the paper's assumption):
-            # emissions are delivered within the tick.
-            inbox = {
-                name: np.zeros(state.parallelism)
-                for name, state in self._bolts.items()
-            }
-            outbox = inbox
+            # emissions are delivered within the tick, level by level.
+            arrivals = self._b_arrivals
+            arrivals.fill(0.0)
+            self._spout_pass(bp_at_start, sp_blocked, dt)
+            if self._sp_edge_group is not None:
+                self._apply_edges(
+                    self._sp_edge_group, self._sp_slot_sums, arrivals
+                )
+            for k in range(self._n_levels):
+                group = self._edge_groups[k]
+                if group is not None:
+                    self._apply_edges(group, self._b_slot_sums, arrivals)
+                a0, a1 = self._level_bounds[k]
+                f0, f1 = self._level_slot_flat[k]
+                self._bolt_pass(
+                    a0, a1, f0, f1, self._level_sum_groups[k], alpha_flat
+                )
 
-        for state in self._spouts.values():
-            self._spout_tick(state, outbox, bp_at_start, dt)
-        for name in self._order:
-            bolt = self._bolts.get(name)
-            if bolt is not None:
-                self._bolt_tick(bolt, inbox, outbox, dt)
-        if use_stmgr:
-            self._stmgr_enqueue(outbox)
+        # Post-pass state growth and watermark flags (nothing reads
+        # these mid-tick, so whole-arena updates are order-safe).
+        if self._any_state:
+            t = np.multiply(self._b_sbpp, self._b_processed, out=self._b_t1)
+            t += self._b_state
+            np.minimum(self._b_scap, t, out=self._b_state)
+        np.multiply(self._b_queue, self._b_itb, out=self._b_pending)
+        # The trigger fires when pending *reaches* the high watermark:
+        # the spout headroom clip pins a saturated queue exactly at it,
+        # which is precisely the state where a real stream manager has
+        # already raised backpressure.
+        self._b_bp = np.where(
+            self._b_bp,
+            self._b_pending > self._low,
+            self._b_pending >= self._high_trigger,
+        )
 
         self._record_tick(bp_at_start, dt)
         self._now += dt
 
-    def _spout_tick(
+    def _blocked_masks(self) -> tuple[np.ndarray | None, np.ndarray | None]:
+        """Instances unable to move tuples: crashed or on a stalled
+        container.  ``None`` when nothing is blocked (the fast path)."""
+        if self._stalled_containers:
+            stalled = np.fromiter(self._stalled_containers, dtype=np.int64)
+            sp = self._sp_down | np.isin(self._sp_containers, stalled)
+            b = self._b_down | np.isin(self._b_containers, stalled)
+            return (
+                sp if sp.any() else None,
+                b if b.any() else None,
+            )
+        return (
+            self._sp_down if self._sp_down.any() else None,
+            self._b_down if self._b_down.any() else None,
+        )
+
+    def _scatter_noise(self) -> np.ndarray | None:
+        if self._noise_k == 0:
+            return None
+        cursor = self._noise_cursor
+        if cursor >= self._noise_buf.shape[0]:
+            self._noise_buf = self._rng.normal(
+                self._noise_loc_tile, self._noise_scale_tile
+            ).reshape(self._noise_chunk, self._noise_k)
+            cursor = 0
+        row = self._noise_buf[cursor]
+        self._noise_cursor = cursor + 1
+        if self._sp_noise_span is not None:
+            i0, i1, c0, c1 = self._sp_noise_span
+            self._sp_noise[i0:i1] = row[c0:c1]
+        elif self._sp_noise_idx.shape[0]:
+            self._sp_noise[self._sp_noise_idx] = row[self._sp_noise_cols]
+        if self._b_noise_span is not None:
+            i0, i1, c0, c1 = self._b_noise_span
+            self._b_noise[i0:i1] = row[c0:c1]
+        elif self._b_noise_idx.shape[0]:
+            self._b_noise[self._b_noise_idx] = row[self._b_noise_cols]
+        return row
+
+    def _alpha_flat(self, row: np.ndarray | None) -> np.ndarray:
+        """Per-flat-slot effective alphas for this tick's emissions."""
+        if self._b_alpha_noise_slots.shape[0] == 0 or row is None:
+            return self._b_alpha_flat_const
+        eff = self._b_slot_alpha_eff
+        np.copyto(eff, self._b_slot_alpha_base)
+        draws = row[self._b_alpha_cols]
+        np.add(1.0, draws, out=draws)
+        np.maximum(0.0, draws, out=draws)
+        eff[self._b_alpha_noise_slots] = (
+            self._b_slot_alpha_base[self._b_alpha_noise_slots] * draws
+        )
+        eff.take(self._b_slot_of_flat, out=self._b_alpha_flat_buf)
+        return self._b_alpha_flat_buf
+
+    def _spout_pass(
         self,
-        state: _SpoutState,
-        outbox: dict[str, np.ndarray],
         suppressed: bool,
+        sp_blocked: np.ndarray | None,
         dt: float,
     ) -> None:
-        logic = state.logic
-        noise = (
-            self._rng.normal(1.0, logic.rate_noise, state.parallelism)
-            if logic.rate_noise > 0
-            else np.ones(state.parallelism)
-        )
-        source = np.maximum(0.0, state.rate_tps * dt * noise)
-        state.backlog += source
-        state.tick_source = source
-        if suppressed or state.rate_tps == 0.0:
-            fetched = np.zeros(state.parallelism)
+        source = self._sp_source
+        np.multiply(self._sp_rate_dt, self._sp_noise, out=source)
+        np.maximum(0.0, source, out=source)
+        self._sp_backlog += source
+        fetched = self._sp_fetched
+        if suppressed:
+            fetched.fill(0.0)
         else:
-            fetch_cap = logic.fetch_multiplier * state.rate_tps * dt
-            fetched = np.minimum(state.backlog, fetch_cap)
-            blocked = self._blocked_mask(state.name, state.down)
-            if blocked is not None:
-                fetched = np.where(blocked, 0.0, fetched)
-            clip = self._headroom_clip(state, fetched, dt)
-            fetched = fetched * clip
-        state.backlog -= fetched
-        state.tick_fetched = fetched
-        emitted = np.zeros(state.parallelism)
-        state.tick_stream_emitted = {}
-        for stream in self.topology.outputs(state.name):
-            stream_out = state.tick_stream_emitted.get(stream.name)
-            if stream_out is None:
-                stream_out = fetched * logic.alphas[stream.name]
-                emitted += stream_out
-                state.tick_stream_emitted[stream.name] = stream_out
-            shares = self._shares(stream)
-            outbox[stream.destination] += stream_out.sum() * shares
-        state.tick_emitted = emitted
+            np.minimum(self._sp_backlog, self._sp_fetch_cap, out=fetched)
+            if sp_blocked is not None:
+                np.copyto(fetched, 0.0, where=sp_blocked)
+            for name in self._spout_names:
+                view = self._spouts[name]
+                if view.rate_tps <= 0.0:
+                    continue
+                clip = self._headroom_clip(view, fetched)
+                if clip != 1.0:
+                    fetched[view.start:view.stop] *= clip
+        self._sp_backlog -= fetched
+        vals = self._sp_slot_vals
+        if self._sp_flat:
+            np.multiply(
+                fetched[self._sp_slot_gather],
+                self._sp_slot_alpha_flat,
+                out=vals,
+            )
+            emitted = self._sp_emitted
+            emitted.fill(0.0)
+            if self._sp_emit_injective:
+                emitted[self._sp_slot_gather] = vals
+            else:
+                np.add.at(emitted, self._sp_slot_gather, vals)
+            for out_idx, flat_idx, n, length in self._sp_sum_groups:
+                self._sp_slot_sums[out_idx] = (
+                    vals[flat_idx].reshape(n, length).sum(axis=1)
+                )
+        else:
+            self._sp_emitted.fill(0.0)
 
-    def _headroom_clip(
-        self, state: _SpoutState, fetched: np.ndarray, dt: float
-    ) -> float:
+    def _headroom_clip(self, view: _SpoutView, fetched: np.ndarray) -> float:
         """Clip factor keeping downstream queues at/below the high watermark.
 
         Models the intra-tick stall: a stream manager stops accepting spout
@@ -778,41 +1411,88 @@ class HeronSimulation:
         so at most ``headroom + capacity*dt`` tuples can enter per tick.
         """
         clip = 1.0
-        for stream in self.topology.outputs(state.name):
-            dest = self._bolts.get(stream.destination)
-            if dest is None:
-                continue
-            alpha = state.logic.alphas[stream.name]
-            total_out = fetched.sum() * alpha
+        fsum = fetched[view.start:view.stop].sum()
+        for edge in self._clip_edges[view.name]:
+            total_out = fsum * edge.alpha
             if total_out <= 0:
                 continue
-            shares = self._shares(stream)
-            headroom_tuples = (
-                np.maximum(
-                    0.0,
-                    self.config.high_watermark_bytes - dest.pending_bytes,
-                )
-                / dest.logic.input_tuple_bytes
-            )
-            intake = headroom_tuples + dest.logic.capacity_tps * dt
-            with np.errstate(divide="ignore"):
-                per_dest = np.where(
-                    shares > 0, intake / (total_out * shares), np.inf
-                )
-            clip = min(clip, float(per_dest.min()))
+            buf = edge.buf
+            np.multiply(edge.dest_q, edge.itb, out=buf)
+            np.subtract(self._hwm, buf, out=buf)
+            np.maximum(0.0, buf, out=buf)
+            buf /= edge.itb
+            buf += edge.cap_dt
+            per = edge.per
+            per.fill(np.inf)
+            denom = np.multiply(total_out, edge.shares, out=edge.denom)
+            np.divide(buf, denom, out=per, where=edge.mask)
+            clip = min(clip, float(per.min()))
         return max(0.0, min(1.0, clip))
 
-    def _stmgr_release(self, dt: float) -> dict[str, np.ndarray]:
+    def _bolt_pass(
+        self,
+        a0: int,
+        a1: int,
+        f0: int,
+        f1: int,
+        sum_groups,
+        alpha_flat: np.ndarray,
+    ) -> None:
+        """Drain and emit for one contiguous bolt-arena range."""
+        if a1 <= a0:
+            return
+        queue = self._b_queue[a0:a1]
+        queue += self._b_arrivals[a0:a1]
+        processed = self._b_processed[a0:a1]
+        np.minimum(queue, self._b_capacity[a0:a1], out=processed)
+        queue -= processed
+        failed = self._b_failed[a0:a1]
+        np.multiply(processed, self._b_failrate[a0:a1], out=failed)
+        np.subtract(processed, failed, out=self._b_successful[a0:a1])
+        if f1 > f0:
+            gather = self._b_slot_gather[f0:f1]
+            vals = self._b_slot_vals[f0:f1]
+            np.multiply(
+                self._b_successful[gather], alpha_flat[f0:f1], out=vals
+            )
+            for out_idx, flat_idx, n, length in sum_groups:
+                self._b_slot_sums[out_idx] = (
+                    self._b_slot_vals[flat_idx].reshape(n, length).sum(axis=1)
+                )
+
+    def _emit_scatter(self) -> None:
+        """Scatter this tick's flat slot emissions into the emit arena."""
+        emitted = self._b_emitted
+        emitted.fill(0.0)
+        if not self._b_flat:
+            return
+        if self._all_emit_injective:
+            emitted[self._b_slot_gather] = self._b_slot_vals
+        else:
+            np.add.at(emitted, self._b_slot_gather, self._b_slot_vals)
+
+    def _apply_edges(
+        self,
+        group: _EdgeGroup,
+        slot_sums: np.ndarray,
+        target: np.ndarray,
+    ) -> None:
+        slot_sums.take(group.slot_idx, out=group.buf)
+        group.buf *= group.shares
+        if group.injective:
+            target[group.dest_idx] = group.buf
+        else:
+            np.add.at(target, group.dest_idx, group.buf)
+
+    def _stmgr_release(self, dt: float) -> None:
         """Release queued tuples from each stream manager, up to capacity.
 
         Release is proportional across everything a stream manager has
-        queued for its local instances (FIFO in fluid terms).  Returns
-        this tick's per-component arrival arrays.
+        queued for its local instances (FIFO in fluid terms).  Fills the
+        per-tick arrival arena.
         """
-        arrivals = {
-            name: np.zeros(state.parallelism)
-            for name, state in self._bolts.items()
-        }
+        arrivals = self._b_arrivals
+        arrivals.fill(0.0)
         budget = self.config.stmgr_capacity_tps * dt
         for stmgr in self._stmgrs.values():
             if stmgr.container_id in self._stalled_containers:
@@ -823,26 +1503,29 @@ class HeronSimulation:
             fraction = min(1.0, budget / total)
             for component, pending in stmgr.pending.items():
                 released = pending * fraction
-                arrivals[component] += released
+                view = self._bolts[component]
+                arrivals[view.start:view.stop] += released
                 stmgr.pending[component] = pending - released
-        return arrivals
 
-    def _stmgr_enqueue(self, outbox: dict[str, np.ndarray]) -> None:
+    def _stmgr_enqueue(self) -> None:
         """Queue this tick's emissions inside the destination stmgrs."""
-        for component, amounts in outbox.items():
+        outbox = self._b_outbox
+        for component in self._bolt_names:
+            view = self._bolts[component]
+            amounts = outbox[view.start:view.stop]
             if not np.any(amounts):
                 continue
-            containers = self._containers[component]
             for cid, stmgr in self._stmgrs.items():
-                mask = containers == cid
-                if not mask.any():
+                idx = self._stmgr_local_idx.get((cid, component))
+                if idx is None:
                     continue
-                pending = stmgr.pending.setdefault(
-                    component, np.zeros(amounts.shape[0])
-                )
-                pending[mask] += amounts[mask]
-        high = self.config.high_watermark_bytes * (1.0 - 1e-9)
-        low = self.config.low_watermark_bytes
+                pending = stmgr.pending.get(component)
+                if pending is None:
+                    pending = np.zeros(view.parallelism)
+                    stmgr.pending[component] = pending
+                pending[idx] += amounts[idx]
+        high = self._high_trigger
+        low = self._low
         for stmgr in self._stmgrs.values():
             queued_bytes = sum(
                 float(pending.sum())
@@ -854,221 +1537,376 @@ class HeronSimulation:
             else:
                 stmgr.bp_flag = queued_bytes >= high
 
-    def _bolt_tick(
-        self,
-        bolt: _BoltState,
-        inbox: dict[str, np.ndarray],
-        outbox: dict[str, np.ndarray],
-        dt: float,
-    ) -> None:
-        logic = bolt.logic
-        arriving = inbox[bolt.name]
-        bolt.queue_tuples = bolt.queue_tuples + arriving
-        bolt.tick_arrivals = arriving
-        noise = (
-            self._rng.normal(1.0, logic.capacity_noise, bolt.parallelism)
-            if logic.capacity_noise > 0
-            else np.ones(bolt.parallelism)
-        )
-        capacity = np.maximum(
-            0.0, logic.capacity_tps * dt * noise * bolt.capacity_factor
-        )
-        blocked = self._blocked_mask(bolt.name, bolt.down)
-        if blocked is not None:
-            capacity = np.where(blocked, 0.0, capacity)
-        processed = np.minimum(bolt.queue_tuples, capacity)
-        bolt.queue_tuples = bolt.queue_tuples - processed
-        bolt.tick_processed = processed
-        failed = processed * logic.failure_rate
-        successful = processed - failed
-        bolt.tick_failed = failed
-        if logic.state_bytes_per_processed > 0:
-            bolt.state_bytes = np.minimum(
-                logic.state_memory_cap_bytes,
-                bolt.state_bytes + logic.state_bytes_per_processed * processed,
-            )
-        emitted = np.zeros(bolt.parallelism)
-        bolt.tick_stream_emitted = {}
-        for stream in self.topology.outputs(bolt.name):
-            stream_out = bolt.tick_stream_emitted.get(stream.name)
-            if stream_out is None:
-                alpha = logic.alphas[stream.name]
-                if logic.alpha_noise > 0:
-                    alpha = alpha * max(
-                        0.0, 1.0 + self._rng.normal(0.0, logic.alpha_noise)
-                    )
-                stream_out = successful * alpha
-                emitted += stream_out
-                bolt.tick_stream_emitted[stream.name] = stream_out
-            shares = self._shares(stream)
-            outbox[stream.destination] += stream_out.sum() * shares
-        bolt.tick_emitted = emitted
-        pending = bolt.pending_bytes
-        # The trigger fires when pending *reaches* the high watermark:
-        # the spout headroom clip pins a saturated queue exactly at it,
-        # which is precisely the state where a real stream manager has
-        # already raised backpressure.
-        high = self.config.high_watermark_bytes * (1.0 - 1e-9)
-        low = self.config.low_watermark_bytes
-        bolt.bp_flag = np.where(
-            bolt.bp_flag, pending > low, pending >= high
-        )
-
     # ------------------------------------------------------------------
     # Metrics
     # ------------------------------------------------------------------
     def _record_tick(self, bp_at_start: bool, dt: float) -> None:
-        # Per-tick metric emission is batched: whole per-instance arrays
-        # are added into preallocated minute accumulators, and the
-        # totals reach the MetricsManager only on the tick that closes
-        # the minute.  Every element sees the same IEEE-754 addition
-        # sequence the old per-instance add_* loop produced (counters:
-        # 0.0 + a_1 + ... + a_n; gauges: 0.0 + v_1*dt + ...), so the
-        # flushed per-minute values are bit-identical.
+        # Whole-arena accumulation: every element sees the same IEEE-754
+        # operation sequence the scalar engine's per-component loop
+        # produced (counters: 0.0 + a_1 + ... + a_n; gauges:
+        # 0.0 + v_1*dt + ...), so flushed per-minute values match bit
+        # for bit.
         metrics = self.metrics
-        for name, state in self._spouts.items():
-            acc = self._spout_acc[name]
-            logic = state.logic
-            utilisation = np.zeros(state.parallelism)
-            if state.rate_tps > 0:
-                fetch_cap = logic.fetch_multiplier * state.rate_tps * dt
-                utilisation = state.tick_fetched / fetch_cap
-            cpu = (
-                logic.worker_cores * utilisation
-                + logic.gateway_cores_per_tuple
-                * (state.tick_fetched + state.tick_emitted)
-                / dt
+        if self._n_sp:
+            util = np.divide(
+                self._sp_fetched, self._sp_util_denom, out=self._sp_t1
             )
-            acc.source += state.tick_source
-            acc.fetched += state.tick_fetched
-            acc.emitted += state.tick_emitted
-            for stream_name, per_stream in state.tick_stream_emitted.items():
-                acc.streams[stream_name] += per_stream
-            acc.backlog += state.backlog * dt
-            acc.cpu += cpu * dt
-        for name, bolt in self._bolts.items():
-            acc = self._bolt_acc[name]
-            logic = bolt.logic
-            nominal = logic.capacity_tps * dt
-            utilisation = np.minimum(1.0, bolt.tick_processed / nominal)
-            cpu = (
-                logic.worker_cores * utilisation
-                + logic.gateway_cores_per_tuple
-                * (bolt.tick_arrivals + bolt.tick_emitted)
-                / dt
+            moved = np.add(self._sp_fetched, self._sp_emitted, out=self._sp_t2)
+            np.multiply(self._sp_gcpt, moved, out=moved)
+            moved /= dt
+            cpu = np.multiply(self._sp_worker, util, out=self._sp_cpu_dt)
+            cpu += moved
+            np.multiply(self._sp_backlog, dt, out=self._sp_backlog_dt)
+            cpu *= dt
+            self._acc_sp2d += self._sp_tick2d
+            self._acc_sp_streams += self._sp_slot_vals
+        if self._n_b:
+            self._emit_scatter()
+            util = np.divide(
+                self._b_processed, self._b_cap_dt, out=self._b_t1
             )
-            pending = bolt.pending_bytes
-            effective_tps = np.maximum(
-                1e-9, logic.capacity_tps * bolt.capacity_factor
+            np.minimum(1.0, util, out=util)
+            moved = np.add(self._b_arrivals, self._b_emitted, out=self._b_t2)
+            np.multiply(self._b_gcpt, moved, out=moved)
+            moved /= dt
+            cpu = np.multiply(self._b_worker, util, out=self._b_cpu_dt)
+            cpu += moved
+            memory = np.add(
+                self._b_base_mem, self._b_pending, out=self._b_memory_dt
             )
-            latency_ms = bolt.queue_tuples / effective_tps * 1000.0
-            memory = (
-                logic.base_memory_bytes + pending + bolt.state_bytes
-            )
-            acc.arrivals += bolt.tick_arrivals
-            acc.processed += bolt.tick_processed
-            acc.emitted += bolt.tick_emitted
-            acc.failed += bolt.tick_failed
-            acc.memory += memory * dt
-            acc.latency += latency_ms * dt
-            for stream_name, per_stream in bolt.tick_stream_emitted.items():
-                acc.streams[stream_name] += per_stream
-            acc.pending += pending * dt
-            acc.cpu += cpu * dt
-            acc.bp_ms += np.where(bolt.bp_flag, dt * 1000.0, 0.0)
+            memory += self._b_state
+            memory *= dt
+            eff = np.multiply(self._b_captps, self._b_factor, out=self._b_t4)
+            np.maximum(1e-9, eff, out=eff)
+            latency = np.divide(self._b_queue, eff, out=self._b_latency_dt)
+            latency *= 1000.0
+            latency *= dt
+            np.multiply(self._b_pending, dt, out=self._b_pending_dt)
+            cpu *= dt
+            np.multiply(self._b_bp, dt * 1000.0, out=self._b_bpms)
+            self._acc_b2d += self._b_tick2d
+            self._acc_b_streams += self._b_slot_vals
         if bp_at_start or self.backpressure_active():
             metrics.add_topology_backpressure(dt)
         if metrics.minute_closing(dt):
             # Hand the accumulated minute over before the advance that
             # flushes it.  Using the manager's own clock keeps the
             # decision aligned with the actual flush, whatever the tick.
-            self._flush_minute_accumulators()
-        metrics.advance(dt)
+            if self._fast_flush_ready():
+                self._fast_flush()
+                metrics.advance_batched(dt)
+            else:
+                self._flush_minute_accumulators()
+                metrics.advance(dt)
+                self._maybe_build_flush_plan()
+        else:
+            metrics.advance(dt)
 
     def _flush_minute_accumulators(self) -> None:
         """Feed one minute of accumulated metrics into the manager.
 
-        Per-instance add order mirrors the old per-tick loop exactly, so
+        Per-instance add order mirrors the scalar engine exactly, so
         buffer-dict insertion order — and therefore store write order and
         series key-insertion order — is unchanged.
         """
         metrics = self.metrics
-        for name, state in self._spouts.items():
-            acc = self._spout_acc[name]
+        for name in self._spout_names:
+            view = self._spouts[name]
+            s0 = view.start
+            stream_slots = self._sp_stream_slots[name]
             for i, (instance, container) in enumerate(
                 self._minute_labels[name]
             ):
+                g = s0 + i
                 metrics.add_counter(
                     name, instance, container,
-                    MetricNames.SOURCE_COUNT, float(acc.source[i]),
+                    MetricNames.SOURCE_COUNT, float(self._acc_sp_source[g]),
                 )
                 metrics.add_counter(
                     name, instance, container,
-                    MetricNames.EXECUTE_COUNT, float(acc.fetched[i]),
+                    MetricNames.EXECUTE_COUNT, float(self._acc_sp_fetched[g]),
                 )
                 metrics.add_counter(
                     name, instance, container,
-                    MetricNames.EMIT_COUNT, float(acc.emitted[i]),
+                    MetricNames.EMIT_COUNT, float(self._acc_sp_emitted[g]),
                 )
-                for stream_name, totals in acc.streams.items():
+                for stream_name, base in stream_slots:
                     metrics.add_counter(
                         name, instance, container,
                         MetricNames.stream_emit(stream_name),
-                        float(totals[i]),
+                        float(self._acc_sp_streams[base + i]),
                     )
                 metrics.add_gauge_integral(
                     name, instance, container,
-                    MetricNames.BACKLOG_TUPLES, float(acc.backlog[i]),
+                    MetricNames.BACKLOG_TUPLES,
+                    float(self._acc_sp_backlog[g]),
                 )
                 metrics.add_gauge_integral(
                     name, instance, container,
-                    MetricNames.CPU_LOAD, float(acc.cpu[i]),
+                    MetricNames.CPU_LOAD, float(self._acc_sp_cpu[g]),
                 )
-            acc.reset()
-        for name, bolt in self._bolts.items():
-            acc = self._bolt_acc[name]
+        for name in self._bolt_names:
+            view = self._bolts[name]
+            s0 = view.start
+            stream_slots = self._b_stream_slots[name]
             for i, (instance, container) in enumerate(
                 self._minute_labels[name]
             ):
+                g = s0 + i
                 metrics.add_counter(
                     name, instance, container,
-                    MetricNames.RECEIVED_COUNT, float(acc.arrivals[i]),
+                    MetricNames.RECEIVED_COUNT,
+                    float(self._acc_b_arrivals[g]),
                 )
                 metrics.add_counter(
                     name, instance, container,
-                    MetricNames.EXECUTE_COUNT, float(acc.processed[i]),
+                    MetricNames.EXECUTE_COUNT,
+                    float(self._acc_b_processed[g]),
                 )
                 metrics.add_counter(
                     name, instance, container,
-                    MetricNames.EMIT_COUNT, float(acc.emitted[i]),
+                    MetricNames.EMIT_COUNT, float(self._acc_b_emitted[g]),
                 )
                 metrics.add_counter(
                     name, instance, container,
-                    MetricNames.FAIL_COUNT, float(acc.failed[i]),
+                    MetricNames.FAIL_COUNT, float(self._acc_b_failed[g]),
                 )
                 metrics.add_gauge_integral(
                     name, instance, container,
-                    MetricNames.MEMORY_BYTES, float(acc.memory[i]),
+                    MetricNames.MEMORY_BYTES, float(self._acc_b_memory[g]),
                 )
                 metrics.add_gauge_integral(
                     name, instance, container,
-                    MetricNames.QUEUE_LATENCY_MS, float(acc.latency[i]),
+                    MetricNames.QUEUE_LATENCY_MS,
+                    float(self._acc_b_latency[g]),
                 )
-                for stream_name, totals in acc.streams.items():
+                for stream_name, base in stream_slots:
                     metrics.add_counter(
                         name, instance, container,
                         MetricNames.stream_emit(stream_name),
-                        float(totals[i]),
+                        float(self._acc_b_streams[base + i]),
                     )
                 metrics.add_gauge_integral(
                     name, instance, container,
-                    MetricNames.PENDING_BYTES, float(acc.pending[i]),
+                    MetricNames.PENDING_BYTES, float(self._acc_b_pending[g]),
                 )
                 metrics.add_gauge_integral(
                     name, instance, container,
-                    MetricNames.CPU_LOAD, float(acc.cpu[i]),
+                    MetricNames.CPU_LOAD, float(self._acc_b_cpu[g]),
                 )
                 metrics.add_backpressure_ms(
-                    name, instance, container, float(acc.bp_ms[i]),
+                    name, instance, container, float(self._acc_b_bpms[g]),
                 )
-            acc.reset()
+        self._reset_accumulators()
+
+    def _reset_accumulators(self) -> None:
+        self._acc_sp2d.fill(0.0)
+        self._acc_sp_streams.fill(0.0)
+        self._acc_b2d.fill(0.0)
+        self._acc_b_streams.fill(0.0)
+
+    # ------------------------------------------------------------------
+    # Batched minute flush (steady-state fast path)
+    # ------------------------------------------------------------------
+    def _fast_flush_ready(self) -> bool:
+        if self._flush_plan is None or self.metrics.has_blackouts:
+            return False
+        store = self.metrics.store
+        return (
+            store.supports_batched_appends()
+            and store.data_version(self.topology.name) == self._store_token
+        )
+
+    def _fast_flush(self) -> None:
+        """Write the closing minute straight into the store, batched.
+
+        Produces values bit-identical to the keyed slow path: counter
+        buffers hold ``0.0 + total`` (== total for the non-negative
+        totals involved), gauges divide their integral by 60, and
+        backpressure clamps at one minute.
+        """
+        plan = self._flush_plan
+        out = plan["out"]
+        for positions, gather, src in plan["counters"]:
+            out[positions] = src[gather]
+        for positions, gather, src in plan["gauges"]:
+            out[positions] = src[gather] / _MINUTE
+        bp_positions, bp_gather = plan["bolt_bp"]
+        if bp_positions is not None:
+            out[bp_positions] = np.minimum(
+                self._acc_b_bpms[bp_gather], _MINUTE * 1000.0
+            )
+        if plan["zero_positions"] is not None:
+            out[plan["zero_positions"]] = 0.0
+        out[plan["topo_position"]] = min(
+            self.metrics.topology_backpressure_ms, _MINUTE * 1000.0
+        )
+        store = self.metrics.store
+        store.append_minute_batch(
+            plan["batch"],
+            self.metrics.minute_start,
+            out.tolist(),
+            topology=self.topology.name,
+        )
+        self._store_token = store.data_version(self.topology.name)
+        self._reset_accumulators()
+
+    def _maybe_build_flush_plan(self) -> None:
+        """(Re)compile the batched flush plan after a keyed slow flush.
+
+        Only possible when every series the plan covers exists in the
+        store (i.e. the minute just flushed was complete — no blackouts)
+        and the store's batched path is byte-equivalent.
+        """
+        metrics = self.metrics
+        store = metrics.store
+        if metrics.has_blackouts or not store.supports_batched_appends():
+            return
+        token = store.data_version(self.topology.name)
+        if self._flush_plan is not None and token == self._store_token:
+            return
+        topo = self.topology.name
+        keys: list[MetricKey] = []
+        counter_specs: dict[int, tuple[np.ndarray, list, list]] = {}
+        gauge_specs: dict[int, tuple[np.ndarray, list, list]] = {}
+
+        def add(specs, src, position, arena_index):
+            entry = specs.get(id(src))
+            if entry is None:
+                entry = (src, [], [])
+                specs[id(src)] = entry
+            entry[1].append(position)
+            entry[2].append(arena_index)
+
+        zero_positions: list[int] = []
+        bp_positions: list[int] = []
+        bp_gather: list[int] = []
+        for name in self._order:
+            labels = self._minute_labels[name]
+            spout = self._spouts.get(name)
+            if spout is not None:
+                stream_slots = self._sp_stream_slots[name]
+                for i, (instance, container) in enumerate(labels):
+                    g = spout.start + i
+                    tags = {
+                        "topology": topo,
+                        "component": name,
+                        "instance": instance,
+                        "container": container,
+                    }
+                    add(counter_specs, self._acc_sp_source, len(keys), g)
+                    keys.append(MetricKey.of(MetricNames.SOURCE_COUNT, tags))
+                    add(counter_specs, self._acc_sp_fetched, len(keys), g)
+                    keys.append(MetricKey.of(MetricNames.EXECUTE_COUNT, tags))
+                    add(counter_specs, self._acc_sp_emitted, len(keys), g)
+                    keys.append(MetricKey.of(MetricNames.EMIT_COUNT, tags))
+                    for stream_name, base in stream_slots:
+                        add(
+                            counter_specs, self._acc_sp_streams,
+                            len(keys), base + i,
+                        )
+                        keys.append(
+                            MetricKey.of(
+                                MetricNames.STREAM_EMIT_COUNT,
+                                {**tags, "stream": stream_name},
+                            )
+                        )
+                    add(gauge_specs, self._acc_sp_backlog, len(keys), g)
+                    keys.append(
+                        MetricKey.of(MetricNames.BACKLOG_TUPLES, tags)
+                    )
+                    add(gauge_specs, self._acc_sp_cpu, len(keys), g)
+                    keys.append(MetricKey.of(MetricNames.CPU_LOAD, tags))
+                    zero_positions.append(len(keys))
+                    keys.append(
+                        MetricKey.of(MetricNames.BACKPRESSURE_TIME_MS, tags)
+                    )
+                continue
+            bolt = self._bolts[name]
+            stream_slots = self._b_stream_slots[name]
+            for i, (instance, container) in enumerate(labels):
+                g = bolt.start + i
+                tags = {
+                    "topology": topo,
+                    "component": name,
+                    "instance": instance,
+                    "container": container,
+                }
+                add(counter_specs, self._acc_b_arrivals, len(keys), g)
+                keys.append(MetricKey.of(MetricNames.RECEIVED_COUNT, tags))
+                add(counter_specs, self._acc_b_processed, len(keys), g)
+                keys.append(MetricKey.of(MetricNames.EXECUTE_COUNT, tags))
+                add(counter_specs, self._acc_b_emitted, len(keys), g)
+                keys.append(MetricKey.of(MetricNames.EMIT_COUNT, tags))
+                add(counter_specs, self._acc_b_failed, len(keys), g)
+                keys.append(MetricKey.of(MetricNames.FAIL_COUNT, tags))
+                for stream_name, base in stream_slots:
+                    add(
+                        counter_specs, self._acc_b_streams,
+                        len(keys), base + i,
+                    )
+                    keys.append(
+                        MetricKey.of(
+                            MetricNames.STREAM_EMIT_COUNT,
+                            {**tags, "stream": stream_name},
+                        )
+                    )
+                add(gauge_specs, self._acc_b_memory, len(keys), g)
+                keys.append(MetricKey.of(MetricNames.MEMORY_BYTES, tags))
+                add(gauge_specs, self._acc_b_latency, len(keys), g)
+                keys.append(
+                    MetricKey.of(MetricNames.QUEUE_LATENCY_MS, tags)
+                )
+                add(gauge_specs, self._acc_b_pending, len(keys), g)
+                keys.append(MetricKey.of(MetricNames.PENDING_BYTES, tags))
+                add(gauge_specs, self._acc_b_cpu, len(keys), g)
+                keys.append(MetricKey.of(MetricNames.CPU_LOAD, tags))
+                bp_positions.append(len(keys))
+                bp_gather.append(g)
+                keys.append(
+                    MetricKey.of(MetricNames.BACKPRESSURE_TIME_MS, tags)
+                )
+        topo_position = len(keys)
+        keys.append(
+            MetricKey.of(
+                MetricNames.TOPOLOGY_BACKPRESSURE_TIME_MS,
+                {"topology": topo},
+            )
+        )
+        try:
+            batch = store.make_minute_batch(keys)
+        except MetricsError:
+            # Some series are missing (e.g. the first minute overlapped
+            # a blackout); retry after a later complete slow flush.
+            self._flush_plan = None
+            return
+
+        def finalize(specs):
+            return [
+                (
+                    np.array(positions, dtype=np.intp),
+                    np.array(gather, dtype=np.intp),
+                    src,
+                )
+                for src, positions, gather in specs.values()
+            ]
+
+        self._flush_plan = {
+            "batch": batch,
+            "out": np.empty(len(keys)),
+            "counters": finalize(counter_specs),
+            "gauges": finalize(gauge_specs),
+            "bolt_bp": (
+                (
+                    np.array(bp_positions, dtype=np.intp),
+                    np.array(bp_gather, dtype=np.intp),
+                )
+                if bp_positions else (None, None)
+            ),
+            "zero_positions": (
+                np.array(zero_positions, dtype=np.intp)
+                if zero_positions else None
+            ),
+            "topo_position": topo_position,
+        }
+        self._store_token = token

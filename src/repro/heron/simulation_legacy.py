@@ -1,0 +1,952 @@
+"""The **reference** (pre-vectorization) fluid Heron topology simulator.
+
+This module is the scalar per-component engine exactly as it stood
+before the struct-of-arrays core landed in
+:mod:`repro.heron.simulation`.  It is kept in-tree for two jobs:
+
+* **Bit-identity proof** — the parity tests run both engines on the
+  same (topology, schedule, seed) and require byte-identical metric
+  stores; the golden-hash fixtures under ``tests/data`` were generated
+  from this engine.
+* **Honest speedups** — ``benchmarks/bench_simulator_speed.py``
+  measures the vectorized engine *against this one on the same
+  machine*, so the regression gate is a hardware-independent ratio.
+
+It is not a public API; production callers use
+:class:`repro.heron.simulation.HeronSimulation`.  Do not modify this
+file except to intentionally re-baseline the determinism contract
+(regenerate the goldens and say why).
+
+This is the substrate that replaces the paper's Aurora/Heron cluster.  Each
+tick (default one second) the engine:
+
+1. lets every spout instance fetch from its external source and emit,
+   unless topology backpressure is active — in which case spouts are
+   suppressed and the external source accumulates a backlog (the paper's
+   "data will begin to accumulate in the external system");
+2. routes emissions to downstream instances according to each stream's
+   grouping shares, optionally through finite-capacity stream managers;
+3. lets every bolt instance drain its pending queue at its (noisy)
+   processing capacity and emit ``alpha`` tuples per processed tuple on
+   each declared output stream;
+4. applies Heron's high/low watermark rule per instance: pending bytes
+   above the high watermark raise that instance's backpressure flag, which
+   stays raised until pending falls below the low watermark; any raised
+   flag suppresses every spout (the broadcast to all stream managers);
+5. accrues CPU (worker thread proportional to utilisation, gateway thread
+   proportional to tuples moved) and hands per-minute metrics to the
+   :class:`~repro.heron.metrics.MetricsManager`.
+
+Spout emissions are additionally clipped against downstream queue headroom
+within the tick: a real stream manager stops reading from a spout the
+moment a queue hits its high watermark, and with one-second ticks an
+unclipped burst would overshoot the watermark by an unphysical margin.
+The clip models that intra-tick stall, and it is what pins a saturated
+queue at the high watermark — reproducing the paper's observation that
+backpressure time per minute is "either close to 60 [seconds] or 0".
+
+The simulator is fluid: tuple counts are real numbers (rates), not
+individual tuples.  Every quantity the paper's models consume — counters,
+saturation behaviour, grouping shares, CPU — is faithfully produced; tuple
+contents are not materialised.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.heron.metrics import MetricNames, MetricsManager
+from repro.heron.packing import PackingPlan
+from repro.heron.simulation import (
+    ComponentLogic,
+    SimulationConfig,
+    SpoutLogic,
+)
+from repro.heron.topology import LogicalTopology, Stream
+from repro.timeseries.store import MetricsStore
+
+__all__ = [
+    "SimulationConfig",
+    "ComponentLogic",
+    "SpoutLogic",
+    "HeronSimulation",
+]
+
+_MINUTE = 60.0
+
+
+class _SpoutState:
+    """Runtime arrays for one spout component."""
+
+    def __init__(self, name: str, parallelism: int, logic: SpoutLogic) -> None:
+        self.name = name
+        self.logic = logic
+        self.parallelism = parallelism
+        self.rate_tps = 0.0  # configured source rate, per instance
+        self.down = np.zeros(parallelism, dtype=bool)
+        self.backlog = np.zeros(parallelism)
+        self.tick_emitted = np.zeros(parallelism)
+        self.tick_fetched = np.zeros(parallelism)
+        self.tick_source = np.zeros(parallelism)
+        self.tick_stream_emitted: dict[str, np.ndarray] = {}
+
+
+class _BoltState:
+    """Runtime arrays for one bolt component."""
+
+    def __init__(self, name: str, parallelism: int, logic: ComponentLogic) -> None:
+        self.name = name
+        self.logic = logic
+        self.parallelism = parallelism
+        self.queue_tuples = np.zeros(parallelism)
+        self.bp_flag = np.zeros(parallelism, dtype=bool)
+        self.capacity_factor = np.ones(parallelism)
+        self.down = np.zeros(parallelism, dtype=bool)
+        self.state_bytes = np.zeros(parallelism)
+        self.tick_arrivals = np.zeros(parallelism)
+        self.tick_processed = np.zeros(parallelism)
+        self.tick_failed = np.zeros(parallelism)
+        self.tick_emitted = np.zeros(parallelism)
+        self.tick_stream_emitted: dict[str, np.ndarray] = {}
+
+    @property
+    def pending_bytes(self) -> np.ndarray:
+        """Queued bytes per instance (drives the watermark rule)."""
+        return self.queue_tuples * self.logic.input_tuple_bytes
+
+
+class _SpoutMinuteAcc:
+    """One simulated minute of spout metrics, accumulated in numpy.
+
+    The tick loop adds whole per-instance arrays here instead of making
+    half a dozen dict updates (plus float casts and f-string instance
+    names) per instance per tick; the totals flow into the
+    :class:`~repro.heron.metrics.MetricsManager` once per minute.  Each
+    array element sees the same addition sequence a per-tick
+    ``add_counter``/``add_gauge`` call chain would produce, so the
+    flushed values are bit-identical.
+    """
+
+    __slots__ = ("source", "fetched", "emitted", "streams", "backlog", "cpu")
+
+    def __init__(self, parallelism: int, stream_names: list[str]) -> None:
+        self.source = np.zeros(parallelism)
+        self.fetched = np.zeros(parallelism)
+        self.emitted = np.zeros(parallelism)
+        self.streams = {name: np.zeros(parallelism) for name in stream_names}
+        self.backlog = np.zeros(parallelism)
+        self.cpu = np.zeros(parallelism)
+
+    def reset(self) -> None:
+        for arr in (self.source, self.fetched, self.emitted,
+                    self.backlog, self.cpu, *self.streams.values()):
+            arr.fill(0.0)
+
+
+class _BoltMinuteAcc:
+    """One simulated minute of bolt metrics (see :class:`_SpoutMinuteAcc`)."""
+
+    __slots__ = ("arrivals", "processed", "emitted", "failed", "memory",
+                 "latency", "streams", "pending", "cpu", "bp_ms")
+
+    def __init__(self, parallelism: int, stream_names: list[str]) -> None:
+        self.arrivals = np.zeros(parallelism)
+        self.processed = np.zeros(parallelism)
+        self.emitted = np.zeros(parallelism)
+        self.failed = np.zeros(parallelism)
+        self.memory = np.zeros(parallelism)
+        self.latency = np.zeros(parallelism)
+        self.streams = {name: np.zeros(parallelism) for name in stream_names}
+        self.pending = np.zeros(parallelism)
+        self.cpu = np.zeros(parallelism)
+        self.bp_ms = np.zeros(parallelism)
+
+    def reset(self) -> None:
+        for arr in (self.arrivals, self.processed, self.emitted, self.failed,
+                    self.memory, self.latency, self.pending, self.cpu,
+                    self.bp_ms, *self.streams.values()):
+            arr.fill(0.0)
+
+
+class _StmgrState:
+    """Runtime state for one container's stream manager.
+
+    Only used when the stream manager has finite capacity: tuples routed
+    to the container's instances wait in ``pending`` (keyed by
+    destination component, one slot per *local* instance) until the
+    stream manager's per-tick budget releases them.
+    """
+
+    def __init__(self, container_id: int) -> None:
+        self.container_id = container_id
+        self.pending: dict[str, np.ndarray] = {}
+        self.bp_flag = False
+
+    def queued_tuples(self) -> float:
+        """Total tuples waiting inside this stream manager."""
+        return float(sum(p.sum() for p in self.pending.values()))
+
+
+class HeronSimulation:
+    """A running topology: the simulated equivalent of a Heron job.
+
+    Parameters
+    ----------
+    topology:
+        The logical topology to run.
+    packing:
+        Its physical plan.  Parallelisms must match the logical topology.
+    logic:
+        Component name → :class:`SpoutLogic` (for spouts) or
+        :class:`ComponentLogic` (for bolts).  Every component needs an
+        entry, and every declared output stream needs an alpha.
+    store:
+        Metrics destination; per-minute Heron-style counters are written
+        here, tagged with topology/component/instance/container.
+    config:
+        Engine parameters.
+    start_at_seconds:
+        Simulation clock origin (a multiple of 60).  Redeployments —
+        e.g. an autoscaler replacing the topology — pass the previous
+        simulation's end time so the shared metrics store keeps one
+        continuous history.
+    faults:
+        Optional :class:`~repro.faults.plan.FaultPlan` (or a prepared
+        :class:`~repro.faults.injector.FaultInjector`) executed against
+        this run: crashes, stragglers, stream-manager stalls and metric
+        dropouts fire deterministically at their scheduled ticks.
+    """
+
+    def __init__(
+        self,
+        topology: LogicalTopology,
+        packing: PackingPlan,
+        logic: Mapping[str, SpoutLogic | ComponentLogic],
+        store: MetricsStore,
+        config: SimulationConfig | None = None,
+        start_at_seconds: int = 0,
+        faults: "object | None" = None,
+    ) -> None:
+        self.topology = topology
+        self.packing = packing
+        self.config = config or SimulationConfig()
+        self._rng = np.random.default_rng(self.config.seed)
+        self.metrics = MetricsManager(store, topology.name, start_at_seconds)
+        self._now = float(start_at_seconds)
+        self._spouts: dict[str, _SpoutState] = {}
+        self._bolts: dict[str, _BoltState] = {}
+        self._containers: dict[str, np.ndarray] = {}
+        self._validate_and_build(logic)
+        self._order = [c.name for c in topology.topological_order()]
+        self._shares_cache: dict[tuple[str, str, str, int], np.ndarray] = {}
+        self._stmgrs: dict[int, _StmgrState] = {
+            c.container_id: _StmgrState(c.container_id)
+            for c in packing.containers
+        }
+        self._stalled_containers: set[int] = set()
+        self._injector = None
+        if faults is not None:
+            # Imported lazily: repro.faults depends on repro.heron types.
+            from repro.faults.injector import FaultInjector
+            from repro.faults.plan import FaultPlan
+
+            if isinstance(faults, FaultPlan):
+                self._injector = FaultInjector(faults)
+            elif isinstance(faults, FaultInjector):
+                self._injector = faults
+            else:
+                raise SimulationError(
+                    "faults must be a FaultPlan or FaultInjector, "
+                    f"got {type(faults).__name__}"
+                )
+            self._injector.attach(self)
+        self._minute_labels: dict[str, list[tuple[str, str]]] = {}
+        for component in self._order:
+            labels = []
+            for index in range(topology.parallelism(component)):
+                instance = f"{component}_{index}"
+                container = str(packing.container_of(component, index))
+                self.metrics.register_instance(component, instance, container)
+                labels.append((instance, container))
+            self._minute_labels[component] = labels
+        self._spout_acc = {
+            name: _SpoutMinuteAcc(
+                state.parallelism, self._output_stream_names(name)
+            )
+            for name, state in self._spouts.items()
+        }
+        self._bolt_acc = {
+            name: _BoltMinuteAcc(
+                bolt.parallelism, self._output_stream_names(name)
+            )
+            for name, bolt in self._bolts.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def _validate_and_build(
+        self, logic: Mapping[str, SpoutLogic | ComponentLogic]
+    ) -> None:
+        for name, spec in self.topology.components.items():
+            if name not in logic:
+                raise SimulationError(f"no logic provided for component {name!r}")
+            entry = logic[name]
+            if self.packing.parallelism(name) != spec.parallelism:
+                raise SimulationError(
+                    f"packing parallelism for {name!r} "
+                    f"({self.packing.parallelism(name)}) does not match the "
+                    f"logical topology ({spec.parallelism})"
+                )
+            if spec.is_spout and not isinstance(entry, SpoutLogic):
+                raise SimulationError(f"spout {name!r} needs SpoutLogic")
+            if not spec.is_spout and not isinstance(entry, ComponentLogic):
+                raise SimulationError(f"bolt {name!r} needs ComponentLogic")
+            declared_streams = {s.name for s in self.topology.outputs(name)}
+            missing = declared_streams - set(entry.alphas)
+            if missing:
+                raise SimulationError(
+                    f"component {name!r} declares output streams {sorted(missing)} "
+                    "without alphas"
+                )
+            if spec.is_spout:
+                self._spouts[name] = _SpoutState(name, spec.parallelism, entry)
+            else:
+                self._bolts[name] = _BoltState(name, spec.parallelism, entry)
+        for name in self.topology.components:
+            containers = np.array(
+                [
+                    self.packing.container_of(name, i)
+                    for i in range(self.topology.parallelism(name))
+                ]
+            )
+            self._containers[name] = containers
+
+    def _output_stream_names(self, component: str) -> list[str]:
+        """Declared output stream names, deduplicated in outputs order
+        (the order ``tick_stream_emitted`` fills in every tick)."""
+        return list(
+            dict.fromkeys(s.name for s in self.topology.outputs(component))
+        )
+
+    def _shares(self, stream: Stream) -> np.ndarray:
+        dest_p = self.topology.parallelism(stream.destination)
+        key = (stream.source, stream.destination, stream.name, dest_p)
+        cached = self._shares_cache.get(key)
+        if cached is None:
+            cached = stream.grouping.shares(dest_p)
+            self._shares_cache[key] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # Control
+    # ------------------------------------------------------------------
+    def set_source_rate(self, spout: str, tuples_per_minute: float) -> None:
+        """Configure a spout's external source rate (whole component).
+
+        The rate is divided evenly over the spout's instances, as the
+        evaluation spout does.
+        """
+        if spout not in self._spouts:
+            raise SimulationError(f"{spout!r} is not a spout in this topology")
+        if tuples_per_minute < 0:
+            raise SimulationError("source rate must be non-negative")
+        state = self._spouts[spout]
+        state.rate_tps = tuples_per_minute / _MINUTE / state.parallelism
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    def backpressure_active(self) -> bool:
+        """True when any instance or stream manager is suppressing spouts."""
+        if any(state.bp_flag.any() for state in self._bolts.values()):
+            return True
+        return any(s.bp_flag for s in self._stmgrs.values())
+
+    def backpressure_components(self) -> list[str]:
+        """Names of bolt components with at least one raised flag."""
+        return [
+            name for name, state in self._bolts.items() if state.bp_flag.any()
+        ]
+
+    def queue_tuples(self, component: str) -> np.ndarray:
+        """Current per-instance queue lengths for one bolt (copy)."""
+        if component not in self._bolts:
+            raise SimulationError(f"{component!r} is not a bolt")
+        return self._bolts[component].queue_tuples.copy()
+
+    def set_instance_capacity_factor(
+        self, component: str, index: int, factor: float
+    ) -> None:
+        """Degrade (or restore) one bolt instance's processing capacity.
+
+        ``factor`` multiplies the instance's nominal capacity: 1.0 is
+        healthy, 0.5 a half-speed straggler (the paper's "failed
+        resource" backpressure cause), 0.0 a dead instance.  Takes
+        effect from the next tick.
+        """
+        if component not in self._bolts:
+            raise SimulationError(f"{component!r} is not a bolt")
+        if factor < 0:
+            raise SimulationError("capacity factor must be non-negative")
+        bolt = self._bolts[component]
+        if not 0 <= index < bolt.parallelism:
+            raise SimulationError(
+                f"{component!r} has no instance index {index}"
+            )
+        bolt.capacity_factor[index] = factor
+
+    def instance_capacity_factors(self, component: str) -> np.ndarray:
+        """Current per-instance capacity factors for one bolt (copy)."""
+        if component not in self._bolts:
+            raise SimulationError(f"{component!r} is not a bolt")
+        return self._bolts[component].capacity_factor.copy()
+
+    # ------------------------------------------------------------------
+    # Fault control surface (used directly or via a FaultInjector)
+    # ------------------------------------------------------------------
+    def crash_instance(self, component: str, index: int) -> None:
+        """Kill one instance: processing stops and its metrics go dark.
+
+        A crashed bolt loses its in-memory pending queue (the tuples are
+        gone with the process); tuples routed to it while it is down keep
+        accumulating — the stream manager still buffers for the
+        registered instance — so its queue refills and backpressure can
+        raise exactly as in a real cluster.  A crashed spout stops
+        fetching while its external source keeps producing backlog.
+        From the crash tick until :meth:`restore_instance`, the
+        instance's per-minute metrics are not written (missing minutes).
+        """
+        state = self._instance_state(component, index)
+        if isinstance(state, _BoltState):
+            state.queue_tuples[index] = 0.0
+            state.bp_flag[index] = False
+        state.down[index] = True
+        self.metrics.set_blackout(component, f"{component}_{index}", True)
+
+    def restore_instance(self, component: str, index: int) -> None:
+        """Restart a crashed instance; it resumes with whatever queued."""
+        state = self._instance_state(component, index)
+        state.down[index] = False
+        self.metrics.set_blackout(component, f"{component}_{index}", False)
+
+    def instance_down(self, component: str, index: int) -> bool:
+        """True while an instance is crashed."""
+        return bool(self._instance_state(component, index).down[index])
+
+    def _instance_state(
+        self, component: str, index: int
+    ) -> "_SpoutState | _BoltState":
+        state = self._bolts.get(component) or self._spouts.get(component)
+        if state is None:
+            raise SimulationError(
+                f"{component!r} is not a component of this topology"
+            )
+        if not 0 <= index < state.parallelism:
+            raise SimulationError(
+                f"{component!r} has no instance index {index}"
+            )
+        return state
+
+    def stall_stream_manager(self, container_id: int) -> None:
+        """Stall one container's stream manager.
+
+        While stalled, the container's instances neither receive nor
+        deliver tuples: bolts on it stop draining (their queues fill from
+        upstream and raise backpressure) and spouts on it cannot emit.
+        The instances stay alive, so their metrics keep reporting — the
+        observable signature is a backpressure spike plus a throughput
+        dip, not missing minutes.
+        """
+        if container_id not in self._stmgrs:
+            raise SimulationError(f"no container with id {container_id}")
+        self._stalled_containers.add(container_id)
+
+    def resume_stream_manager(self, container_id: int) -> None:
+        """Clear a stream-manager stall."""
+        if container_id not in self._stmgrs:
+            raise SimulationError(f"no container with id {container_id}")
+        self._stalled_containers.discard(container_id)
+
+    def stalled_containers(self) -> list[int]:
+        """Container ids whose stream managers are currently stalled."""
+        return sorted(self._stalled_containers)
+
+    def set_metric_dropout(
+        self,
+        component: str | None = None,
+        index: int | None = None,
+        active: bool = True,
+    ) -> None:
+        """Start or stop a metrics-pipeline dropout.
+
+        The topology keeps running; its per-minute samples are simply not
+        written for the scoped entities — one instance, one component, or
+        (both ``None``) the whole topology.
+        """
+        if component is None:
+            if index is not None:
+                raise SimulationError(
+                    "an instance-scoped dropout needs its component"
+                )
+            self.metrics.set_blackout(None, None, active)
+            return
+        if component not in self.topology.components:
+            raise SimulationError(
+                f"{component!r} is not a component of this topology"
+            )
+        if index is None:
+            self.metrics.set_blackout(component, None, active)
+            return
+        if not 0 <= index < self.topology.parallelism(component):
+            raise SimulationError(
+                f"{component!r} has no instance index {index}"
+            )
+        self.metrics.set_blackout(component, f"{component}_{index}", active)
+
+    @property
+    def fault_log(self) -> list[tuple[float, str, object]]:
+        """The injector's ``(seconds, action, event)`` log (empty without
+        a fault plan)."""
+        if self._injector is None:
+            return []
+        return self._injector.log
+
+    def _blocked_mask(
+        self, component: str, down: np.ndarray
+    ) -> np.ndarray | None:
+        """Instances unable to move tuples: crashed or on a stalled
+        container.  ``None`` when nothing is blocked (the fast path)."""
+        if not down.any() and not self._stalled_containers:
+            return None
+        blocked = down
+        if self._stalled_containers:
+            blocked = blocked | np.isin(
+                self._containers[component],
+                np.fromiter(self._stalled_containers, dtype=np.int64),
+            )
+        return blocked if blocked.any() else None
+
+    def stmgr_queued_tuples(self, container_id: int) -> float:
+        """Tuples waiting inside one container's stream manager.
+
+        Always zero when stream managers are transparent (infinite
+        capacity, the default).
+        """
+        if container_id not in self._stmgrs:
+            raise SimulationError(f"no container with id {container_id}")
+        return self._stmgrs[container_id].queued_tuples()
+
+    def spout_backlog(self, spout: str) -> np.ndarray:
+        """Current per-instance external backlog for one spout (copy)."""
+        if spout not in self._spouts:
+            raise SimulationError(f"{spout!r} is not a spout")
+        return self._spouts[spout].backlog.copy()
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def run(self, minutes: float) -> None:
+        """Advance the simulation by a whole number of minutes."""
+        self.run_seconds(minutes * _MINUTE)
+
+    def run_seconds(self, seconds: float) -> None:
+        """Advance the simulation by ``seconds`` (multiple of the tick)."""
+        if seconds < 0:
+            raise SimulationError("cannot run for negative time")
+        dt = self.config.tick_seconds
+        ticks = round(seconds / dt)
+        if abs(ticks * dt - seconds) > 1e-6:
+            raise SimulationError(
+                f"run length {seconds}s is not a multiple of the tick ({dt}s)"
+            )
+        for _ in range(ticks):
+            self._tick(dt)
+
+    # ------------------------------------------------------------------
+    # One tick
+    # ------------------------------------------------------------------
+    def _tick(self, dt: float) -> None:
+        if self._injector is not None:
+            self._injector.on_tick(self)
+        bp_at_start = self.backpressure_active()
+        use_stmgr = self.config.stmgr_capacity_tps is not None
+        if use_stmgr:
+            # Finite stream managers: this tick's arrivals are whatever
+            # the stream managers release from their queues; emissions
+            # enqueue for later release (one-tick routing latency).
+            inbox = self._stmgr_release(dt)
+            outbox: dict[str, np.ndarray] = {
+                name: np.zeros(state.parallelism)
+                for name, state in self._bolts.items()
+            }
+        else:
+            # Transparent stream managers (the paper's assumption):
+            # emissions are delivered within the tick.
+            inbox = {
+                name: np.zeros(state.parallelism)
+                for name, state in self._bolts.items()
+            }
+            outbox = inbox
+
+        for state in self._spouts.values():
+            self._spout_tick(state, outbox, bp_at_start, dt)
+        for name in self._order:
+            bolt = self._bolts.get(name)
+            if bolt is not None:
+                self._bolt_tick(bolt, inbox, outbox, dt)
+        if use_stmgr:
+            self._stmgr_enqueue(outbox)
+
+        self._record_tick(bp_at_start, dt)
+        self._now += dt
+
+    def _spout_tick(
+        self,
+        state: _SpoutState,
+        outbox: dict[str, np.ndarray],
+        suppressed: bool,
+        dt: float,
+    ) -> None:
+        logic = state.logic
+        noise = (
+            self._rng.normal(1.0, logic.rate_noise, state.parallelism)
+            if logic.rate_noise > 0
+            else np.ones(state.parallelism)
+        )
+        source = np.maximum(0.0, state.rate_tps * dt * noise)
+        state.backlog += source
+        state.tick_source = source
+        if suppressed or state.rate_tps == 0.0:
+            fetched = np.zeros(state.parallelism)
+        else:
+            fetch_cap = logic.fetch_multiplier * state.rate_tps * dt
+            fetched = np.minimum(state.backlog, fetch_cap)
+            blocked = self._blocked_mask(state.name, state.down)
+            if blocked is not None:
+                fetched = np.where(blocked, 0.0, fetched)
+            clip = self._headroom_clip(state, fetched, dt)
+            fetched = fetched * clip
+        state.backlog -= fetched
+        state.tick_fetched = fetched
+        emitted = np.zeros(state.parallelism)
+        state.tick_stream_emitted = {}
+        for stream in self.topology.outputs(state.name):
+            stream_out = state.tick_stream_emitted.get(stream.name)
+            if stream_out is None:
+                stream_out = fetched * logic.alphas[stream.name]
+                emitted += stream_out
+                state.tick_stream_emitted[stream.name] = stream_out
+            shares = self._shares(stream)
+            outbox[stream.destination] += stream_out.sum() * shares
+        state.tick_emitted = emitted
+
+    def _headroom_clip(
+        self, state: _SpoutState, fetched: np.ndarray, dt: float
+    ) -> float:
+        """Clip factor keeping downstream queues at/below the high watermark.
+
+        Models the intra-tick stall: a stream manager stops accepting spout
+        tuples the instant a destination queue reaches the high watermark,
+        so at most ``headroom + capacity*dt`` tuples can enter per tick.
+        """
+        clip = 1.0
+        for stream in self.topology.outputs(state.name):
+            dest = self._bolts.get(stream.destination)
+            if dest is None:
+                continue
+            alpha = state.logic.alphas[stream.name]
+            total_out = fetched.sum() * alpha
+            if total_out <= 0:
+                continue
+            shares = self._shares(stream)
+            headroom_tuples = (
+                np.maximum(
+                    0.0,
+                    self.config.high_watermark_bytes - dest.pending_bytes,
+                )
+                / dest.logic.input_tuple_bytes
+            )
+            intake = headroom_tuples + dest.logic.capacity_tps * dt
+            with np.errstate(divide="ignore"):
+                per_dest = np.where(
+                    shares > 0, intake / (total_out * shares), np.inf
+                )
+            clip = min(clip, float(per_dest.min()))
+        return max(0.0, min(1.0, clip))
+
+    def _stmgr_release(self, dt: float) -> dict[str, np.ndarray]:
+        """Release queued tuples from each stream manager, up to capacity.
+
+        Release is proportional across everything a stream manager has
+        queued for its local instances (FIFO in fluid terms).  Returns
+        this tick's per-component arrival arrays.
+        """
+        arrivals = {
+            name: np.zeros(state.parallelism)
+            for name, state in self._bolts.items()
+        }
+        budget = self.config.stmgr_capacity_tps * dt
+        for stmgr in self._stmgrs.values():
+            if stmgr.container_id in self._stalled_containers:
+                continue  # a stalled stream manager releases nothing
+            total = stmgr.queued_tuples()
+            if total <= 0.0:
+                continue
+            fraction = min(1.0, budget / total)
+            for component, pending in stmgr.pending.items():
+                released = pending * fraction
+                arrivals[component] += released
+                stmgr.pending[component] = pending - released
+        return arrivals
+
+    def _stmgr_enqueue(self, outbox: dict[str, np.ndarray]) -> None:
+        """Queue this tick's emissions inside the destination stmgrs."""
+        for component, amounts in outbox.items():
+            if not np.any(amounts):
+                continue
+            containers = self._containers[component]
+            for cid, stmgr in self._stmgrs.items():
+                mask = containers == cid
+                if not mask.any():
+                    continue
+                pending = stmgr.pending.setdefault(
+                    component, np.zeros(amounts.shape[0])
+                )
+                pending[mask] += amounts[mask]
+        high = self.config.high_watermark_bytes * (1.0 - 1e-9)
+        low = self.config.low_watermark_bytes
+        for stmgr in self._stmgrs.values():
+            queued_bytes = sum(
+                float(pending.sum())
+                * self._bolts[component].logic.input_tuple_bytes
+                for component, pending in stmgr.pending.items()
+            )
+            if stmgr.bp_flag:
+                stmgr.bp_flag = queued_bytes > low
+            else:
+                stmgr.bp_flag = queued_bytes >= high
+
+    def _bolt_tick(
+        self,
+        bolt: _BoltState,
+        inbox: dict[str, np.ndarray],
+        outbox: dict[str, np.ndarray],
+        dt: float,
+    ) -> None:
+        logic = bolt.logic
+        arriving = inbox[bolt.name]
+        bolt.queue_tuples = bolt.queue_tuples + arriving
+        bolt.tick_arrivals = arriving
+        noise = (
+            self._rng.normal(1.0, logic.capacity_noise, bolt.parallelism)
+            if logic.capacity_noise > 0
+            else np.ones(bolt.parallelism)
+        )
+        capacity = np.maximum(
+            0.0, logic.capacity_tps * dt * noise * bolt.capacity_factor
+        )
+        blocked = self._blocked_mask(bolt.name, bolt.down)
+        if blocked is not None:
+            capacity = np.where(blocked, 0.0, capacity)
+        processed = np.minimum(bolt.queue_tuples, capacity)
+        bolt.queue_tuples = bolt.queue_tuples - processed
+        bolt.tick_processed = processed
+        failed = processed * logic.failure_rate
+        successful = processed - failed
+        bolt.tick_failed = failed
+        if logic.state_bytes_per_processed > 0:
+            bolt.state_bytes = np.minimum(
+                logic.state_memory_cap_bytes,
+                bolt.state_bytes + logic.state_bytes_per_processed * processed,
+            )
+        emitted = np.zeros(bolt.parallelism)
+        bolt.tick_stream_emitted = {}
+        for stream in self.topology.outputs(bolt.name):
+            stream_out = bolt.tick_stream_emitted.get(stream.name)
+            if stream_out is None:
+                alpha = logic.alphas[stream.name]
+                if logic.alpha_noise > 0:
+                    alpha = alpha * max(
+                        0.0, 1.0 + self._rng.normal(0.0, logic.alpha_noise)
+                    )
+                stream_out = successful * alpha
+                emitted += stream_out
+                bolt.tick_stream_emitted[stream.name] = stream_out
+            shares = self._shares(stream)
+            outbox[stream.destination] += stream_out.sum() * shares
+        bolt.tick_emitted = emitted
+        pending = bolt.pending_bytes
+        # The trigger fires when pending *reaches* the high watermark:
+        # the spout headroom clip pins a saturated queue exactly at it,
+        # which is precisely the state where a real stream manager has
+        # already raised backpressure.
+        high = self.config.high_watermark_bytes * (1.0 - 1e-9)
+        low = self.config.low_watermark_bytes
+        bolt.bp_flag = np.where(
+            bolt.bp_flag, pending > low, pending >= high
+        )
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def _record_tick(self, bp_at_start: bool, dt: float) -> None:
+        # Per-tick metric emission is batched: whole per-instance arrays
+        # are added into preallocated minute accumulators, and the
+        # totals reach the MetricsManager only on the tick that closes
+        # the minute.  Every element sees the same IEEE-754 addition
+        # sequence the old per-instance add_* loop produced (counters:
+        # 0.0 + a_1 + ... + a_n; gauges: 0.0 + v_1*dt + ...), so the
+        # flushed per-minute values are bit-identical.
+        metrics = self.metrics
+        for name, state in self._spouts.items():
+            acc = self._spout_acc[name]
+            logic = state.logic
+            utilisation = np.zeros(state.parallelism)
+            if state.rate_tps > 0:
+                fetch_cap = logic.fetch_multiplier * state.rate_tps * dt
+                utilisation = state.tick_fetched / fetch_cap
+            cpu = (
+                logic.worker_cores * utilisation
+                + logic.gateway_cores_per_tuple
+                * (state.tick_fetched + state.tick_emitted)
+                / dt
+            )
+            acc.source += state.tick_source
+            acc.fetched += state.tick_fetched
+            acc.emitted += state.tick_emitted
+            for stream_name, per_stream in state.tick_stream_emitted.items():
+                acc.streams[stream_name] += per_stream
+            acc.backlog += state.backlog * dt
+            acc.cpu += cpu * dt
+        for name, bolt in self._bolts.items():
+            acc = self._bolt_acc[name]
+            logic = bolt.logic
+            nominal = logic.capacity_tps * dt
+            utilisation = np.minimum(1.0, bolt.tick_processed / nominal)
+            cpu = (
+                logic.worker_cores * utilisation
+                + logic.gateway_cores_per_tuple
+                * (bolt.tick_arrivals + bolt.tick_emitted)
+                / dt
+            )
+            pending = bolt.pending_bytes
+            effective_tps = np.maximum(
+                1e-9, logic.capacity_tps * bolt.capacity_factor
+            )
+            latency_ms = bolt.queue_tuples / effective_tps * 1000.0
+            memory = (
+                logic.base_memory_bytes + pending + bolt.state_bytes
+            )
+            acc.arrivals += bolt.tick_arrivals
+            acc.processed += bolt.tick_processed
+            acc.emitted += bolt.tick_emitted
+            acc.failed += bolt.tick_failed
+            acc.memory += memory * dt
+            acc.latency += latency_ms * dt
+            for stream_name, per_stream in bolt.tick_stream_emitted.items():
+                acc.streams[stream_name] += per_stream
+            acc.pending += pending * dt
+            acc.cpu += cpu * dt
+            acc.bp_ms += np.where(bolt.bp_flag, dt * 1000.0, 0.0)
+        if bp_at_start or self.backpressure_active():
+            metrics.add_topology_backpressure(dt)
+        if metrics.minute_closing(dt):
+            # Hand the accumulated minute over before the advance that
+            # flushes it.  Using the manager's own clock keeps the
+            # decision aligned with the actual flush, whatever the tick.
+            self._flush_minute_accumulators()
+        metrics.advance(dt)
+
+    def _flush_minute_accumulators(self) -> None:
+        """Feed one minute of accumulated metrics into the manager.
+
+        Per-instance add order mirrors the old per-tick loop exactly, so
+        buffer-dict insertion order — and therefore store write order and
+        series key-insertion order — is unchanged.
+        """
+        metrics = self.metrics
+        for name, state in self._spouts.items():
+            acc = self._spout_acc[name]
+            for i, (instance, container) in enumerate(
+                self._minute_labels[name]
+            ):
+                metrics.add_counter(
+                    name, instance, container,
+                    MetricNames.SOURCE_COUNT, float(acc.source[i]),
+                )
+                metrics.add_counter(
+                    name, instance, container,
+                    MetricNames.EXECUTE_COUNT, float(acc.fetched[i]),
+                )
+                metrics.add_counter(
+                    name, instance, container,
+                    MetricNames.EMIT_COUNT, float(acc.emitted[i]),
+                )
+                for stream_name, totals in acc.streams.items():
+                    metrics.add_counter(
+                        name, instance, container,
+                        MetricNames.stream_emit(stream_name),
+                        float(totals[i]),
+                    )
+                metrics.add_gauge_integral(
+                    name, instance, container,
+                    MetricNames.BACKLOG_TUPLES, float(acc.backlog[i]),
+                )
+                metrics.add_gauge_integral(
+                    name, instance, container,
+                    MetricNames.CPU_LOAD, float(acc.cpu[i]),
+                )
+            acc.reset()
+        for name, bolt in self._bolts.items():
+            acc = self._bolt_acc[name]
+            for i, (instance, container) in enumerate(
+                self._minute_labels[name]
+            ):
+                metrics.add_counter(
+                    name, instance, container,
+                    MetricNames.RECEIVED_COUNT, float(acc.arrivals[i]),
+                )
+                metrics.add_counter(
+                    name, instance, container,
+                    MetricNames.EXECUTE_COUNT, float(acc.processed[i]),
+                )
+                metrics.add_counter(
+                    name, instance, container,
+                    MetricNames.EMIT_COUNT, float(acc.emitted[i]),
+                )
+                metrics.add_counter(
+                    name, instance, container,
+                    MetricNames.FAIL_COUNT, float(acc.failed[i]),
+                )
+                metrics.add_gauge_integral(
+                    name, instance, container,
+                    MetricNames.MEMORY_BYTES, float(acc.memory[i]),
+                )
+                metrics.add_gauge_integral(
+                    name, instance, container,
+                    MetricNames.QUEUE_LATENCY_MS, float(acc.latency[i]),
+                )
+                for stream_name, totals in acc.streams.items():
+                    metrics.add_counter(
+                        name, instance, container,
+                        MetricNames.stream_emit(stream_name),
+                        float(totals[i]),
+                    )
+                metrics.add_gauge_integral(
+                    name, instance, container,
+                    MetricNames.PENDING_BYTES, float(acc.pending[i]),
+                )
+                metrics.add_gauge_integral(
+                    name, instance, container,
+                    MetricNames.CPU_LOAD, float(acc.cpu[i]),
+                )
+                metrics.add_backpressure_ms(
+                    name, instance, container, float(acc.bp_ms[i]),
+                )
+            acc.reset()

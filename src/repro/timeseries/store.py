@@ -12,15 +12,17 @@ from __future__ import annotations
 
 import json
 import threading
-from collections.abc import Callable, Iterable, Mapping
+from collections import deque
+from collections.abc import Callable, Iterable, Mapping, Sequence
 from dataclasses import dataclass, field
+from itertools import repeat
 from pathlib import Path
 
 from repro.errors import MetricsError
 from repro.timeseries.aggregation import rollup
 from repro.timeseries.series import TimeSeries
 
-__all__ = ["MetricKey", "MetricsStore"]
+__all__ = ["MetricKey", "MetricsStore", "MinuteBatch"]
 
 
 @dataclass(frozen=True)
@@ -94,6 +96,30 @@ class _SeriesBuffer:
         del self.values[:keep_from]
 
 
+class MinuteBatch:
+    """Pre-resolved append plan over a fixed set of series.
+
+    Built by :meth:`MetricsStore.make_minute_batch` and consumed by
+    :meth:`MetricsStore.append_minute_batch`: the keyed buffer lookups
+    and the monotonicity bound are resolved once, so steady-state minute
+    flushes cost three C-level loops instead of thousands of keyed
+    writes.  Opaque to callers — hold it and hand it back, nothing else.
+
+    A batch is only valid while no other writer touches its series; the
+    simulator guards every use with a :meth:`MetricsStore.data_version`
+    token and rebuilds the batch (after a slow keyed flush) whenever the
+    token moved underneath it.
+    """
+
+    __slots__ = ("buffers", "ts_lists", "val_lists", "last_ts")
+
+    def __init__(self) -> None:
+        self.buffers: list[_SeriesBuffer] = []
+        self.ts_lists: list[list[int]] = []
+        self.val_lists: list[list[float]] = []
+        self.last_ts: int | None = None
+
+
 class MetricsStore:
     """Thread-safe in-memory metrics database.
 
@@ -158,6 +184,98 @@ class MetricsStore:
         """Append several ``(timestamp, value)`` samples to one series."""
         for timestamp, value in samples:
             self.write(name, timestamp, value, tags)
+
+    # ------------------------------------------------------------------
+    # Batched minute appends (the simulator's steady-state flush path)
+    # ------------------------------------------------------------------
+    def supports_batched_appends(self) -> bool:
+        """True when the batched append fast path is byte-equivalent here.
+
+        The fast path bypasses :meth:`_write_keyed`, so it is only safe
+        on a store whose subclass did not override the keyed write (the
+        durable store journals every sample there) and that has no
+        invalidation listeners expecting a callback per write.
+        """
+        return (
+            type(self)._write_keyed is MetricsStore._write_keyed
+            and not self._listeners
+        )
+
+    def make_minute_batch(self, keys: Sequence[MetricKey]) -> MinuteBatch:
+        """Resolve an ordered set of existing series into a MinuteBatch.
+
+        Every key must already have a series (created by ordinary keyed
+        writes — a batch never creates series, so series-dict insertion
+        order stays exactly what the slow path established).  Raises
+        :class:`~repro.errors.MetricsError` on an unknown key.
+        """
+        batch = MinuteBatch()
+        last_ts: int | None = None
+        with self._lock:
+            for key in keys:
+                buffer = self._series.get(key)
+                if buffer is None:
+                    raise MetricsError(
+                        f"no series for {key.name!r} with tags "
+                        f"{dict(key.tags)}"
+                    )
+                batch.buffers.append(buffer)
+                batch.ts_lists.append(buffer.timestamps)
+                batch.val_lists.append(buffer.values)
+                if buffer.timestamps:
+                    ts = buffer.timestamps[-1]
+                    if last_ts is None or ts > last_ts:
+                        last_ts = ts
+        batch.last_ts = last_ts
+        return batch
+
+    def append_minute_batch(
+        self,
+        batch: MinuteBatch,
+        timestamp: int,
+        values: Sequence[float],
+        topology: str | None = None,
+    ) -> None:
+        """Append one sample to every series of a prepared batch.
+
+        ``values[i]`` (already a plain float — callers pass the output
+        of ``ndarray.tolist()``) lands on ``batch`` series ``i`` at the
+        shared ``timestamp``.  End state is identical to issuing the
+        equivalent keyed writes in batch order: same per-series samples,
+        same ``data_version`` delta (one bump per series), same
+        retention trim; only the per-write listener callbacks are
+        skipped, which :meth:`supports_batched_appends` guards.
+        """
+        if len(values) != len(batch.buffers):
+            raise MetricsError(
+                f"batch expects {len(batch.buffers)} values, "
+                f"got {len(values)}"
+            )
+        timestamp = int(timestamp)
+        with self._lock:
+            if batch.last_ts is not None and timestamp <= batch.last_ts:
+                raise MetricsError(
+                    "writes must be in increasing timestamp order: "
+                    f"got {timestamp} after {batch.last_ts}"
+                )
+            # Three C-level loops: timestamps, values, cache drops.
+            deque(
+                map(list.append, batch.ts_lists, repeat(timestamp)),
+                maxlen=0,
+            )
+            deque(map(list.append, batch.val_lists, values), maxlen=0)
+            deque(
+                map(setattr, batch.buffers,
+                    repeat("_frozen"), repeat(None)),
+                maxlen=0,
+            )
+            batch.last_ts = timestamp
+            if self._latest is None or timestamp > self._latest:
+                self._latest = timestamp
+            self._versions[topology] = (
+                self._versions.get(topology, 0) + len(batch.buffers)
+            )
+            self._apply_retention_locked()
 
     def _apply_retention_locked(self) -> None:
         if self._retention is None or self._latest is None:

@@ -43,6 +43,7 @@ from repro.workloads.scenarios import (
 )
 from repro.workloads.trace import (
     canonical_store_trace,
+    config_trace,
     golden_trace_payload,
     trace_hash,
     workload_trace,
@@ -59,6 +60,7 @@ __all__ = [
     "MatrixCell",
     "build_report",
     "canonical_store_trace",
+    "config_trace",
     "cell_seed",
     "default_grid",
     "fault_plan_for",

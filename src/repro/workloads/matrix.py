@@ -68,6 +68,7 @@ __all__ = [
     "MatrixCell",
     "default_grid",
     "cell_seed",
+    "simulate_cell",
     "run_cell",
     "run_matrix",
     "build_report",
@@ -130,6 +131,48 @@ def default_grid(
 def cell_seed(matrix_seed: int, cell: MatrixCell) -> int:
     """Derive one cell's simulation seed from the matrix seed."""
     return zlib.crc32(f"{matrix_seed}:{cell.id}".encode("utf8"))
+
+
+def simulate_cell(
+    cell: MatrixCell,
+    matrix_seed: int,
+    calibration_minutes: int = 9,
+) -> tuple[GeneratedWorkload, MetricsStore, dict[str, object]]:
+    """Run just the simulate phase of one cell.
+
+    Returns the workload, the populated store, and the canonical trace
+    whose hash is the cell's ``trace_hash``.  This is the exact
+    simulation ``run_cell`` calibrates against, factored out so the
+    per-cell golden-hash fixtures (``tests/data``) pin the simulator's
+    numerics across every (shape × fault × traffic) coordinate without
+    paying for calibration.
+    """
+    wseed = workload_seed(matrix_seed, cell.shape)
+    cseed = cell_seed(matrix_seed, cell)
+    workload = generate_workload(cell.shape, wseed)
+    plan = fault_plan_for(cell.fault, workload)
+    schedule = traffic_schedule(
+        cell.traffic, calibration_minutes, workload.base_rate_tpm
+    )
+    store = MetricsStore()
+    simulation = HeronSimulation(
+        workload.topology,
+        workload.packing,
+        workload.logic,
+        store,
+        SimulationConfig(seed=cseed),
+        faults=plan,
+    )
+    for rate in schedule:
+        workload.set_source_rates(simulation, rate)
+        simulation.run(1)
+    trace: dict[str, object] = {
+        "topology": workload.name,
+        "seed": cseed,
+        "schedule_tpm": [float(r) for r in schedule],
+    }
+    trace.update(canonical_store_trace(store, workload.topology))
+    return workload, store, trace
 
 
 def _calibrate_cell(
@@ -239,30 +282,10 @@ def run_cell(
         "error": None,
     }
     try:
-        workload = generate_workload(cell.shape, wseed)
+        workload, store, trace = simulate_cell(
+            cell, matrix_seed, calibration_minutes
+        )
         record["topology"] = workload.name
-        plan = fault_plan_for(cell.fault, workload)
-        schedule = traffic_schedule(
-            cell.traffic, calibration_minutes, workload.base_rate_tpm
-        )
-        store = MetricsStore()
-        simulation = HeronSimulation(
-            workload.topology,
-            workload.packing,
-            workload.logic,
-            store,
-            SimulationConfig(seed=cseed),
-            faults=plan,
-        )
-        for rate in schedule:
-            workload.set_source_rates(simulation, rate)
-            simulation.run(1)
-        trace = {
-            "topology": workload.name,
-            "seed": cseed,
-            "schedule_tpm": [float(r) for r in schedule],
-        }
-        trace.update(canonical_store_trace(store, workload.topology))
         record["trace_hash"] = trace_hash(trace)
 
         model, cpu_fits, degraded = _calibrate_cell(workload, store)

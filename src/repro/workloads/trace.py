@@ -33,6 +33,7 @@ __all__ = [
     "workload_trace",
     "trace_hash",
     "golden_trace_payload",
+    "config_trace",
 ]
 
 
@@ -102,6 +103,62 @@ def trace_hash(trace: dict[str, Any]) -> str:
         trace, sort_keys=True, separators=(",", ":"), allow_nan=False
     )
     return hashlib.sha256(canonical.encode("utf8")).hexdigest()
+
+
+def config_trace(
+    shape: str,
+    seed: int,
+    minutes: int = 4,
+    *,
+    tick_seconds: float = 1.0,
+    stmgr_capacity_tps: float | None = None,
+    fault: str | None = None,
+) -> dict[str, Any]:
+    """Canonical trace under a non-default simulator configuration.
+
+    Exercises the configuration axes the default golden fixtures do not
+    reach — sub-second ``tick_seconds``, finite ``stmgr_capacity_tps``
+    (the explicit stream-manager queueing path), and each fault kind —
+    so every code path of the engine is pinned by a committed hash, not
+    just the transparent fault-free one.
+    """
+    from repro.workloads.scenarios import fault_plan_for
+
+    workload = generate_workload(shape, seed)
+    plan = fault_plan_for(fault, workload) if fault else None
+    store = MetricsStore()
+    topology, packing, logic = workload.deployment()
+    simulation = HeronSimulation(
+        topology,
+        packing,
+        logic,
+        store,
+        SimulationConfig(
+            seed=seed,
+            tick_seconds=tick_seconds,
+            stmgr_capacity_tps=stmgr_capacity_tps,
+        ),
+        faults=plan,
+    )
+    schedule = [0.6 * workload.base_rate_tpm] * minutes
+    for rate_tpm in schedule:
+        workload.set_source_rates(simulation, float(rate_tpm))
+        simulation.run(1)
+    trace = {
+        "topology": topology.name,
+        "seed": int(seed),
+        "minutes": int(minutes),
+        "schedule_tpm": [float(r) for r in schedule],
+        "tick_seconds": float(tick_seconds),
+        "stmgr_capacity_tps": (
+            None
+            if stmgr_capacity_tps is None
+            else float(stmgr_capacity_tps)
+        ),
+        "fault": fault,
+    }
+    trace.update(canonical_store_trace(store, topology))
+    return trace
 
 
 def golden_trace_payload(

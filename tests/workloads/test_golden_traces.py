@@ -28,6 +28,7 @@ DATA_DIR = Path(__file__).resolve().parent.parent / "data"
 FIXTURES = [
     ("diamond", 7),
     ("fanin", 11),
+    ("deep_chain", 13),
     ("multi_spout", 23),
 ]
 
