@@ -24,7 +24,15 @@ Endpoints (all responses JSON):
 """
 
 from repro.api.app import CaladriusApp
-from repro.api.client import CaladriusClient
+from repro.api.async_server import AsyncCaladriusServer
+from repro.api.client import BatchAck, BatchWriter, CaladriusClient
 from repro.api.server import CaladriusServer
 
-__all__ = ["CaladriusApp", "CaladriusClient", "CaladriusServer"]
+__all__ = [
+    "AsyncCaladriusServer",
+    "BatchAck",
+    "BatchWriter",
+    "CaladriusApp",
+    "CaladriusClient",
+    "CaladriusServer",
+]

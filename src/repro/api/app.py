@@ -42,7 +42,8 @@ from repro.durability.deadline import (
     parse_deadline_header,
 )
 from repro.durability.lifecycle import LifecycleController
-from repro.errors import ApiError, ReproError, TopologyError
+from repro.api.ingest import FRAMES_CONTENT_TYPE, decode_frames
+from repro.errors import ApiError, MetricsError, ReproError, TopologyError
 from repro.faults.health import assess_topology_metrics
 from repro.heron.tracker import TopologyTracker
 from repro.serving import (
@@ -84,6 +85,11 @@ class CaladriusApp:
     clock:
         Monotonic time source (injectable for async-job TTL tests).
     """
+
+    # Paths whose request body the transport must hand over as raw
+    # bytes instead of parsed JSON (the batched ingest path appends the
+    # client's frames to the WAL without re-serialization).
+    raw_body_paths = ("/metrics/write_batch",)
 
     def __init__(
         self,
@@ -158,19 +164,29 @@ class CaladriusApp:
         method: str,
         path: str,
         query: Mapping[str, str] | None = None,
-        body: Mapping[str, Any] | None = None,
+        body: Mapping[str, Any] | bytes | None = None,
         headers: Mapping[str, str] | None = None,
     ) -> tuple[int, dict[str, Any]]:
-        """Route one request; returns ``(status, json_payload)``."""
+        """Route one request; returns ``(status, json_payload)``.
+
+        For paths in :attr:`raw_body_paths` the transport passes
+        ``body`` as raw bytes; everywhere else it is a parsed JSON
+        object.
+        """
         query = dict(query or {})
-        body = dict(body or {})
+        if isinstance(body, (bytes, bytearray)):
+            raw: bytes | None = bytes(body)
+            body = {}
+        else:
+            raw = None
+            body = dict(body or {})
         lowered = {k.lower(): v for k, v in dict(headers or {}).items()}
         parts = [p for p in path.split("/") if p]
         try:
             deadline = parse_deadline_header(lowered.get(DEADLINE_HEADER.lower()))
             with deadline_scope(deadline):
                 return 200, self._route(
-                    method.upper(), parts, query, body, lowered
+                    method.upper(), parts, query, body, lowered, raw
                 )
         except ApiError as exc:
             return exc.status, {"error": str(exc), **exc.payload}
@@ -184,6 +200,7 @@ class CaladriusApp:
         query: Mapping[str, str],
         body: Mapping[str, Any],
         headers: Mapping[str, str] | None = None,
+        raw: bytes | None = None,
     ) -> dict[str, Any]:
         if method == "GET" and parts == ["healthz"]:
             return self._healthz()
@@ -194,6 +211,11 @@ class CaladriusApp:
             self._refuse_if_read_only()
             self._check_epoch(headers or {})
             return self._metrics_write(body)
+        if method == "POST" and parts == ["metrics", "write_batch"]:
+            self._refuse_if_draining()
+            self._refuse_if_read_only()
+            self._check_epoch(headers or {})
+            return self._metrics_write_batch(raw)
         if method == "GET" and parts == ["metrics", "read"]:
             return self._metrics_read(query)
         if method == "GET" and parts == ["topologies"]:
@@ -455,15 +477,105 @@ class CaladriusApp:
                 )
             self.store.write(name, int(sample[0]), float(sample[1]), tags)
             written += 1
+        self._ship_after_write()
+        return {"written": written}
+
+    def _ship_after_write(self) -> None:
+        """Synchronous replica catch-up before acking (when enabled).
+
+        Ship-before-ack narrows the replica lag window to zero for
+        acknowledged writes; a dead shipping link must not turn a
+        durable local write into a client-visible failure.
+        """
         if self.sync_ship and self.shipper is not None:
-            # Ship-before-ack narrows the replica lag window to zero for
-            # acknowledged writes; a dead shipping link must not turn a
-            # durable local write into a client-visible failure.
             try:
                 self.shipper.ship_now()
             except OSError:
                 pass
-        return {"written": written}
+
+    def _metrics_write_batch(self, raw: bytes | None) -> dict[str, Any]:
+        """Batched binary ingest: WAL-framed samples, one group commit.
+
+        The body is the WAL codec's framing verbatim (see
+        :mod:`repro.api.ingest`); accepted frames are applied through
+        the store's batched fast path and journaled in one group commit
+        — at most one fsync per request under ``fsync="always"``.
+        Individually bad frames are rejected per frame (reported with
+        their index) without poisoning the rest of the batch.
+        """
+        if raw is None:
+            raise ApiError(
+                "write_batch requires a framed binary body "
+                f"(Content-Type: {FRAMES_CONTENT_TYPE})"
+            )
+        frames = decode_frames(raw)
+        if not frames:
+            raise ApiError("write_batch body contains no frames")
+        result = self._ingest_frames(frames)
+        self._ship_after_write()
+        return result
+
+    def _ingest_frames(
+        self, frames: list[tuple[Any, str]]
+    ) -> dict[str, Any]:
+        ingest = getattr(self.store, "ingest_frames", None)
+        if ingest is not None:
+            return ingest(frames)
+        # Plain in-memory store: same validation and batched apply,
+        # nothing to journal so ack offsets stay None.
+        from repro.durability.store import frame_sample
+
+        rejected: list[dict[str, Any]] = []
+        entries = []
+        indexes = []
+        for idx, (record, body) in enumerate(frames):
+            try:
+                entries.append(frame_sample(record, body))
+            except MetricsError as exc:
+                rejected.append({"frame": idx, "error": str(exc)})
+            else:
+                indexes.append(idx)
+        errors = self.store.apply_sample_batch(entries)
+        rejected.extend(
+            {"frame": idx, "error": error}
+            for idx, error in zip(indexes, errors)
+            if error is not None
+        )
+        rejected.sort(key=lambda entry: entry["frame"])
+        return {
+            "frames": len(frames),
+            "acked": len(frames) - len(rejected),
+            "rejected": rejected,
+            "first_lsn": None,
+            "last_lsn": None,
+        }
+
+    def handle_write_batch_frames(
+        self,
+        frames: list[tuple[Any, str]],
+        headers: Mapping[str, str] | None = None,
+    ) -> tuple[int, dict[str, Any]]:
+        """Commit one group of an in-flight batch stream.
+
+        The asyncio server chunks a large ``write_batch`` body into
+        commit groups and calls this once per group, streaming each
+        result as it lands.  Admission (drain, read-only, epoch fence)
+        is re-checked per group: a drain beginning mid-stream refuses
+        the *remaining* groups with 503 while every already-streamed
+        ack stands — acknowledged frames are already durable.
+        """
+        lowered = {k.lower(): v for k, v in dict(headers or {}).items()}
+        try:
+            self._refuse_if_draining()
+            self._refuse_if_read_only()
+            self._check_epoch(lowered)
+            result = self._ingest_frames(frames)
+            self._ship_after_write()
+            return 200, result
+        except ApiError as exc:
+            return exc.status, {"error": str(exc), **exc.payload}
+        except ReproError as exc:
+            return 400, {"error": str(exc)}
 
     def _topology_info(self, name: str, kind: str) -> dict[str, Any]:
         tracked = self._tracked(name)

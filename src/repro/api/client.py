@@ -7,15 +7,22 @@ import json
 import random
 import threading
 import time
-from collections.abc import Callable
+from collections.abc import Callable, Iterable, Mapping, Sequence
+from dataclasses import dataclass, field
 from http.client import HTTPConnection
 from typing import Any
 from urllib.parse import urlencode
 
+from repro.api.ingest import (
+    FRAMES_CONTENT_TYPE,
+    STREAM_CONTENT_TYPE,
+    encode_frame,
+    merge_stream_lines,
+)
 from repro.durability.deadline import DEADLINE_HEADER
 from repro.errors import ApiError
 
-__all__ = ["CaladriusClient"]
+__all__ = ["BatchAck", "BatchWriter", "CaladriusClient"]
 
 #: Statuses worth retrying: the service said "not right now", not "no".
 RETRYABLE_STATUSES = frozenset({429, 502, 503, 504})
@@ -24,6 +31,38 @@ RETRYABLE_STATUSES = frozenset({429, 502, 503, 504})
 #: the exponential backoff schedule: the server's load-shedding (429)
 #: and degraded-metrics (503) answers know better than our guess.
 HONOR_RETRY_AFTER = frozenset({429, 503})
+
+
+@dataclass
+class BatchAck:
+    """The outcome of one ``write_batch`` round-trip.
+
+    ``rejected`` entries are permanent per-frame failures
+    (``{"frame": index, "error": message}``); ``refused`` entries are
+    retryable whole-group refusals the streaming server reported
+    mid-batch (drain/fence arriving between commit groups).  ``commits``
+    preserves the per-group ack offsets when the server streamed them.
+    """
+
+    frames: int = 0
+    acked: int = 0
+    rejected: list[dict[str, Any]] = field(default_factory=list)
+    first_lsn: int | None = None
+    last_lsn: int | None = None
+    commits: list[dict[str, Any]] = field(default_factory=list)
+    refused: list[dict[str, Any]] = field(default_factory=list)
+
+    @classmethod
+    def from_payload(cls, data: Mapping[str, Any]) -> "BatchAck":
+        return cls(
+            frames=int(data.get("frames") or 0),
+            acked=int(data.get("acked") or 0),
+            rejected=list(data.get("rejected") or ()),
+            first_lsn=data.get("first_lsn"),
+            last_lsn=data.get("last_lsn"),
+            commits=list(data.get("commits") or ()),
+            refused=list(data.get("refused") or ()),
+        )
 
 
 class CaladriusClient:
@@ -139,14 +178,21 @@ class CaladriusClient:
         path: str,
         payload: bytes | None,
         extra_headers: dict[str, str] | None = None,
+        content_type: str = "application/json",
     ) -> tuple[int, dict[str, Any], float | None]:
-        """One round-trip: (status, decoded JSON body, Retry-After)."""
-        headers = {"Content-Type": "application/json"} if payload else {}
+        """One round-trip: (status, decoded JSON body, Retry-After).
+
+        A streamed NDJSON answer (the asyncio server's group-commit
+        acks) is folded into one summary dict, so callers see the same
+        shape whichever front-end answered.
+        """
+        headers = {"Content-Type": content_type} if payload else {}
         if extra_headers:
             headers.update(extra_headers)
         raw = b""
         status = 0
         retry_after: float | None = None
+        response_type = ""
         for retry_stale in (True, False):
             connection, reused = self._connection()
             try:
@@ -156,6 +202,11 @@ class CaladriusClient:
                 status = response.status
                 retry_after = _parse_retry_after(
                     response.getheader("Retry-After")
+                )
+                response_type = (
+                    (response.getheader("Content-Type") or "")
+                    .split(";")[0]
+                    .strip()
                 )
                 if response.will_close:
                     self._drop_connection()
@@ -173,7 +224,15 @@ class CaladriusClient:
                 continue
             break
         try:
-            data = json.loads(raw.decode("utf8"))
+            if response_type == STREAM_CONTENT_TYPE:
+                lines = [
+                    json.loads(line)
+                    for line in raw.decode("utf8").splitlines()
+                    if line.strip()
+                ]
+                data: Any = merge_stream_lines(lines)
+            else:
+                data = json.loads(raw.decode("utf8"))
         except (json.JSONDecodeError, UnicodeDecodeError) as exc:
             raise ApiError(
                 f"response body is not JSON (HTTP {status})", status
@@ -198,10 +257,17 @@ class CaladriusClient:
         body: dict[str, Any] | None = None,
         deadline_seconds: float | None = None,
         headers: dict[str, str] | None = None,
+        raw_body: bytes | None = None,
+        content_type: str = "application/json",
     ) -> dict[str, Any]:
         if query:
             path = f"{path}?{urlencode(query)}"
-        payload = json.dumps(body).encode("utf8") if body is not None else None
+        if raw_body is not None:
+            payload: bytes | None = raw_body
+        else:
+            payload = (
+                json.dumps(body).encode("utf8") if body is not None else None
+            )
         extra_headers: dict[str, str] | None = None
         if deadline_seconds is not None:
             extra_headers = {DEADLINE_HEADER: str(deadline_seconds)}
@@ -221,7 +287,7 @@ class CaladriusClient:
             server_delay = None
             try:
                 status, data, retry_after = self._attempt(
-                    method, path, payload, extra_headers
+                    method, path, payload, extra_headers, content_type
                 )
             except (OSError, http.client.HTTPException) as exc:
                 last_error = exc
@@ -310,6 +376,54 @@ class CaladriusClient:
         return self._request(
             "POST", "/metrics/write", body=body, headers=headers
         )["written"]
+
+    def write_batch(
+        self,
+        entries: Iterable[tuple],
+        epoch: int | None = None,
+    ) -> BatchAck:
+        """Send many samples in one framed request; one round-trip.
+
+        ``entries`` is ``(name, timestamp, value)`` or
+        ``(name, timestamp, value, tags)`` per sample.  Each sample is
+        encoded once into the WAL codec's framing; the server appends
+        the frames without re-serialization and commits the batch with
+        at most one fsync.  Per-frame failures (bad shape, out-of-order
+        timestamp) come back in :attr:`BatchAck.rejected` without
+        poisoning the rest; 429/503 answers are retried honoring
+        ``Retry-After`` under the client's capped backoff; a fencing
+        409 raises :class:`~repro.errors.ApiError` with the structured
+        payload so cluster routing can fail over.
+        """
+        frames = []
+        for entry in entries:
+            if len(entry) == 3:
+                name, timestamp, value = entry
+                tags = None
+            else:
+                name, timestamp, value, tags = entry
+            frames.append(encode_frame(name, timestamp, value, tags))
+        return self.write_batch_raw(b"".join(frames), epoch=epoch)
+
+    def write_batch_raw(
+        self, raw: bytes, epoch: int | None = None
+    ) -> BatchAck:
+        """``write_batch`` with the frames already encoded.
+
+        The batch-buffering and cluster-routing layers frame samples
+        once at ``add()`` time and ship the concatenated bytes here.
+        """
+        headers: dict[str, str] | None = None
+        if epoch is not None:
+            headers = {"X-Shard-Epoch": str(epoch)}
+        data = self._request(
+            "POST",
+            "/metrics/write_batch",
+            headers=headers,
+            raw_body=raw,
+            content_type=FRAMES_CONTENT_TYPE,
+        )
+        return BatchAck.from_payload(data)
 
     def read_metrics(
         self,
@@ -458,6 +572,149 @@ class CaladriusClient:
                 raise ApiError(result.get("error", "modelling failed"), 500)
             time.sleep(poll_seconds)
         raise ApiError(f"request {request_id} timed out", 504)
+
+
+class BatchWriter:
+    """Client-side sample buffering with size/time-based auto-flush.
+
+    ``add()`` encodes the sample into its wire frame immediately (encode
+    once, at most one copy on flush) and triggers a flush when the
+    buffer reaches ``max_frames`` frames or ``max_bytes`` bytes.  With
+    ``max_age_seconds`` set, a daemon thread also flushes any sample
+    that has waited longer than that, so a trickle of writes still
+    becomes durable promptly.  Background-flush failures are recorded in
+    :attr:`errors` (and re-raised by :meth:`close`), acks in
+    :attr:`acks`.
+
+    The target may be a :class:`CaladriusClient` (single server) or a
+    :class:`~repro.cluster.client.ClusterClient` — anything with a
+    ``write_batch_raw(raw, epoch=...)`` method.
+    """
+
+    def __init__(
+        self,
+        client: Any,
+        max_frames: int = 1000,
+        max_bytes: int = 1 << 20,
+        max_age_seconds: float | None = None,
+        epoch: int | None = None,
+    ) -> None:
+        if max_frames < 1:
+            raise ApiError("max_frames must be >= 1")
+        self._client = client
+        self.max_frames = max_frames
+        self.max_bytes = max_bytes
+        self.max_age_seconds = max_age_seconds
+        self.epoch = epoch
+        self._frames: list[bytes] = []
+        self._bytes = 0
+        self._oldest: float | None = None
+        self._lock = threading.Lock()
+        self._closed = False
+        self.acks: list[BatchAck] = []
+        self.errors: list[ApiError] = []
+        self._wake = threading.Event()
+        self._thread: threading.Thread | None = None
+        if max_age_seconds is not None:
+            self._thread = threading.Thread(
+                target=self._age_loop,
+                daemon=True,
+                name="caladrius-batch-flush",
+            )
+            self._thread.start()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._frames)
+
+    def add(
+        self,
+        name: str,
+        timestamp: int,
+        value: float,
+        tags: Mapping[str, str] | None = None,
+    ) -> None:
+        """Buffer one sample; flushes when a size threshold is crossed."""
+        frame = encode_frame(name, timestamp, value, tags)
+        with self._lock:
+            if self._closed:
+                raise ApiError("batch writer is closed")
+            self._frames.append(frame)
+            self._bytes += len(frame)
+            if self._oldest is None:
+                self._oldest = time.monotonic()
+            due = (
+                len(self._frames) >= self.max_frames
+                or self._bytes >= self.max_bytes
+            )
+        if due:
+            self.flush()
+
+    def flush(self) -> BatchAck | None:
+        """Send everything buffered; returns the ack (None if empty).
+
+        The network round-trip happens outside the buffer lock, so
+        concurrent ``add()`` calls keep filling the next batch while
+        this one is in flight.
+        """
+        with self._lock:
+            if not self._frames:
+                return None
+            raw = b"".join(self._frames)
+            self._frames = []
+            self._bytes = 0
+            self._oldest = None
+        ack = self._client.write_batch_raw(raw, epoch=self.epoch)
+        self.acks.append(ack)
+        return ack
+
+    def _age_loop(self) -> None:
+        assert self.max_age_seconds is not None
+        poll = max(0.01, self.max_age_seconds / 4)
+        while True:
+            self._wake.wait(poll)
+            with self._lock:
+                if self._closed:
+                    return
+                due = (
+                    self._oldest is not None
+                    and time.monotonic() - self._oldest
+                    >= self.max_age_seconds
+                )
+            if due:
+                try:
+                    self.flush()
+                except ApiError as exc:
+                    # Surfaced on close(); samples stay buffered?  No —
+                    # the batch left the buffer before the send failed.
+                    # Record the loss loudly rather than retrying into
+                    # a dead server from a daemon thread forever.
+                    self.errors.append(exc)
+
+    def close(self) -> None:
+        """Flush the remainder and stop the age thread.
+
+        Raises the first recorded background-flush error (after sending
+        what is still buffered), so silent data loss cannot hide behind
+        the timer thread.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        if self._thread is not None:
+            self._wake.set()
+            self._thread.join(timeout=5)
+            self._thread = None
+        self.flush()
+        if self.errors:
+            raise self.errors[0]
+
+    def __enter__(self) -> "BatchWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 def _parse_retry_after(raw: str | None) -> float | None:

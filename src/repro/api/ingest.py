@@ -1,0 +1,207 @@
+"""Wire codec for the batched binary ingest path.
+
+``POST /metrics/write_batch`` carries write records in exactly the WAL
+codec's framing — ``u32 payload_length | u32 crc32(payload) | payload``
+(little-endian, UTF-8 JSON payload) — so the client encodes each sample
+once and the server appends the payload bytes to the write-ahead log
+verbatim, modulo the spliced server-assigned LSN prefix.  No field is
+re-serialized between the client and the segment file.
+
+Unlike :func:`repro.durability.wal.read_segment_records`, which
+tolerates a torn final frame (a crash mid-append is expected on disk),
+the decoder here is strict: an HTTP body is either a complete frame
+sequence or a client bug, so any short, oversized, or CRC-broken frame
+rejects the whole request with a structured 400 naming the frame index
+and byte offset.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from collections.abc import Iterable, Mapping, Sequence
+from typing import Any
+
+from repro.errors import ApiError
+
+__all__ = [
+    "FRAMES_CONTENT_TYPE",
+    "STREAM_CONTENT_TYPE",
+    "decode_frames",
+    "encode_frame",
+    "encode_frames",
+    "frame_bytes",
+    "merge_stream_lines",
+    "rebase_refused",
+]
+
+# The request body: WAL-framed records, appended to the log verbatim.
+FRAMES_CONTENT_TYPE = "application/x-caladrius-frames"
+# The streaming response: one JSON object per line, a ``{"commit": ...}``
+# line per group commit and a final ``{"done": true, ...}`` summary.
+STREAM_CONTENT_TYPE = "application/x-ndjson"
+
+# Mirrors repro.durability.wal — one codec, stated once on the wire and
+# once on disk.  struct format "<II" = little-endian (length, crc32).
+_HEADER = struct.Struct("<II")
+_MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+def encode_frame(
+    name: str,
+    timestamp: int,
+    value: float,
+    tags: Mapping[str, str] | None = None,
+) -> bytes:
+    """Frame one write record exactly as the WAL will store it.
+
+    The payload is compact JSON with the fields in the WAL's journal
+    order (``op``, ``name``, ``tags``, ``ts``, ``v``) and no ``lsn`` —
+    the server splices its assigned LSN in front when appending.
+    """
+    record = {
+        "op": "write",
+        "name": name,
+        "tags": dict(tags) if tags else {},
+        "ts": int(timestamp),
+        "v": float(value),
+    }
+    payload = json.dumps(record, separators=(",", ":")).encode("utf8")
+    return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def encode_frames(
+    entries: Iterable[tuple[str, int, float, Mapping[str, str] | None]],
+) -> bytes:
+    """Frame ``(name, ts, value, tags)`` entries into one request body."""
+    return b"".join(
+        encode_frame(name, timestamp, value, tags)
+        for name, timestamp, value, tags in entries
+    )
+
+
+def frame_bytes(body: str) -> bytes:
+    """Re-frame a decoded payload string, byte-identical to the original.
+
+    The router and cluster client split a mixed batch into per-shard
+    sub-batches; since the payload bytes are untouched, re-framing them
+    reproduces the client's frames exactly — the no-re-serialization
+    guarantee survives the extra hop.
+    """
+    payload = body.encode("utf8")
+    return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def decode_frames(raw: bytes) -> list[tuple[Any, str]]:
+    """Strictly decode a request body into ``(record, body)`` per frame.
+
+    ``record`` is the parsed JSON value and ``body`` the exact payload
+    string the client framed — the durable store journals ``body``
+    verbatim so client bytes and segment bytes stay identical.  Raises
+    :class:`~repro.errors.ApiError` (400) on any malformed frame; the
+    payload names the frame index and byte offset so a client can find
+    the bug in its encoder.
+    """
+    frames: list[tuple[Any, str]] = []
+    offset = 0
+    total = len(raw)
+    while offset < total:
+        index = len(frames)
+
+        def _reject(message: str) -> ApiError:
+            return ApiError(
+                f"malformed frame {index} at byte {offset}: {message}",
+                status=400,
+                payload={"frame": index, "offset": offset},
+            )
+
+        if total - offset < _HEADER.size:
+            raise _reject(
+                f"truncated header ({total - offset} of {_HEADER.size} bytes)"
+            )
+        length, crc = _HEADER.unpack_from(raw, offset)
+        if length > _MAX_FRAME_BYTES:
+            raise _reject(f"frame length {length} exceeds {_MAX_FRAME_BYTES}")
+        start = offset + _HEADER.size
+        if total - start < length:
+            raise _reject(
+                f"truncated payload ({total - start} of {length} bytes)"
+            )
+        payload = raw[start:start + length]
+        if zlib.crc32(payload) != crc:
+            raise _reject("crc32 mismatch")
+        try:
+            body = payload.decode("utf8")
+            record = json.loads(body)
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise _reject(f"payload is not JSON ({exc})") from None
+        frames.append((record, body))
+        offset = start + length
+    return frames
+
+
+def rebase_refused(
+    entry: Mapping[str, Any],
+    indexes: Sequence[int],
+    shard_id: int | None = None,
+) -> dict[str, Any]:
+    """Rebase a refused-group entry onto the parent batch's frame indexes.
+
+    A refused entry either carries ``frame_start`` + ``frames`` (count)
+    — the streaming server's commit-group shape — or an explicit
+    ``frames`` index list (the router's shape).  Both are normalised to
+    a ``frames`` list of parent-batch indexes via ``indexes``, the
+    parent positions of this sub-batch's frames in order.
+    """
+    out = dict(entry)
+    frames = entry.get("frames")
+    if isinstance(frames, list):
+        out["frames"] = [
+            indexes[i]
+            for i in frames
+            if isinstance(i, int) and 0 <= i < len(indexes)
+        ]
+    elif isinstance(entry.get("frame_start"), int) and isinstance(
+        frames, int
+    ):
+        start = entry["frame_start"]
+        out["frames"] = [
+            indexes[i]
+            for i in range(max(0, start), min(start + frames, len(indexes)))
+        ]
+        out.pop("frame_start", None)
+        out.pop("group", None)
+    if shard_id is not None:
+        out["shard_id"] = shard_id
+    return out
+
+
+def merge_stream_lines(lines: Sequence[Mapping[str, Any]]) -> dict[str, Any]:
+    """Fold streamed ``commit``/``done`` lines into one batch summary.
+
+    The threaded server answers ``write_batch`` with a single JSON
+    summary; the asyncio server streams one line per group commit.  The
+    client funnels both shapes through this so callers see one ack
+    regardless of transport.  ``commits`` preserves the per-group ack
+    offsets for callers that track durability incrementally.
+    """
+    merged: dict[str, Any] = {
+        "frames": 0,
+        "acked": 0,
+        "rejected": [],
+        "first_lsn": None,
+        "last_lsn": None,
+        "commits": [],
+    }
+    for line in lines:
+        if line.get("done"):
+            # The final line is the authoritative whole-batch summary.
+            merged.update(
+                (key, value) for key, value in line.items() if key != "done"
+            )
+            continue
+        commit = line.get("commit")
+        if isinstance(commit, Mapping):
+            merged["commits"].append(dict(commit))
+    return merged

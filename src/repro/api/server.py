@@ -21,14 +21,47 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qsl, urlsplit
 
 from repro.api.app import CaladriusApp
+from repro.errors import ApiError
 
-__all__ = ["CaladriusServer"]
+__all__ = [
+    "CaladriusServer",
+    "GracefulServerMixin",
+    "DEFAULT_MAX_BODY_BYTES",
+    "app_max_body_bytes",
+    "parse_query_strict",
+]
 
 logger = logging.getLogger("repro.api.server")
+
+DEFAULT_MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+def app_max_body_bytes(app: CaladriusApp) -> int:
+    """The request-body cap for this app (``ingest.max_body_bytes``)."""
+    ingest = getattr(getattr(app, "config", None), "ingest", None)
+    return getattr(ingest, "max_body_bytes", DEFAULT_MAX_BODY_BYTES)
+
+
+def parse_query_strict(raw_query: str) -> dict[str, str]:
+    """Parse a query string, rejecting repeated parameters.
+
+    ``dict(parse_qsl(...))`` silently keeps the *last* occurrence of a
+    repeated key, so ``?model=a&model=b`` would quietly model with
+    ``b`` — an ambiguous request deserves a 400, not a guess.  Shared
+    by the threaded and asyncio front-ends so both transports enforce
+    the same contract.
+    """
+    query: dict[str, str] = {}
+    for key, value in parse_qsl(raw_query):
+        if key in query:
+            raise ApiError(f"duplicate query parameter {key!r}", 400)
+        query[key] = value
+    return query
 
 
 def _make_handler(app: CaladriusApp) -> type[BaseHTTPRequestHandler]:
     raw_prefixes = tuple(getattr(app, "raw_body_paths", ()))
+    max_body_bytes = app_max_body_bytes(app)
 
     class Handler(BaseHTTPRequestHandler):
         protocol_version = "HTTP/1.1"
@@ -38,9 +71,41 @@ def _make_handler(app: CaladriusApp) -> type[BaseHTTPRequestHandler]:
 
         def _respond(self, method: str) -> None:
             split = urlsplit(self.path)
-            query = dict(parse_qsl(split.query))
+            try:
+                query = parse_query_strict(split.query)
+            except ApiError as exc:
+                self._send(exc.status, {"error": str(exc), **exc.payload})
+                return
             body = {}
-            length = int(self.headers.get("Content-Length") or 0)
+            raw_length = self.headers.get("Content-Length")
+            try:
+                length = int(raw_length or 0)
+            except ValueError:
+                self.close_connection = True
+                self._send(
+                    400,
+                    {
+                        "error": "Content-Length must be an integer, "
+                        f"got {raw_length!r}"
+                    },
+                )
+                return
+            if length > max_body_bytes:
+                # Refuse before reading a byte: the declared size alone
+                # is grounds for 413, and never buffering it means one
+                # bad client cannot OOM this worker.  The unread body
+                # would desynchronise the connection — close it.
+                self.close_connection = True
+                self._send(
+                    413,
+                    {
+                        "error": "request body too large: "
+                        f"{length} > {max_body_bytes} bytes",
+                        "max_body_bytes": max_body_bytes,
+                        "content_length": length,
+                    },
+                )
+                return
             if length:
                 raw = self.rfile.read(length)
                 if split.path.startswith(raw_prefixes):
@@ -112,59 +177,22 @@ class _Listener(ThreadingHTTPServer):
     daemon_threads = True
 
 
-class CaladriusServer:
-    """A threaded HTTP server hosting the Caladrius API.
+class GracefulServerMixin:
+    """The SIGTERM drain sequence, shared by both HTTP front-ends.
 
-    Use as a context manager in examples and tests::
-
-        with CaladriusServer(app, port=0) as server:
-            client = CaladriusClient("127.0.0.1", server.port)
-            ...
-
-    ``port=0`` binds an ephemeral port, exposed as :attr:`port`.
+    Requires the host class to provide ``self.app`` (a
+    :class:`CaladriusApp`), ``self.stop()``, ``self._shutdown_lock``
+    and ``self._shutdown_done``.  Keeping this as literally shared code
+    — not a parallel implementation — is what guarantees the asyncio
+    server's drain semantics match the threaded server's.
     """
 
-    def __init__(
-        self, app: CaladriusApp, host: str = "127.0.0.1", port: int = 0
-    ) -> None:
-        self.app = app
-        self._httpd = _Listener((host, port), _make_handler(app))
-        self._thread: threading.Thread | None = None
-        self._shutdown_lock = threading.Lock()
-        self._shutdown_done = threading.Event()
+    app: CaladriusApp
+    _shutdown_lock: threading.Lock
+    _shutdown_done: threading.Event
 
-    @property
-    def port(self) -> int:
-        """The bound TCP port."""
-        return self._httpd.server_address[1]
-
-    @property
-    def host(self) -> str:
-        """The bound host address."""
-        return self._httpd.server_address[0]
-
-    def start(self) -> "CaladriusServer":
-        """Start serving on a daemon thread."""
-        self._thread = threading.Thread(
-            target=self._httpd.serve_forever, daemon=True
-        )
-        self._thread.start()
-        return self
-
-    def stop(self) -> None:
-        """Stop serving and release the socket."""
-        self._httpd.shutdown()
-        self._httpd.server_close()
-        if self._thread is not None:
-            self._thread.join(timeout=5)
-            if self._thread.is_alive():
-                logger.warning(
-                    "serve thread did not join within 5s; "
-                    "a handler may be blocked — socket is closed, "
-                    "continuing shutdown"
-                )
-            self._thread = None
-        self.app.lifecycle.mark_stopped()
+    def stop(self) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
 
     def shutdown_gracefully(
         self,
@@ -242,8 +270,66 @@ class CaladriusServer:
         finally:
             self._shutdown_done.set()
 
-    def __enter__(self) -> "CaladriusServer":
+    def start(self):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def __enter__(self):
         return self.start()
 
     def __exit__(self, *exc_info) -> None:
         self.stop()
+
+
+class CaladriusServer(GracefulServerMixin):
+    """A threaded HTTP server hosting the Caladrius API.
+
+    Use as a context manager in examples and tests::
+
+        with CaladriusServer(app, port=0) as server:
+            client = CaladriusClient("127.0.0.1", server.port)
+            ...
+
+    ``port=0`` binds an ephemeral port, exposed as :attr:`port`.
+    """
+
+    def __init__(
+        self, app: CaladriusApp, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.app = app
+        self._httpd = _Listener((host, port), _make_handler(app))
+        self._thread: threading.Thread | None = None
+        self._shutdown_lock = threading.Lock()
+        self._shutdown_done = threading.Event()
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port."""
+        return self._httpd.server_address[1]
+
+    @property
+    def host(self) -> str:
+        """The bound host address."""
+        return self._httpd.server_address[0]
+
+    def start(self) -> "CaladriusServer":
+        """Start serving on a daemon thread."""
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop serving and release the socket."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            if self._thread.is_alive():
+                logger.warning(
+                    "serve thread did not join within 5s; "
+                    "a handler may be blocked — socket is closed, "
+                    "continuing shutdown"
+                )
+            self._thread = None
+        self.app.lifecycle.mark_stopped()

@@ -30,9 +30,17 @@ from __future__ import annotations
 import logging
 import threading
 import time
+from collections.abc import Iterable
+from concurrent.futures import ThreadPoolExecutor
 from typing import Any
 
-from repro.api.client import CaladriusClient
+from repro.api.client import BatchAck, CaladriusClient
+from repro.api.ingest import (
+    decode_frames,
+    encode_frame,
+    frame_bytes,
+    rebase_refused,
+)
 from repro.cluster.ring import HashRing
 from repro.errors import ApiError
 
@@ -227,6 +235,153 @@ class ClusterClient:
             key, lambda c: c.write_metrics, name, samples, tags,
             stamp_epoch=True,
         )
+
+    def write_batch(self, entries: Iterable[tuple]) -> BatchAck:
+        """Split a mixed-topology batch by ring owner and fan out.
+
+        ``entries`` is ``(name, timestamp, value)`` or
+        ``(name, timestamp, value, tags)`` per sample.  Each sample is
+        framed once; frames are grouped by the owning shard, each
+        sub-batch is sent concurrently straight to its owner stamped
+        with that shard's epoch, and per-shard acks are merged with
+        frame indexes rebased onto the original batch.  A sub-batch
+        that is fenced (409) or finds its shard down falls back through
+        the router; if even that fails, its frames land in
+        :attr:`BatchAck.refused` — one shard's trouble never poisons
+        the others' acks.
+        """
+        keys: list[str] = []
+        frames: list[bytes] = []
+        for entry in entries:
+            if len(entry) == 3:
+                name, timestamp, value = entry
+                tags = None
+            else:
+                name, timestamp, value, tags = entry
+            keys.append(str((tags or {}).get("topology") or name))
+            frames.append(encode_frame(name, timestamp, value, tags))
+        return self._write_batch_frames(keys, frames)
+
+    def write_batch_raw(
+        self, raw: bytes, epoch: int | None = None
+    ) -> BatchAck:
+        """Route pre-encoded frames (the :class:`BatchWriter` target).
+
+        ``epoch`` is accepted for interface compatibility and ignored:
+        cluster routing stamps each sub-batch with its owning shard's
+        current epoch from the ring.
+        """
+        del epoch
+        keys = []
+        frames = []
+        for record, body in decode_frames(raw):
+            key = ""
+            if isinstance(record, dict):
+                tags = record.get("tags") or {}
+                topology = (
+                    tags.get("topology") if isinstance(tags, dict) else None
+                )
+                key = str(topology or record.get("name") or "")
+            keys.append(key)
+            frames.append(frame_bytes(body))
+        return self._write_batch_frames(keys, frames)
+
+    def _write_batch_frames(
+        self, keys: list[str], frames: list[bytes]
+    ) -> BatchAck:
+        if not frames:
+            return BatchAck()
+        ring, addresses, epochs = self._routing()
+        groups: dict[int, list[int]] = {}
+        for idx, key in enumerate(keys):
+            groups.setdefault(ring.shard_for(key), []).append(idx)
+
+        def send(shard_id: int, indexes: list[int]) -> BatchAck | ApiError:
+            raw = b"".join(frames[i] for i in indexes)
+            try:
+                address = addresses.get(shard_id)
+                if address is not None:
+                    client = self._shard_client(address)
+                    try:
+                        ack = client.write_batch_raw(
+                            raw, epoch=epochs.get(shard_id) or None
+                        )
+                        self.direct_calls += 1
+                        return ack
+                    except ApiError as exc:
+                        fenced = exc.status == 409 and bool(
+                            (exc.payload or {}).get("fenced")
+                        )
+                        if fenced:
+                            self.fenced_writes += 1
+                        elif exc.status not in (502, 503, 504):
+                            raise
+                    except OSError:
+                        pass
+                self.router_fallbacks += 1
+                with self._lock:
+                    self._fetched_at = 0.0
+                return self._router_call(lambda c: c.write_batch_raw, raw)
+            except ApiError as exc:
+                # Surfaced per sub-batch in `refused`, never raised:
+                # the other shards' acks must stand.
+                return exc
+
+        ordered = sorted(groups.items())
+        if len(ordered) == 1:
+            outcomes = [(ordered[0][0], send(*ordered[0]))]
+        else:
+            with ThreadPoolExecutor(
+                max_workers=min(8, len(ordered)),
+                thread_name_prefix="cluster-batch",
+            ) as pool:
+                futures = [
+                    (shard_id, pool.submit(send, shard_id, indexes))
+                    for shard_id, indexes in ordered
+                ]
+                outcomes = [
+                    (shard_id, future.result())
+                    for shard_id, future in futures
+                ]
+        merged = BatchAck(frames=len(frames))
+        for shard_id, result in outcomes:
+            indexes = groups[shard_id]
+            if isinstance(result, ApiError):
+                merged.refused.append(
+                    {
+                        "frames": list(indexes),
+                        "shard_id": shard_id,
+                        "status": result.status,
+                        "error": str(result),
+                        "retry_after": (result.payload or {}).get(
+                            "retry_after"
+                        ),
+                    }
+                )
+                continue
+            merged.acked += result.acked
+            for entry in result.rejected:
+                frame = entry.get("frame")
+                if isinstance(frame, int) and 0 <= frame < len(indexes):
+                    merged.rejected.append(
+                        {**entry, "frame": indexes[frame]}
+                    )
+                else:
+                    merged.rejected.append(dict(entry))
+            for entry in result.refused:
+                merged.refused.append(
+                    rebase_refused(entry, indexes, shard_id)
+                )
+            merged.commits.extend(
+                {**commit, "shard_id": shard_id}
+                for commit in result.commits
+            )
+            if len(ordered) == 1:
+                # LSNs are per-shard; only meaningful unsplit.
+                merged.first_lsn = result.first_lsn
+                merged.last_lsn = result.last_lsn
+        merged.rejected.sort(key=lambda entry: entry.get("frame", -1))
+        return merged
 
     def read_metrics(
         self, name: str, tags: dict[str, str] | None = None

@@ -50,6 +50,14 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any
 
+from repro.api.ingest import (
+    FRAMES_CONTENT_TYPE,
+    STREAM_CONTENT_TYPE,
+    decode_frames,
+    frame_bytes,
+    merge_stream_lines,
+    rebase_refused,
+)
 from repro.cluster.epoch import EPOCH_HEADER
 from repro.cluster.ring import DEFAULT_VIRTUAL_NODES, HashRing
 from repro.cluster.shard import READY, ShardManager
@@ -67,6 +75,10 @@ _FANOUT_WORKERS = 8
 
 class RouterApp:
     """Routes requests across the shard fleet (hosted by CaladriusServer)."""
+
+    # The hosting server hands these paths' bodies over as raw bytes
+    # (WAL-framed samples), not parsed JSON.
+    raw_body_paths = ("/metrics/write_batch",)
 
     def __init__(
         self,
@@ -122,9 +134,12 @@ class RouterApp:
     ) -> tuple[int, dict[str, Any]]:
         method = method.upper()
         query = dict(query or {})
+        raw = bytes(body) if isinstance(body, (bytes, bytearray)) else None
         body = body if isinstance(body, dict) else {}
         parts = [p for p in path.split("/") if p]
         try:
+            if method == "POST" and parts == ["metrics", "write_batch"]:
+                return self._write_batch(raw, headers or {})
             return self._route(method, parts, query, body, headers or {})
         except Exception:
             logger.exception("router failed on %s %s", method, path)
@@ -327,6 +342,182 @@ class RouterApp:
         self._proxied += 1
         try:
             decoded = json.loads(raw.decode("utf8")) if raw else {}
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            decoded = {"error": "shard returned a non-JSON response"}
+        return response.status, decoded
+
+    # ------------------------------------------------------------------
+    # Batched ingest: split by ring owner, forward sub-batches raw
+    # ------------------------------------------------------------------
+    def _write_batch(
+        self, raw: bytes | None, headers: dict[str, str]
+    ) -> tuple[int, dict[str, Any]]:
+        """Split a mixed-topology frame batch across its owning shards.
+
+        Frames are regrouped by ring owner and each sub-batch is
+        forwarded concurrently as raw frames (payload bytes untouched),
+        stamped with the owner's epoch.  Per-shard outcomes are merged
+        with frame indexes rebased onto the original batch; a refused
+        sub-batch (owner down, fenced) is reported retryably in
+        ``refused`` without poisoning the others.  Only when *no* frame
+        was accepted anywhere does the whole request answer 503 +
+        ``Retry-After``.
+        """
+        from repro.errors import ApiError
+
+        if raw is None:
+            return 400, {
+                "error": "write_batch requires a framed binary body "
+                f"(Content-Type: {FRAMES_CONTENT_TYPE})"
+            }
+        try:
+            frames = decode_frames(raw)
+        except ApiError as exc:
+            return exc.status, {"error": str(exc), **exc.payload}
+        if not frames:
+            return 400, {"error": "write_batch body contains no frames"}
+        groups: dict[int, list[int]] = {}
+        for idx, (record, _) in enumerate(frames):
+            key = ""
+            if isinstance(record, dict):
+                tags = record.get("tags") or {}
+                topology = (
+                    tags.get("topology") if isinstance(tags, dict) else None
+                )
+                key = str(topology or record.get("name") or "")
+            groups.setdefault(self.shard_for(key), []).append(idx)
+        futures = {
+            shard_id: self._fanout.submit(
+                self._forward_batch,
+                shard_id,
+                [frames[i][1] for i in indexes],
+                headers,
+            )
+            for shard_id, indexes in groups.items()
+        }
+        acked = 0
+        rejected: list[dict[str, Any]] = []
+        refused: list[dict[str, Any]] = []
+        per_shard: dict[str, Any] = {}
+        retry_after: int | None = None
+        for shard_id, future in sorted(futures.items()):
+            status, payload = future.result()
+            indexes = groups[shard_id]
+            per_shard[str(shard_id)] = {
+                "status": status,
+                "frames": len(indexes),
+                "acked": payload.get("acked", 0) if status == 200 else 0,
+                "first_lsn": payload.get("first_lsn"),
+                "last_lsn": payload.get("last_lsn"),
+            }
+            if status == 200:
+                acked += payload.get("acked", 0)
+                for entry in payload.get("rejected", ()):
+                    frame = entry.get("frame")
+                    if isinstance(frame, int) and 0 <= frame < len(indexes):
+                        rejected.append({**entry, "frame": indexes[frame]})
+                    else:
+                        rejected.append(dict(entry))
+                for entry in payload.get("refused", ()):
+                    refused.append(rebase_refused(entry, indexes, shard_id))
+            else:
+                hint = payload.get("retry_after")
+                if isinstance(hint, (int, float)) and not isinstance(
+                    hint, bool
+                ):
+                    retry_after = max(retry_after or 0, int(hint))
+                refused.append(
+                    {
+                        "frames": list(indexes),
+                        "shard_id": shard_id,
+                        "status": status,
+                        "error": payload.get("error", f"HTTP {status}"),
+                        "retry_after": payload.get("retry_after"),
+                    }
+                )
+        rejected.sort(key=lambda entry: entry.get("frame", -1))
+        summary: dict[str, Any] = {
+            "frames": len(frames),
+            "acked": acked,
+            "rejected": rejected,
+            "first_lsn": None,
+            "last_lsn": None,
+            "per_shard": per_shard,
+        }
+        if refused:
+            summary["refused"] = refused
+        if acked == 0 and not rejected and refused:
+            # Nothing landed anywhere: surface it as one retryable 503
+            # so plain clients re-send the whole batch.
+            summary["error"] = "no shard accepted the batch; retry shortly"
+            summary["retry_after"] = retry_after or self.retry_after_seconds
+            return 503, summary
+        return 200, summary
+
+    def _forward_batch(
+        self,
+        shard_id: int,
+        bodies: list[str],
+        headers: dict[str, str],
+    ) -> tuple[int, dict[str, Any]]:
+        """POST one shard's sub-batch as raw frames; parse either answer."""
+        address = self.manager.address_of(shard_id)
+        if address is None:
+            state = self.manager.state_of(shard_id)
+            self._unavailable += 1
+            return 503, {
+                "error": (
+                    f"shard {shard_id} is {state or 'unknown'} "
+                    "(recovering its WAL); retry shortly"
+                ),
+                "retry_after": self.retry_after_seconds,
+                "shard_id": shard_id,
+                "shard_state": state,
+            }
+        raw = b"".join(frame_bytes(body) for body in bodies)
+        forward = {
+            k: v
+            for k, v in headers.items()
+            if k.lower() == "x-request-deadline"
+        }
+        forward[EPOCH_HEADER] = str(self.manager.epoch_of(shard_id))
+        forward["Content-Type"] = FRAMES_CONTENT_TYPE
+        host, port = address
+        conn = http.client.HTTPConnection(
+            host, port, timeout=self.proxy_timeout
+        )
+        try:
+            conn.request(
+                "POST", "/metrics/write_batch", body=raw, headers=forward
+            )
+            response = conn.getresponse()
+            data = response.read()
+            content_type = (
+                (response.getheader("Content-Type") or "")
+                .split(";")[0]
+                .strip()
+            )
+        except (OSError, http.client.HTTPException) as exc:
+            self._unavailable += 1
+            return 503, {
+                "error": f"shard {shard_id} is unreachable: {exc}",
+                "retry_after": self.retry_after_seconds,
+                "shard_id": shard_id,
+            }
+        finally:
+            conn.close()
+        self._proxied += 1
+        try:
+            if content_type == STREAM_CONTENT_TYPE:
+                decoded = merge_stream_lines(
+                    [
+                        json.loads(line)
+                        for line in data.decode("utf8").splitlines()
+                        if line.strip()
+                    ]
+                )
+            else:
+                decoded = json.loads(data.decode("utf8")) if data else {}
         except (json.JSONDecodeError, UnicodeDecodeError):
             decoded = {"error": "shard returned a non-JSON response"}
         return response.status, decoded

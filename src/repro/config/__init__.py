@@ -12,6 +12,7 @@ from repro.config.loader import (
     CaladriusConfig,
     ClusterConfig,
     DurabilityConfig,
+    IngestConfig,
     ServingConfig,
     load_config,
 )
@@ -21,6 +22,7 @@ __all__ = [
     "CaladriusConfig",
     "ClusterConfig",
     "DurabilityConfig",
+    "IngestConfig",
     "ModelRegistry",
     "ServingConfig",
     "build_registry",

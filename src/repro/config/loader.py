@@ -15,6 +15,7 @@ __all__ = [
     "CaladriusConfig",
     "ClusterConfig",
     "DurabilityConfig",
+    "IngestConfig",
     "ServingConfig",
     "load_config",
 ]
@@ -85,6 +86,28 @@ class DurabilityConfig:
 
 
 @dataclass(frozen=True)
+class IngestConfig:
+    """Ingestion-tier settings (the API listener's write path).
+
+    ``max_body_bytes`` caps how large a request body any server will
+    read — a request declaring more is refused with a structured 413
+    before a byte of the body is buffered, so one bad client cannot
+    OOM a shard worker.  ``async_api`` swaps the threaded listener for
+    the asyncio front-end (``repro.api.async_server``), which streams
+    per-commit-group acks on ``POST /metrics/write_batch``.
+    ``worker_threads`` sizes the pool bridging the event loop into the
+    synchronous app; ``commit_max_frames`` is the largest number of
+    frames the streaming batch path commits (and fsyncs) at once — a
+    client batch at or under it costs exactly one fsync.
+    """
+
+    max_body_bytes: int = 8 * 1024 * 1024
+    async_api: bool = False
+    worker_threads: int = 8
+    commit_max_frames: int = 4096
+
+
+@dataclass(frozen=True)
 class ClusterConfig:
     """Cluster-tier settings (``caladrius serve --shards N``).
 
@@ -137,6 +160,7 @@ class CaladriusConfig:
     serving: ServingConfig = field(default_factory=ServingConfig)
     durability: DurabilityConfig = field(default_factory=DurabilityConfig)
     cluster: ClusterConfig = field(default_factory=ClusterConfig)
+    ingest: IngestConfig = field(default_factory=IngestConfig)
 
     def options_for(self, model: str) -> dict[str, Any]:
         """Keyword options configured for one model (may be empty)."""
@@ -185,6 +209,11 @@ def load_config(source: str | Path | Mapping[str, Any]) -> CaladriusConfig:
             proxy_timeout_seconds: 30
             sync_ship: false
             unresponsive_timeout_seconds: 10
+          ingest:
+            max_body_bytes: 8388608
+            async_api: false
+            worker_threads: 8
+            commit_max_frames: 4096
 
     Unknown model names and malformed sections raise
     :class:`~repro.errors.ConfigError` with a precise message.
@@ -246,6 +275,7 @@ def load_config(source: str | Path | Mapping[str, Any]) -> CaladriusConfig:
     serving = _parse_serving(section.get("serving", {}))
     durability = _parse_durability(section.get("durability", {}))
     cluster = _parse_cluster(section.get("cluster", {}))
+    ingest = _parse_ingest(section.get("ingest", {}))
     return CaladriusConfig(
         traffic_models=traffic,
         performance_models=performance,
@@ -257,6 +287,7 @@ def load_config(source: str | Path | Mapping[str, Any]) -> CaladriusConfig:
         serving=serving,
         durability=durability,
         cluster=cluster,
+        ingest=ingest,
     )
 
 
@@ -457,6 +488,44 @@ def _parse_cluster(section: Any) -> ClusterConfig:
         proxy_timeout_seconds=float(proxy_timeout),
         sync_ship=sync_ship,
         unresponsive_timeout_seconds=float(unresponsive),
+    )
+
+
+def _parse_ingest(section: Any) -> IngestConfig:
+    if not isinstance(section, dict):
+        raise ConfigError("'ingest' section must be a mapping")
+    defaults = IngestConfig()
+    known = {
+        "max_body_bytes", "async_api", "worker_threads",
+        "commit_max_frames",
+    }
+    unknown = sorted(set(section) - known)
+    if unknown:
+        raise ConfigError(
+            f"unknown ingest keys {unknown}; known: {sorted(known)}"
+        )
+    max_body = _positive_int(
+        section.get("max_body_bytes", defaults.max_body_bytes),
+        "ingest.max_body_bytes",
+    )
+    if max_body < 1024:
+        raise ConfigError("ingest.max_body_bytes must be >= 1024")
+    async_api = section.get("async_api", defaults.async_api)
+    if not isinstance(async_api, bool):
+        raise ConfigError("ingest.async_api must be a boolean")
+    workers = _positive_int(
+        section.get("worker_threads", defaults.worker_threads),
+        "ingest.worker_threads",
+    )
+    commit_frames = _positive_int(
+        section.get("commit_max_frames", defaults.commit_max_frames),
+        "ingest.commit_max_frames",
+    )
+    return IngestConfig(
+        max_body_bytes=max_body,
+        async_api=async_api,
+        worker_threads=workers,
+        commit_max_frames=commit_frames,
     )
 
 

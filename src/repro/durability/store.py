@@ -24,7 +24,7 @@ import json
 import math
 import threading
 import time
-from collections.abc import Callable, Mapping
+from collections.abc import Callable, Mapping, Sequence
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
@@ -35,7 +35,12 @@ from repro.durability.wal import FSYNC_INTERVAL, WriteAheadLog
 from repro.errors import MetricsError
 from repro.timeseries.store import MetricKey, MetricsStore
 
-__all__ = ["DurableMetricsStore", "RecoveryReport", "apply_wal_record"]
+__all__ = [
+    "DurableMetricsStore",
+    "RecoveryReport",
+    "apply_wal_record",
+    "frame_sample",
+]
 
 _WAL_SUBDIR = "wal"
 
@@ -61,6 +66,48 @@ def apply_wal_record(store: MetricsStore, record: Mapping[str, Any]) -> None:
         MetricsStore.clear(store)
     else:
         raise MetricsError(f"unknown WAL op {op!r}")
+
+
+def frame_sample(record: Any, body: str) -> tuple[MetricKey, int, float]:
+    """Validate one decoded ingest frame into a ``(key, ts, value)`` sample.
+
+    The batched ingest path appends client-framed payloads to the WAL
+    verbatim (modulo the spliced LSN prefix), so durability owns the
+    gate on what a frame may contain: a ``write`` record whose fields
+    recovery can replay, and nothing that would corrupt the log — in
+    particular no client-supplied ``lsn`` (a duplicate JSON key would
+    shadow the server-assigned one on replay) and no non-finite value
+    (``repr`` of ``inf``/``nan`` is not JSON).  Raises
+    :class:`~repro.errors.MetricsError` naming the defect.
+    """
+    if not isinstance(record, Mapping):
+        raise MetricsError("frame payload must be a JSON object")
+    if record.get("op") != "write":
+        raise MetricsError(f"unsupported frame op {record.get('op')!r}")
+    if "lsn" in record:
+        raise MetricsError(
+            "frame must not carry an 'lsn' field; the server assigns LSNs"
+        )
+    name = record.get("name")
+    if not isinstance(name, str) or not name:
+        raise MetricsError("frame 'name' must be a non-empty string")
+    tags = record.get("tags") or {}
+    if not isinstance(tags, Mapping) or any(
+        not isinstance(k, str) or not isinstance(v, str)
+        for k, v in tags.items()
+    ):
+        raise MetricsError("frame 'tags' must map strings to strings")
+    ts = record.get("ts")
+    if isinstance(ts, bool) or not isinstance(ts, (int, float)):
+        raise MetricsError("frame 'ts' must be a number")
+    value = record.get("v")
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise MetricsError("frame 'v' must be a number")
+    if not math.isfinite(value):
+        raise MetricsError("frame 'v' must be finite")
+    if not body.startswith("{"):
+        raise MetricsError("frame payload must be a compact JSON object")
+    return MetricKey.of(name, tags), int(ts), float(value)
 
 
 @dataclass(frozen=True)
@@ -231,6 +278,63 @@ class DurableMetricsStore(MetricsStore):
         )
         buffer.journal_template = template
         return template
+
+    def ingest_frames(
+        self, frames: Sequence[tuple[Any, str]]
+    ) -> dict[str, Any]:
+        """Apply and journal a pre-framed write batch: one lock, one fsync.
+
+        ``frames`` is ``(record, body)`` per frame as produced by
+        :func:`repro.api.ingest.decode_frames` — the decoded record and
+        the exact payload string the client framed.  Under a single
+        journal-lock hold the accepted samples are applied through
+        :meth:`~repro.timeseries.store.MetricsStore.apply_sample_batch`
+        and their bodies appended to the WAL verbatim modulo the spliced
+        LSN prefix (values are never re-encoded), in one group commit
+        costing at most one fsync under ``fsync="always"``.
+
+        Frames the validator or the store rejects (bad shape,
+        out-of-order timestamp) are reported individually and never
+        journaled; they do not poison the rest of the batch.  Returns
+        ``{"frames", "acked", "rejected", "first_lsn", "last_lsn"}``
+        where ``rejected`` is ``[{"frame": i, "error": msg}, ...]`` and
+        the LSN fields are ``None`` when nothing was journaled.
+        """
+        rejected: list[dict[str, Any]] = []
+        entries: list[tuple[MetricKey, int, float]] = []
+        indexes: list[int] = []
+        bodies: list[str] = []
+        for idx, (record, body) in enumerate(frames):
+            try:
+                entries.append(frame_sample(record, body))
+            except MetricsError as exc:
+                rejected.append({"frame": idx, "error": str(exc)})
+            else:
+                indexes.append(idx)
+                bodies.append(body)
+        first_lsn: int | None = None
+        last_lsn: int | None = None
+        with self._journal_lock:
+            errors = self.apply_sample_batch(entries)
+            accepted = [
+                body for body, error in zip(bodies, errors) if error is None
+            ]
+            rejected.extend(
+                {"frame": idx, "error": error}
+                for idx, error in zip(indexes, errors)
+                if error is not None
+            )
+            if accepted and self._journalling:
+                first_lsn = self.wal.append_bodies(accepted)
+                last_lsn = first_lsn + len(accepted) - 1
+        rejected.sort(key=lambda entry: entry["frame"])
+        return {
+            "frames": len(frames),
+            "acked": len(frames) - len(rejected),
+            "rejected": rejected,
+            "first_lsn": first_lsn,
+            "last_lsn": last_lsn,
+        }
 
     def clear(self) -> None:
         """Drop every stored series (journaled)."""

@@ -191,13 +191,16 @@ class MetricsStore:
     def supports_batched_appends(self) -> bool:
         """True when the batched append fast path is byte-equivalent here.
 
-        The fast path bypasses :meth:`_write_keyed`, so it is only safe
-        on a store whose subclass did not override the keyed write (the
-        durable store journals every sample there) and that has no
-        invalidation listeners expecting a callback per write.
+        The fast path bypasses both :meth:`write` and
+        :meth:`_write_keyed`, so it is only safe on a store whose
+        subclass overrode *neither* (the durable store journals every
+        sample in its ``write`` override — a batch that skipped it would
+        silently skip the WAL) and that has no invalidation listeners
+        expecting a callback per write.
         """
         return (
             type(self)._write_keyed is MetricsStore._write_keyed
+            and type(self).write is MetricsStore.write
             and not self._listeners
         )
 
@@ -258,24 +261,118 @@ class MetricsStore:
                     "writes must be in increasing timestamp order: "
                     f"got {timestamp} after {batch.last_ts}"
                 )
-            # Three C-level loops: timestamps, values, cache drops.
-            deque(
-                map(list.append, batch.ts_lists, repeat(timestamp)),
-                maxlen=0,
-            )
-            deque(map(list.append, batch.val_lists, values), maxlen=0)
-            deque(
-                map(setattr, batch.buffers,
-                    repeat("_frozen"), repeat(None)),
-                maxlen=0,
-            )
-            batch.last_ts = timestamp
-            if self._latest is None or timestamp > self._latest:
-                self._latest = timestamp
-            self._versions[topology] = (
-                self._versions.get(topology, 0) + len(batch.buffers)
-            )
+            self._append_batch_locked(batch, timestamp, values, topology)
             self._apply_retention_locked()
+
+    def _append_batch_locked(
+        self,
+        batch: MinuteBatch,
+        timestamp: int,
+        values: Sequence[float],
+        topology: str | None,
+    ) -> None:
+        """One batched append with the lock held — the PR-9 fast path.
+
+        Shared by :meth:`append_minute_batch` (the simulator's minute
+        flush) and :meth:`apply_sample_batch` (the HTTP batched-ingest
+        path): three C-level loops instead of thousands of keyed writes.
+        """
+        deque(
+            map(list.append, batch.ts_lists, repeat(timestamp)),
+            maxlen=0,
+        )
+        deque(map(list.append, batch.val_lists, values), maxlen=0)
+        deque(
+            map(setattr, batch.buffers,
+                repeat("_frozen"), repeat(None)),
+            maxlen=0,
+        )
+        batch.last_ts = timestamp
+        if self._latest is None or timestamp > self._latest:
+            self._latest = timestamp
+        self._versions[topology] = (
+            self._versions.get(topology, 0) + len(batch.buffers)
+        )
+
+    def apply_sample_batch(
+        self, entries: Sequence[tuple[MetricKey, int, float]]
+    ) -> list[str | None]:
+        """Apply many keyed samples under one lock acquisition.
+
+        ``entries`` is ``(key, timestamp, value)`` per sample, in arrival
+        order.  The end state is identical to issuing the equivalent
+        keyed writes sequentially: the same samples land on the same
+        series, the same entries are rejected for timestamp-order
+        violations (reported per entry in the returned list — ``None``
+        means accepted — instead of raising), the ``data_version`` delta
+        per topology is the same, and retention trims to the same
+        cutoff.  Only the invalidation listeners are coalesced: one
+        callback per distinct touched topology after the lock drops,
+        rather than one per write.
+
+        Internally the batch is regrouped into ``(timestamp, topology)``
+        commit groups that run through the same three-C-level-loop core
+        as :meth:`append_minute_batch`, so a minute-shaped batch (many
+        series, one shared timestamp) costs a handful of C loops.  A
+        series' entries never reorder across groups — a group is only
+        reused for an entry when it sits at or after the group holding
+        that series' previous entry.
+        """
+        errors: list[str | None] = [None] * len(entries)
+        touched: list[str | None] = []
+        with self._lock:
+            # Plan: validate each entry against the series' (pending)
+            # tail, then assign it to an order-preserving commit group.
+            groups: list[tuple[int, str | None, list[MetricKey], list[float]]]
+            groups = []
+            group_index: dict[tuple[int, str | None], int] = {}
+            last_seen: dict[MetricKey, int] = {}
+            prev_group: dict[MetricKey, int] = {}
+            for idx, (key, timestamp, value) in enumerate(entries):
+                timestamp = int(timestamp)
+                last = last_seen.get(key)
+                if last is None:
+                    buffer = self._series.get(key)
+                    if buffer is not None and buffer.timestamps:
+                        last = buffer.timestamps[-1]
+                if last is not None and timestamp <= last:
+                    errors[idx] = (
+                        "writes must be in increasing timestamp order: "
+                        f"got {timestamp} after {last}"
+                    )
+                    continue
+                last_seen[key] = timestamp
+                topology = key.tag_dict().get("topology")
+                gkey = (timestamp, topology)
+                position = group_index.get(gkey, -1)
+                if position < prev_group.get(key, -1):
+                    position = -1  # reuse would reorder this series
+                if position < 0:
+                    position = len(groups)
+                    groups.append((timestamp, topology, [], []))
+                    group_index[gkey] = position
+                groups[position][2].append(key)
+                groups[position][3].append(float(value))
+                prev_group[key] = position
+            for timestamp, topology, keys, values in groups:
+                batch = MinuteBatch()
+                for key in keys:
+                    buffer = self._series.get(key)
+                    if buffer is None:
+                        buffer = self._series[key] = _SeriesBuffer()
+                    batch.buffers.append(buffer)
+                    batch.ts_lists.append(buffer.timestamps)
+                    batch.val_lists.append(buffer.values)
+                self._append_batch_locked(batch, timestamp, values, topology)
+                if topology not in touched:
+                    touched.append(topology)
+            if groups:
+                self._apply_retention_locked()
+            listeners = list(self._listeners) if groups else []
+        for topology in touched:
+            for listener in listeners:
+                listener(topology)
+        return errors
 
     def _apply_retention_locked(self) -> None:
         if self._retention is None or self._latest is None:

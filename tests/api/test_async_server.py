@@ -1,0 +1,343 @@
+"""The asyncio ingestion front-end: parity, streaming acks, lifecycle.
+
+``AsyncCaladriusServer`` must be a drop-in for ``CaladriusServer`` —
+same routes, same error contracts (413, strict queries), same drain
+semantics — plus streaming group-commit acks on large ``write_batch``
+bodies.  The kill -9 test boots ``serve --async-api --fsync always``
+as a subprocess and asserts every acknowledged frame survives.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+
+from repro.api.app import CaladriusApp
+from repro.api.async_server import AsyncCaladriusServer
+from repro.api.client import CaladriusClient
+from repro.config import load_config
+from repro.durability import DurableMetricsStore, open_data_dir
+from repro.errors import ApiError
+from repro.heron.tracker import TopologyTracker
+from repro.timeseries.store import MetricsStore
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+_PORT_LINE = re.compile(r"caladrius serving on ([\d.]+):(\d+)")
+
+
+def _bare_config(**ingest_overrides):
+    config = load_config({})
+    config = replace(config, serving=replace(config.serving, enabled=False))
+    if ingest_overrides:
+        config = replace(
+            config, ingest=replace(config.ingest, **ingest_overrides)
+        )
+    return config
+
+
+@pytest.fixture()
+def async_service(tmp_path):
+    """A durable app on the asyncio server, commit groups of 10."""
+    config = _bare_config(commit_max_frames=10)
+    store = DurableMetricsStore(tmp_path / "data", fsync="always")
+    app = CaladriusApp(config, TopologyTracker(), store)
+    with AsyncCaladriusServer(app, port=0) as server:
+        client = CaladriusClient(server.host, server.port, retries=0)
+        try:
+            yield app, client, store
+        finally:
+            client.close()
+    app.shutdown()
+    store.close()
+
+
+class TestParity:
+    def test_plain_json_routes_work(self, async_service):
+        _, client, _ = async_service
+        assert client.healthz()["status"] == "ok"
+        assert client.topologies() == []
+        written = client.write_metrics(
+            "arrivals", [(60, 1.0), (120, 2.0)], {"topology": "wc"}
+        )
+        assert written == 2
+        (series,) = client.read_metrics("arrivals", {"topology": "wc"})
+        assert series["values"] == [1.0, 2.0]
+
+    def test_keep_alive_reuses_one_connection(self, async_service):
+        _, client, _ = async_service
+        client.healthz()
+        connection, _ = client._connection()
+        for _ in range(5):
+            client.healthz()
+        again, reused = client._connection()
+        assert again is connection and reused
+
+    def test_unknown_route_is_a_404(self, async_service):
+        _, client, _ = async_service
+        with pytest.raises(ApiError) as excinfo:
+            client._request("GET", "/no/such/route")
+        assert excinfo.value.status == 404
+
+    def test_bad_json_body_is_a_400(self, async_service):
+        _, client, _ = async_service
+        with pytest.raises(ApiError, match="not JSON"):
+            client._request(
+                "POST", "/metrics/write", raw_body=b"{not json",
+            )
+
+    def test_duplicate_query_parameter_is_a_400(self, async_service):
+        _, client, _ = async_service
+        with pytest.raises(ApiError) as excinfo:
+            client._request("GET", "/metrics/read?name=a&name=b")
+        assert excinfo.value.status == 400
+        assert "duplicate query parameter" in str(excinfo.value)
+
+    def test_oversized_body_is_a_413(self, tmp_path):
+        config = _bare_config(max_body_bytes=512)
+        app = CaladriusApp(config, TopologyTracker(), MetricsStore())
+        with AsyncCaladriusServer(app, port=0) as server:
+            client = CaladriusClient(server.host, server.port, retries=0)
+            try:
+                with pytest.raises(ApiError) as excinfo:
+                    client.write_batch(
+                        [("m", 60 * (i + 1), float(i)) for i in range(100)]
+                    )
+                assert excinfo.value.status == 413
+                assert excinfo.value.payload["max_body_bytes"] == 512
+            finally:
+                client.close()
+        app.shutdown()
+
+
+class TestStreamingAcks:
+    def test_small_batch_answers_plain_json(self, async_service):
+        _, client, _ = async_service
+        # 10 frames = exactly one commit group: no streaming, no
+        # commits list in the answer.
+        ack = client.write_batch(
+            [("one", 60 * (i + 1), float(i), {"topology": "s"})
+             for i in range(10)]
+        )
+        assert ack.acked == 10
+        assert ack.commits == []
+        assert ack.last_lsn - ack.first_lsn == 9
+
+    def test_large_batch_streams_group_commits(self, async_service):
+        _, client, store = async_service
+        ack = client.write_batch(
+            [("many", 60 * (i + 1), float(i), {"topology": "s2"})
+             for i in range(35)]
+        )
+        assert ack.frames == 35 and ack.acked == 35
+        # 35 frames in groups of 10 -> 4 commit lines, each carrying
+        # its own ack offsets.
+        assert [c["group"] for c in ack.commits] == [0, 1, 2, 3]
+        assert [c["frames"] for c in ack.commits] == [10, 10, 10, 5]
+        assert ack.commits[0]["frame_start"] == 0
+        assert ack.commits[3]["frame_start"] == 30
+        lsns = [
+            (c["first_lsn"], c["last_lsn"]) for c in ack.commits
+        ]
+        # Contiguous across groups: each group starts where the
+        # previous one ended.
+        for (_, prev_last), (next_first, _) in zip(lsns, lsns[1:]):
+            assert next_first == prev_last + 1
+        assert ack.first_lsn == lsns[0][0]
+        assert ack.last_lsn == lsns[-1][1]
+        series = store.get("many", {"topology": "s2"})
+        assert len(series.timestamps) == 35
+
+    def test_rejections_are_rebased_onto_the_batch(self, async_service):
+        _, client, _ = async_service
+        entries = [
+            ("rebase", 60 * (i + 1), float(i), {"topology": "s3"})
+            for i in range(25)
+        ]
+        entries[12] = ("rebase", 60, 99.0, {"topology": "s3"})  # stale
+        ack = client.write_batch(entries)
+        assert ack.acked == 24
+        assert [r["frame"] for r in ack.rejected] == [12]
+
+    def test_drain_mid_stream_keeps_the_acked_prefix(self, async_service):
+        app, client, store = async_service
+        original = app.handle_write_batch_frames
+        calls = {"n": 0}
+
+        def drain_after_second_group(frames, headers=None):
+            result = original(frames, headers)
+            calls["n"] += 1
+            if calls["n"] == 2:
+                app.lifecycle.begin_drain()
+            return result
+
+        app.handle_write_batch_frames = drain_after_second_group
+        try:
+            ack = client.write_batch(
+                [("racing", 60 * (i + 1), float(i), {"topology": "s4"})
+                 for i in range(35)]
+            )
+        finally:
+            app.handle_write_batch_frames = original
+        # Groups 0 and 1 committed before the drain began; groups 2
+        # and 3 were refused with a retryable 503 — and the response
+        # still arrived as a clean 200 stream.
+        assert ack.acked == 20
+        assert len(ack.refused) == 2
+        for refusal in ack.refused:
+            assert refusal["status"] == 503
+            assert "draining" in refusal["error"]
+        assert {r["frame_start"] for r in ack.refused} == {20, 30}
+        # The acked prefix is really in the store.
+        series = store.get("racing", {"topology": "s4"})
+        assert len(series.timestamps) == 20
+
+    def test_batch_racing_graceful_shutdown(self, tmp_path):
+        """A drain during an in-flight batch never truncates a response.
+
+        The gauge brackets the whole stream, so shutdown_gracefully
+        must wait for the batch to finish (acked or refused) before
+        the socket closes.
+        """
+        config = _bare_config(commit_max_frames=10)
+        store = DurableMetricsStore(tmp_path / "data", fsync="always")
+        app = CaladriusApp(config, TopologyTracker(), store)
+        server = AsyncCaladriusServer(app, port=0)
+        server.start()
+        client = CaladriusClient(server.host, server.port, retries=0)
+        results: list = []
+
+        def send():
+            try:
+                results.append(
+                    client.write_batch(
+                        [("shutdown-race", 60 * (i + 1), float(i),
+                          {"topology": "s5"}) for i in range(35)]
+                    )
+                )
+            except ApiError as exc:
+                results.append(exc)
+
+        thread = threading.Thread(target=send)
+        thread.start()
+        time.sleep(0.02)  # let the batch get in flight
+        assert server.shutdown_gracefully(drain_timeout=10) is True
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        (outcome,) = results
+        client.close()
+        app.shutdown()
+        store.close()
+        # Either the batch beat the drain (all acked) or the drain
+        # refused a suffix — but the response was always complete and
+        # every acked frame is in the store.
+        if isinstance(outcome, ApiError):
+            assert outcome.status == 503
+        else:
+            acked = outcome.acked
+            refused_frames = sum(
+                len(r.get("frames", [])) if isinstance(r.get("frames"), list)
+                else r.get("frames", 0)
+                for r in outcome.refused
+            )
+            assert acked + refused_frames + len(outcome.rejected) == 35
+            if acked:
+                series = store.get(
+                    "shutdown-race", {"topology": "s5"}
+                )
+                assert len(series.timestamps) == acked
+
+
+def _spawn(data_dir: Path, *extra: str) -> tuple[subprocess.Popen, int]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_SRC)
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--data-dir", str(data_dir),
+            "--fsync", "always",
+            "--port", "0",
+            "--async-api",
+            *extra,
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    deadline = time.monotonic() + 30
+    line = ""
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        match = _PORT_LINE.search(line)
+        if match:
+            return process, int(match.group(2))
+        if process.poll() is not None:
+            break
+        time.sleep(0.01)
+    stderr = process.stderr.read() if process.stderr else ""
+    process.kill()
+    raise AssertionError(f"server never announced a port: {line!r}\n{stderr}")
+
+
+class TestKillNine:
+    def test_acked_batches_survive_sigkill(self, tmp_path):
+        data_dir = tmp_path / "data"
+        process, port = _spawn(data_dir)
+        acked: list[int] = []  # batch ids fully acknowledged
+        try:
+            client = CaladriusClient("127.0.0.1", port, retries=0)
+            client.wait_ready(timeout=20)
+            stop_writing = threading.Event()
+
+            def storm():
+                batch = 0
+                while not stop_writing.is_set():
+                    batch += 1
+                    base = batch * 1000
+                    try:
+                        ack = client.write_batch(
+                            [("storm", base + i, float(base + i),
+                              {"topology": "crashy", "batch": str(batch)})
+                             for i in range(10)]
+                        )
+                    except Exception:
+                        return  # the server died mid-request: expected
+                    if ack.acked == 10 and not ack.refused:
+                        acked.append(batch)
+
+            writer = threading.Thread(target=storm)
+            writer.start()
+            deadline = time.monotonic() + 20
+            while len(acked) < 25 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            process.send_signal(signal.SIGKILL)
+            process.wait(timeout=10)
+            stop_writing.set()
+            writer.join(timeout=30)
+            assert len(acked) >= 25, "write storm never got going"
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=10)
+
+        store, _ = open_data_dir(data_dir)
+        try:
+            for batch in acked:
+                series = store.get(
+                    "storm", {"topology": "crashy", "batch": str(batch)}
+                )
+                base = batch * 1000
+                assert list(series.timestamps) == [
+                    base + i for i in range(10)
+                ], f"acknowledged batch {batch} lost after kill -9"
+        finally:
+            store.close()

@@ -1,0 +1,177 @@
+"""``apply_sample_batch``: batched keyed writes, sequential semantics.
+
+The batched ingest path funnels many ``(key, ts, value)`` samples
+through one lock acquisition; these tests pin that the end state is
+indistinguishable from issuing the same writes sequentially — same
+series contents, same per-topology ``data_version`` deltas, same
+rejections, same retention cutoff — with only the invalidation
+listeners coalesced.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.timeseries.store import MetricKey, MetricsStore
+
+
+def _entries(spec):
+    return [
+        (MetricKey.of(name, tags), ts, value)
+        for name, tags, ts, value in spec
+    ]
+
+
+def _mirror_sequential(spec):
+    """Apply the same spec through plain write(), collecting errors."""
+    store = MetricsStore()
+    errors = []
+    for name, tags, ts, value in spec:
+        try:
+            store.write(name, ts, value, tags)
+        except Exception as exc:  # MetricsError
+            errors.append(str(exc))
+        else:
+            errors.append(None)
+    return store, errors
+
+
+def _dump(store):
+    return {
+        (key.name, key.tags): (
+            list(store.get(key.name, dict(key.tags)).timestamps),
+            list(store.get(key.name, dict(key.tags)).values),
+        )
+        for key in store.keys()
+    }
+
+
+class TestSequentialEquivalence:
+    SPEC = [
+        ("arrivals", {"topology": "wc"}, 60, 1.0),
+        ("arrivals", {"topology": "wc"}, 120, 2.0),
+        ("latency", {"topology": "wc"}, 60, 9.0),
+        ("arrivals", {"topology": "other"}, 60, 5.0),
+        ("arrivals", None, 60, 7.0),
+        ("arrivals", {"topology": "wc"}, 180, 3.0),
+    ]
+
+    def test_state_matches_sequential_writes(self):
+        batched = MetricsStore()
+        errors = batched.apply_sample_batch(_entries(self.SPEC))
+        sequential, _ = _mirror_sequential(self.SPEC)
+        assert errors == [None] * len(self.SPEC)
+        assert _dump(batched) == _dump(sequential)
+        for topology in ("wc", "other", None):
+            assert batched.data_version(topology) == (
+                sequential.data_version(topology)
+            )
+
+    def test_out_of_order_entries_reject_without_poisoning(self):
+        spec = [
+            ("m", {"topology": "t"}, 120, 1.0),
+            ("m", {"topology": "t"}, 60, 2.0),   # stale: rejected
+            ("m", {"topology": "t"}, 120, 3.0),  # duplicate ts: rejected
+            ("m", {"topology": "t"}, 180, 4.0),  # later sample still lands
+        ]
+        store = MetricsStore()
+        errors = store.apply_sample_batch(_entries(spec))
+        assert errors[0] is None and errors[3] is None
+        assert "increasing timestamp order" in errors[1]
+        assert "increasing timestamp order" in errors[2]
+        series = store.get("m", {"topology": "t"})
+        assert list(series.timestamps) == [120, 180]
+        assert list(series.values) == [1.0, 4.0]
+        # Version counts accepted writes only, exactly like sequential.
+        assert store.data_version("t") == 2
+
+    def test_rejection_checks_the_existing_series_tail(self):
+        store = MetricsStore()
+        store.write("m", 300, 1.0, {"topology": "t"})
+        errors = store.apply_sample_batch(
+            _entries([("m", {"topology": "t"}, 240, 2.0)])
+        )
+        assert "got 240 after 300" in errors[0]
+
+    def test_group_reuse_never_reorders_one_series(self):
+        # Pathological shape: X@7 arrives after X@5, but a (ts=7) group
+        # already exists from Y@7.  Joining it would replay X as
+        # [7, 5] — the batch must open a NEW ts=7 group instead.
+        spec = [
+            ("y", {"topology": "t"}, 7, 1.0),
+            ("x", {"topology": "t"}, 5, 2.0),
+            ("x", {"topology": "t"}, 7, 3.0),
+        ]
+        store = MetricsStore()
+        errors = store.apply_sample_batch(_entries(spec))
+        assert errors == [None, None, None]
+        assert list(store.get("x", {"topology": "t"}).timestamps) == [5, 7]
+        assert list(store.get("y", {"topology": "t"}).timestamps) == [7]
+
+    def test_retention_trims_like_sequential_writes(self):
+        spec = [
+            ("m", {"topology": "t"}, 60, 1.0),
+            ("m", {"topology": "t"}, 7200, 2.0),
+        ]
+        batched = MetricsStore(retention_seconds=3600)
+        batched.apply_sample_batch(_entries(spec))
+        sequential = MetricsStore(retention_seconds=3600)
+        for name, tags, ts, value in spec:
+            sequential.write(name, ts, value, tags)
+        assert _dump(batched) == _dump(sequential)
+        assert list(batched.get("m", {"topology": "t"}).timestamps) == [7200]
+
+
+class TestListeners:
+    def test_listeners_coalesce_to_one_call_per_topology(self):
+        store = MetricsStore()
+        calls: list[str | None] = []
+        store.add_invalidation_listener(calls.append)
+        store.apply_sample_batch(
+            _entries(
+                [
+                    ("a", {"topology": "wc"}, 60, 1.0),
+                    ("b", {"topology": "wc"}, 60, 2.0),
+                    ("a", {"topology": "other"}, 60, 3.0),
+                    ("c", None, 60, 4.0),
+                ]
+            )
+        )
+        assert calls == ["wc", "other", None]
+
+    def test_all_rejected_batch_fires_no_listeners(self):
+        store = MetricsStore()
+        store.write("m", 120, 1.0, {"topology": "t"})
+        calls: list[str | None] = []
+        store.add_invalidation_listener(calls.append)
+        store.apply_sample_batch(_entries([("m", {"topology": "t"}, 60, 2.0)]))
+        assert calls == []
+
+
+class TestBatchedAppendGuard:
+    def test_plain_store_supports_batched_appends(self):
+        assert MetricsStore().supports_batched_appends() is True
+
+    def test_listeners_disable_the_fast_path(self):
+        store = MetricsStore()
+        store.add_invalidation_listener(lambda topology: None)
+        assert store.supports_batched_appends() is False
+
+    def test_write_override_disables_the_fast_path(self):
+        # The durable store overrides write() (to journal), not
+        # _write_keyed(); the guard must catch that too or batches
+        # would silently skip the WAL.
+        class JournallingStore(MetricsStore):
+            def write(self, name, timestamp, value, tags=None):
+                super().write(name, timestamp, value, tags)
+
+        assert JournallingStore().supports_batched_appends() is False
+
+    def test_empty_batch_is_a_no_op(self):
+        store = MetricsStore()
+        assert store.apply_sample_batch([]) == []
+        assert store.data_version() == 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))
